@@ -1,0 +1,422 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per table/figure), the DESIGN.md ablations,
+// and the core pipeline's micro-costs. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/callgraph"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dex"
+	"repro/internal/experiments"
+	"repro/internal/fixer"
+	"repro/internal/hierarchy"
+	"repro/internal/interp"
+	"repro/internal/jimple"
+	"repro/internal/lint"
+	"repro/internal/netsim"
+	"repro/internal/userstudy"
+)
+
+// --- one benchmark per table/figure -----------------------------------------
+
+func BenchmarkFigure3_DownloadSuccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure3(50, 1)
+		if len(r.Series) != 2 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkTable1_StudyApps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table1().Apps) != 21 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable2_Representatives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2().Rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure4_ImpactDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Figure4().Total != 90 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkTable3_RootCauses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table3().Total != 90 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable4_LibraryMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table4().Libraries) != 6 {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+func BenchmarkTable5_MisusePatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table5().Rows) == 0 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// corpusScan caches the expensive full-corpus scan across benchmarks.
+func corpusScan(b *testing.B) *experiments.CorpusScan {
+	b.Helper()
+	cs, err := experiments.DefaultScan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cs
+}
+
+func BenchmarkTable6_CorpusScan(b *testing.B) {
+	// The headline experiment: generate and scan all 285 apps.
+	for i := 0; i < b.N; i++ {
+		cs, err := experiments.ScanCorpus(experiments.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := experiments.Table6(cs)
+		if r.TotalApps != 285 {
+			b.Fatal("bad corpus")
+		}
+	}
+}
+
+func BenchmarkTable7_LibraryUsage(b *testing.B) {
+	cs := corpusScan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Table7(cs).Native != 270 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable8_RetryBehaviours(b *testing.B) {
+	cs := corpusScan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Table8(cs).EvalApps != 91 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure8_ConfigCDF(b *testing.B) {
+	cs := corpusScan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure8(cs)
+		if len(r.ConnCheck.Ratios) == 0 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure9_NotificationCDF(b *testing.B) {
+	cs := corpusScan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure9(cs)
+		if len(r.Notif.Ratios) == 0 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkTable9_GoldenAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table9()
+		if err != nil || r.Correct != 130 {
+			b.Fatalf("bad accuracy table: %v", err)
+		}
+	}
+}
+
+func BenchmarkTable10_AutoFix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table10()
+		if err != nil || len(r.Rows) != 7 {
+			b.Fatalf("bad table: %v", err)
+		}
+	}
+}
+
+func BenchmarkFigure10_UserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10(experiments.Seed)
+		if len(r.Rows) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// --- ablations (DESIGN.md §5) ------------------------------------------------
+
+func goldenApps(b *testing.B) []*apk.App {
+	b.Helper()
+	apps, err := corpus.BuildGoldens()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return apps
+}
+
+func scanAllWith(b *testing.B, apps []*apk.App, opts core.Options) int {
+	nc := core.NewWithOptions(opts)
+	warnings := 0
+	for _, app := range apps {
+		warnings += len(nc.ScanApp(app).Reports)
+	}
+	return warnings
+}
+
+func BenchmarkAblation_CHADispatch(b *testing.B) {
+	apps := goldenApps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanAllWith(b, apps, core.Options{})
+	}
+}
+
+func BenchmarkAblation_DeclaredDispatchOnly(b *testing.B) {
+	apps := goldenApps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanAllWith(b, apps, core.Options{DeclaredDispatchOnly: true})
+	}
+}
+
+func BenchmarkAblation_TaintConfigDiscovery(b *testing.B) {
+	apps := goldenApps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanAllWith(b, apps, core.Options{})
+	}
+}
+
+func BenchmarkAblation_WholeMethodConfigScan(b *testing.B) {
+	apps := goldenApps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanAllWith(b, apps, core.Options{DisableTaintConfigDiscovery: true})
+	}
+}
+
+func BenchmarkAblation_RetrySlicing(b *testing.B) {
+	app := corpus.MustBuild(corpus.AppSpec{Package: "ab.loop", Sites: []corpus.SiteSpec{
+		{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity, RetryLoop: true, Notify: true,
+			ConnCheck: true, SetTimeout: true, SetRetry: true, RetryCount: 1},
+	}})
+	nc := core.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nc.ScanApp(app).Stats.RetryLoops != 1 {
+			b.Fatal("loop not found")
+		}
+	}
+}
+
+func BenchmarkAblation_NoRetrySlicing(b *testing.B) {
+	app := corpus.MustBuild(corpus.AppSpec{Package: "ab.loop2", Sites: []corpus.SiteSpec{
+		{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity, RetryLoop: true, Notify: true,
+			ConnCheck: true, SetTimeout: true, SetRetry: true, RetryCount: 1},
+	}})
+	nc := core.NewWithOptions(core.Options{DisableRetrySlicing: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nc.ScanApp(app)
+	}
+}
+
+// --- pipeline micro-benchmarks ------------------------------------------------
+
+func benchApp(b *testing.B) *apk.App {
+	b.Helper()
+	return corpus.MustBuild(corpus.AppSpec{Package: "bench.app", Sites: []corpus.SiteSpec{
+		{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity, UseResponse: true, Notify: true},
+		{Lib: apimodel.LibVolley, Ctx: corpus.CtxActivity, Notify: true},
+		{Lib: apimodel.LibAsyncHTTP, Ctx: corpus.CtxService},
+		{Lib: apimodel.LibHttpURL, Ctx: corpus.CtxActivity, Wrap: corpus.WrapAsyncTask},
+	}})
+}
+
+func BenchmarkScanSingleApp(b *testing.B) {
+	app := benchApp(b)
+	nc := core.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(nc.ScanApp(app).Reports) == 0 {
+			b.Fatal("no warnings")
+		}
+	}
+}
+
+func BenchmarkDexEncode(b *testing.B) {
+	app := benchApp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := dex.Encode(app.Program)
+		b.SetBytes(int64(len(data)))
+	}
+}
+
+func BenchmarkDexDecode(b *testing.B) {
+	app := benchApp(b)
+	data := dex.Encode(app.Program)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dex.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPKRoundTrip(b *testing.B) {
+	app := benchApp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := apk.Encode(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := apk.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallGraphBuild(b *testing.B) {
+	app := benchApp(b)
+	prog := jimple.NewProgram()
+	prog.Merge(app.Program)
+	prog.Merge(android.Framework())
+	prog.Merge(apimodel.Stubs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := hierarchy.New(prog)
+		g := callgraph.Build(h, app.Manifest)
+		if g.NumMethods() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		apps, err := corpus.GenerateCorpus(int64(i))
+		if err != nil || len(apps) != corpus.CorpusSize {
+			b.Fatalf("bad corpus: %v", err)
+		}
+	}
+}
+
+func BenchmarkNetsimDownload(b *testing.B) {
+	c := netsim.DefaultVolley()
+	p := netsim.ThreeGLossy(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SuccessRate(p, 128*1024, 10, int64(i))
+	}
+}
+
+func BenchmarkFixerFixAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		app := corpus.MustBuild(corpus.AppSpec{Package: "bench.fix", Sites: []corpus.SiteSpec{
+			{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity, UseResponse: true},
+		}})
+		f := fixer.New()
+		out, err := f.FixAll(app, 50)
+		if err != nil || out.Remaining != 0 {
+			b.Fatalf("fix failed: %v (%d remaining)", err, out.Remaining)
+		}
+	}
+}
+
+func BenchmarkUserStudySimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := userstudy.Simulate(int64(i))
+		if len(res.Trials) == 0 {
+			b.Fatal("no trials")
+		}
+	}
+}
+
+func BenchmarkTable9WithICC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table9WithICC()
+		if err != nil || r.FP != 0 {
+			b.Fatalf("bad ICC accuracy table: %v (FP=%d)", err, r.FP)
+		}
+	}
+}
+
+func BenchmarkTable11_GuidelineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table11(int64(i))
+		if r.Requests == 0 {
+			b.Fatal("empty workload")
+		}
+	}
+}
+
+func BenchmarkDynamicComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.DynamicComparison(int64(i))
+		if err != nil || r.CrashTotal == 0 {
+			b.Fatalf("bad dynamic comparison: %v", err)
+		}
+	}
+}
+
+func BenchmarkInterpreterRun(b *testing.B) {
+	app := benchApp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := interp.RunApp(app, interp.NetPoor, int64(i))
+		if len(rep.Runs) == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+func BenchmarkLintBaseline(b *testing.B) {
+	apps := goldenApps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, app := range apps {
+			total += len(lint.Run(app))
+		}
+		if total == 0 {
+			b.Fatal("lint found nothing")
+		}
+	}
+}

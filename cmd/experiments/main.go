@@ -1,0 +1,119 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them in order.
+//
+// Usage:
+//
+//	experiments [-only fig3|fig4|fig8|fig9|fig10|t1|t2|t3|t4|t5|t6|t7|t8|t9|t10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (fig3, t6, …)")
+	trials := flag.Int("trials", 200, "netsim trials per point (fig3)")
+	flag.Parse()
+
+	type exp struct {
+		key    string
+		needs  bool // needs the corpus scan
+		render func(cs *experiments.CorpusScan) (string, error)
+	}
+	exps := []exp{
+		{"fig3", false, func(*experiments.CorpusScan) (string, error) {
+			return experiments.Figure3(*trials, 1).Render(), nil
+		}},
+		{"t1", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table1().Render(), nil }},
+		{"t2", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table2().Render(), nil }},
+		{"fig4", false, func(*experiments.CorpusScan) (string, error) { return experiments.Figure4().Render(), nil }},
+		{"t3", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table3().Render(), nil }},
+		{"t4", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table4().Render(), nil }},
+		{"t5", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table5().Render(), nil }},
+		{"t6", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table6(cs).Render(), nil }},
+		{"t7", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table7(cs).Render(), nil }},
+		{"t8", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table8(cs).Render(), nil }},
+		{"fig8", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure8(cs).Render(), nil }},
+		{"fig9", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure9(cs).Render(), nil }},
+		{"t9", false, func(*experiments.CorpusScan) (string, error) {
+			r, err := experiments.Table9()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"t10", false, func(*experiments.CorpusScan) (string, error) {
+			r, err := experiments.Table10()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig10", false, func(*experiments.CorpusScan) (string, error) {
+			return experiments.Figure10(experiments.Seed).Render(), nil
+		}},
+		{"t9icc", false, func(*experiments.CorpusScan) (string, error) {
+			r, err := experiments.Table9WithICC()
+			if err != nil {
+				return "", err
+			}
+			return "[with inter-component analysis — §4.7 future work]\n" + r.Render(), nil
+		}},
+		{"lint", false, func(*experiments.CorpusScan) (string, error) {
+			r, err := experiments.LintComparison()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"dyn", false, func(*experiments.CorpusScan) (string, error) {
+			r, err := experiments.DynamicComparison(experiments.Seed)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"t11", false, func(*experiments.CorpusScan) (string, error) {
+			return experiments.Table11(experiments.Seed).Render(), nil
+		}},
+	}
+
+	var cs *experiments.CorpusScan
+	needScan := false
+	for _, e := range exps {
+		if (*only == "" || *only == e.key) && e.needs {
+			needScan = true
+		}
+	}
+	if needScan {
+		fmt.Fprintf(os.Stderr, "experiments: scanning the %d-app corpus (seed %d)...\n",
+			285, experiments.Seed)
+		var err error
+		cs, err = experiments.DefaultScan()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	ran := 0
+	for _, e := range exps {
+		if *only != "" && *only != e.key {
+			continue
+		}
+		out, err := e.render(cs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.key, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

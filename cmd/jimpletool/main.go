@@ -1,0 +1,159 @@
+// Command jimpletool converts between the binary APK container and the
+// textual Jimple-like assembly, the way dexdump/smali do for real APKs:
+//
+//	jimpletool disas app.apk               # print manifest + IR text
+//	jimpletool asm -manifest m.txt -o out.apk prog.jimple
+//	jimpletool stats app.apk               # size metrics
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/jimple"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "disas":
+		err = disas(os.Args[2:])
+	case "asm":
+		err = asm(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jimpletool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  jimpletool disas app.apk
+  jimpletool asm -manifest manifest.txt -o out.apk prog.jimple
+  jimpletool stats app.apk`)
+	os.Exit(2)
+}
+
+func disas(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	app, err := apk.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println("// -- AndroidManifest --")
+	for _, line := range splitLines(app.Manifest.Encode()) {
+		fmt.Println("// " + line)
+	}
+	fmt.Println()
+	fmt.Print(jimple.Print(app.Program))
+	return nil
+}
+
+func asm(args []string) error {
+	var manifestPath, outPath, srcPath string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-manifest":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			manifestPath = args[i]
+		case "-o":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			outPath = args[i]
+		default:
+			srcPath = args[i]
+		}
+	}
+	if manifestPath == "" || outPath == "" || srcPath == "" {
+		usage()
+	}
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		return err
+	}
+	prog, err := jimple.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if err := prog.Validate(); err != nil {
+		return fmt.Errorf("assembled program invalid: %w", err)
+	}
+	manSrc, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return err
+	}
+	man, err := android.DecodeManifest(string(manSrc))
+	if err != nil {
+		return err
+	}
+	if err := apk.WriteFile(outPath, &apk.App{Manifest: man, Program: prog}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d classes, %d statements)\n", outPath, prog.NumClasses(), prog.NumStmts())
+	return nil
+}
+
+func stats(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	app, err := apk.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	methods, bodies, traps := 0, 0, 0
+	for _, c := range app.Program.Classes() {
+		for _, m := range c.Methods {
+			methods++
+			if m.HasBody() {
+				bodies++
+				traps += len(m.Traps)
+			}
+		}
+	}
+	fi, _ := os.Stat(args[0])
+	fmt.Printf("package:    %s\n", app.Manifest.Package)
+	fmt.Printf("components: %d activities, %d services, %d receivers\n",
+		len(app.Manifest.Activities), len(app.Manifest.Services), len(app.Manifest.Receivers))
+	fmt.Printf("classes:    %d\n", app.Program.NumClasses())
+	fmt.Printf("methods:    %d (%d with bodies)\n", methods, bodies)
+	fmt.Printf("statements: %d (%d traps)\n", app.Program.NumStmts(), traps)
+	if fi != nil {
+		fmt.Printf("file size:  %d bytes\n", fi.Size())
+	}
+	return nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

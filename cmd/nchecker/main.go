@@ -1,0 +1,94 @@
+// Command nchecker scans Android app binaries (the repository's APK
+// container format) for network programming defects and prints warning
+// reports in the paper's Figure 7 layout, or as JSON.
+//
+// Usage:
+//
+//	nchecker [flags] app.apk [more.apk ...]
+//
+// Flags:
+//
+//	-json     emit reports as a JSON array instead of text
+//	-stats    print per-app request statistics after the reports
+//	-summary  print only the per-cause summary per app
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit reports as JSON")
+	stats := flag.Bool("stats", false, "print per-app request statistics")
+	summary := flag.Bool("summary", false, "print only per-cause summaries")
+	icc := flag.Bool("icc", false, "enable the inter-component analysis (removes launcher/broadcast FPs)")
+	guard := flag.Bool("guard", false, "require connectivity checks to govern a branch (removes unused-check FNs)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nchecker [flags] app.apk [more.apk ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	nc := core.NewWithOptions(core.Options{
+		EnableICC:               *icc,
+		GuardSensitiveConnCheck: *guard,
+	})
+	exit := 0
+	for _, path := range flag.Args() {
+		res, err := nc.ScanFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nchecker: %v\n", err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("== %s: %d requests, %d warnings ==\n", path, res.Stats.Requests, len(res.Reports))
+		switch {
+		case *jsonOut:
+			if err := printJSON(res.Reports); err != nil {
+				fmt.Fprintf(os.Stderr, "nchecker: %v\n", err)
+				exit = 1
+			}
+		case *summary:
+			printSummary(res.Reports)
+		default:
+			for i := range res.Reports {
+				fmt.Println(res.Reports[i].Render())
+			}
+		}
+		if *stats {
+			fmt.Printf("stats: %+v\n", res.Stats)
+		}
+		if len(res.Reports) > 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func printJSON(reports []report.Report) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+func printSummary(reports []report.Report) {
+	s := report.Summarize(reports)
+	causes := make([]string, 0, len(s.ByCause))
+	for c := range s.ByCause {
+		causes = append(causes, string(c))
+	}
+	sort.Strings(causes)
+	for _, c := range causes {
+		fmt.Printf("  %-28s %d\n", c, s.ByCause[report.Cause(c)])
+	}
+}

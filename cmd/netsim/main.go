@@ -1,0 +1,50 @@
+// Command netsim runs the Figure 3 download experiment: success rates of
+// downloading files of 2K–2M with the Volley default parameters over a 3G
+// link at the given packet-loss rates.
+//
+// Usage:
+//
+//	netsim [-trials 200] [-seed 1] [-loss 0,0.10] [-timeout 2500] [-retries 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/netsim"
+)
+
+func main() {
+	trials := flag.Int("trials", 200, "downloads per point")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	lossList := flag.String("loss", "0,0.10", "comma-separated packet loss rates")
+	timeout := flag.Float64("timeout", 2500, "client timeout in ms (0 = blocking)")
+	retries := flag.Int("retries", 1, "automatic retries")
+	flag.Parse()
+
+	client := netsim.Client{TimeoutMs: *timeout, MaxRetries: *retries, BackoffMult: 1}
+	sizes := netsim.FileSizes()
+	fmt.Printf("download success rate, timeout=%.0fms retries=%d (%d trials/point)\n",
+		*timeout, *retries, *trials)
+	fmt.Printf("%-16s", "network")
+	for _, s := range sizes {
+		fmt.Printf("%6s", netsim.SizeLabel(s))
+	}
+	fmt.Println()
+	for _, tok := range strings.Split(*lossList, ",") {
+		loss, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: bad loss rate %q: %v\n", tok, err)
+			os.Exit(2)
+		}
+		p := netsim.ThreeGLossy(loss)
+		fmt.Printf("%-16s", p.Name)
+		for i, size := range sizes {
+			fmt.Printf("%6.2f", client.SuccessRate(p, size, *trials, *seed+int64(i)))
+		}
+		fmt.Println()
+	}
+}

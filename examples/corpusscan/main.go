@@ -1,0 +1,76 @@
+// Corpusscan generates a slice of the evaluation corpus, writes it to a
+// temporary directory as APK files, scans every file from disk (the same
+// path cmd/nchecker takes), and prints a Table-6-style summary — the
+// miniature version of the paper's 285-app evaluation.
+//
+//	go run ./examples/corpusscan [-n 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/apk"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/report"
+)
+
+func main() {
+	n := flag.Int("n", 40, "number of corpus apps to scan")
+	seed := flag.Int64("seed", 2016, "corpus seed")
+	flag.Parse()
+
+	apps, err := corpus.GenerateCorpus(*seed)
+	if err != nil {
+		log.Fatalf("corpusscan: %v", err)
+	}
+	if *n < len(apps) {
+		apps = apps[:*n]
+	}
+	dir, err := os.MkdirTemp("", "nchecker-corpus-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	for _, a := range apps {
+		if err := apk.WriteFile(filepath.Join(dir, a.Name+".apk"), a.App); err != nil {
+			log.Fatalf("write %s: %v", a.Name, err)
+		}
+	}
+	fmt.Printf("wrote %d APKs to %s; scanning from disk...\n\n", len(apps), dir)
+
+	nc := core.New()
+	byCause := map[report.Cause]int{}
+	totalWarnings, buggy, requests := 0, 0, 0
+	for _, a := range apps {
+		res, err := nc.ScanFile(filepath.Join(dir, a.Name+".apk"))
+		if err != nil {
+			log.Fatalf("scan %s: %v", a.Name, err)
+		}
+		requests += res.Stats.Requests
+		totalWarnings += len(res.Reports)
+		if len(res.Reports) > 0 {
+			buggy++
+		}
+		for i := range res.Reports {
+			byCause[res.Reports[i].Cause]++
+		}
+	}
+	fmt.Printf("%d apps, %d network requests, %d NPD warnings, %d buggy apps (%.0f%%)\n\n",
+		len(apps), requests, totalWarnings, buggy, 100*float64(buggy)/float64(len(apps)))
+	causes := make([]string, 0, len(byCause))
+	for c := range byCause {
+		causes = append(causes, string(c))
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		return byCause[report.Cause(causes[i])] > byCause[report.Cause(causes[j])]
+	})
+	for _, c := range causes {
+		fmt.Printf("  %-28s %4d\n", c, byCause[report.Cause(c)])
+	}
+}

@@ -1,0 +1,230 @@
+package android
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hierarchy"
+	"repro/internal/jimple"
+)
+
+func TestFrameworkStubsValidate(t *testing.T) {
+	fw := Framework()
+	if err := fw.Validate(); err != nil {
+		t.Fatalf("framework stubs invalid: %v", err)
+	}
+	for _, name := range []string{
+		ClassActivity, ClassService, ClassAsyncTask, ClassToast,
+		ClassConnectivityMgr, ClassOnClickListener, ClassIOException,
+	} {
+		if fw.Class(name) == nil {
+			t.Errorf("framework missing stub %s", name)
+		}
+	}
+}
+
+func TestFrameworkHierarchy(t *testing.T) {
+	h := hierarchy.New(Framework())
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{ClassActivity, ClassContext, true},
+		{ClassIntentService, ClassService, true},
+		{ClassSocketTimeout, ClassIOException, true},
+		{ClassSocketTimeout, ClassException, true},
+		{ClassTextView, ClassView, true},
+		{ClassService, ClassActivity, false},
+		{ClassToast, ClassView, false},
+		{ClassThread, ClassRunnable, true},
+	}
+	for _, c := range cases {
+		if got := h.IsSubtype(c.sub, c.super); got != c.want {
+			t.Errorf("IsSubtype(%s, %s) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	prog := jimple.NewProgram()
+	prog.AddClass(&jimple.Class{Name: "com.app.Main", Super: ClassActivity})
+	prog.AddClass(&jimple.Class{Name: "com.app.Sync", Super: ClassService})
+	prog.AddClass(&jimple.Class{Name: "com.app.Main$Click", Super: ClassObject, Interfaces: []string{ClassOnClickListener}})
+	prog.AddClass(&jimple.Class{Name: "com.app.Util", Super: ClassObject})
+	prog.Merge(Framework())
+	h := hierarchy.New(prog)
+
+	cases := []struct {
+		cls  string
+		want ComponentKind
+	}{
+		{"com.app.Main", KindActivity},
+		{"com.app.Sync", KindService},
+		{"com.app.Main$Click", KindActivity}, // inner class inherits outer kind
+		{"com.app.Util", KindOther},
+	}
+	for _, c := range cases {
+		if got := KindOf(h, c.cls); got != c.want {
+			t.Errorf("KindOf(%s) = %v, want %v", c.cls, got, c.want)
+		}
+	}
+}
+
+func TestComponentKindString(t *testing.T) {
+	if KindActivity.String() != "Activity" || KindService.String() != "Service" || KindOther.String() != "Other" {
+		t.Error("ComponentKind.String misbehaves")
+	}
+}
+
+func TestConnectivityCheckSigs(t *testing.T) {
+	sig := jimple.Sig{
+		Class: ClassConnectivityMgr, Name: "getActiveNetworkInfo", Ret: ClassNetworkInfo,
+	}
+	if !IsConnectivityCheck(sig) {
+		t.Error("getActiveNetworkInfo should be a connectivity check")
+	}
+	other := jimple.Sig{Class: ClassToast, Name: "show", Ret: jimple.TypeVoid}
+	if IsConnectivityCheck(other) {
+		t.Error("Toast.show is not a connectivity check")
+	}
+}
+
+func TestIsUIAlertCall(t *testing.T) {
+	if !IsUIAlertCall(jimple.Sig{Class: ClassToast, Name: "show", Ret: jimple.TypeVoid}) {
+		t.Error("Toast.show should be a UI alert call")
+	}
+	if IsUIAlertCall(jimple.Sig{Class: ClassLog, Name: "d", Ret: jimple.TypeInt}) {
+		t.Error("Log.d must not count as a UI alert")
+	}
+}
+
+func TestAsyncDispatchTable(t *testing.T) {
+	table := AsyncDispatches()
+	var sawAsyncTask, sawHandlerPost, sawSetOnClick bool
+	for _, d := range table {
+		if d.TriggerClass == ClassAsyncTask && d.TriggerSubsig == "execute()void" {
+			sawAsyncTask = true
+			if d.ArgIndex != -1 {
+				t.Error("AsyncTask.execute should dispatch on the receiver")
+			}
+			joined := strings.Join(d.CalleeSubsigs, ",")
+			if !strings.Contains(joined, "doInBackground") || !strings.Contains(joined, "onPostExecute") {
+				t.Errorf("AsyncTask dispatch incomplete: %v", d.CalleeSubsigs)
+			}
+		}
+		if d.TriggerClass == ClassHandler && strings.HasPrefix(d.TriggerSubsig, "post(") {
+			sawHandlerPost = true
+			if d.ArgIndex != 0 {
+				t.Error("Handler.post should dispatch on arg 0")
+			}
+		}
+		if d.TriggerClass == ClassView && strings.HasPrefix(d.TriggerSubsig, "setOnClickListener") {
+			sawSetOnClick = true
+		}
+	}
+	if !sawAsyncTask || !sawHandlerPost || !sawSetOnClick {
+		t.Errorf("async dispatch table missing entries: asynctask=%v handler=%v onclick=%v",
+			sawAsyncTask, sawHandlerPost, sawSetOnClick)
+	}
+}
+
+func TestLifecycleTables(t *testing.T) {
+	if len(LifecycleSubsigs(ClassActivity)) == 0 {
+		t.Error("Activity lifecycle table empty")
+	}
+	for _, base := range ComponentBases() {
+		for _, sub := range LifecycleSubsigs(base) {
+			if _, err := jimple.ParseSigKey(base + "." + sub); err != nil {
+				t.Errorf("lifecycle subsig %q of %s does not parse: %v", sub, base, err)
+			}
+		}
+	}
+	for _, l := range ListenerIfaces() {
+		for _, sub := range ListenerSubsigs(l) {
+			if _, err := jimple.ParseSigKey(l + "." + sub); err != nil {
+				t.Errorf("listener subsig %q of %s does not parse: %v", sub, l, err)
+			}
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Package:    "com.example.app",
+		Label:      "Example App",
+		Activities: []string{"com.example.app.Main", "com.example.app.Settings"},
+		Services:   []string{"com.example.app.Sync"},
+		Receivers:  []string{"com.example.app.BootReceiver"},
+	}
+	m.Normalize()
+	enc := m.Encode()
+	got, err := DecodeManifest(enc)
+	if err != nil {
+		t.Fatalf("DecodeManifest: %v", err)
+	}
+	if got.Encode() != enc {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", enc, got.Encode())
+	}
+	if !got.DeclaresActivity("com.example.app.Main") {
+		t.Error("DeclaresActivity lost a component")
+	}
+	if got.DeclaresService("com.example.app.Main") {
+		t.Error("DeclaresService false positive")
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	if err := (&Manifest{}).Validate(); err == nil {
+		t.Error("empty manifest should fail validation")
+	}
+	if _, err := DecodeManifest("package \nactivity x"); err == nil {
+		t.Error("manifest without a package should fail to decode")
+	}
+	if _, err := DecodeManifest("bogus line here\n"); err == nil {
+		t.Error("unknown manifest key should fail")
+	}
+}
+
+func TestManifestNormalizeDedups(t *testing.T) {
+	m := &Manifest{Package: "p", Activities: []string{"b", "a", "b"}}
+	m.Normalize()
+	if len(m.Activities) != 2 || m.Activities[0] != "a" || m.Activities[1] != "b" {
+		t.Errorf("Normalize: %v", m.Activities)
+	}
+}
+
+// Property: manifests with arbitrary component names round-trip through
+// Encode/Decode (names restricted to non-empty identifier-ish strings).
+func TestQuickManifestRoundTrip(t *testing.T) {
+	clean := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '.' {
+				b.WriteRune(r)
+			}
+		}
+		if b.Len() == 0 {
+			return "c"
+		}
+		return b.String()
+	}
+	f := func(pkg string, acts []string, svcs []string) bool {
+		m := &Manifest{Package: "p." + clean(pkg)}
+		for _, a := range acts {
+			m.Activities = append(m.Activities, "a."+clean(a))
+		}
+		for _, s := range svcs {
+			m.Services = append(m.Services, "s."+clean(s))
+		}
+		m.Normalize()
+		got, err := DecodeManifest(m.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Encode() == m.Encode()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

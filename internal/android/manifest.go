@@ -1,0 +1,125 @@
+package android
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Manifest models the AndroidManifest.xml declarations the analyses
+// consume: the app package name and its declared components. NChecker
+// reads these to decide whether an entry point is user-facing (Activity)
+// or background (Service) — paper §4.4.2.
+type Manifest struct {
+	Package    string
+	Label      string
+	Activities []string
+	Services   []string
+	Receivers  []string
+}
+
+// Normalize sorts the component lists and removes duplicates; encoding and
+// comparison assume normalized manifests.
+func (m *Manifest) Normalize() {
+	m.Activities = dedupSorted(m.Activities)
+	m.Services = dedupSorted(m.Services)
+	m.Receivers = dedupSorted(m.Receivers)
+}
+
+func dedupSorted(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Strings(in)
+	out := in[:1]
+	for _, s := range in[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DeclaresActivity reports whether cls is declared as an activity.
+func (m *Manifest) DeclaresActivity(cls string) bool { return contains(m.Activities, cls) }
+
+// DeclaresService reports whether cls is declared as a service.
+func (m *Manifest) DeclaresService(cls string) bool { return contains(m.Services, cls) }
+
+// DeclaresReceiver reports whether cls is declared as a receiver.
+func (m *Manifest) DeclaresReceiver(cls string) bool { return contains(m.Receivers, cls) }
+
+func contains(sorted []string, s string) bool {
+	i := sort.SearchStrings(sorted, s)
+	return i < len(sorted) && sorted[i] == s
+}
+
+// Validate checks the manifest for structural problems.
+func (m *Manifest) Validate() error {
+	if m.Package == "" {
+		return fmt.Errorf("android: manifest has no package name")
+	}
+	for _, lists := range [][]string{m.Activities, m.Services, m.Receivers} {
+		for _, c := range lists {
+			if c == "" {
+				return fmt.Errorf("android: manifest of %s declares an empty component name", m.Package)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode renders the manifest in a line-oriented textual form (the
+// stand-in for binary AndroidManifest.xml inside our APK container).
+func (m *Manifest) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "package %s\n", m.Package)
+	if m.Label != "" {
+		fmt.Fprintf(&b, "label %s\n", m.Label)
+	}
+	for _, a := range m.Activities {
+		fmt.Fprintf(&b, "activity %s\n", a)
+	}
+	for _, s := range m.Services {
+		fmt.Fprintf(&b, "service %s\n", s)
+	}
+	for _, r := range m.Receivers {
+		fmt.Fprintf(&b, "receiver %s\n", r)
+	}
+	return b.String()
+}
+
+// DecodeManifest parses the form produced by Encode.
+func DecodeManifest(src string) (*Manifest, error) {
+	m := &Manifest{}
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("android: manifest line %d malformed: %q", i+1, line)
+		}
+		key, val := fields[0], strings.TrimSpace(fields[1])
+		switch key {
+		case "package":
+			m.Package = val
+		case "label":
+			m.Label = val
+		case "activity":
+			m.Activities = append(m.Activities, val)
+		case "service":
+			m.Services = append(m.Services, val)
+		case "receiver":
+			m.Receivers = append(m.Receivers, val)
+		default:
+			return nil, fmt.Errorf("android: manifest line %d has unknown key %q", i+1, key)
+		}
+	}
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

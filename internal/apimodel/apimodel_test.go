@@ -1,0 +1,220 @@
+package apimodel
+
+import (
+	"testing"
+
+	"repro/internal/jimple"
+)
+
+func TestAnnotationTotalsMatchPaper(t *testing.T) {
+	reg := NewRegistry()
+	targets, configs, respChecks := reg.Totals()
+	// Paper §4.3: "we annotate 14 target APIs, 77 config APIs, and 2
+	// response checking APIs from the six libraries."
+	if targets != 14 {
+		t.Errorf("target APIs: got %d, want 14", targets)
+	}
+	if configs != 77 {
+		t.Errorf("config APIs: got %d, want 77", configs)
+	}
+	if respChecks != 2 {
+		t.Errorf("response checking APIs: got %d, want 2", respChecks)
+	}
+	if len(reg.Libraries()) != 6 {
+		t.Errorf("libraries: got %d, want 6", len(reg.Libraries()))
+	}
+}
+
+func TestTargetLookup(t *testing.T) {
+	reg := NewRegistry()
+	getSig := jimple.Sig{Class: ClassBasicClient, Name: "get", Params: []string{jimple.TypeString}, Ret: ClassBasicResponse}
+	lib, target, ok := reg.TargetOf(getSig)
+	if !ok {
+		t.Fatal("BasicHttpClient.get not found as target")
+	}
+	if lib.Key != LibBasic {
+		t.Errorf("wrong library: %s", lib.Key)
+	}
+	if target.HTTPMethod != "GET" || !target.ReturnsResponse {
+		t.Errorf("target annotation wrong: %+v", target)
+	}
+	if _, _, ok := reg.TargetOf(jimple.Sig{Class: "x.Y", Name: "z", Ret: "void"}); ok {
+		t.Error("false positive target lookup")
+	}
+}
+
+func TestConfigLookupAndKinds(t *testing.T) {
+	reg := NewRegistry()
+	cases := []struct {
+		class, name string
+		params      []string
+		kind        ConfigKind
+		countArg    int
+	}{
+		{ClassBasicClient, "setMaxRetries", []string{"int"}, ConfigRetry, 0},
+		{ClassBasicClient, "setReadTimeout", []string{"int"}, ConfigTimeout, 0},
+		{ClassVolleyRequest, "setRetryPolicy", []string{ClassVolleyPolicy}, ConfigRetry, -1},
+		{ClassAsyncClient, "setMaxRetriesAndTimeout", []string{"int", "int"}, ConfigRetry, 0},
+		{ClassHttpURLConn, "setUseCaches", []string{"boolean"}, ConfigOther, 0},
+	}
+	for _, c := range cases {
+		s := jimple.Sig{Class: c.class, Name: c.name, Params: c.params, Ret: jimple.TypeVoid}
+		lib, cfg, ok := reg.ConfigOf(s)
+		if !ok {
+			t.Errorf("config %s not found", s.Key())
+			continue
+		}
+		if cfg.Kind != c.kind {
+			t.Errorf("%s: kind %v, want %v", s.Key(), cfg.Kind, c.kind)
+		}
+		if cfg.Kind == ConfigRetry && cfg.CountArg != c.countArg {
+			t.Errorf("%s: countArg %d, want %d", s.Key(), cfg.CountArg, c.countArg)
+		}
+		if lib == nil {
+			t.Errorf("%s: nil library", s.Key())
+		}
+	}
+}
+
+func TestRespCheckLookup(t *testing.T) {
+	reg := NewRegistry()
+	ok1 := reg.IsRespCheck(jimple.Sig{Class: ClassOkResponse, Name: "isSuccessful", Ret: "boolean"})
+	ok2 := reg.IsRespCheck(jimple.Sig{Class: ClassBasicResponse, Name: "isSuccess", Ret: "boolean"})
+	if !ok1 || !ok2 {
+		t.Error("response-check APIs not found")
+	}
+	if reg.IsRespCheck(jimple.Sig{Class: ClassBasicResponse, Name: "getBodyAsString", Ret: jimple.TypeString}) {
+		t.Error("body read misclassified as response check")
+	}
+}
+
+func TestTable4DefaultsShape(t *testing.T) {
+	reg := NewRegistry()
+	// Volley: default timeout 2500 ms, auto response check (Table 4 ⋆).
+	volley := reg.Library(LibVolley)
+	if volley.Defaults.TimeoutMs != 2500 || !volley.Defaults.AutoRespCheck {
+		t.Errorf("Volley defaults wrong: %+v", volley.Defaults)
+	}
+	// Android Async HTTP: 5 default retries applied to POST (§4.2).
+	asyncHTTP := reg.Library(LibAsyncHTTP)
+	if asyncHTTP.Defaults.Retries != 5 || !asyncHTTP.Defaults.RetriesApplyToPost {
+		t.Errorf("AsyncHttp defaults wrong: %+v", asyncHTTP.Defaults)
+	}
+	// HttpURLConnection: blocking connect — no default timeout (Cause 3.1).
+	native := reg.Library(LibHttpURL)
+	if native.Defaults.TimeoutMs != 0 {
+		t.Errorf("HttpURLConnection should have no default timeout: %+v", native.Defaults)
+	}
+	// OkHttp: no default timeout either (§1.2 conversation).
+	if reg.Library(LibOkHttp).Defaults.TimeoutMs != 0 {
+		t.Error("OkHttp should have no default timeout")
+	}
+	// Retry-capable libraries are exactly the four third-party ones.
+	for _, l := range reg.Libraries() {
+		wantRetry := l.Key == LibVolley || l.Key == LibOkHttp || l.Key == LibAsyncHTTP || l.Key == LibBasic
+		if l.HasRetryAPIs != wantRetry {
+			t.Errorf("%s: HasRetryAPIs=%v, want %v", l.Key, l.HasRetryAPIs, wantRetry)
+		}
+		if l.ThirdParty != wantRetry {
+			t.Errorf("%s: ThirdParty=%v, want %v", l.Key, l.ThirdParty, wantRetry)
+		}
+		if !l.HasTimeoutAPIs() {
+			t.Errorf("%s: every studied library exposes timeout APIs", l.Key)
+		}
+	}
+}
+
+func TestStubsCoverAnnotations(t *testing.T) {
+	stubs := Stubs()
+	if err := stubs.Validate(); err != nil {
+		t.Fatalf("stubs invalid: %v", err)
+	}
+	reg := NewRegistry()
+	for _, l := range reg.Libraries() {
+		for _, tgt := range l.Targets {
+			if stubs.Method(tgt.Sig) == nil {
+				t.Errorf("stub missing target %s", tgt.Sig.Key())
+			}
+		}
+		for _, cfg := range l.Configs {
+			if stubs.Method(cfg.Sig) == nil {
+				t.Errorf("stub missing config %s", cfg.Sig.Key())
+			}
+		}
+		for _, rc := range l.RespChecks {
+			if stubs.Method(rc.Sig) == nil {
+				t.Errorf("stub missing resp check %s", rc.Sig.Key())
+			}
+		}
+		for _, cb := range l.Callbacks {
+			c := stubs.Class(cb.Iface)
+			if c == nil {
+				t.Errorf("stub missing callback iface %s", cb.Iface)
+				continue
+			}
+			if c.Method(mustSub(t, cb.Iface, cb.ErrorSubsig)) == nil {
+				t.Errorf("stub iface %s missing error callback %s", cb.Iface, cb.ErrorSubsig)
+			}
+		}
+	}
+	// Internal hierarchy: StringRequest is a Request; NoConnectionError is
+	// a VolleyError.
+	if stubs.Class(ClassVolleyStringReq).Super != ClassVolleyRequest {
+		t.Error("StringRequest should extend Request")
+	}
+	if stubs.Class(ClassVolleyNoConn).Super != ClassVolleyError {
+		t.Error("NoConnectionError should extend VolleyError")
+	}
+}
+
+func mustSub(t *testing.T, iface, sub string) string {
+	t.Helper()
+	s, err := jimple.ParseSigKey(iface + "." + sub)
+	if err != nil {
+		t.Fatalf("bad subsig %q: %v", sub, err)
+	}
+	return s.SubSigKey()
+}
+
+func TestLibsUsedBy(t *testing.T) {
+	reg := NewRegistry()
+	src := `class com.app.A extends java.lang.Object {
+  method m()void {
+    local c com.turbomanage.httpclient.BasicHttpClient
+    local r com.turbomanage.httpclient.HttpResponse
+    c = new com.turbomanage.httpclient.BasicHttpClient
+    specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    return
+  }
+}
+class com.app.ErrCb extends java.lang.Object implements com.android.volley.Response$ErrorListener {
+  method onErrorResponse(com.android.volley.VolleyError)void {
+    return
+  }
+}`
+	prog := jimple.MustParse(src)
+	used := reg.LibsUsedBy(prog)
+	if len(used) != 2 || used[0] != LibAsyncHTTP && used[0] != LibBasic {
+		// Sorted order: AndroidAsyncHttp < BasicHttp < Volley; only Basic
+		// and Volley are used here.
+		t.Logf("used: %v", used)
+	}
+	want := map[LibKey]bool{LibBasic: true, LibVolley: true}
+	if len(used) != len(want) {
+		t.Fatalf("LibsUsedBy: %v", used)
+	}
+	for _, k := range used {
+		if !want[k] {
+			t.Errorf("unexpected library %s", k)
+		}
+	}
+}
+
+func TestResponseUseSigsParse(t *testing.T) {
+	for key := range ResponseUseSigs {
+		if _, err := jimple.ParseSigKey(key); err != nil {
+			t.Errorf("ResponseUseSigs entry %q malformed: %v", key, err)
+		}
+	}
+}

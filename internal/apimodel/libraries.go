@@ -1,0 +1,321 @@
+package apimodel
+
+import (
+	"repro/internal/jimple"
+)
+
+// Library class names. Exported so app generators, goldens, and examples
+// can author code against the modeled libraries.
+const (
+	// HttpURLConnection (Android native).
+	ClassURL         = "java.net.URL"
+	ClassHttpURLConn = "java.net.HttpURLConnection"
+	ClassInputStream = "java.io.InputStream"
+
+	// Apache HttpClient (Android native).
+	ClassApacheClient   = "org.apache.http.impl.client.DefaultHttpClient"
+	ClassApacheRequest  = "org.apache.http.client.methods.HttpUriRequest"
+	ClassApacheGet      = "org.apache.http.client.methods.HttpGet"
+	ClassApachePost     = "org.apache.http.client.methods.HttpPost"
+	ClassApacheResponse = "org.apache.http.HttpResponse"
+	ClassApacheEntity   = "org.apache.http.HttpEntity"
+	ClassApacheRetryH   = "org.apache.http.client.HttpRequestRetryHandler"
+	ClassApacheParams   = "org.apache.http.params.HttpParams"
+
+	// Google Volley.
+	ClassVolleyQueue     = "com.android.volley.RequestQueue"
+	ClassVolleyRequest   = "com.android.volley.Request"
+	ClassVolleyStringReq = "com.android.volley.toolbox.StringRequest"
+	ClassVolleyPolicy    = "com.android.volley.RetryPolicy"
+	ClassVolleyListener  = "com.android.volley.Response$Listener"
+	ClassVolleyErrListen = "com.android.volley.Response$ErrorListener"
+	ClassVolleyError     = "com.android.volley.VolleyError"
+	ClassVolleyNoConn    = "com.android.volley.NoConnectionError"
+	ClassVolleyTimeout   = "com.android.volley.TimeoutError"
+	ClassVolleyClientErr = "com.android.volley.ClientError"
+
+	// OkHttp.
+	ClassOkClient   = "com.squareup.okhttp.OkHttpClient"
+	ClassOkRequest  = "com.squareup.okhttp.Request"
+	ClassOkResponse = "com.squareup.okhttp.Response"
+	ClassOkCallback = "com.squareup.okhttp.Callback"
+	ClassOkCache    = "com.squareup.okhttp.Cache"
+
+	// Android Asynchronous Http Client (loopj).
+	ClassAsyncClient  = "com.loopj.android.http.AsyncHttpClient"
+	ClassAsyncHandler = "com.loopj.android.http.AsyncHttpResponseHandler"
+
+	// Basic HTTP client (turbomanage).
+	ClassBasicClient   = "com.turbomanage.httpclient.BasicHttpClient"
+	ClassBasicResponse = "com.turbomanage.httpclient.HttpResponse"
+
+	// Volley request-method constants (com.android.volley.Request.Method).
+	VolleyMethodGet  = 0
+	VolleyMethodPost = 1
+)
+
+func sig(class, name string, params []string, ret string) jimple.Sig {
+	return jimple.Sig{Class: class, Name: name, Params: params, Ret: ret}
+}
+
+// StandardLibraries returns the six annotated libraries in a fixed order
+// matching the paper's Table 4 columns.
+func StandardLibraries() []*Library {
+	str := jimple.TypeString
+	v := jimple.TypeVoid
+	return []*Library{
+		{
+			Key:  LibHttpURL,
+			Name: "HttpURLConnection client",
+			Classes: []string{
+				ClassURL, ClassHttpURLConn,
+			},
+			Targets: []Target{
+				{Sig: sig(ClassHttpURLConn, "connect", nil, v), ConfigObjArg: -1, HandlerArg: -1},
+				{Sig: sig(ClassHttpURLConn, "getInputStream", nil, ClassInputStream),
+					ConfigObjArg: -1, HandlerArg: -1, ReturnsResponse: true, ResponseClass: ClassInputStream},
+			},
+			Configs: []Config{
+				{Sig: sig(ClassHttpURLConn, "setConnectTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassHttpURLConn, "setReadTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassHttpURLConn, "setRequestMethod", []string{str}, v)},
+				{Sig: sig(ClassHttpURLConn, "setRequestProperty", []string{str, str}, v)},
+				{Sig: sig(ClassHttpURLConn, "setDoOutput", []string{"boolean"}, v)},
+				{Sig: sig(ClassHttpURLConn, "setDoInput", []string{"boolean"}, v)},
+				{Sig: sig(ClassHttpURLConn, "setUseCaches", []string{"boolean"}, v)},
+				{Sig: sig(ClassHttpURLConn, "setInstanceFollowRedirects", []string{"boolean"}, v)},
+				{Sig: sig(ClassHttpURLConn, "setChunkedStreamingMode", []string{"int"}, v)},
+				{Sig: sig(ClassHttpURLConn, "setFixedLengthStreamingMode", []string{"int"}, v)},
+			},
+			Defaults: Defaults{
+				// The default Android network API performs a blocking
+				// connect that can take minutes (paper Cause 3.1).
+				TimeoutMs:          0,
+				Retries:            1,
+				AutoRetryTransient: true,
+			},
+		},
+		{
+			Key:  LibApache,
+			Name: "Apache HttpClient",
+			Classes: []string{
+				ClassApacheClient, ClassApacheRequest, ClassApacheGet,
+				ClassApachePost, ClassApacheResponse, ClassApacheEntity,
+				ClassApacheRetryH, ClassApacheParams,
+			},
+			Targets: []Target{
+				{Sig: sig(ClassApacheClient, "execute", []string{ClassApacheRequest}, ClassApacheResponse),
+					ConfigObjArg: -1, HandlerArg: -1, ReturnsResponse: true, ResponseClass: ClassApacheResponse},
+				{Sig: sig(ClassApacheClient, "executeRequest", []string{ClassApacheRequest, str}, ClassApacheResponse),
+					ConfigObjArg: -1, HandlerArg: -1, ReturnsResponse: true, ResponseClass: ClassApacheResponse},
+			},
+			Configs: []Config{
+				{Sig: sig(ClassApacheClient, "setConnectionTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassApacheClient, "setSoTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				// The retry handler exists but demands expert knowledge;
+				// the paper buckets Apache among libraries without usable
+				// retry APIs (91 of 285 apps use retry-capable libraries).
+				{Sig: sig(ClassApacheClient, "setHttpRequestRetryHandler", []string{ClassApacheRetryH}, v)},
+				{Sig: sig(ClassApacheClient, "setRedirecting", []string{"boolean"}, v)},
+				{Sig: sig(ClassApacheClient, "setParams", []string{ClassApacheParams}, v)},
+				{Sig: sig(ClassApacheClient, "setRedirectHandler", []string{"org.apache.http.client.RedirectHandler"}, v)},
+				{Sig: sig(ClassApacheClient, "setReuseStrategy", []string{"org.apache.http.ConnectionReuseStrategy"}, v)},
+				{Sig: sig(ClassApacheClient, "setKeepAliveStrategy", []string{"org.apache.http.conn.ConnectionKeepAliveStrategy"}, v)},
+				{Sig: sig(ClassApacheClient, "setCookieStore", []string{"org.apache.http.client.CookieStore"}, v)},
+				{Sig: sig(ClassApacheClient, "setCredentialsProvider", []string{"org.apache.http.client.CredentialsProvider"}, v)},
+				{Sig: sig(ClassApacheClient, "setUserAgent", []string{str}, v)},
+				{Sig: sig(ClassApacheClient, "setMaxConnections", []string{"int"}, v)},
+				{Sig: sig(ClassApacheClient, "setStaleCheckingEnabled", []string{"boolean"}, v)},
+			},
+			Defaults: Defaults{TimeoutMs: 0, Retries: 0},
+		},
+		{
+			Key:          LibVolley,
+			Name:         "Google Volley",
+			ThirdParty:   true,
+			HasRetryAPIs: true,
+			Classes: []string{
+				ClassVolleyQueue, ClassVolleyRequest, ClassVolleyStringReq,
+				ClassVolleyPolicy, ClassVolleyListener, ClassVolleyErrListen,
+				ClassVolleyError, ClassVolleyNoConn, ClassVolleyTimeout,
+				ClassVolleyClientErr,
+			},
+			Targets: []Target{
+				{Sig: sig(ClassVolleyQueue, "add", []string{ClassVolleyRequest}, ClassVolleyRequest),
+					ConfigObjArg: 0, HandlerArg: -1},
+			},
+			Configs: []Config{
+				{Sig: sig(ClassVolleyRequest, "setRetryPolicy", []string{ClassVolleyPolicy}, v), Kind: ConfigRetry, CountArg: -1},
+				{Sig: sig(ClassVolleyRequest, "setTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassVolleyRequest, "setMaxRetries", []string{"int"}, v), Kind: ConfigRetry, CountArg: 0},
+				{Sig: sig(ClassVolleyRequest, "setBackoffMultiplier", []string{"int"}, v), Kind: ConfigRetry, CountArg: -1},
+				{Sig: sig(ClassVolleyRequest, "setShouldRetryServerErrors", []string{"boolean"}, v), Kind: ConfigRetry, CountArg: -1},
+				{Sig: sig(ClassVolleyRequest, "setShouldCache", []string{"boolean"}, v)},
+				{Sig: sig(ClassVolleyRequest, "setTag", []string{jimple.TypeObject}, v)},
+				{Sig: sig(ClassVolleyRequest, "setPriority", []string{"int"}, v)},
+				{Sig: sig(ClassVolleyRequest, "setSequence", []string{"int"}, v)},
+				{Sig: sig(ClassVolleyRequest, "setCacheEntry", []string{"com.android.volley.Cache$Entry"}, v)},
+				{Sig: sig(ClassVolleyRequest, "setHeader", []string{str, str}, v)},
+				{Sig: sig(ClassVolleyRequest, "setBody", []string{"byte[]"}, v)},
+				{Sig: sig(ClassVolleyRequest, "setRedirectsEnabled", []string{"boolean"}, v)},
+				{Sig: sig(ClassVolleyRequest, "setNetworkTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+			},
+			Callbacks: []Callback{{
+				Iface:             ClassVolleyErrListen,
+				ErrorSubsig:       "onErrorResponse(" + ClassVolleyError + ")void",
+				SuccessSubsig:     "onResponse(" + jimple.TypeObject + ")void",
+				ErrorArg:          0,
+				ExposesErrorTypes: true,
+			}},
+			Defaults: Defaults{
+				// Volley's default retry policy: 2500 ms timeout, one
+				// retry, applied to every request including POST (§1.2,
+				// Figure 3 and Table 8).
+				TimeoutMs:          2500,
+				Retries:            1,
+				AutoRetryTransient: true,
+				RetriesApplyToPost: true,
+				AutoRespCheck:      true,
+			},
+		},
+		{
+			Key:          LibOkHttp,
+			Name:         "OkHttp",
+			ThirdParty:   true,
+			HasRetryAPIs: true,
+			Classes: []string{
+				ClassOkClient, ClassOkRequest, ClassOkResponse, ClassOkCallback, ClassOkCache,
+			},
+			Targets: []Target{
+				{Sig: sig(ClassOkClient, "execute", []string{ClassOkRequest}, ClassOkResponse),
+					ConfigObjArg: -1, HandlerArg: -1, ReturnsResponse: true, ResponseClass: ClassOkResponse},
+				{Sig: sig(ClassOkClient, "enqueue", []string{ClassOkRequest, ClassOkCallback}, v),
+					ConfigObjArg: -1, HandlerArg: 1},
+			},
+			Configs: []Config{
+				{Sig: sig(ClassOkClient, "setConnectTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassOkClient, "setReadTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassOkClient, "setWriteTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassOkClient, "setRetryOnConnectionFailure", []string{"boolean"}, v), Kind: ConfigRetry, CountArg: -1},
+				{Sig: sig(ClassOkClient, "setMaxRetries", []string{"int"}, v), Kind: ConfigRetry, CountArg: 0},
+				{Sig: sig(ClassOkClient, "setFollowRedirects", []string{"boolean"}, v)},
+				{Sig: sig(ClassOkClient, "setFollowSslRedirects", []string{"boolean"}, v)},
+				{Sig: sig(ClassOkClient, "setCache", []string{ClassOkCache}, v)},
+				{Sig: sig(ClassOkClient, "setProxy", []string{"java.net.Proxy"}, v)},
+				{Sig: sig(ClassOkClient, "setProtocols", []string{"java.util.List"}, v)},
+				{Sig: sig(ClassOkClient, "setConnectionPool", []string{"com.squareup.okhttp.ConnectionPool"}, v)},
+				{Sig: sig(ClassOkClient, "setAuthenticator", []string{"com.squareup.okhttp.Authenticator"}, v)},
+			},
+			RespChecks: []RespCheck{
+				{Sig: sig(ClassOkResponse, "isSuccessful", nil, "boolean")},
+			},
+			Callbacks: []Callback{{
+				Iface:         ClassOkCallback,
+				ErrorSubsig:   "onFailure(" + ClassOkRequest + ",java.io.IOException)void",
+				SuccessSubsig: "onResponse(" + ClassOkResponse + ")void",
+				ErrorArg:      1,
+			}},
+			Defaults: Defaults{
+				// OkHttp sets no request timeout by default (§1.2's
+				// library-designer conversation) but does retry
+				// connection failures.
+				TimeoutMs:          0,
+				Retries:            1,
+				AutoRetryTransient: true,
+				RetriesApplyToPost: true,
+			},
+		},
+		{
+			Key:          LibAsyncHTTP,
+			Name:         "Android Asynchronous Http Client",
+			ThirdParty:   true,
+			HasRetryAPIs: true,
+			Classes: []string{
+				ClassAsyncClient, ClassAsyncHandler,
+			},
+			Targets: []Target{
+				{Sig: sig(ClassAsyncClient, "get", []string{str, ClassAsyncHandler}, v),
+					HTTPMethod: "GET", ConfigObjArg: -1, HandlerArg: 1},
+				{Sig: sig(ClassAsyncClient, "post", []string{str, ClassAsyncHandler}, v),
+					HTTPMethod: "POST", ConfigObjArg: -1, HandlerArg: 1},
+				{Sig: sig(ClassAsyncClient, "put", []string{str, ClassAsyncHandler}, v),
+					HTTPMethod: "PUT", ConfigObjArg: -1, HandlerArg: 1},
+				{Sig: sig(ClassAsyncClient, "delete", []string{str, ClassAsyncHandler}, v),
+					HTTPMethod: "DELETE", ConfigObjArg: -1, HandlerArg: 1},
+			},
+			Configs: []Config{
+				{Sig: sig(ClassAsyncClient, "setTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassAsyncClient, "setConnectTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassAsyncClient, "setResponseTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassAsyncClient, "setMaxRetriesAndTimeout", []string{"int", "int"}, v), Kind: ConfigRetry, CountArg: 0},
+				{Sig: sig(ClassAsyncClient, "allowRetryExceptionClass", []string{"java.lang.Class"}, v), Kind: ConfigRetry, CountArg: -1},
+				{Sig: sig(ClassAsyncClient, "blockRetryExceptionClass", []string{"java.lang.Class"}, v), Kind: ConfigRetry, CountArg: -1},
+				{Sig: sig(ClassAsyncClient, "setMaxConnections", []string{"int"}, v)},
+				{Sig: sig(ClassAsyncClient, "setEnableRedirects", []string{"boolean"}, v)},
+				{Sig: sig(ClassAsyncClient, "setUserAgent", []string{str}, v)},
+				{Sig: sig(ClassAsyncClient, "setBasicAuth", []string{str, str}, v)},
+				{Sig: sig(ClassAsyncClient, "addHeader", []string{str, str}, v)},
+				{Sig: sig(ClassAsyncClient, "setCookieStore", []string{"org.apache.http.client.CookieStore"}, v)},
+				{Sig: sig(ClassAsyncClient, "setThreadPool", []string{"java.util.concurrent.ExecutorService"}, v)},
+				{Sig: sig(ClassAsyncClient, "setURLEncodingEnabled", []string{"boolean"}, v)},
+				{Sig: sig(ClassAsyncClient, "setProxy", []string{str, "int"}, v)},
+			},
+			Callbacks: []Callback{{
+				Iface:         ClassAsyncHandler,
+				ErrorSubsig:   "onFailure(java.lang.Throwable,java.lang.String)void",
+				SuccessSubsig: "onSuccess(java.lang.String)void",
+				ErrorArg:      0,
+			}},
+			Defaults: Defaults{
+				// 10-second default timeout; retries 5 times for all
+				// request kinds by default (paper §4.2: "Android Async
+				// HTTP library retries 5 times for all kinds of requests
+				// by default").
+				TimeoutMs:          10000,
+				Retries:            5,
+				AutoRetryTransient: true,
+				RetriesApplyToPost: true,
+			},
+		},
+		{
+			Key:          LibBasic,
+			Name:         "Basic Http Client",
+			ThirdParty:   true,
+			HasRetryAPIs: true,
+			Classes: []string{
+				ClassBasicClient, ClassBasicResponse,
+			},
+			Targets: []Target{
+				{Sig: sig(ClassBasicClient, "get", []string{str}, ClassBasicResponse),
+					HTTPMethod: "GET", ConfigObjArg: -1, HandlerArg: -1, ReturnsResponse: true, ResponseClass: ClassBasicResponse},
+				{Sig: sig(ClassBasicClient, "post", []string{str, "byte[]"}, ClassBasicResponse),
+					HTTPMethod: "POST", ConfigObjArg: -1, HandlerArg: -1, ReturnsResponse: true, ResponseClass: ClassBasicResponse},
+				{Sig: sig(ClassBasicClient, "delete", []string{str}, ClassBasicResponse),
+					HTTPMethod: "DELETE", ConfigObjArg: -1, HandlerArg: -1, ReturnsResponse: true, ResponseClass: ClassBasicResponse},
+			},
+			Configs: []Config{
+				{Sig: sig(ClassBasicClient, "setConnectionTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassBasicClient, "setReadTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+				{Sig: sig(ClassBasicClient, "setMaxRetries", []string{"int"}, v), Kind: ConfigRetry, CountArg: 0},
+				{Sig: sig(ClassBasicClient, "addHeader", []string{str, str}, v)},
+				{Sig: sig(ClassBasicClient, "setBaseUrl", []string{str}, v)},
+				{Sig: sig(ClassBasicClient, "addQueryParameter", []string{str, str}, v)},
+				{Sig: sig(ClassBasicClient, "setRequestLogger", []string{"com.turbomanage.httpclient.RequestLogger"}, v)},
+				{Sig: sig(ClassBasicClient, "setAsync", []string{"boolean"}, v)},
+				{Sig: sig(ClassBasicClient, "setRequestHandler", []string{"com.turbomanage.httpclient.RequestHandler"}, v)},
+				{Sig: sig(ClassBasicClient, "setContentType", []string{str}, v)},
+				{Sig: sig(ClassBasicClient, "setUserAgent", []string{str}, v)},
+				{Sig: sig(ClassBasicClient, "setFollowRedirects", []string{"boolean"}, v)},
+				{Sig: sig(ClassBasicClient, "setCookieManager", []string{"java.net.CookieManager"}, v)},
+			},
+			RespChecks: []RespCheck{
+				{Sig: sig(ClassBasicResponse, "isSuccess", nil, "boolean")},
+			},
+			Defaults: Defaults{
+				TimeoutMs:          4000,
+				Retries:            1,
+				AutoRetryTransient: true,
+			},
+		},
+	}
+}

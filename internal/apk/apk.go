@@ -1,0 +1,176 @@
+// Package apk defines the application container NChecker scans: a
+// sectioned, checksummed binary file holding the app's manifest and its
+// dex-encoded code — the stand-in for the APK zip the real tool consumes.
+// The container is what cmd/nchecker reads from disk and what the corpus
+// generator writes, so the full binary pipeline
+// (generate → serialize → parse → analyze) is exercised end to end.
+package apk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/android"
+	"repro/internal/dex"
+	"repro/internal/jimple"
+)
+
+// magic identifies the container format.
+var magic = []byte("GAPK\x01\n")
+
+// Section names.
+const (
+	sectionManifest = "AndroidManifest"
+	sectionDex      = "classes.dex"
+)
+
+// maxSectionSize bounds a single section (defensive parsing).
+const maxSectionSize = 1 << 30
+
+// App is a parsed application: its manifest plus its code.
+type App struct {
+	Manifest *android.Manifest
+	Program  *jimple.Program
+}
+
+// Encode serializes the app to container bytes.
+func Encode(app *App) ([]byte, error) {
+	if app.Manifest == nil {
+		return nil, fmt.Errorf("apk: app has no manifest")
+	}
+	if err := app.Manifest.Validate(); err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	if app.Program == nil {
+		return nil, fmt.Errorf("apk: app has no program")
+	}
+	buf := append([]byte(nil), magic...)
+	buf = binary.AppendUvarint(buf, 2) // section count
+	buf = appendSection(buf, sectionManifest, []byte(app.Manifest.Encode()))
+	buf = appendSection(buf, sectionDex, dex.Encode(app.Program))
+	return buf, nil
+}
+
+func appendSection(buf []byte, name string, content []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	buf = binary.AppendUvarint(buf, uint64(len(content)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(content))
+	return append(buf, content...)
+}
+
+// Decode parses container bytes, verifying section checksums.
+func Decode(data []byte) (*App, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		return nil, fmt.Errorf("apk: bad magic")
+	}
+	pos := len(magic)
+	nsec, n := binary.Uvarint(data[pos:])
+	if n <= 0 || nsec > 16 {
+		return nil, fmt.Errorf("apk: bad section count")
+	}
+	pos += n
+	sections := make(map[string][]byte, nsec)
+	for i := uint64(0); i < nsec; i++ {
+		name, content, next, err := readSection(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := sections[name]; dup {
+			return nil, fmt.Errorf("apk: duplicate section %q", name)
+		}
+		sections[name] = content
+		pos = next
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("apk: %d trailing bytes", len(data)-pos)
+	}
+	manBytes, ok := sections[sectionManifest]
+	if !ok {
+		return nil, fmt.Errorf("apk: missing %s section", sectionManifest)
+	}
+	dexBytes, ok := sections[sectionDex]
+	if !ok {
+		return nil, fmt.Errorf("apk: missing %s section", sectionDex)
+	}
+	man, err := android.DecodeManifest(string(manBytes))
+	if err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	prog, err := dex.Decode(dexBytes)
+	if err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	return &App{Manifest: man, Program: prog}, nil
+}
+
+func readSection(data []byte, pos int) (name string, content []byte, next int, err error) {
+	nameLen, n := binary.Uvarint(data[pos:])
+	if n <= 0 || nameLen > 255 {
+		return "", nil, 0, fmt.Errorf("apk: bad section name length")
+	}
+	pos += n
+	if pos+int(nameLen) > len(data) {
+		return "", nil, 0, fmt.Errorf("apk: truncated section name")
+	}
+	name = string(data[pos : pos+int(nameLen)])
+	pos += int(nameLen)
+	size, n := binary.Uvarint(data[pos:])
+	if n <= 0 || size > maxSectionSize {
+		return "", nil, 0, fmt.Errorf("apk: bad section size for %q", name)
+	}
+	pos += n
+	if pos+4 > len(data) {
+		return "", nil, 0, fmt.Errorf("apk: truncated checksum for %q", name)
+	}
+	sum := binary.LittleEndian.Uint32(data[pos:])
+	pos += 4
+	if pos+int(size) > len(data) {
+		return "", nil, 0, fmt.Errorf("apk: truncated section %q", name)
+	}
+	content = data[pos : pos+int(size)]
+	if crc32.ChecksumIEEE(content) != sum {
+		return "", nil, 0, fmt.Errorf("apk: checksum mismatch in section %q", name)
+	}
+	return name, content, pos + int(size), nil
+}
+
+// Write streams the encoded app to w.
+func Write(w io.Writer, app *App) error {
+	data, err := Encode(app)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Read parses an app from r.
+func Read(r io.Reader) (*App, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	return Decode(data)
+}
+
+// WriteFile writes the app to path.
+func WriteFile(path string, app *App) error {
+	data, err := Encode(app)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile parses the app at path.
+func ReadFile(path string) (*App, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	return Decode(data)
+}

@@ -1,0 +1,146 @@
+package callgraph
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/hierarchy"
+	"repro/internal/jimple"
+)
+
+const iccApp = `class com.icc.Launcher extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local self com.icc.Launcher
+    local intent android.content.Intent
+    self = this com.icc.Launcher
+    intent = new android.content.Intent
+    virtualinvoke intent android.content.Intent.setClassName(java.lang.String)void "com.icc.Target"
+    virtualinvoke self android.app.Activity.startActivity(android.content.Intent)void intent
+    return
+  }
+}
+class com.icc.Target extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    staticinvoke com.icc.Net.fetch()void
+    return
+  }
+}
+class com.icc.Broadcaster extends android.app.Activity {
+  method onResume()void {
+    local self com.icc.Broadcaster
+    local intent android.content.Intent
+    self = this com.icc.Broadcaster
+    intent = new android.content.Intent
+    virtualinvoke self android.app.Activity.sendBroadcast(android.content.Intent)void intent
+    return
+  }
+}
+class com.icc.ErrRecv extends android.content.BroadcastReceiver {
+  method onReceive(android.content.Context,android.content.Intent)void {
+    return
+  }
+}
+class com.icc.Net extends java.lang.Object {
+  method static fetch()void {
+    return
+  }
+}`
+
+func buildICC(t *testing.T, enable bool) *Graph {
+	t.Helper()
+	prog := jimple.MustParse(iccApp)
+	prog.Merge(android.Framework())
+	man := &android.Manifest{
+		Package:    "com.icc",
+		Activities: []string{"com.icc.Launcher", "com.icc.Target", "com.icc.Broadcaster"},
+		Receivers:  []string{"com.icc.ErrRecv"},
+	}
+	man.Normalize()
+	return BuildWith(hierarchy.New(prog), man, Options{EnableICC: enable})
+}
+
+func TestICCEdgesOff(t *testing.T) {
+	g := buildICC(t, false)
+	launcher := "com.icc.Launcher.onCreate(android.os.Bundle)void"
+	for _, e := range g.OutEdges(launcher) {
+		if e.Kind == EdgeICC {
+			t.Fatalf("ICC edge present with EnableICC=false: %+v", e)
+		}
+	}
+	// Target remains an independent entry.
+	if !isEntry(g, "com.icc.Target.onCreate(android.os.Bundle)void") {
+		t.Error("Target.onCreate should be an entry without ICC")
+	}
+}
+
+func TestStartActivityEdge(t *testing.T) {
+	g := buildICC(t, true)
+	launcher := "com.icc.Launcher.onCreate(android.os.Bundle)void"
+	found := false
+	for _, e := range g.OutEdges(launcher) {
+		if e.Kind == EdgeICC && e.Callee.Class == "com.icc.Target" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing ICC edge Launcher→Target; edges: %v", g.OutEdges(launcher))
+	}
+	// The launched activity is no longer an independent entry...
+	if isEntry(g, "com.icc.Target.onCreate(android.os.Bundle)void") {
+		t.Error("explicitly launched activity should not be an independent entry")
+	}
+	// ...but remains reachable from the launcher.
+	ent := jimple.Sig{Class: "com.icc.Launcher", Name: "onCreate",
+		Params: []string{android.ClassBundle}, Ret: jimple.TypeVoid}
+	if !g.ReachableFrom(ent)["com.icc.Net.fetch()void"] {
+		t.Error("fetch should be reachable through the ICC edge")
+	}
+}
+
+func TestSendBroadcastEdge(t *testing.T) {
+	g := buildICC(t, true)
+	bcast := "com.icc.Broadcaster.onResume()void"
+	found := false
+	for _, e := range g.OutEdges(bcast) {
+		if e.Kind == EdgeICC && e.Callee.Class == "com.icc.ErrRecv" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing broadcast edge to the manifest receiver; edges: %v", g.OutEdges(bcast))
+	}
+	// Receivers stay entries: the system can broadcast too.
+	if !isEntry(g, "com.icc.ErrRecv.onReceive(android.content.Context,android.content.Intent)void") {
+		t.Error("receiver should remain an entry point")
+	}
+}
+
+func TestICCIgnoresUnresolvableIntents(t *testing.T) {
+	src := `class com.x.A extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local self com.x.A
+    local intent android.content.Intent
+    self = this com.x.A
+    intent = new android.content.Intent
+    virtualinvoke self android.app.Activity.startActivity(android.content.Intent)void intent
+    return
+  }
+}`
+	prog := jimple.MustParse(src)
+	prog.Merge(android.Framework())
+	g := BuildWith(hierarchy.New(prog), nil, Options{EnableICC: true})
+	for _, e := range g.OutEdges("com.x.A.onCreate(android.os.Bundle)void") {
+		if e.Kind == EdgeICC {
+			t.Fatalf("ICC edge from an intent with no explicit target: %+v", e)
+		}
+	}
+}
+
+func isEntry(g *Graph, key string) bool {
+	for _, e := range g.Entries() {
+		if e.Method.Sig.Key() == key {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,412 @@
+// Package checkers implements NChecker's four NPD analyses over a parsed
+// app (paper §4.4) plus the customized retry-loop identification (§4.5):
+//
+//  1. request-setting checks — connectivity checks on every entry→request
+//     path (interprocedural must-precede) and missing config APIs
+//     discovered by tainting the request's config object,
+//  2. improper API parameters — retry counts judged against the request
+//     context (Activity vs. Service, POST) via constant propagation,
+//  3. failure-notification checks — UI-alert calls in request callbacks of
+//     user-initiated requests, and error-type usage in error callbacks,
+//  4. response-validity checks — taint the response object and require a
+//     validity check on every def→use path.
+//
+// The entry point is Analyze, which produces warning reports and the
+// per-request statistics the paper's evaluation aggregates.
+package checkers
+
+import (
+	"sort"
+
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/callgraph"
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/hierarchy"
+	"repro/internal/jimple"
+	"repro/internal/report"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// DisableTaintConfigDiscovery replaces the taint-based config-API
+	// discovery with a whole-method scan (ablation baseline): any config
+	// call in the method counts, even on an unrelated client object.
+	DisableTaintConfigDiscovery bool
+	// DisableRetrySlicing disables the backward-slicing step of retry-loop
+	// identification (ablation): any loop containing a request counts as
+	// a retry loop.
+	DisableRetrySlicing bool
+	// DeclaredDispatchOnly forwards to callgraph.Options (ablation).
+	DeclaredDispatchOnly bool
+	// EnableICC turns on the inter-component analysis (callgraph.Options
+	// .EnableICC) — the paper's §4.7 future work. It removes the false
+	// positives caused by connectivity checks in a launching activity and
+	// by failure notifications routed through broadcasts.
+	EnableICC bool
+	// GuardSensitiveConnCheck tightens Checker 1: a connectivity check
+	// only satisfies the analysis when its result actually governs a
+	// branch (tracked by forward taint from the check's result to an if
+	// condition). This removes the paper's §5.3 false negatives, where a
+	// check is invoked but its result ignored. Off by default to match
+	// the published tool's path-insensitive behaviour.
+	GuardSensitiveConnCheck bool
+}
+
+// Stats aggregates per-request findings for one app; the evaluation
+// harness (Tables 6 and 8, Figures 8 and 9) is computed from these.
+type Stats struct {
+	Requests     int
+	UserRequests int
+	// RetryEvalRequests counts requests made with retry-capable libraries
+	// (the denominator of the retry rows of Tables 6 and 8).
+	RetryEvalRequests int
+
+	MissConnCheck   int // requests without a guarding connectivity check
+	MissTimeout     int // requests without a timeout config call
+	MissRetryConfig int // requests (retry-capable libs) without retry config
+
+	UserRequestsNoNotif      int // user requests without failure notification
+	ExplicitCallbackReqs     int
+	ExplicitCallbackNotified int
+	ImplicitCallbackReqs     int
+	ImplicitCallbackNotified int
+	ErrorCallbacks           int // error callbacks receiving a typed error object
+	ErrorTypeChecked         int // ... that actually inspect the error object
+
+	NoRetryTimeSensitive    int
+	OverRetryService        int
+	OverRetryServiceDefault int
+	OverRetryPost           int
+	OverRetryPostDefault    int
+
+	RespRequests  int // requests on libraries with response-check APIs
+	RespMissCheck int
+
+	RetryLoops           int
+	AggressiveRetryLoops int
+
+	LibsUsed []apimodel.LibKey
+}
+
+// Result bundles an app's warnings and statistics.
+type Result struct {
+	Reports []report.Report
+	Stats   Stats
+}
+
+// requestSite is one network-request call site with everything the
+// checkers need resolved.
+type requestSite struct {
+	method *jimple.Method
+	stmt   int
+	inv    jimple.InvokeExpr
+	lib    *apimodel.Library
+	target *apimodel.Target
+
+	component     string
+	kind          android.ComponentKind
+	userInitiated bool
+	httpMethod    string
+
+	configCalls []dataflow.ObjectCall
+	configObj   string // local holding the config object ("" if unresolved)
+
+	timeoutSet bool
+	retrySet   bool
+	retryCount int  // effective retry count
+	retryKnown bool // retryCount is meaningful
+	entrySig   jimple.Sig
+}
+
+// analysis carries the shared state of one app scan.
+type analysis struct {
+	app  *apk.App
+	reg  *apimodel.Registry
+	h    *hierarchy.Hierarchy
+	cg   *callgraph.Graph
+	opts Options
+
+	cfgs map[string]*cfg.Graph
+	rds  map[string]*dataflow.ReachDefs
+
+	sites   []*requestSite
+	reports []report.Report
+	stats   Stats
+}
+
+// Analyze runs all checkers over the app using the registry's annotations.
+func Analyze(app *apk.App, reg *apimodel.Registry, opts Options) *Result {
+	prog := jimple.NewProgram()
+	prog.Merge(app.Program)
+	prog.Merge(android.Framework())
+	prog.Merge(apimodel.Stubs())
+	h := hierarchy.New(prog)
+	cg := callgraph.BuildWith(h, app.Manifest, callgraph.Options{
+		DeclaredDispatchOnly: opts.DeclaredDispatchOnly,
+		EnableICC:            opts.EnableICC,
+	})
+	a := &analysis{
+		app:  app,
+		reg:  reg,
+		h:    h,
+		cg:   cg,
+		opts: opts,
+		cfgs: make(map[string]*cfg.Graph),
+		rds:  make(map[string]*dataflow.ReachDefs),
+	}
+	a.stats.LibsUsed = reg.LibsUsedBy(app.Program)
+	a.discoverSites()
+	a.checkRequestSettings()
+	a.checkParameters()
+	a.checkNotifications()
+	a.checkResponses()
+	a.checkRetryLoops()
+	sort.SliceStable(a.reports, func(i, j int) bool {
+		ri, rj := &a.reports[i], &a.reports[j]
+		if ri.Location.Method.Key() != rj.Location.Method.Key() {
+			return ri.Location.Method.Key() < rj.Location.Method.Key()
+		}
+		if ri.Location.Stmt != rj.Location.Stmt {
+			return ri.Location.Stmt < rj.Location.Stmt
+		}
+		return ri.Cause < rj.Cause
+	})
+	return &Result{Reports: a.reports, Stats: a.stats}
+}
+
+func (a *analysis) cfgOf(m *jimple.Method) *cfg.Graph {
+	k := m.Sig.Key()
+	if g, ok := a.cfgs[k]; ok {
+		return g
+	}
+	g := cfg.New(m)
+	a.cfgs[k] = g
+	return g
+}
+
+func (a *analysis) rdOf(m *jimple.Method) *dataflow.ReachDefs {
+	k := m.Sig.Key()
+	if rd, ok := a.rds[k]; ok {
+		return rd
+	}
+	rd := dataflow.NewReachDefs(a.cfgOf(m))
+	a.rds[k] = rd
+	return rd
+}
+
+// appMethods returns the app's own body-bearing methods, sorted by key.
+func (a *analysis) appMethods() []*jimple.Method {
+	var out []*jimple.Method
+	for _, c := range a.app.Program.Classes() {
+		for _, m := range c.Methods {
+			if m.HasBody() {
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sig.Key() < out[j].Sig.Key() })
+	return out
+}
+
+// discoverSites performs the reachability analysis of §4.4: it finds every
+// target-API call site, determines which entry points reach it, and
+// resolves its context (user vs. background, HTTP method) and config-API
+// call set.
+func (a *analysis) discoverSites() {
+	for _, m := range a.appMethods() {
+		mKey := m.Sig.Key()
+		entries := a.cg.EntriesReaching(mKey)
+		for i, s := range m.Body {
+			inv, ok := jimple.InvokeOf(s)
+			if !ok {
+				continue
+			}
+			lib, target, isTarget := a.reg.TargetOf(inv.Callee)
+			if !isTarget {
+				continue
+			}
+			if len(entries) == 0 {
+				// Dead code: the paper's tool only reports requests
+				// reachable from an entry point.
+				continue
+			}
+			site := &requestSite{
+				method: m, stmt: i, inv: inv, lib: lib, target: target,
+			}
+			a.resolveContext(site, entries)
+			a.resolveConfig(site)
+			a.sites = append(a.sites, site)
+			a.stats.Requests++
+			if site.userInitiated {
+				a.stats.UserRequests++
+			}
+			if lib.HasRetryAPIs {
+				a.stats.RetryEvalRequests++
+			}
+		}
+	}
+}
+
+// resolveContext decides user vs. background per §4.4.2: entry points in
+// Activity classes are user-initiated; Service entries are background.
+// A request reachable from both is treated as user-initiated (the stricter
+// notification obligations apply).
+func (a *analysis) resolveContext(site *requestSite, entries []callgraph.Entry) {
+	site.kind = android.KindOther
+	for _, e := range entries {
+		switch e.Kind {
+		case android.KindActivity:
+			site.userInitiated = true
+			site.kind = android.KindActivity
+			site.component = e.Component
+			site.entrySig = e.Method.Sig
+		case android.KindService:
+			if !site.userInitiated {
+				site.kind = android.KindService
+				site.component = e.Component
+				site.entrySig = e.Method.Sig
+			}
+		default:
+			if site.component == "" {
+				site.kind = e.Kind
+				site.component = e.Component
+				site.entrySig = e.Method.Sig
+			}
+		}
+	}
+	site.httpMethod = site.target.HTTPMethod
+	if site.lib.Key == apimodel.LibVolley {
+		site.httpMethod = a.resolveVolleyMethod(site)
+	}
+}
+
+// resolveVolleyMethod recovers the HTTP method of a Volley request from
+// the Request constructor's first argument (Method.GET = 0, POST = 1).
+func (a *analysis) resolveVolleyMethod(site *requestSite) string {
+	reqLocal, ok := argLocal(site.inv, 0)
+	if !ok {
+		return ""
+	}
+	m := site.method
+	rd := a.rdOf(m)
+	cp := dataflow.NewConstProp(rd)
+	for _, alloc := range dataflow.AllocSitesOf(rd, site.stmt, reqLocal) {
+		local := rd.DefOfStmt(alloc)
+		// Find the constructor invocation on the allocated local.
+		for j := alloc + 1; j < len(m.Body); j++ {
+			inv, ok := jimple.InvokeOf(m.Body[j])
+			if !ok || inv.Kind != jimple.InvokeSpecial || inv.Base != local || inv.Callee.Name != "<init>" {
+				continue
+			}
+			if len(inv.Args) == 0 {
+				break
+			}
+			if v, ok := cp.ArgInt(j, inv, 0); ok {
+				if v == apimodel.VolleyMethodPost {
+					return "POST"
+				}
+				return "GET"
+			}
+			break
+		}
+	}
+	return ""
+}
+
+// resolveConfig runs the taint step of §4.4.1: locate the config object
+// (client or request), collect every call on its aliases, and record which
+// timeout/retry config APIs were used with what arguments.
+func (a *analysis) resolveConfig(site *requestSite) {
+	m := site.method
+	g := a.cfgOf(m)
+	rd := a.rdOf(m)
+	if a.opts.DisableTaintConfigDiscovery {
+		// Ablation: accept any config call anywhere in the method.
+		for i, s := range m.Body {
+			if inv, ok := jimple.InvokeOf(s); ok {
+				if _, _, isCfg := a.reg.ConfigOf(inv.Callee); isCfg {
+					site.configCalls = append(site.configCalls, dataflow.ObjectCall{Stmt: i, Callee: inv.Callee})
+				}
+			}
+		}
+	} else {
+		var obj string
+		if site.target.ConfigObjArg < 0 {
+			obj = site.inv.Base
+		} else if l, ok := argLocal(site.inv, site.target.ConfigObjArg); ok {
+			obj = l
+		}
+		site.configObj = obj
+		if obj != "" {
+			site.configCalls = dataflow.CallsOnObject(g, rd, site.stmt, obj)
+		}
+	}
+	cp := dataflow.NewConstProp(rd)
+	defaults := site.lib.Defaults
+	site.retryCount, site.retryKnown = defaults.Retries, true
+	for _, oc := range site.configCalls {
+		_, cfgAPI, ok := a.reg.ConfigOf(oc.Callee)
+		if !ok {
+			continue
+		}
+		switch cfgAPI.Kind {
+		case apimodel.ConfigTimeout:
+			site.timeoutSet = true
+		case apimodel.ConfigRetry:
+			site.retrySet = true
+			if cfgAPI.CountArg >= 0 {
+				if inv, okInv := jimple.InvokeOf(m.Body[oc.Stmt]); okInv {
+					if v, okV := cp.ArgInt(oc.Stmt, inv, cfgAPI.CountArg); okV {
+						site.retryCount, site.retryKnown = int(v), true
+						continue
+					}
+				}
+				site.retryKnown = false
+			} else {
+				// A policy-object API: retries configured but the count
+				// is opaque.
+				site.retryKnown = false
+			}
+		}
+	}
+}
+
+func argLocal(inv jimple.InvokeExpr, i int) (string, bool) {
+	if i < 0 || i >= len(inv.Args) {
+		return "", false
+	}
+	l, ok := inv.Args[i].(jimple.Local)
+	if !ok {
+		return "", false
+	}
+	return l.Name, true
+}
+
+// newReport assembles a report for a site with the call stack from its
+// representative entry point.
+func (a *analysis) newReport(site *requestSite, cause report.Cause, msg string) report.Report {
+	ctx := report.Context{
+		Component:     site.component,
+		Kind:          site.kind,
+		UserInitiated: site.userInitiated,
+		HTTPMethod:    site.httpMethod,
+	}
+	r := report.Report{
+		Cause:         cause,
+		Lib:           site.lib.Key,
+		Message:       msg,
+		Location:      report.Loc{Method: site.method.Sig, Stmt: site.stmt},
+		Impacts:       report.Impacts(cause),
+		Context:       ctx,
+		FixSuggestion: report.Suggest(cause, ctx, site.lib),
+	}
+	if site.entrySig.Name != "" {
+		for _, f := range a.cg.CallStack(site.entrySig, site.method.Sig.Key()) {
+			r.CallStack = append(r.CallStack, report.Frame{Method: f.Method.Key(), Site: f.Site})
+		}
+	}
+	return r
+}

@@ -1,0 +1,104 @@
+package checkers
+
+import (
+	"fmt"
+
+	"repro/internal/android"
+	"repro/internal/dataflow"
+	"repro/internal/jimple"
+	"repro/internal/report"
+)
+
+// checkRequestSettings implements Pattern 1 (paper §4.4.1): for every
+// request site it verifies (a) a connectivity-check API is invoked on
+// every path from every entry point to the request, and (b) the request's
+// config object had its timeout and retry config APIs invoked.
+func (a *analysis) checkRequestSettings() {
+	isCheck := func(_ *jimple.Method, _ int, inv jimple.InvokeExpr) bool {
+		return android.IsConnectivityCheck(inv.Callee)
+	}
+	if a.opts.GuardSensitiveConnCheck {
+		guarding := a.guardingCheckSites()
+		isCheck = func(m *jimple.Method, stmt int, inv jimple.InvokeExpr) bool {
+			return android.IsConnectivityCheck(inv.Callee) && guarding[m.Sig.Key()][stmt]
+		}
+	}
+	mp := dataflow.NewMustPrecede(a.cg, isCheck)
+	for _, site := range a.sites {
+		mKey := site.method.Sig.Key()
+		if !mp.FactBefore(mKey, site.stmt) {
+			a.stats.MissConnCheck++
+			a.reports = append(a.reports, a.newReport(site, report.CauseNoConnectivityCheck,
+				fmt.Sprintf("Missing network connectivity check before %s.%s()",
+					jimple.SimpleName(site.inv.Callee.Class), site.inv.Callee.Name)))
+		}
+		if site.lib.HasTimeoutAPIs() && !site.timeoutSet {
+			a.stats.MissTimeout++
+			a.reports = append(a.reports, a.newReport(site, report.CauseNoTimeout,
+				fmt.Sprintf("No timeout config API invoked for %s request (library default: %s)",
+					site.lib.Name, describeTimeout(site.lib.Defaults.TimeoutMs))))
+		}
+		if site.lib.HasRetryAPIs && !site.retrySet {
+			a.stats.MissRetryConfig++
+			a.reports = append(a.reports, a.newReport(site, report.CauseNoRetryConfig,
+				fmt.Sprintf("No retry config API invoked for %s request (library default: %d retries)",
+					site.lib.Name, site.lib.Defaults.Retries)))
+		}
+	}
+}
+
+// guardingCheckSites finds, per app method, the connectivity-check call
+// sites whose result flows into a branch condition — the "check actually
+// guards something" refinement of GuardSensitiveConnCheck. The check's
+// result local is tainted forward; any if statement whose condition reads
+// a tainted local marks the check as guarding.
+func (a *analysis) guardingCheckSites() map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, m := range a.appMethods() {
+		var sites map[int]bool
+		g := a.cfgOf(m)
+		for i, s := range m.Body {
+			inv, ok := jimple.InvokeOf(s)
+			if !ok || !android.IsConnectivityCheck(inv.Callee) {
+				continue
+			}
+			asg, isAsg := s.(*jimple.AssignStmt)
+			if !isAsg {
+				continue // result discarded: cannot guard anything
+			}
+			resLocal, isLocal := asg.LHS.(jimple.Local)
+			if !isLocal {
+				continue
+			}
+			taint := dataflow.ForwardTaint(g, map[int][]string{i: {resLocal.Name}},
+				dataflow.DefaultTaintOptions())
+			for j, t := range m.Body {
+				iff, isIf := t.(*jimple.IfStmt)
+				if !isIf {
+					continue
+				}
+				var uses []string
+				uses = jimple.UsedLocals(uses, iff.Cond)
+				for _, u := range uses {
+					if taint.TaintedAt(j, u) {
+						if sites == nil {
+							sites = make(map[int]bool)
+						}
+						sites[i] = true
+					}
+				}
+			}
+		}
+		if sites != nil {
+			out[m.Sig.Key()] = sites
+		}
+	}
+	return out
+}
+
+func describeTimeout(ms int) string {
+	if ms == 0 {
+		return "none — a blocking connect can take minutes to fail"
+	}
+	return fmt.Sprintf("%d ms", ms)
+}

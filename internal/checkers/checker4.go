@@ -1,0 +1,214 @@
+package checkers
+
+import (
+	"fmt"
+
+	"repro/internal/apimodel"
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/jimple"
+	"repro/internal/report"
+)
+
+// checkResponses implements Pattern 4 (paper §4.4.4): taint the response
+// object from its definition (the return value of a synchronous request,
+// or the parameter of a success callback) and raise an alarm when a path
+// exists from the definition to a use with no validity check on it. A
+// validity check is either a response-checking API call (isSuccessful /
+// isSuccess) or an explicit null test on an alias of the response.
+func (a *analysis) checkResponses() {
+	// Synchronous targets: response = LHS at the request site.
+	for _, site := range a.sites {
+		if !site.lib.HasRespCheckAPIs() || !site.target.ReturnsResponse {
+			continue
+		}
+		a.stats.RespRequests++
+		asg, ok := site.method.Body[site.stmt].(*jimple.AssignStmt)
+		if !ok {
+			continue // response discarded: nothing to use, nothing to check
+		}
+		respLocal, ok := asg.LHS.(jimple.Local)
+		if !ok {
+			continue
+		}
+		if useStmt, missing := a.findUncheckedUse(site.method, site.stmt, respLocal.Name); missing {
+			a.stats.RespMissCheck++
+			r := a.newReport(site, report.CauseNoResponseCheck,
+				fmt.Sprintf("Response of %s.%s() used without a validity check",
+					jimple.SimpleName(site.inv.Callee.Class), site.inv.Callee.Name))
+			r.Location = report.Loc{Method: site.method.Sig, Stmt: useStmt}
+			a.reports = append(a.reports, r)
+		}
+	}
+	// Asynchronous success callbacks: the response arrives as a parameter.
+	a.checkCallbackResponses()
+}
+
+// checkCallbackResponses scans app classes implementing a library success
+// callback whose parameter type has response-check APIs (OkHttp's
+// Callback.onResponse).
+func (a *analysis) checkCallbackResponses() {
+	for _, lib := range a.reg.Libraries() {
+		if !lib.HasRespCheckAPIs() {
+			continue
+		}
+		for i := range lib.Callbacks {
+			cb := &lib.Callbacks[i]
+			sig, err := jimple.ParseSigKey(cb.Iface + "." + cb.SuccessSubsig)
+			if err != nil {
+				continue
+			}
+			for _, cls := range a.app.Program.Classes() {
+				if !a.h.IsSubtype(cls.Name, cb.Iface) {
+					continue
+				}
+				m := cls.Method(sig.SubSigKey())
+				if m == nil || !m.HasBody() {
+					continue
+				}
+				a.checkCallbackResponseBody(m, lib)
+			}
+		}
+	}
+}
+
+func (a *analysis) checkCallbackResponseBody(m *jimple.Method, lib *apimodel.Library) {
+	// Find the identity assignment binding the response parameter.
+	for i, s := range m.Body {
+		asg, ok := s.(*jimple.AssignStmt)
+		if !ok {
+			continue
+		}
+		p, isParam := asg.RHS.(jimple.ParamRef)
+		if !isParam || !isResponseType(p.Type, lib) {
+			continue
+		}
+		respLocal, isLocal := asg.LHS.(jimple.Local)
+		if !isLocal {
+			continue
+		}
+		a.stats.RespRequests++
+		if useStmt, missing := a.findUncheckedUse(m, i, respLocal.Name); missing {
+			a.stats.RespMissCheck++
+			ctx := report.Context{Component: jimple.OuterClass(m.Sig.Class), UserInitiated: true}
+			r := report.Report{
+				Cause:         report.CauseNoResponseCheck,
+				Lib:           lib.Key,
+				Message:       "Callback response used without a validity check",
+				Location:      report.Loc{Method: m.Sig, Stmt: useStmt},
+				Impacts:       report.Impacts(report.CauseNoResponseCheck),
+				Context:       ctx,
+				FixSuggestion: report.Suggest(report.CauseNoResponseCheck, ctx, lib),
+			}
+			a.reports = append(a.reports, r)
+		}
+		return
+	}
+}
+
+func isResponseType(t string, lib *apimodel.Library) bool {
+	for _, rc := range lib.RespChecks {
+		if rc.Sig.Class == t {
+			return true
+		}
+	}
+	return false
+}
+
+// findUncheckedUse taints the response local from defStmt forward and
+// looks for the first statement that reads the response's payload while
+// the "validated" must-fact is still false on some path. It returns the
+// offending use statement.
+func (a *analysis) findUncheckedUse(m *jimple.Method, defStmt int, local string) (int, bool) {
+	g := a.cfgOf(m)
+	taint := dataflow.ForwardTaint(g, map[int][]string{defStmt: {local}}, dataflow.DefaultTaintOptions())
+	aliasAt := func(stmt int, name string) bool {
+		return name == local && stmt == defStmt || taint.TaintedAt(stmt, name)
+	}
+	checked := a.mustCheckedFacts(g, m, aliasAt)
+	for i, s := range m.Body {
+		if i <= defStmt {
+			continue
+		}
+		inv, ok := jimple.InvokeOf(s)
+		if !ok || inv.Base == "" || !aliasAt(i, inv.Base) {
+			continue
+		}
+		if a.reg.IsRespCheck(inv.Callee) {
+			continue
+		}
+		// Any other call on the response (getBody, getEntity, read, …)
+		// reads the payload and counts as a use.
+		if !checked[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// mustCheckedFacts runs an intraprocedural forward must-analysis: fact[i]
+// is true when every path reaching statement i has validated the response
+// (null test or response-check API on an alias).
+func (a *analysis) mustCheckedFacts(g *cfg.Graph, m *jimple.Method, aliasAt func(int, string) bool) []bool {
+	n := g.NumNodes()
+	// Optimistic initialization: a must-analysis starts at TOP (true) and
+	// lowers to the greatest fixpoint; starting at false would be sticky
+	// around loop back edges.
+	in := make([]bool, n)
+	out := make([]bool, n)
+	for i := range in {
+		in[i] = true
+		out[i] = true
+	}
+	gen := func(i int) bool {
+		if i >= len(m.Body) {
+			return false
+		}
+		s := m.Body[i]
+		if inv, ok := jimple.InvokeOf(s); ok && inv.Base != "" && aliasAt(i, inv.Base) && a.reg.IsRespCheck(inv.Callee) {
+			return true
+		}
+		if iff, ok := s.(*jimple.IfStmt); ok {
+			if isNullTestOnAlias(iff.Cond, i, aliasAt) {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			newIn := u != 0 // meet identity; entry starts unchecked
+			for _, p := range g.Preds(u) {
+				newIn = newIn && out[p]
+			}
+			if u == 0 {
+				newIn = false
+			}
+			newOut := newIn || gen(u)
+			if newIn != in[u] || newOut != out[u] {
+				in[u], out[u] = newIn, newOut
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+func isNullTestOnAlias(cond jimple.Value, stmt int, aliasAt func(int, string) bool) bool {
+	be, ok := cond.(jimple.BinExpr)
+	if !ok || (be.Op != jimple.OpEQ && be.Op != jimple.OpNE) {
+		return false
+	}
+	lLocal, lIsLocal := be.L.(jimple.Local)
+	rLocal, rIsLocal := be.R.(jimple.Local)
+	_, lIsNull := be.L.(jimple.NullConst)
+	_, rIsNull := be.R.(jimple.NullConst)
+	if lIsLocal && rIsNull {
+		return aliasAt(stmt, lLocal.Name)
+	}
+	if rIsLocal && lIsNull {
+		return aliasAt(stmt, rLocal.Name)
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+// Package core is NChecker's public engine API — the paper's primary
+// contribution assembled from the substrate packages. A Checker scans
+// Android app binaries (our APK container format) and reports network
+// programming defects (NPDs):
+//
+//	nc := core.New()
+//	result, err := nc.ScanFile("app.apk")
+//	if err != nil { ... }
+//	for _, r := range result.Reports {
+//	    fmt.Println(r.Render())
+//	}
+//
+// The pipeline mirrors §4 of the paper: parse the binary into the Jimple
+// IR (internal/dex, internal/apk), build a lifecycle-aware call graph
+// (internal/callgraph extending internal/hierarchy), then run the four
+// API-misuse analyses and the customized-retry-loop identification
+// (internal/checkers) against the library annotations
+// (internal/apimodel), emitting actionable warning reports
+// (internal/report).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/checkers"
+	"repro/internal/report"
+)
+
+// Result is an app scan outcome: the warning reports plus the per-request
+// statistics the evaluation harness aggregates.
+type Result = checkers.Result
+
+// Options re-exports the analysis options (ablation switches).
+type Options = checkers.Options
+
+// Checker is a reusable NPD scanner. It is safe to use from multiple
+// goroutines: all per-scan state lives in the scan.
+type Checker struct {
+	reg  *apimodel.Registry
+	opts Options
+}
+
+// New returns a Checker with the standard six-library annotation registry
+// and default options.
+func New() *Checker {
+	return NewWithOptions(Options{})
+}
+
+// NewWithOptions returns a Checker with explicit analysis options.
+func NewWithOptions(opts Options) *Checker {
+	return &Checker{reg: apimodel.NewRegistry(), opts: opts}
+}
+
+// Registry exposes the library annotations in use.
+func (c *Checker) Registry() *apimodel.Registry { return c.reg }
+
+// ScanApp analyzes an already-parsed app.
+func (c *Checker) ScanApp(app *apk.App) *Result {
+	return checkers.Analyze(app, c.reg, c.opts)
+}
+
+// ScanBytes parses an APK container from bytes and analyzes it.
+func (c *Checker) ScanBytes(data []byte) (*Result, error) {
+	app, err := apk.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return c.ScanApp(app), nil
+}
+
+// ScanFile parses the APK container at path and analyzes it.
+func (c *Checker) ScanFile(path string) (*Result, error) {
+	app, err := apk.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return c.ScanApp(app), nil
+}
+
+// Summarize aggregates a result's reports per cause.
+func Summarize(res *Result) report.Summary {
+	return report.Summarize(res.Reports)
+}

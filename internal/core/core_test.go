@@ -1,0 +1,128 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/jimple"
+	"repro/internal/report"
+)
+
+func buggyApp(t *testing.T) *apk.App {
+	t.Helper()
+	prog := jimple.MustParse(`class demo.Main extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local c com.turbomanage.httpclient.BasicHttpClient
+    local r com.turbomanage.httpclient.HttpResponse
+    local b java.lang.String
+    c = new com.turbomanage.httpclient.BasicHttpClient
+    specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://example.com"
+    b = virtualinvoke r com.turbomanage.httpclient.HttpResponse.getBodyAsString()java.lang.String
+    return
+  }
+}`)
+	man := &android.Manifest{Package: "demo", Activities: []string{"demo.Main"}}
+	man.Normalize()
+	return &apk.App{Manifest: man, Program: prog}
+}
+
+func TestScanAppEndToEnd(t *testing.T) {
+	nc := New()
+	res := nc.ScanApp(buggyApp(t))
+	if len(res.Reports) == 0 {
+		t.Fatal("buggy app produced no warnings")
+	}
+	sum := Summarize(res)
+	if sum.Total != len(res.Reports) {
+		t.Errorf("summary total mismatch")
+	}
+	wantCauses := []report.Cause{
+		report.CauseNoConnectivityCheck,
+		report.CauseNoTimeout,
+		report.CauseNoResponseCheck,
+	}
+	for _, c := range wantCauses {
+		if sum.ByCause[c] == 0 {
+			t.Errorf("expected cause %s in scan results: %+v", c, sum.ByCause)
+		}
+	}
+}
+
+func TestScanFileAndBytes(t *testing.T) {
+	app := buggyApp(t)
+	path := filepath.Join(t.TempDir(), "demo.apk")
+	if err := apk.WriteFile(path, app); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	nc := New()
+	fromFile, err := nc.ScanFile(path)
+	if err != nil {
+		t.Fatalf("ScanFile: %v", err)
+	}
+	data, err := apk.Encode(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBytes, err := nc.ScanBytes(data)
+	if err != nil {
+		t.Fatalf("ScanBytes: %v", err)
+	}
+	if len(fromFile.Reports) != len(fromBytes.Reports) {
+		t.Errorf("file vs bytes scan disagree: %d vs %d", len(fromFile.Reports), len(fromBytes.Reports))
+	}
+	if _, err := nc.ScanBytes([]byte("garbage")); err == nil {
+		t.Error("garbage bytes should error")
+	}
+	if _, err := nc.ScanFile(filepath.Join(t.TempDir(), "nope.apk")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestScanDeterministic(t *testing.T) {
+	nc := New()
+	a := nc.ScanApp(buggyApp(t))
+	b := nc.ScanApp(buggyApp(t))
+	if len(a.Reports) != len(b.Reports) {
+		t.Fatalf("scan nondeterministic: %d vs %d reports", len(a.Reports), len(b.Reports))
+	}
+	for i := range a.Reports {
+		if a.Reports[i].Cause != b.Reports[i].Cause ||
+			a.Reports[i].Location.Method.Key() != b.Reports[i].Location.Method.Key() ||
+			a.Reports[i].Location.Stmt != b.Reports[i].Location.Stmt {
+			t.Errorf("report %d differs across runs", i)
+		}
+	}
+	if a.Stats.Requests != b.Stats.Requests ||
+		a.Stats.MissConnCheck != b.Stats.MissConnCheck ||
+		a.Stats.MissTimeout != b.Stats.MissTimeout {
+		t.Errorf("stats differ across runs: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestConcurrentScans: the Checker is safe for concurrent use — parallel
+// scans of the same app produce identical results (run under -race in CI).
+func TestConcurrentScans(t *testing.T) {
+	nc := New()
+	app := buggyApp(t)
+	baseline := nc.ScanApp(app)
+	const workers = 8
+	results := make([]*Result, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w] = nc.ScanApp(app)
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w, res := range results {
+		if len(res.Reports) != len(baseline.Reports) {
+			t.Errorf("worker %d: %d reports vs baseline %d", w, len(res.Reports), len(baseline.Reports))
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package corpus synthesizes Android apps for NChecker's evaluation: a
+// seeded generative model of the paper's 285-app Google-Play sample
+// (calibrated to the §2 study's defect rates), plus 16 hand-specified
+// "golden" apps with exact ground truth that reproduce the paper's
+// accuracy evaluation (Table 9), including the adversarial shapes behind
+// its false positives and negatives.
+//
+// Every app is emitted through one code generator (this file), and every
+// app's expected warnings are derived by an independent oracle
+// (groundtruth.go), so generator and checker can be validated against
+// each other.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/jimple"
+)
+
+// CtxKind is the component context a request runs in.
+type CtxKind uint8
+
+const (
+	// CtxActivity marks a user-initiated (time-sensitive) request.
+	CtxActivity CtxKind = iota
+	// CtxService marks a background request.
+	CtxService
+)
+
+// Wrap selects how the request is dispatched.
+type Wrap uint8
+
+const (
+	// WrapDirect performs the request inline in the lifecycle method.
+	WrapDirect Wrap = iota
+	// WrapAsyncTask performs it in an inner AsyncTask's doInBackground.
+	WrapAsyncTask
+)
+
+// SiteSpec describes one network-request site and all its reliability
+// decisions; the generator turns it into code and the oracle derives the
+// warnings NChecker should raise for it.
+type SiteSpec struct {
+	Lib  apimodel.LibKey
+	Ctx  CtxKind
+	Wrap Wrap
+	// Post selects a POST request (libraries that support it).
+	Post bool
+	// ConnCheck guards the request with a connectivity check.
+	ConnCheck bool
+	// ConnCheckUnused invokes the check API but ignores its result and
+	// branches on nothing — a genuine defect NChecker's path-insensitive
+	// analysis cannot see (the paper's 5 FNs, §5.3).
+	ConnCheckUnused bool
+	// ConnCheckInPrevComponent places the check in a *previous* activity
+	// that starts this one — not a defect, but NChecker's missing
+	// inter-component analysis reports it (the paper's 4 conn FPs).
+	ConnCheckInPrevComponent bool
+	// SetTimeout invokes a timeout config API.
+	SetTimeout bool
+	// SetRetry invokes the retry config API with RetryCount.
+	SetRetry   bool
+	RetryCount int
+	// Notify surfaces failures with a Toast in the request's callback
+	// scope.
+	Notify bool
+	// NotifyViaBroadcast surfaces failures by broadcasting to another
+	// component that shows the message — not a defect, but invisible to
+	// NChecker (the paper's 5 notification FPs).
+	NotifyViaBroadcast bool
+	// InspectErrorType examines the typed error object (Volley).
+	InspectErrorType bool
+	// UseResponse reads the response body (synchronous libraries).
+	UseResponse bool
+	// CheckResponse null-checks the response before use.
+	CheckResponse bool
+	// RetryLoop wraps the request in a customized retry loop.
+	RetryLoop bool
+	// LoopBackoff adds Thread.sleep to the retry loop.
+	LoopBackoff bool
+}
+
+// AppSpec is a full app: one component per site.
+type AppSpec struct {
+	Package string
+	Label   string
+	Sites   []SiteSpec
+}
+
+// Build generates the app: manifest plus program.
+func Build(spec AppSpec) (*apk.App, error) {
+	if spec.Package == "" {
+		return nil, fmt.Errorf("corpus: app spec needs a package")
+	}
+	b := &appGen{spec: spec, prog: jimple.NewProgram()}
+	man := &android.Manifest{Package: spec.Package, Label: spec.Label}
+	for i, site := range spec.Sites {
+		comp := fmt.Sprintf("%s.Comp%d", spec.Package, i)
+		if err := b.emitComponent(comp, site); err != nil {
+			return nil, fmt.Errorf("corpus: site %d: %w", i, err)
+		}
+		switch site.Ctx {
+		case CtxActivity:
+			man.Activities = append(man.Activities, comp)
+			if site.ConnCheckInPrevComponent {
+				man.Activities = append(man.Activities, comp+"Launcher")
+			}
+			if site.NotifyViaBroadcast {
+				man.Receivers = append(man.Receivers, comp+"ErrReceiver")
+			}
+		case CtxService:
+			man.Services = append(man.Services, comp)
+		}
+	}
+	man.Normalize()
+	app := &apk.App{Manifest: man, Program: b.prog}
+	if err := b.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("corpus: generated program invalid: %w", err)
+	}
+	return app, nil
+}
+
+// MustBuild panics on error; specs are authored in code, so failures are
+// programming bugs.
+func MustBuild(spec AppSpec) *apk.App {
+	app, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return app
+}
+
+type appGen struct {
+	spec AppSpec
+	prog *jimple.Program
+}
+
+func (g *appGen) emitComponent(comp string, site SiteSpec) error {
+	var super string
+	var entrySig jimple.Sig
+	switch site.Ctx {
+	case CtxActivity:
+		super = android.ClassActivity
+		entrySig = jimple.Sig{Class: comp, Name: "onCreate",
+			Params: []string{android.ClassBundle}, Ret: jimple.TypeVoid}
+	case CtxService:
+		super = android.ClassService
+		entrySig = jimple.Sig{Class: comp, Name: "onStartCommand",
+			Params: []string{android.ClassIntent, "int", "int"}, Ret: "int"}
+	}
+	cls := &jimple.Class{Name: comp, Super: super}
+	g.prog.AddClass(cls)
+
+	body := jimple.NewBody()
+	if site.Wrap == WrapAsyncTask {
+		g.emitAsyncTaskLaunch(body, comp, site)
+	} else {
+		if err := g.emitSite(body, comp, site, true); err != nil {
+			return err
+		}
+	}
+	g.finishEntry(body, cls, entrySig, site)
+
+	if site.Wrap == WrapAsyncTask {
+		if err := g.emitAsyncTaskClass(comp, site); err != nil {
+			return err
+		}
+	}
+	if site.ConnCheckInPrevComponent {
+		g.emitLauncherActivity(comp)
+	}
+	if site.NotifyViaBroadcast {
+		g.emitErrReceiver(comp)
+	}
+	return nil
+}
+
+func (g *appGen) finishEntry(body *jimple.BodyBuilder, cls *jimple.Class, sig jimple.Sig, site SiteSpec) {
+	if site.Ctx == CtxService {
+		body.Return(jimple.IntConst{V: 0})
+	} else {
+		body.Return(nil)
+	}
+	cls.AddMethod(body.MustBuild(sig, false))
+}
+
+// emitAsyncTaskLaunch emits "new Comp$Task().execute()".
+func (g *appGen) emitAsyncTaskLaunch(b *jimple.BodyBuilder, comp string, _ SiteSpec) {
+	taskCls := comp + "$Task"
+	task := b.Local("task", taskCls)
+	b.New(task, taskCls)
+	b.Invoke(jimple.InvokeVirtual, "task",
+		jimple.Sig{Class: android.ClassAsyncTask, Name: "execute", Ret: jimple.TypeVoid})
+}
+
+// emitAsyncTaskClass emits the inner AsyncTask holding the request in
+// doInBackground; notification (if any) lives in onPostExecute.
+func (g *appGen) emitAsyncTaskClass(comp string, site SiteSpec) error {
+	taskCls := comp + "$Task"
+	cls := &jimple.Class{Name: taskCls, Super: android.ClassAsyncTask}
+	g.prog.AddClass(cls)
+	ctor := jimple.NewBody()
+	ctor.Return(nil)
+	cls.AddMethod(ctor.MustBuild(jimple.Sig{Class: taskCls, Name: "<init>", Ret: jimple.TypeVoid}, false))
+
+	// The request itself. For libraries with implicit callbacks the inline
+	// notification moves to onPostExecute; explicit-callback libraries
+	// keep Notify, which lands in their handler/listener body.
+	inner := site
+	if !usesExplicitCallback(site) {
+		inner.Notify = false
+	}
+	body := jimple.NewBody()
+	if err := g.emitSite(body, taskCls, inner, false); err != nil {
+		return err
+	}
+	body.Return(nil)
+	cls.AddMethod(body.MustBuild(jimple.Sig{Class: taskCls, Name: "doInBackground", Ret: jimple.TypeVoid}, false))
+
+	post := jimple.NewBody()
+	if site.Notify && !usesExplicitCallback(site) {
+		emitToast(post)
+	}
+	post.Return(nil)
+	cls.AddMethod(post.MustBuild(jimple.Sig{Class: taskCls, Name: "onPostExecute", Ret: jimple.TypeVoid}, false))
+	return nil
+}
+
+// usesExplicitCallback reports whether the library routes failures through
+// an explicit callback object (so inline/onPostExecute toasts are not how
+// this site notifies).
+func usesExplicitCallback(site SiteSpec) bool {
+	return site.Lib == apimodel.LibVolley || site.Lib == apimodel.LibAsyncHTTP
+}
+
+// emitLauncherActivity emits the "previous activity" that checks
+// connectivity and then starts the component — the inter-component FP
+// shape.
+func (g *appGen) emitLauncherActivity(comp string) {
+	name := comp + "Launcher"
+	cls := &jimple.Class{Name: name, Super: android.ClassActivity}
+	g.prog.AddClass(cls)
+	b := jimple.NewBody()
+	self := b.Local("self", name)
+	b.Assign(self, jimple.ThisRef{Type: name})
+	offline := b.NewLabel()
+	emitConnCheckGuard(b, offline)
+	intent := b.Local("intent", android.ClassIntent)
+	b.New(intent, android.ClassIntent)
+	b.Invoke(jimple.InvokeVirtual, "intent",
+		jimple.Sig{Class: android.ClassIntent, Name: "setClassName",
+			Params: []string{jimple.TypeString}, Ret: jimple.TypeVoid},
+		jimple.StrConst{V: comp})
+	b.Invoke(jimple.InvokeVirtual, "self",
+		jimple.Sig{Class: android.ClassActivity, Name: "startActivity",
+			Params: []string{android.ClassIntent}, Ret: jimple.TypeVoid},
+		intent)
+	b.Bind(offline)
+	b.Return(nil)
+	cls.AddMethod(b.MustBuild(jimple.Sig{Class: name, Name: "onCreate",
+		Params: []string{android.ClassBundle}, Ret: jimple.TypeVoid}, false))
+}
+
+// emitErrReceiver emits the broadcast receiver that displays the error in
+// another component — the notification-FP shape.
+func (g *appGen) emitErrReceiver(comp string) {
+	name := comp + "ErrReceiver"
+	cls := &jimple.Class{Name: name, Super: android.ClassBroadcastReceiver}
+	g.prog.AddClass(cls)
+	b := jimple.NewBody()
+	emitToast(b)
+	b.Return(nil)
+	cls.AddMethod(b.MustBuild(jimple.Sig{Class: name, Name: "onReceive",
+		Params: []string{android.ClassContext, android.ClassIntent}, Ret: jimple.TypeVoid}, false))
+}
+
+func emitToast(b *jimple.BodyBuilder) {
+	toast := b.Local("toast", android.ClassToast)
+	b.Assign(toast, jimple.NewExpr{Type: android.ClassToast})
+	b.Invoke(jimple.InvokeVirtual, "toast",
+		jimple.Sig{Class: android.ClassToast, Name: "show", Ret: jimple.TypeVoid})
+}
+
+func emitConnCheck(b *jimple.BodyBuilder) {
+	cm := b.Local("cm", android.ClassConnectivityMgr)
+	ni := b.Local("ni", android.ClassNetworkInfo)
+	b.Assign(cm, jimple.NewExpr{Type: android.ClassConnectivityMgr})
+	b.InvokeAssign(ni, jimple.InvokeVirtual, "cm",
+		jimple.Sig{Class: android.ClassConnectivityMgr, Name: "getActiveNetworkInfo",
+			Ret: android.ClassNetworkInfo})
+}
+
+// emitConnCheckGuard emits the check plus a guard branch to lbl when the
+// network is unavailable.
+func emitConnCheckGuard(b *jimple.BodyBuilder, offline *jimple.Label) {
+	cm := b.Local("cm", android.ClassConnectivityMgr)
+	ni := b.Local("ni", android.ClassNetworkInfo)
+	b.Assign(cm, jimple.NewExpr{Type: android.ClassConnectivityMgr})
+	b.InvokeAssign(ni, jimple.InvokeVirtual, "cm",
+		jimple.Sig{Class: android.ClassConnectivityMgr, Name: "getActiveNetworkInfo",
+			Ret: android.ClassNetworkInfo})
+	b.If(jimple.BinExpr{Op: jimple.OpEQ, L: ni, R: jimple.NullConst{}}, offline)
+}
+
+// emitSite emits the request code for one site into b. inline indicates
+// the code sits directly in the entry method (so inline toasts are the
+// notification) rather than in an AsyncTask.
+func (g *appGen) emitSite(b *jimple.BodyBuilder, owner string, site SiteSpec, inline bool) error {
+	end := b.NewLabel()
+	if site.ConnCheck && !site.ConnCheckUnused {
+		emitConnCheckGuard(b, end)
+	} else if site.ConnCheckUnused {
+		emitConnCheck(b) // invoked, result ignored: the FN shape
+	}
+	var err error
+	switch site.Lib {
+	case apimodel.LibHttpURL:
+		err = g.emitHttpURLRequest(b, site)
+	case apimodel.LibApache:
+		err = g.emitApacheRequest(b, site)
+	case apimodel.LibVolley:
+		err = g.emitVolleyRequest(b, owner, site)
+	case apimodel.LibOkHttp:
+		err = g.emitOkHttpRequest(b, site)
+	case apimodel.LibAsyncHTTP:
+		err = g.emitAsyncHTTPRequest(b, owner, site)
+	case apimodel.LibBasic:
+		err = g.emitBasicRequest(b, site)
+	default:
+		err = fmt.Errorf("unknown library %q", site.Lib)
+	}
+	if err != nil {
+		return err
+	}
+	if inline && site.Notify && !usesExplicitCallback(site) {
+		emitToast(b)
+	}
+	if site.NotifyViaBroadcast {
+		self := b.Local("selfB", owner)
+		intent := b.Local("errIntent", android.ClassIntent)
+		b.New(intent, android.ClassIntent)
+		b.Invoke(jimple.InvokeVirtual, "selfB",
+			jimple.Sig{Class: android.ClassActivity, Name: "sendBroadcast",
+				Params: []string{android.ClassIntent}, Ret: jimple.TypeVoid},
+			intent)
+		_ = self
+	}
+	b.Bind(end)
+	b.Nop()
+	return nil
+}

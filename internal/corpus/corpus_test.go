@@ -1,0 +1,250 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// scanCauses runs NChecker over a built app and tallies warnings per cause.
+func scanCauses(t *testing.T, spec AppSpec) map[report.Cause]int {
+	t.Helper()
+	app, err := Build(spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res := core.New().ScanApp(app)
+	out := make(map[report.Cause]int)
+	for i := range res.Reports {
+		out[res.Reports[i].Cause]++
+	}
+	return out
+}
+
+func sameCauseCounts(a map[report.Cause]int, b map[report.Cause]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c, n := range a {
+		if b[c] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// curatedSpecs covers every library and every flag at least once.
+func curatedSpecs() []SiteSpec {
+	return []SiteSpec{
+		// Bare requests across all six libraries.
+		{Lib: apimodel.LibHttpURL, Ctx: CtxActivity},
+		{Lib: apimodel.LibApache, Ctx: CtxActivity},
+		{Lib: apimodel.LibVolley, Ctx: CtxActivity},
+		{Lib: apimodel.LibOkHttp, Ctx: CtxActivity},
+		{Lib: apimodel.LibAsyncHTTP, Ctx: CtxActivity},
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity},
+		// Fully disciplined request (no warnings expected beyond retry
+		// default semantics).
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity, ConnCheck: true, SetTimeout: true,
+			SetRetry: true, RetryCount: 2, Notify: true, UseResponse: true, CheckResponse: true},
+		// Volley discipline incl. error types.
+		{Lib: apimodel.LibVolley, Ctx: CtxActivity, ConnCheck: true, SetTimeout: true,
+			SetRetry: true, RetryCount: 1, Notify: true, InspectErrorType: true},
+		// Services with default retries (over-retry default-caused).
+		{Lib: apimodel.LibAsyncHTTP, Ctx: CtxService},
+		{Lib: apimodel.LibVolley, Ctx: CtxService, ConnCheck: true},
+		// POSTs.
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity, Post: true, SetRetry: true, RetryCount: 3},
+		{Lib: apimodel.LibVolley, Ctx: CtxActivity, Post: true},
+		{Lib: apimodel.LibAsyncHTTP, Ctx: CtxService, Post: true},
+		// No-retry user request.
+		{Lib: apimodel.LibOkHttp, Ctx: CtxActivity, SetRetry: true, RetryCount: 0, Notify: true},
+		// Response handling.
+		{Lib: apimodel.LibOkHttp, Ctx: CtxActivity, UseResponse: true},
+		{Lib: apimodel.LibOkHttp, Ctx: CtxActivity, UseResponse: true, CheckResponse: true},
+		{Lib: apimodel.LibBasic, Ctx: CtxService, UseResponse: true},
+		// AsyncTask wrapping.
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity, Wrap: WrapAsyncTask, Notify: true},
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity, Wrap: WrapAsyncTask},
+		{Lib: apimodel.LibVolley, Ctx: CtxActivity, Wrap: WrapAsyncTask, Notify: true},
+		{Lib: apimodel.LibAsyncHTTP, Ctx: CtxActivity, Wrap: WrapAsyncTask, Notify: true},
+		// Customized retry loops.
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity, RetryLoop: true, Notify: true},
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity, RetryLoop: true, LoopBackoff: true, Notify: true},
+		// Adversarial shapes (FN/FP).
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity, ConnCheck: true, ConnCheckUnused: true, Notify: true},
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity, ConnCheckInPrevComponent: true, Notify: true},
+		{Lib: apimodel.LibBasic, Ctx: CtxActivity, NotifyViaBroadcast: true},
+	}
+}
+
+// TestOracleMatchesChecker is the generator↔oracle↔checker consistency
+// check: for every curated spec, NChecker's warnings on the generated app
+// must equal the oracle's expected tool warnings exactly.
+func TestOracleMatchesChecker(t *testing.T) {
+	reg := apimodel.NewRegistry()
+	for i, site := range curatedSpecs() {
+		site := site
+		t.Run(fmt.Sprintf("spec%02d_%s", i, site.Lib), func(t *testing.T) {
+			spec := AppSpec{Package: fmt.Sprintf("curated.a%d", i), Sites: []SiteSpec{site}}
+			got := scanCauses(t, spec)
+			truth := Oracle(reg, site)
+			want := make(map[report.Cause]int)
+			for _, c := range truth.ToolWarnings {
+				want[c]++
+			}
+			if !sameCauseCounts(got, want) {
+				t.Errorf("spec %+v:\n  checker: %v\n  oracle:  %v", site, got, want)
+			}
+		})
+	}
+}
+
+// TestOracleMatchesCheckerRandom fuzzes the spec space with a seeded RNG.
+func TestOracleMatchesCheckerRandom(t *testing.T) {
+	reg := apimodel.NewRegistry()
+	rng := rand.New(rand.NewSource(42))
+	libs := []apimodel.LibKey{
+		apimodel.LibHttpURL, apimodel.LibApache, apimodel.LibVolley,
+		apimodel.LibOkHttp, apimodel.LibAsyncHTTP, apimodel.LibBasic,
+	}
+	for i := 0; i < 120; i++ {
+		lib := libs[rng.Intn(len(libs))]
+		site := SiteSpec{
+			Lib:        lib,
+			Ctx:        CtxKind(rng.Intn(2)),
+			Post:       rng.Intn(4) == 0 && libSupportsPost(lib),
+			ConnCheck:  rng.Intn(2) == 0,
+			SetTimeout: rng.Intn(2) == 0,
+			Notify:     rng.Intn(2) == 0,
+		}
+		if rng.Intn(2) == 0 {
+			site.SetRetry = true
+			site.RetryCount = rng.Intn(4)
+		}
+		if lib == apimodel.LibBasic || lib == apimodel.LibOkHttp {
+			site.UseResponse = rng.Intn(2) == 0
+			site.CheckResponse = site.UseResponse && rng.Intn(2) == 0
+		}
+		if lib == apimodel.LibVolley {
+			site.InspectErrorType = rng.Intn(2) == 0
+		}
+		if rng.Intn(3) == 0 {
+			site.Wrap = WrapAsyncTask
+		}
+		if lib == apimodel.LibBasic && site.Wrap == WrapDirect && rng.Intn(5) == 0 {
+			site.RetryLoop = true
+			site.LoopBackoff = rng.Intn(2) == 0
+		}
+		spec := AppSpec{Package: fmt.Sprintf("fuzz.a%d", i), Sites: []SiteSpec{site}}
+		got := scanCauses(t, spec)
+		truth := Oracle(reg, site)
+		want := make(map[report.Cause]int)
+		for _, c := range truth.ToolWarnings {
+			want[c]++
+		}
+		if !sameCauseCounts(got, want) {
+			t.Errorf("fuzz spec %d %+v:\n  checker: %v\n  oracle:  %v", i, site, got, want)
+		}
+	}
+}
+
+func TestBuildRejectsEmptyPackage(t *testing.T) {
+	if _, err := Build(AppSpec{}); err == nil {
+		t.Error("empty package accepted")
+	}
+}
+
+func TestMultiSiteApp(t *testing.T) {
+	spec := AppSpec{
+		Package: "multi.app",
+		Sites: []SiteSpec{
+			{Lib: apimodel.LibBasic, Ctx: CtxActivity},
+			{Lib: apimodel.LibVolley, Ctx: CtxService},
+			{Lib: apimodel.LibHttpURL, Ctx: CtxActivity, ConnCheck: true, SetTimeout: true, Notify: true},
+		},
+	}
+	app, err := Build(spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(app.Manifest.Activities) != 2 || len(app.Manifest.Services) != 1 {
+		t.Errorf("manifest components wrong: %+v", app.Manifest)
+	}
+	res := core.New().ScanApp(app)
+	if res.Stats.Requests != 3 {
+		t.Errorf("requests: got %d want 3", res.Stats.Requests)
+	}
+	at := OracleApp(apimodel.NewRegistry(), spec)
+	if got := len(res.Reports); got != at.TotalTool() {
+		t.Errorf("total warnings: checker %d vs oracle %d", got, at.TotalTool())
+	}
+}
+
+func TestAdversarialShapesProduceFPsAndFNs(t *testing.T) {
+	reg := apimodel.NewRegistry()
+	// The FN shape: unused check is a real defect the tool misses.
+	fn := Oracle(reg, SiteSpec{Lib: apimodel.LibBasic, Ctx: CtxActivity,
+		ConnCheck: true, ConnCheckUnused: true, Notify: true, SetTimeout: true, SetRetry: true, RetryCount: 1})
+	if !hasCause(fn.RealDefects, report.CauseNoConnectivityCheck) {
+		t.Error("unused check should be a real defect")
+	}
+	if hasCause(fn.ToolWarnings, report.CauseNoConnectivityCheck) {
+		t.Error("tool should miss the unused-check defect (FN)")
+	}
+	// The conn FP shape: check in a previous component.
+	fp := Oracle(reg, SiteSpec{Lib: apimodel.LibBasic, Ctx: CtxActivity,
+		ConnCheckInPrevComponent: true, Notify: true, SetTimeout: true, SetRetry: true, RetryCount: 1})
+	if hasCause(fp.RealDefects, report.CauseNoConnectivityCheck) {
+		t.Error("prev-component check means no real defect")
+	}
+	if !hasCause(fp.ToolWarnings, report.CauseNoConnectivityCheck) {
+		t.Error("tool should (wrongly) warn — expected FP")
+	}
+	// The notification FP shape.
+	nfp := Oracle(reg, SiteSpec{Lib: apimodel.LibBasic, Ctx: CtxActivity,
+		NotifyViaBroadcast: true, ConnCheck: true, SetTimeout: true, SetRetry: true, RetryCount: 1})
+	if hasCause(nfp.RealDefects, report.CauseNoFailureNotification) {
+		t.Error("broadcast notification means no real defect")
+	}
+	if !hasCause(nfp.ToolWarnings, report.CauseNoFailureNotification) {
+		t.Error("tool should (wrongly) warn on broadcast notification — expected FP")
+	}
+}
+
+func hasCause(cs []report.Cause, c report.Cause) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGeneratedAppSerializes(t *testing.T) {
+	spec := AppSpec{Package: "ser.app", Sites: []SiteSpec{
+		{Lib: apimodel.LibVolley, Ctx: CtxActivity, Notify: true},
+	}}
+	app := MustBuild(spec)
+	res1 := core.New().ScanApp(app)
+	// Round-trip through the binary container and re-scan: identical
+	// results prove the binary pipeline is faithful.
+	data, err := encodeApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := core.New().ScanBytes(data)
+	if err != nil {
+		t.Fatalf("ScanBytes: %v", err)
+	}
+	if len(res1.Reports) != len(res2.Reports) {
+		t.Errorf("scan differs after serialization: %d vs %d", len(res1.Reports), len(res2.Reports))
+	}
+}
+
+func encodeApp(app *apk.App) ([]byte, error) { return apk.Encode(app) }

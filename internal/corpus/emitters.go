@@ -1,0 +1,342 @@
+package corpus
+
+import (
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/jimple"
+)
+
+const httpURL = "http://api.example.com/data"
+
+func voidSig(class, name string, params ...string) jimple.Sig {
+	return jimple.Sig{Class: class, Name: name, Params: params, Ret: jimple.TypeVoid}
+}
+
+// emitBasicRequest emits a turbomanage BasicHttpClient request, optionally
+// wrapped in a customized retry loop, with optional response use/check.
+func (g *appGen) emitBasicRequest(b *jimple.BodyBuilder, site SiteSpec) error {
+	c := b.Local("client", apimodel.ClassBasicClient)
+	r := b.Local("resp", apimodel.ClassBasicResponse)
+	b.New(c, apimodel.ClassBasicClient)
+	if site.SetTimeout {
+		b.Invoke(jimple.InvokeVirtual, "client",
+			voidSig(apimodel.ClassBasicClient, "setReadTimeout", "int"),
+			jimple.IntConst{V: 5000})
+	}
+	if site.SetRetry {
+		b.Invoke(jimple.InvokeVirtual, "client",
+			voidSig(apimodel.ClassBasicClient, "setMaxRetries", "int"),
+			jimple.IntConst{V: int64(site.RetryCount)})
+	}
+	doRequest := func() {
+		if site.Post {
+			body := b.Local("postBody", "byte[]")
+			b.InvokeAssign(r, jimple.InvokeVirtual, "client",
+				jimple.Sig{Class: apimodel.ClassBasicClient, Name: "post",
+					Params: []string{jimple.TypeString, "byte[]"}, Ret: apimodel.ClassBasicResponse},
+				jimple.StrConst{V: httpURL}, body)
+		} else {
+			b.InvokeAssign(r, jimple.InvokeVirtual, "client",
+				jimple.Sig{Class: apimodel.ClassBasicClient, Name: "get",
+					Params: []string{jimple.TypeString}, Ret: apimodel.ClassBasicResponse},
+				jimple.StrConst{V: httpURL})
+		}
+	}
+	if site.RetryLoop {
+		g.emitRetryLoop(b, site, doRequest)
+	} else {
+		doRequest()
+	}
+	emitResponseUse(b, site, r,
+		jimple.Sig{Class: apimodel.ClassBasicResponse, Name: "getBodyAsString", Ret: jimple.TypeString})
+	return nil
+}
+
+// emitRetryLoop wraps doRequest in the §4.5 retry shape: loop until a
+// "done" flag set after a successful request, reset in the IOException
+// catch block; optionally sleeping between attempts.
+func (g *appGen) emitRetryLoop(b *jimple.BodyBuilder, site SiteSpec, doRequest func()) {
+	done := b.Local("done", jimple.TypeInt)
+	e := b.Local("ioe", android.ClassIOException)
+	head := b.NewLabel()
+	tryBegin := b.NewLabel()
+	tryEnd := b.NewLabel()
+	handler := b.NewLabel()
+	out := b.NewLabel()
+	b.Assign(done, jimple.IntConst{V: 0})
+	b.Bind(head)
+	b.If(jimple.BinExpr{Op: jimple.OpNE, L: done, R: jimple.IntConst{V: 0}}, out)
+	b.Bind(tryBegin)
+	doRequest()
+	b.Assign(done, jimple.IntConst{V: 1})
+	b.Bind(tryEnd)
+	b.Goto(head)
+	b.Bind(handler)
+	b.Assign(e, jimple.CaughtExRef{})
+	b.Assign(done, jimple.IntConst{V: 0})
+	if site.LoopBackoff {
+		b.Invoke(jimple.InvokeStatic, "",
+			jimple.Sig{Class: android.ClassThread, Name: "sleep",
+				Params: []string{"long"}, Ret: jimple.TypeVoid},
+			jimple.IntConst{V: 2000})
+	}
+	b.Goto(head)
+	b.Bind(out)
+	b.TrapRegion(tryBegin, tryEnd, handler, android.ClassIOException)
+	b.Nop()
+}
+
+// emitResponseUse reads the response body, optionally guarded by a null
+// check.
+func emitResponseUse(b *jimple.BodyBuilder, site SiteSpec, r jimple.Local, readSig jimple.Sig) {
+	if !site.UseResponse {
+		return
+	}
+	body := b.Local("respBody", readSig.Ret)
+	if site.CheckResponse {
+		skip := b.NewLabel()
+		b.If(jimple.BinExpr{Op: jimple.OpEQ, L: r, R: jimple.NullConst{}}, skip)
+		b.InvokeAssign(body, jimple.InvokeVirtual, r.Name, readSig)
+		b.Bind(skip)
+		b.Nop()
+	} else {
+		b.InvokeAssign(body, jimple.InvokeVirtual, r.Name, readSig)
+	}
+}
+
+// emitHttpURLRequest emits the native HttpURLConnection flow.
+func (g *appGen) emitHttpURLRequest(b *jimple.BodyBuilder, site SiteSpec) error {
+	u := b.Local("url", apimodel.ClassURL)
+	conn := b.Local("conn", apimodel.ClassHttpURLConn)
+	b.Assign(u, jimple.NewExpr{Type: apimodel.ClassURL})
+	b.Invoke(jimple.InvokeSpecial, "url",
+		voidSig(apimodel.ClassURL, "<init>", jimple.TypeString),
+		jimple.StrConst{V: httpURL})
+	b.InvokeAssign(conn, jimple.InvokeVirtual, "url",
+		jimple.Sig{Class: apimodel.ClassURL, Name: "openConnection", Ret: apimodel.ClassHttpURLConn})
+	if site.SetTimeout {
+		b.Invoke(jimple.InvokeVirtual, "conn",
+			voidSig(apimodel.ClassHttpURLConn, "setConnectTimeout", "int"),
+			jimple.IntConst{V: 4000})
+	}
+	if site.Post {
+		b.Invoke(jimple.InvokeVirtual, "conn",
+			voidSig(apimodel.ClassHttpURLConn, "setRequestMethod", jimple.TypeString),
+			jimple.StrConst{V: "POST"})
+	}
+	doRequest := func() {
+		b.Invoke(jimple.InvokeVirtual, "conn",
+			voidSig(apimodel.ClassHttpURLConn, "connect"))
+	}
+	if site.RetryLoop {
+		g.emitRetryLoop(b, site, doRequest)
+	} else {
+		doRequest()
+	}
+	return nil
+}
+
+// emitApacheRequest emits the Apache DefaultHttpClient flow.
+func (g *appGen) emitApacheRequest(b *jimple.BodyBuilder, site SiteSpec) error {
+	c := b.Local("client", apimodel.ClassApacheClient)
+	r := b.Local("resp", apimodel.ClassApacheResponse)
+	b.New(c, apimodel.ClassApacheClient)
+	if site.SetTimeout {
+		b.Invoke(jimple.InvokeVirtual, "client",
+			voidSig(apimodel.ClassApacheClient, "setConnectionTimeout", "int"),
+			jimple.IntConst{V: 8000})
+	}
+	reqCls := apimodel.ClassApacheGet
+	reqVar := "httpGet"
+	if site.Post {
+		reqCls, reqVar = apimodel.ClassApachePost, "httpPost"
+	}
+	req := b.Local(reqVar, reqCls)
+	b.Assign(req, jimple.NewExpr{Type: reqCls})
+	b.Invoke(jimple.InvokeSpecial, reqVar,
+		voidSig(reqCls, "<init>", jimple.TypeString),
+		jimple.StrConst{V: httpURL})
+	doRequest := func() {
+		b.InvokeAssign(r, jimple.InvokeVirtual, "client",
+			jimple.Sig{Class: apimodel.ClassApacheClient, Name: "execute",
+				Params: []string{apimodel.ClassApacheRequest}, Ret: apimodel.ClassApacheResponse},
+			req)
+	}
+	if site.RetryLoop {
+		g.emitRetryLoop(b, site, doRequest)
+	} else {
+		doRequest()
+	}
+	return nil
+}
+
+// emitVolleyRequest emits the Volley flow: build a StringRequest with
+// listener objects, configure it, and add it to a queue. The error
+// listener is an inner class; its body carries the notification and
+// error-type behaviour.
+func (g *appGen) emitVolleyRequest(b *jimple.BodyBuilder, owner string, site SiteSpec) error {
+	errCls := owner + "$Err"
+	g.emitVolleyErrListener(errCls, site)
+
+	q := b.Local("queue", apimodel.ClassVolleyQueue)
+	req := b.Local("request", apimodel.ClassVolleyStringReq)
+	lst := b.Local("listener", apimodel.ClassVolleyListener)
+	errL := b.Local("errListener", errCls)
+	out := b.Local("added", apimodel.ClassVolleyRequest)
+	b.New(q, apimodel.ClassVolleyQueue)
+	b.New(errL, errCls)
+	method := apimodel.VolleyMethodGet
+	if site.Post {
+		method = apimodel.VolleyMethodPost
+	}
+	b.Assign(req, jimple.NewExpr{Type: apimodel.ClassVolleyStringReq})
+	b.Invoke(jimple.InvokeSpecial, "request",
+		voidSig(apimodel.ClassVolleyStringReq, "<init>",
+			"int", jimple.TypeString, apimodel.ClassVolleyListener, apimodel.ClassVolleyErrListen),
+		jimple.IntConst{V: int64(method)}, jimple.StrConst{V: httpURL}, lst, errL)
+	if site.SetTimeout {
+		b.Invoke(jimple.InvokeVirtual, "request",
+			voidSig(apimodel.ClassVolleyRequest, "setTimeout", "int"),
+			jimple.IntConst{V: 10000})
+	}
+	if site.SetRetry {
+		b.Invoke(jimple.InvokeVirtual, "request",
+			voidSig(apimodel.ClassVolleyRequest, "setMaxRetries", "int"),
+			jimple.IntConst{V: int64(site.RetryCount)})
+	}
+	b.InvokeAssign(out, jimple.InvokeVirtual, "queue",
+		jimple.Sig{Class: apimodel.ClassVolleyQueue, Name: "add",
+			Params: []string{apimodel.ClassVolleyRequest}, Ret: apimodel.ClassVolleyRequest},
+		req)
+	return nil
+}
+
+func (g *appGen) emitVolleyErrListener(errCls string, site SiteSpec) {
+	if g.prog.Class(errCls) != nil {
+		return
+	}
+	cls := &jimple.Class{
+		Name: errCls, Super: jimple.TypeObject,
+		Interfaces: []string{apimodel.ClassVolleyErrListen},
+	}
+	g.prog.AddClass(cls)
+	ctor := jimple.NewBody()
+	ctor.Return(nil)
+	cls.AddMethod(ctor.MustBuild(voidSig(errCls, "<init>"), false))
+
+	b := jimple.NewBody()
+	err := b.Local("volleyErr", apimodel.ClassVolleyError)
+	b.Assign(err, jimple.ParamRef{Index: 0, Type: apimodel.ClassVolleyError})
+	if site.InspectErrorType {
+		isNoConn := b.Local("isNoConn", jimple.TypeBoolean)
+		b.Assign(isNoConn, jimple.InstanceOfExpr{Type: apimodel.ClassVolleyNoConn, V: err})
+	}
+	if site.Notify {
+		emitToast(b)
+	}
+	b.Return(nil)
+	cls.AddMethod(b.MustBuild(jimple.Sig{Class: errCls, Name: "onErrorResponse",
+		Params: []string{apimodel.ClassVolleyError}, Ret: jimple.TypeVoid}, false))
+}
+
+// emitOkHttpRequest emits the (flattened) OkHttp flow: synchronous
+// execute with optional response use/check.
+func (g *appGen) emitOkHttpRequest(b *jimple.BodyBuilder, site SiteSpec) error {
+	c := b.Local("client", apimodel.ClassOkClient)
+	req := b.Local("okReq", apimodel.ClassOkRequest)
+	r := b.Local("okResp", apimodel.ClassOkResponse)
+	b.New(c, apimodel.ClassOkClient)
+	if site.SetTimeout {
+		b.Invoke(jimple.InvokeVirtual, "client",
+			voidSig(apimodel.ClassOkClient, "setReadTimeout", "int"),
+			jimple.IntConst{V: 15000})
+	}
+	if site.SetRetry {
+		b.Invoke(jimple.InvokeVirtual, "client",
+			voidSig(apimodel.ClassOkClient, "setMaxRetries", "int"),
+			jimple.IntConst{V: int64(site.RetryCount)})
+	}
+	b.Assign(req, jimple.NewExpr{Type: apimodel.ClassOkRequest})
+	b.Invoke(jimple.InvokeSpecial, "okReq",
+		voidSig(apimodel.ClassOkRequest, "<init>", jimple.TypeString),
+		jimple.StrConst{V: httpURL})
+	doRequest := func() {
+		b.InvokeAssign(r, jimple.InvokeVirtual, "client",
+			jimple.Sig{Class: apimodel.ClassOkClient, Name: "execute",
+				Params: []string{apimodel.ClassOkRequest}, Ret: apimodel.ClassOkResponse},
+			req)
+	}
+	if site.RetryLoop {
+		g.emitRetryLoop(b, site, doRequest)
+	} else {
+		doRequest()
+	}
+	emitResponseUse(b, site, r,
+		jimple.Sig{Class: apimodel.ClassOkResponse, Name: "getBody", Ret: jimple.TypeString})
+	return nil
+}
+
+// emitAsyncHTTPRequest emits the loopj AsyncHttpClient flow with an inner
+// response-handler class carrying the failure callback.
+func (g *appGen) emitAsyncHTTPRequest(b *jimple.BodyBuilder, owner string, site SiteSpec) error {
+	handlerCls := owner + "$Handler"
+	g.emitAsyncHTTPHandler(handlerCls, site)
+
+	c := b.Local("client", apimodel.ClassAsyncClient)
+	h := b.Local("handler", handlerCls)
+	b.New(c, apimodel.ClassAsyncClient)
+	if site.SetTimeout {
+		b.Invoke(jimple.InvokeVirtual, "client",
+			voidSig(apimodel.ClassAsyncClient, "setTimeout", "int"),
+			jimple.IntConst{V: 20000})
+	}
+	if site.SetRetry {
+		b.Invoke(jimple.InvokeVirtual, "client",
+			voidSig(apimodel.ClassAsyncClient, "setMaxRetriesAndTimeout", "int", "int"),
+			jimple.IntConst{V: int64(site.RetryCount)}, jimple.IntConst{V: 20000})
+	}
+	b.New(h, handlerCls)
+	name := "get"
+	if site.Post {
+		name = "post"
+	}
+	b.Invoke(jimple.InvokeVirtual, "client",
+		voidSig(apimodel.ClassAsyncClient, name, jimple.TypeString, apimodel.ClassAsyncHandler),
+		jimple.StrConst{V: httpURL}, h)
+	return nil
+}
+
+func (g *appGen) emitAsyncHTTPHandler(handlerCls string, site SiteSpec) {
+	if g.prog.Class(handlerCls) != nil {
+		return
+	}
+	cls := &jimple.Class{Name: handlerCls, Super: apimodel.ClassAsyncHandler}
+	g.prog.AddClass(cls)
+	ctor := jimple.NewBody()
+	ctor.Return(nil)
+	cls.AddMethod(ctor.MustBuild(voidSig(handlerCls, "<init>"), false))
+
+	fail := jimple.NewBody()
+	thr := fail.Local("thr", android.ClassThrowable)
+	fail.Assign(thr, jimple.ParamRef{Index: 0, Type: android.ClassThrowable})
+	if site.Notify {
+		emitToast(fail)
+	}
+	fail.Return(nil)
+	cls.AddMethod(fail.MustBuild(jimple.Sig{Class: handlerCls, Name: "onFailure",
+		Params: []string{android.ClassThrowable, jimple.TypeString}, Ret: jimple.TypeVoid}, false))
+
+	succ := jimple.NewBody()
+	succ.Return(nil)
+	cls.AddMethod(succ.MustBuild(jimple.Sig{Class: handlerCls, Name: "onSuccess",
+		Params: []string{jimple.TypeString}, Ret: jimple.TypeVoid}, false))
+}
+
+// libSupportsPost reports whether the generator can emit a POST for lib.
+func libSupportsPost(lib apimodel.LibKey) bool {
+	switch lib {
+	case apimodel.LibBasic, apimodel.LibAsyncHTTP, apimodel.LibVolley, apimodel.LibApache, apimodel.LibHttpURL:
+		return true
+	}
+	return false
+}

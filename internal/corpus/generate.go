@@ -1,0 +1,345 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+)
+
+// Corpus composition targets from the paper (§5.1, Tables 6 and 7): 285
+// apps total, of which 16 are the open-source goldens; library usage
+// counts; 91 apps on retry-capable libraries; 20 on response-check
+// libraries; 264 with user-initiated requests; and per-§2 defect rates.
+const (
+	CorpusSize       = 285
+	NumGoldens       = 16
+	NumGenerated     = CorpusSize - NumGoldens
+	targetNative     = 270
+	targetVolley     = 78
+	targetAsyncHTTP  = 25
+	targetBasic      = 18
+	targetOkHttp     = 11
+	targetThirdParty = 91 // |Volley ∪ OkHttp ∪ AsyncHttp ∪ Basic|
+	targetRespLibs   = 20 // |OkHttp ∪ Basic|
+	targetNotifEval  = 264
+	targetCleanApps  = 4 // 281 of 285 apps have NPDs (§5.2)
+)
+
+// Calibrated per-app defect rates, derived from the paper's measurements
+// net of the goldens' fixed contributions (see generate_test.go for the
+// resulting corpus-level shape).
+const (
+	pConnNever    = 0.45 // → ≈122/285 apps never check connectivity
+	pTimeoutNever = 0.48 // → ≈139/285 never set timeouts
+	pNotifNever   = 0.61 // → ≈151/264 never notify failures
+	pRetryNever   = 0.70 // → ≈64/91 never set retry APIs
+	pServiceSite  = 0.30
+	pPostSite     = 0.20
+	// Retry-capable-library sites use damped context/method rates so the
+	// per-app over-retry incidence lands on Table 8's 32%/25%.
+	pServiceSiteRetryLib = 0.12
+	pPostSiteRetryLib    = 0.10
+	pAsyncWrap           = 0.25
+	pRetryLoopApp        = 0.10 // 10% of apps have customized retry logic
+	pInspectErr          = 0.02 // → ≈93% of apps ignore error types
+	pUseResponse         = 0.60
+	pCheckResp           = 0.25
+	minSites             = 3
+	maxSites             = 10
+)
+
+// CorpusApp is one member of the evaluation corpus.
+type CorpusApp struct {
+	Name   string
+	Spec   AppSpec
+	App    *apk.App
+	Golden bool
+}
+
+// GenerateCorpus builds the full 285-app corpus deterministically from a
+// seed: 16 goldens plus 269 generated apps whose library mix fills the
+// paper's Table 7 quotas exactly and whose defect rates are calibrated to
+// §2/§5.
+func GenerateCorpus(seed int64) ([]*CorpusApp, error) {
+	out := make([]*CorpusApp, 0, CorpusSize)
+	goldenLibSets := make([]map[apimodel.LibKey]bool, 0, NumGoldens)
+	for _, g := range GoldenSpecs() {
+		app, err := Build(g.Spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &CorpusApp{Name: "golden-" + g.Name, Spec: g.Spec, App: app, Golden: true})
+		goldenLibSets = append(goldenLibSets, specLibs(g.Spec))
+	}
+	libSets, err := planLibSets(goldenLibSets)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i, libs := range libSets {
+		spec := generateAppSpec(rng, i, libs)
+		app, err := Build(spec)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: generated app %d: %w", i, err)
+		}
+		out = append(out, &CorpusApp{Name: spec.Package, Spec: spec, App: app})
+	}
+	return out, nil
+}
+
+func specLibs(spec AppSpec) map[apimodel.LibKey]bool {
+	set := make(map[apimodel.LibKey]bool)
+	for _, s := range spec.Sites {
+		set[s.Lib] = true
+	}
+	return set
+}
+
+func isNativeLib(k apimodel.LibKey) bool {
+	return k == apimodel.LibHttpURL || k == apimodel.LibApache
+}
+
+// planLibSets assigns a library set to each of the 269 generated apps so
+// that, combined with the goldens, the corpus hits the Table 7 quotas
+// exactly.
+func planLibSets(goldens []map[apimodel.LibKey]bool) ([][]apimodel.LibKey, error) {
+	var gNative, gV, gA, gB, gO, gTP, gResp int
+	for _, set := range goldens {
+		native, tp, resp := false, false, false
+		for k := range set {
+			if isNativeLib(k) {
+				native = true
+			} else {
+				tp = true
+			}
+			switch k {
+			case apimodel.LibVolley:
+				gV++
+			case apimodel.LibAsyncHTTP:
+				gA++
+			case apimodel.LibBasic:
+				gB++
+				resp = true
+			case apimodel.LibOkHttp:
+				gO++
+				resp = true
+			}
+		}
+		if native {
+			gNative++
+		}
+		if tp {
+			gTP++
+		}
+		if resp {
+			gResp++
+		}
+	}
+	nV := targetVolley - gV
+	nA := targetAsyncHTTP - gA
+	nB := targetBasic - gB
+	nO := targetOkHttp - gO
+	nTP := targetThirdParty - gTP
+	nResp := targetRespLibs - gResp
+	nNative := targetNative - gNative
+	nonNative := NumGenerated - nNative
+	if nV < 0 || nA < 0 || nB < 0 || nO < 0 || nTP < 0 || nResp < 0 || nonNative < 0 {
+		return nil, fmt.Errorf("corpus: golden apps exceed a Table 7 quota (V=%d A=%d B=%d O=%d TP=%d resp=%d)",
+			nV, nA, nB, nO, nTP, nResp)
+	}
+	overlapBO := nB + nO - nResp
+	if overlapBO < 0 || overlapBO > nO {
+		return nil, fmt.Errorf("corpus: infeasible Basic/OkHttp overlap %d", overlapBO)
+	}
+	sets := make([][]apimodel.LibKey, NumGenerated)
+	add := func(app int, k apimodel.LibKey) { sets[app] = append(sets[app], k) }
+	// Third-party slots are apps [0, nTP). Volley fills the prefix,
+	// AsyncHttp the suffix, Basic/OkHttp overlap inside the prefix.
+	for i := 0; i < nV; i++ {
+		add(i, apimodel.LibVolley)
+	}
+	for i := nTP - nA; i < nTP; i++ {
+		add(i, apimodel.LibAsyncHTTP)
+	}
+	for i := 0; i < nB; i++ {
+		add(i, apimodel.LibBasic)
+	}
+	for i := nB - overlapBO; i < nB-overlapBO+nO; i++ {
+		add(i, apimodel.LibOkHttp)
+	}
+	for i := 0; i < nTP; i++ {
+		if len(sets[i]) == 0 {
+			return nil, fmt.Errorf("corpus: third-party slot %d uncovered (nV=%d nA=%d nTP=%d)", i, nV, nA, nTP)
+		}
+	}
+	// Native: every app except the first `nonNative` (which are all
+	// third-party slots).
+	if nonNative > nTP {
+		return nil, fmt.Errorf("corpus: %d non-native apps exceed %d third-party slots", nonNative, nTP)
+	}
+	for i := nonNative; i < NumGenerated; i++ {
+		if i%2 == 0 {
+			add(i, apimodel.LibHttpURL)
+		} else {
+			add(i, apimodel.LibApache)
+		}
+	}
+	return sets, nil
+}
+
+// serviceOnlyApp reports whether generated app i is one of the
+// service-only apps (no user-initiated requests), sized so the corpus has
+// exactly targetNotifEval apps with user requests.
+func serviceOnlyApp(i int) bool {
+	// Goldens all have user requests; carve the quota out of the native
+	// region (apps after the third-party block always include it).
+	n := CorpusSize - targetNotifEval
+	return i >= 100 && i < 100+n
+}
+
+// cleanApp reports whether generated app i is one of the defect-free apps.
+func cleanApp(i int) bool {
+	return i >= NumGenerated-targetCleanApps
+}
+
+func generateAppSpec(rng *rand.Rand, idx int, libs []apimodel.LibKey) AppSpec {
+	spec := AppSpec{Package: fmt.Sprintf("gen.app%03d", idx)}
+	if cleanApp(idx) {
+		// Disciplined throughout: connectivity-checked, timeout set,
+		// failure surfaced. Native-only apps carry no retry/response APIs.
+		n := minSites + rng.Intn(3)
+		for s := 0; s < n; s++ {
+			spec.Sites = append(spec.Sites, SiteSpec{
+				Lib: libs[s%len(libs)], Ctx: CtxActivity,
+				ConnCheck: true, SetTimeout: true, Notify: true,
+			})
+		}
+		return spec
+	}
+
+	serviceOnly := serviceOnlyApp(idx)
+	connNever := rng.Float64() < pConnNever
+	connMiss := 0.2 + 0.8*rng.Float64() // miss-rate among partially-checking apps
+	timeoutNever := rng.Float64() < pTimeoutNever
+	timeoutMiss := 0.15 + 0.85*rng.Float64()
+	notifNever := rng.Float64() < pNotifNever
+	notifMiss := 0.1 + 0.9*rng.Float64()
+	retryNever := rng.Float64() < pRetryNever
+	hasRetryLoop := rng.Float64() < pRetryLoopApp
+
+	reg := apimodel.NewRegistry()
+	n := minSites + rng.Intn(maxSites-minSites+1)
+	loopPlaced := false
+	for s := 0; s < n; s++ {
+		var lib apimodel.LibKey
+		if s < len(libs) {
+			lib = libs[s] // guarantee every assigned library is used
+		} else {
+			lib = libs[rng.Intn(len(libs))]
+		}
+		l := reg.Library(lib)
+		site := SiteSpec{Lib: lib, Ctx: CtxActivity}
+		pSvc, pPost := pServiceSite, pPostSite
+		if l.HasRetryAPIs {
+			pSvc, pPost = pServiceSiteRetryLib, pPostSiteRetryLib
+		}
+		if serviceOnly || rng.Float64() < pSvc {
+			site.Ctx = CtxService
+		}
+		if libSupportsPost(lib) && rng.Float64() < pPost {
+			site.Post = true
+		}
+		if !connNever && rng.Float64() >= connMiss {
+			site.ConnCheck = true
+		}
+		if !timeoutNever && rng.Float64() >= timeoutMiss {
+			site.SetTimeout = true
+		}
+		if l.HasRetryAPIs && !retryNever && rng.Float64() < 0.8 {
+			site.SetRetry = true
+			site.RetryCount = rng.Intn(4)
+		}
+		if site.Ctx == CtxActivity && !notifNever {
+			// §5.2.3: developers notify much more often when the library
+			// hands them an explicit error callback (paper: 30% of such
+			// requests vs. 12% without one); bias the miss rate the same
+			// way.
+			miss := notifMiss
+			if usesExplicitCallback(site) {
+				miss *= 0.5
+			} else {
+				miss = miss*0.4 + 0.6 // implicit-callback sites miss more
+			}
+			if rng.Float64() >= miss {
+				site.Notify = true
+			}
+		}
+		if lib == apimodel.LibVolley && rng.Float64() < pInspectErr {
+			site.InspectErrorType = true
+		}
+		if l.HasRespCheckAPIs() && rng.Float64() < pUseResponse {
+			site.UseResponse = true
+			site.CheckResponse = rng.Float64() < pCheckResp
+		}
+		syncLib := lib != apimodel.LibVolley && lib != apimodel.LibAsyncHTTP
+		if syncLib && site.Ctx == CtxActivity && rng.Float64() < pAsyncWrap {
+			site.Wrap = WrapAsyncTask
+		}
+		if hasRetryLoop && !loopPlaced && syncLib && site.Wrap == WrapDirect {
+			site.RetryLoop = true
+			site.LoopBackoff = rng.Float64() < 0.5
+			loopPlaced = true
+		}
+		spec.Sites = append(spec.Sites, site)
+	}
+	// "Partial" apps must actually exercise each config somewhere —
+	// otherwise small apps drift into the "never" buckets by chance and
+	// inflate Table 6 beyond the paper's rates.
+	if !connNever {
+		forceOnce(spec.Sites, func(s *SiteSpec) bool { return s.ConnCheck },
+			func(s *SiteSpec) bool { s.ConnCheck = true; return true })
+	}
+	if !timeoutNever {
+		forceOnce(spec.Sites, func(s *SiteSpec) bool { return s.SetTimeout },
+			func(s *SiteSpec) bool { s.SetTimeout = true; return true })
+	}
+	if !notifNever {
+		forceOnce(spec.Sites, func(s *SiteSpec) bool { return s.Ctx == CtxActivity && s.Notify },
+			func(s *SiteSpec) bool {
+				if s.Ctx != CtxActivity {
+					return false
+				}
+				s.Notify = true
+				return true
+			})
+	}
+	if !retryNever {
+		forceOnce(spec.Sites, func(s *SiteSpec) bool { return s.SetRetry },
+			func(s *SiteSpec) bool {
+				if !reg.Library(s.Lib).HasRetryAPIs {
+					return false
+				}
+				s.SetRetry = true
+				s.RetryCount = rng.Intn(4)
+				return true
+			})
+	}
+	return spec
+}
+
+// forceOnce ensures some site satisfies has; if none does, it applies set
+// to the first site that accepts it.
+func forceOnce(sites []SiteSpec, has func(*SiteSpec) bool, set func(*SiteSpec) bool) {
+	for i := range sites {
+		if has(&sites[i]) {
+			return
+		}
+	}
+	for i := range sites {
+		if set(&sites[i]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/apimodel"
+	"repro/internal/core"
+)
+
+// Seed2016 is the canonical evaluation seed (the paper's publication
+// year); experiments and benchmarks use it.
+const Seed2016 = 2016
+
+func generateOnce(t *testing.T) []*CorpusApp {
+	t.Helper()
+	apps, err := GenerateCorpus(Seed2016)
+	if err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+	return apps
+}
+
+func TestCorpusSizeAndComposition(t *testing.T) {
+	apps := generateOnce(t)
+	if len(apps) != CorpusSize {
+		t.Fatalf("corpus size %d, want %d", len(apps), CorpusSize)
+	}
+	goldens := 0
+	counts := map[apimodel.LibKey]int{}
+	native, thirdParty, respLibs := 0, 0, 0
+	for _, a := range apps {
+		if a.Golden {
+			goldens++
+		}
+		libs := specLibs(a.Spec)
+		isNative, isTP, isResp := false, false, false
+		for k := range libs {
+			counts[k]++
+			if isNativeLib(k) {
+				isNative = true
+			} else {
+				isTP = true
+			}
+			if k == apimodel.LibBasic || k == apimodel.LibOkHttp {
+				isResp = true
+			}
+		}
+		if isNative {
+			native++
+		}
+		if isTP {
+			thirdParty++
+		}
+		if isResp {
+			respLibs++
+		}
+	}
+	if goldens != NumGoldens {
+		t.Errorf("goldens: %d", goldens)
+	}
+	// Table 7: Native 270, Volley 78, Android Async Http 25, Basic 18,
+	// OkHttp 11. (HttpURL and Apache together form "native".)
+	if native != targetNative {
+		t.Errorf("native users = %d, want %d", native, targetNative)
+	}
+	if got := counts[apimodel.LibVolley]; got != targetVolley {
+		t.Errorf("Volley users = %d, want %d", got, targetVolley)
+	}
+	if got := counts[apimodel.LibAsyncHTTP]; got != targetAsyncHTTP {
+		t.Errorf("AsyncHttp users = %d, want %d", got, targetAsyncHTTP)
+	}
+	if got := counts[apimodel.LibBasic]; got != targetBasic {
+		t.Errorf("Basic users = %d, want %d", got, targetBasic)
+	}
+	if got := counts[apimodel.LibOkHttp]; got != targetOkHttp {
+		t.Errorf("OkHttp users = %d, want %d", got, targetOkHttp)
+	}
+	// Table 6 evaluation-condition denominators.
+	if thirdParty != targetThirdParty {
+		t.Errorf("retry-lib users = %d, want %d", thirdParty, targetThirdParty)
+	}
+	if respLibs != targetRespLibs {
+		t.Errorf("resp-lib users = %d, want %d", respLibs, targetRespLibs)
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, err := GenerateCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Spec.Sites) != len(b[i].Spec.Sites) {
+			t.Fatalf("app %d differs across identical seeds", i)
+		}
+	}
+	c, err := GenerateCorpus(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if len(a[i].Spec.Sites) != len(c[i].Spec.Sites) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical site counts everywhere — RNG inert?")
+	}
+}
+
+func TestCorpusAppsAllValidAndScannable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus scan in short mode")
+	}
+	apps := generateOnce(t)
+	nc := core.New()
+	totalWarnings := 0
+	buggyApps := 0
+	userReqApps := 0
+	for _, a := range apps {
+		if err := a.App.Program.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", a.Name, err)
+		}
+		res := nc.ScanApp(a.App)
+		totalWarnings += len(res.Reports)
+		if len(res.Reports) > 0 {
+			buggyApps++
+		}
+		if res.Stats.UserRequests > 0 {
+			userReqApps++
+		}
+	}
+	// §5.2: NChecker discovers 4180 NPDs in 281 of 285 apps. Shape check:
+	// nearly all apps buggy, warning volume in the thousands.
+	if buggyApps < CorpusSize-8 || buggyApps > CorpusSize-1 {
+		t.Errorf("buggy apps = %d, want ≈281", buggyApps)
+	}
+	if totalWarnings < 3300 || totalWarnings > 5200 {
+		t.Errorf("total warnings = %d, want ≈4180", totalWarnings)
+	}
+	if userReqApps < targetNotifEval-8 || userReqApps > targetNotifEval+8 {
+		t.Errorf("apps with user requests = %d, want ≈%d", userReqApps, targetNotifEval)
+	}
+	t.Logf("corpus: %d warnings across %d buggy apps, %d with user requests",
+		totalWarnings, buggyApps, userReqApps)
+}
+
+// TestGeneratedMatchesOracle spot-checks generator↔checker agreement on
+// full generated apps (the curated/fuzz tests cover single sites).
+func TestGeneratedMatchesOracle(t *testing.T) {
+	apps := generateOnce(t)
+	reg := apimodel.NewRegistry()
+	nc := core.New()
+	for _, a := range apps[NumGoldens : NumGoldens+25] {
+		res := nc.ScanApp(a.App)
+		at := OracleApp(reg, a.Spec)
+		if got := len(res.Reports); got != at.TotalTool() {
+			t.Errorf("%s: checker %d warnings vs oracle %d", a.Name, got, at.TotalTool())
+		}
+	}
+}

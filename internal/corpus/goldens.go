@@ -1,0 +1,197 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+)
+
+// GoldenApp is one of the 16 open-source stand-in apps used for the
+// accuracy evaluation (paper §5.3, Table 9). Specs are fixed by hand so
+// that the aggregate ground truth reproduces the table exactly: 130
+// correct warnings, 9 false positives (4 connectivity from two apps with
+// inter-component checks + 5 notification from one app that broadcasts
+// errors), and 5 known false negatives (one app whose connectivity checks
+// are invoked but never used as branch conditions).
+type GoldenApp struct {
+	Name string
+	Spec AppSpec
+}
+
+// Site template shorthands. Native libraries alternate between
+// HttpURLConnection and Apache to exercise both.
+func tplA(lib apimodel.LibKey) SiteSpec { // bare request: conn + timeout warnings
+	return SiteSpec{Lib: lib, Ctx: CtxActivity, Notify: true}
+}
+
+func tplB(lib apimodel.LibKey) SiteSpec { // checked, no timeout
+	return SiteSpec{Lib: lib, Ctx: CtxActivity, ConnCheck: true, Notify: true}
+}
+
+func tplC(lib apimodel.LibKey) SiteSpec { // checked, no timeout, silent failure
+	return SiteSpec{Lib: lib, Ctx: CtxActivity, ConnCheck: true}
+}
+
+func tplD(lib apimodel.LibKey) SiteSpec { // bare and silent
+	return SiteSpec{Lib: lib, Ctx: CtxActivity}
+}
+
+func tplE(lib apimodel.LibKey) SiteSpec { // retry-lib activity GET, retry API ignored
+	s := SiteSpec{Lib: lib, Ctx: CtxActivity, ConnCheck: true, Notify: true}
+	if lib == apimodel.LibVolley {
+		s.InspectErrorType = true
+	}
+	return s
+}
+
+func tplF(lib apimodel.LibKey) SiteSpec { // retry-lib service request on defaults
+	return SiteSpec{Lib: lib, Ctx: CtxService, ConnCheck: true}
+}
+
+func tplG(lib apimodel.LibKey) SiteSpec { // disciplined except response check
+	return SiteSpec{Lib: lib, Ctx: CtxActivity, ConnCheck: true, SetTimeout: true,
+		SetRetry: true, RetryCount: 1, Notify: true, UseResponse: true}
+}
+
+func tplH(lib apimodel.LibKey) SiteSpec { // FN shape: check invoked but unused
+	return SiteSpec{Lib: lib, Ctx: CtxActivity, ConnCheck: true, ConnCheckUnused: true,
+		SetTimeout: true, Notify: true}
+}
+
+func tplI(lib apimodel.LibKey) SiteSpec { // FP shape: check in previous activity
+	return SiteSpec{Lib: lib, Ctx: CtxActivity, ConnCheckInPrevComponent: true,
+		SetTimeout: true, Notify: true}
+}
+
+func tplJ(lib apimodel.LibKey) SiteSpec { // FP shape: notification via broadcast
+	return SiteSpec{Lib: lib, Ctx: CtxActivity, ConnCheck: true, SetTimeout: true,
+		NotifyViaBroadcast: true}
+}
+
+// GoldenSpecs returns the 16 golden app specs in a fixed order.
+func GoldenSpecs() []GoldenApp {
+	h := apimodel.LibHttpURL
+	ap := apimodel.LibApache
+	v := apimodel.LibVolley
+	as := apimodel.LibAsyncHTTP
+	ba := apimodel.LibBasic
+	ok := apimodel.LibOkHttp
+	return []GoldenApp{
+		{Name: "ankidroid", Spec: AppSpec{Package: "org.golden.ankidroid", Sites: []SiteSpec{
+			tplA(h), tplA(ap), tplC(h), tplC(ap),
+		}}},
+		{Name: "gpslogger", Spec: AppSpec{Package: "org.golden.gpslogger", Sites: []SiteSpec{
+			tplA(h), tplA(ap), tplB(h), tplE(ba),
+		}}},
+		{Name: "fdroid", Spec: AppSpec{Package: "org.golden.fdroid", Sites: []SiteSpec{
+			tplA(h), tplA(ap), tplC(h), tplC(ap), tplE(as),
+		}}},
+		{Name: "kontalk", Spec: AppSpec{Package: "org.golden.kontalk", Sites: []SiteSpec{
+			tplA(h), tplA(ap), tplD(h), tplF(as),
+		}}},
+		{Name: "popcorntime", Spec: AppSpec{Package: "org.golden.popcorntime", Sites: []SiteSpec{
+			tplA(h), tplA(ap), tplE(v), tplG(ba),
+		}}},
+		{Name: "galaxyzoo", Spec: AppSpec{Package: "org.golden.galaxyzoo", Sites: []SiteSpec{
+			tplA(h), tplA(ap), tplB(h), tplC(ap), tplE(v),
+		}}},
+		{Name: "chatsecure", Spec: AppSpec{Package: "org.golden.chatsecure", Sites: []SiteSpec{
+			tplA(h), tplD(ap), tplD(h), tplF(v),
+		}}},
+		{Name: "yaxim", Spec: AppSpec{Package: "org.golden.yaxim", Sites: []SiteSpec{
+			tplA(h), tplA(ap), tplC(h), tplE(as),
+		}}},
+		{Name: "hackernews", Spec: AppSpec{Package: "org.golden.hackernews", Sites: []SiteSpec{
+			tplA(h), tplC(ap), tplC(h), tplE(v),
+		}}},
+		{Name: "bombusmod", Spec: AppSpec{Package: "org.golden.bombusmod", Sites: []SiteSpec{
+			tplA(h), tplD(ap), tplD(h), tplF(as),
+		}}},
+		{Name: "owncloud", Spec: AppSpec{Package: "org.golden.owncloud", Sites: []SiteSpec{
+			tplA(h), tplB(ap), tplG(ba), tplE(ok),
+		}}},
+		{Name: "gtalksms", Spec: AppSpec{Package: "org.golden.gtalksms", Sites: []SiteSpec{
+			tplD(h), tplD(ap), tplB(h), tplF(v),
+		}}},
+		{Name: "jamendo", Spec: AppSpec{Package: "org.golden.jamendo", Sites: []SiteSpec{
+			tplA(h), tplC(ap), tplC(h), tplE(v), tplG(ok),
+		}}},
+		{Name: "sipdroid", Spec: AppSpec{Package: "org.golden.sipdroid", Sites: []SiteSpec{
+			tplA(h), tplH(ap), tplH(h), tplH(ap), tplH(h), tplH(ap),
+		}}},
+		{Name: "connectbot", Spec: AppSpec{Package: "org.golden.connectbot", Sites: []SiteSpec{
+			tplA(h), tplB(ap), tplI(h), tplI(ap),
+		}}},
+		{Name: "wordpress", Spec: AppSpec{Package: "org.golden.wordpress", Sites: []SiteSpec{
+			tplD(h), tplD(ap), tplD(h), tplI(ap), tplI(h),
+			tplJ(ap), tplJ(h), tplJ(ap), tplJ(h), tplJ(ap),
+			tplG(ba), tplG(ok),
+		}}},
+	}
+}
+
+// BuildGoldens builds the 16 golden apps.
+func BuildGoldens() ([]*apk.App, error) {
+	specs := GoldenSpecs()
+	out := make([]*apk.App, len(specs))
+	for i, g := range specs {
+		app, err := Build(g.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: golden %s: %w", g.Name, err)
+		}
+		out[i] = app
+	}
+	return out, nil
+}
+
+// UserStudyApp is one of the seven NPDs of the paper's user study
+// (Table 10), each as a minimal single-defect app plus its dominant cause.
+type UserStudyApp struct {
+	Name  string
+	NPD   string
+	Spec  AppSpec
+	Fixes string // the correct fix, as Table 10 describes it
+}
+
+// UserStudySpecs returns the paper's Table 10 apps. Each app carries
+// exactly the defect named (other knobs disciplined so the single warning
+// stands out).
+func UserStudySpecs() []UserStudyApp {
+	disciplined := func(lib apimodel.LibKey) SiteSpec {
+		return SiteSpec{Lib: lib, Ctx: CtxActivity, ConnCheck: true, SetTimeout: true,
+			SetRetry: true, RetryCount: 1, Notify: true, InspectErrorType: true,
+			UseResponse: false, CheckResponse: false}
+	}
+	mk := func(name, npd, fixes string, mod func(*SiteSpec), lib apimodel.LibKey) UserStudyApp {
+		s := disciplined(lib)
+		mod(&s)
+		return UserStudyApp{
+			Name: name, NPD: npd, Fixes: fixes,
+			Spec: AppSpec{Package: "study." + name, Sites: []SiteSpec{s}},
+		}
+	}
+	return []UserStudyApp{
+		mk("ankidroid", "no connectivity check",
+			"Add connectivity check before the request; show error message if not connected",
+			func(s *SiteSpec) { s.ConnCheck = false }, apimodel.LibBasic),
+		mk("gpslogger1", "no timeout",
+			"Add timeout API to set timeout value",
+			func(s *SiteSpec) { s.SetTimeout = false }, apimodel.LibBasic),
+		mk("gpslogger2", "no retry times",
+			"Add retry API to set retry times",
+			func(s *SiteSpec) { s.SetRetry = false; s.Ctx = CtxActivity }, apimodel.LibBasic),
+		mk("gpslogger3", "no retried exception",
+			"Add another retry API to set the exception class that should be retried",
+			func(s *SiteSpec) { s.SetRetry = false }, apimodel.LibAsyncHTTP),
+		mk("devfest1", "no error message",
+			"Add error message in callback according to the error status",
+			func(s *SiteSpec) { s.Notify = false }, apimodel.LibVolley),
+		mk("devfest2", "invalid response",
+			"Add null check and status check on the response before reading its body",
+			func(s *SiteSpec) { s.UseResponse = true; s.CheckResponse = false }, apimodel.LibBasic),
+		mk("maoshishu", "over retry",
+			"Add retry API and set retry count to 0",
+			func(s *SiteSpec) { s.Ctx = CtxService; s.SetRetry = false }, apimodel.LibAsyncHTTP),
+	}
+}

@@ -1,0 +1,159 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/apimodel"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// TestGoldensReproduceTable9 verifies the accuracy evaluation: scanning
+// the 16 golden apps must reproduce the paper's Table 9 exactly —
+// per-cause correct warnings, false positives, and known false negatives.
+func TestGoldensReproduceTable9(t *testing.T) {
+	reg := apimodel.NewRegistry()
+	nc := core.New()
+
+	correct := make(map[report.Cause]int)
+	fps := make(map[report.Cause]int)
+	fns := make(map[report.Cause]int)
+	for _, g := range GoldenSpecs() {
+		app, err := Build(g.Spec)
+		if err != nil {
+			t.Fatalf("golden %s: %v", g.Name, err)
+		}
+		res := nc.ScanApp(app)
+		got := make(map[report.Cause]int)
+		for i := range res.Reports {
+			got[res.Reports[i].Cause]++
+		}
+		at := OracleApp(reg, g.Spec)
+		// Scanner must match the oracle's tool expectation per cause.
+		for c, n := range at.ToolByCause {
+			if got[c] != n {
+				t.Errorf("golden %s cause %s: scanner %d vs oracle %d", g.Name, c, got[c], n)
+			}
+		}
+		for c, n := range got {
+			if at.ToolByCause[c] != n {
+				t.Errorf("golden %s scanner extra cause %s ×%d", g.Name, c, n)
+			}
+		}
+		for c, n := range at.CorrectByCause() {
+			correct[c] += n
+		}
+		for c, n := range at.FalsePositives {
+			fps[c] += n
+		}
+		for c, n := range at.FalseNegatives {
+			fns[c] += n
+		}
+	}
+
+	// Paper Table 9.
+	wantCorrect := map[report.Cause]int{
+		report.CauseNoConnectivityCheck:   31,
+		report.CauseNoTimeout:             58,
+		report.CauseNoRetryConfig:         12,
+		report.CauseOverRetryService:      4,
+		report.CauseNoFailureNotification: 20,
+		report.CauseNoResponseCheck:       5,
+	}
+	totalCorrect := 0
+	for c, want := range wantCorrect {
+		if correct[c] != want {
+			t.Errorf("correct[%s] = %d, want %d", c, correct[c], want)
+		}
+		totalCorrect += correct[c]
+	}
+	for c, n := range correct {
+		if wantCorrect[c] == 0 && n > 0 {
+			t.Errorf("unexpected correct cause %s ×%d", c, n)
+		}
+	}
+	if totalCorrect != 130 {
+		t.Errorf("total correct warnings = %d, want 130", totalCorrect)
+	}
+	if fps[report.CauseNoConnectivityCheck] != 4 {
+		t.Errorf("conn FPs = %d, want 4", fps[report.CauseNoConnectivityCheck])
+	}
+	if fps[report.CauseNoFailureNotification] != 5 {
+		t.Errorf("notif FPs = %d, want 5", fps[report.CauseNoFailureNotification])
+	}
+	if fns[report.CauseNoConnectivityCheck] != 5 {
+		t.Errorf("conn FNs = %d, want 5", fns[report.CauseNoConnectivityCheck])
+	}
+	totalFP, totalFN := 0, 0
+	for _, n := range fps {
+		totalFP += n
+	}
+	for _, n := range fns {
+		totalFN += n
+	}
+	if totalFP != 9 || totalFN != 5 {
+		t.Errorf("FP/FN totals = %d/%d, want 9/5", totalFP, totalFN)
+	}
+	// Accuracy: correct / (correct + FP) ≈ 94%.
+	acc := float64(totalCorrect) / float64(totalCorrect+totalFP)
+	if acc < 0.93 || acc > 0.95 {
+		t.Errorf("accuracy = %.3f, want ≈ 0.94", acc)
+	}
+}
+
+func TestBuildGoldens(t *testing.T) {
+	apps, err := BuildGoldens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 16 {
+		t.Fatalf("got %d goldens, want 16", len(apps))
+	}
+	for i, app := range apps {
+		if err := app.Program.Validate(); err != nil {
+			t.Errorf("golden %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestUserStudyAppsHaveTheirNPD checks each Table 10 app exhibits its
+// named defect when scanned.
+func TestUserStudyAppsHaveTheirNPD(t *testing.T) {
+	nc := core.New()
+	wantCause := map[string]report.Cause{
+		"ankidroid":  report.CauseNoConnectivityCheck,
+		"gpslogger1": report.CauseNoTimeout,
+		"gpslogger2": report.CauseNoRetryConfig,
+		"gpslogger3": report.CauseNoRetryConfig,
+		"devfest1":   report.CauseNoFailureNotification,
+		"devfest2":   report.CauseNoResponseCheck,
+		"maoshishu":  report.CauseOverRetryService,
+	}
+	for _, ua := range UserStudySpecs() {
+		app, err := Build(ua.Spec)
+		if err != nil {
+			t.Fatalf("user-study app %s: %v", ua.Name, err)
+		}
+		res := nc.ScanApp(app)
+		found := false
+		for i := range res.Reports {
+			if res.Reports[i].Cause == wantCause[ua.Name] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: cause %s not reported; got %v", ua.Name, wantCause[ua.Name], causesOf(res.Reports))
+		}
+		if ua.Fixes == "" || ua.NPD == "" {
+			t.Errorf("%s: missing metadata", ua.Name)
+		}
+	}
+}
+
+func causesOf(rs []report.Report) []report.Cause {
+	out := make([]report.Cause, len(rs))
+	for i := range rs {
+		out[i] = rs[i].Cause
+	}
+	return out
+}

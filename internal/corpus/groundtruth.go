@@ -1,0 +1,179 @@
+package corpus
+
+import (
+	"repro/internal/apimodel"
+	"repro/internal/report"
+)
+
+// Truth is the oracle's verdict for one site: RealDefects are the NPDs
+// actually present in the generated code; ToolWarnings are the warnings
+// NChecker is expected to emit given its documented blind spots
+// (path-insensitivity and missing inter-component analysis, paper §4.7
+// and §5.3). The difference between the two sets is exactly the expected
+// false positives and false negatives of Table 9.
+type Truth struct {
+	RealDefects  []report.Cause
+	ToolWarnings []report.Cause
+}
+
+// Oracle derives the ground truth of a site spec, independently of the
+// checker implementation. reg supplies library defaults.
+func Oracle(reg *apimodel.Registry, site SiteSpec) Truth {
+	lib := reg.Library(site.Lib)
+	var truth Truth
+	real := func(c report.Cause) { truth.RealDefects = append(truth.RealDefects, c) }
+	tool := func(c report.Cause) { truth.ToolWarnings = append(truth.ToolWarnings, c) }
+	both := func(c report.Cause) { real(c); tool(c) }
+
+	// Connectivity: the tool is satisfied by any check invocation in the
+	// same code path, even an unused one; it cannot see checks in a
+	// previous component.
+	properlyGuarded := site.ConnCheck && !site.ConnCheckUnused
+	if !properlyGuarded && !site.ConnCheckInPrevComponent {
+		real(report.CauseNoConnectivityCheck)
+	}
+	if !site.ConnCheck && !site.ConnCheckUnused {
+		tool(report.CauseNoConnectivityCheck)
+	}
+
+	if lib.HasTimeoutAPIs() && !site.SetTimeout {
+		both(report.CauseNoTimeout)
+	}
+	if lib.HasRetryAPIs && !site.SetRetry {
+		both(report.CauseNoRetryConfig)
+	}
+
+	// Retry behaviour (retry-capable libraries only), mirroring the
+	// request contexts of §4.4.2.
+	if lib.HasRetryAPIs {
+		retries := lib.Defaults.Retries
+		defaultCaused := !site.SetRetry
+		if site.SetRetry {
+			retries = site.RetryCount
+		}
+		flagged := false
+		if site.Post && retries > 0 && (!defaultCaused || lib.Defaults.RetriesApplyToPost) {
+			both(report.CauseOverRetryPost)
+			flagged = true
+		}
+		if !flagged && site.Ctx == CtxService && retries > 0 {
+			both(report.CauseOverRetryService)
+			flagged = true
+		}
+		if !flagged && site.Ctx == CtxActivity && retries == 0 && !site.Post {
+			both(report.CauseNoRetryTimeSensitive)
+		}
+	}
+
+	// Failure notification: user-initiated requests only. The tool cannot
+	// see a notification routed through a broadcast to another component.
+	if site.Ctx == CtxActivity {
+		if !site.Notify && !site.NotifyViaBroadcast {
+			real(report.CauseNoFailureNotification)
+		}
+		if !site.Notify {
+			tool(report.CauseNoFailureNotification)
+		}
+		if site.Lib == apimodel.LibVolley && !site.InspectErrorType {
+			both(report.CauseNoErrorTypeCheck)
+		}
+	}
+
+	// Response validity (libraries with response-check APIs).
+	if lib.HasRespCheckAPIs() && site.UseResponse && !site.CheckResponse {
+		both(report.CauseNoResponseCheck)
+	}
+
+	if site.RetryLoop && !site.LoopBackoff {
+		both(report.CauseAggressiveRetryLoop)
+	}
+	return truth
+}
+
+// OracleICC derives the warnings expected from the tool with the
+// inter-component analysis enabled (checkers.Options.EnableICC): the
+// prev-component and broadcast false positives disappear, while the
+// path-insensitivity false negative (the unused check) remains.
+func OracleICC(reg *apimodel.Registry, site SiteSpec) []report.Cause {
+	truth := Oracle(reg, site)
+	var out []report.Cause
+	for _, c := range truth.ToolWarnings {
+		switch c {
+		case report.CauseNoConnectivityCheck:
+			if site.ConnCheckInPrevComponent {
+				continue // ICC sees the launcher's check
+			}
+		case report.CauseNoFailureNotification:
+			if site.NotifyViaBroadcast {
+				continue // ICC follows the broadcast to the notifying receiver
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// AppTruth aggregates the oracle over an app's sites.
+type AppTruth struct {
+	RealByCause map[report.Cause]int
+	ToolByCause map[report.Cause]int
+	// FalsePositives / FalseNegatives per cause (tool − real / real − tool).
+	FalsePositives map[report.Cause]int
+	FalseNegatives map[report.Cause]int
+}
+
+// OracleApp derives the per-app ground truth.
+func OracleApp(reg *apimodel.Registry, spec AppSpec) AppTruth {
+	at := AppTruth{
+		RealByCause:    make(map[report.Cause]int),
+		ToolByCause:    make(map[report.Cause]int),
+		FalsePositives: make(map[report.Cause]int),
+		FalseNegatives: make(map[report.Cause]int),
+	}
+	for _, site := range spec.Sites {
+		truth := Oracle(reg, site)
+		realSet := make(map[report.Cause]bool)
+		toolSet := make(map[report.Cause]bool)
+		for _, c := range truth.RealDefects {
+			at.RealByCause[c]++
+			realSet[c] = true
+		}
+		for _, c := range truth.ToolWarnings {
+			at.ToolByCause[c]++
+			toolSet[c] = true
+		}
+		for c := range toolSet {
+			if !realSet[c] {
+				at.FalsePositives[c]++
+			}
+		}
+		for c := range realSet {
+			if !toolSet[c] {
+				at.FalseNegatives[c]++
+			}
+		}
+	}
+	return at
+}
+
+// TotalTool sums the tool-expected warnings.
+func (at AppTruth) TotalTool() int {
+	n := 0
+	for _, v := range at.ToolByCause {
+		n += v
+	}
+	return n
+}
+
+// CorrectByCause returns per-cause counts of warnings that are both
+// expected from the tool and real (Table 9's "# Correct warning").
+func (at AppTruth) CorrectByCause() map[report.Cause]int {
+	out := make(map[report.Cause]int)
+	for c, n := range at.ToolByCause {
+		correct := n - at.FalsePositives[c]
+		if correct > 0 {
+			out[c] = correct
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/apimodel"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// TestICCRemovesConnFP: with the inter-component analysis on, a
+// connectivity check performed by the launching activity satisfies the
+// launched activity's request.
+func TestICCRemovesConnFP(t *testing.T) {
+	site := SiteSpec{Lib: apimodel.LibBasic, Ctx: CtxActivity,
+		ConnCheckInPrevComponent: true, SetTimeout: true, SetRetry: true, RetryCount: 1, Notify: true}
+	spec := AppSpec{Package: "icc.conn", Sites: []SiteSpec{site}}
+
+	without := core.New().ScanApp(MustBuild(spec))
+	if n := countReports(without, report.CauseNoConnectivityCheck); n != 1 {
+		t.Fatalf("without ICC: conn warnings = %d, want 1 (the FP)", n)
+	}
+	with := core.NewWithOptions(core.Options{EnableICC: true}).ScanApp(MustBuild(spec))
+	if n := countReports(with, report.CauseNoConnectivityCheck); n != 0 {
+		t.Errorf("with ICC: conn warnings = %d, want 0", n)
+	}
+}
+
+// TestICCRemovesNotifFP: with ICC on, a broadcast whose receiver shows
+// the error message counts as a failure notification.
+func TestICCRemovesNotifFP(t *testing.T) {
+	site := SiteSpec{Lib: apimodel.LibBasic, Ctx: CtxActivity,
+		ConnCheck: true, SetTimeout: true, SetRetry: true, RetryCount: 1,
+		NotifyViaBroadcast: true}
+	spec := AppSpec{Package: "icc.notif", Sites: []SiteSpec{site}}
+
+	without := core.New().ScanApp(MustBuild(spec))
+	if n := countReports(without, report.CauseNoFailureNotification); n != 1 {
+		t.Fatalf("without ICC: notif warnings = %d, want 1 (the FP)", n)
+	}
+	with := core.NewWithOptions(core.Options{EnableICC: true}).ScanApp(MustBuild(spec))
+	if n := countReports(with, report.CauseNoFailureNotification); n != 0 {
+		t.Errorf("with ICC: notif warnings = %d, want 0", n)
+	}
+}
+
+// TestICCKeepsPathInsensitivityFN: ICC does not make the analysis
+// path-sensitive — the unused-check defect is still missed.
+func TestICCKeepsPathInsensitivityFN(t *testing.T) {
+	site := SiteSpec{Lib: apimodel.LibBasic, Ctx: CtxActivity,
+		ConnCheck: true, ConnCheckUnused: true, SetTimeout: true,
+		SetRetry: true, RetryCount: 1, Notify: true}
+	spec := AppSpec{Package: "icc.fn", Sites: []SiteSpec{site}}
+	with := core.NewWithOptions(core.Options{EnableICC: true}).ScanApp(MustBuild(spec))
+	if n := countReports(with, report.CauseNoConnectivityCheck); n != 0 {
+		t.Errorf("the unused-check FN should persist under ICC, got %d warnings", n)
+	}
+}
+
+// TestICCDoesNotBreakNormalApps: ICC must not change results for apps
+// without inter-component flows.
+func TestICCDoesNotBreakNormalApps(t *testing.T) {
+	reg := apimodel.NewRegistry()
+	for i, site := range curatedSpecs() {
+		if site.ConnCheckInPrevComponent || site.NotifyViaBroadcast {
+			continue
+		}
+		spec := AppSpec{Package: "icc.same", Sites: []SiteSpec{site}}
+		with := core.NewWithOptions(core.Options{EnableICC: true}).ScanApp(MustBuild(spec))
+		want := make(map[report.Cause]int)
+		for _, c := range OracleICC(reg, site) {
+			want[c]++
+		}
+		got := make(map[report.Cause]int)
+		for ri := range with.Reports {
+			got[with.Reports[ri].Cause]++
+		}
+		if !sameCauseCounts(got, want) {
+			t.Errorf("spec %d %+v: ICC changed results: got %v want %v", i, site, got, want)
+		}
+	}
+}
+
+// TestGoldensWithICC: the Table 9 false positives disappear; accuracy
+// rises to 100% on the FP axis while the 5 path-insensitivity FNs remain.
+func TestGoldensWithICC(t *testing.T) {
+	reg := apimodel.NewRegistry()
+	nc := core.NewWithOptions(core.Options{EnableICC: true})
+	totalWarnings := 0
+	for _, g := range GoldenSpecs() {
+		app := MustBuild(g.Spec)
+		res := nc.ScanApp(app)
+		want := make(map[report.Cause]int)
+		for _, s := range g.Spec.Sites {
+			for _, c := range OracleICC(reg, s) {
+				want[c]++
+			}
+		}
+		got := make(map[report.Cause]int)
+		for i := range res.Reports {
+			got[res.Reports[i].Cause]++
+		}
+		if !sameCauseCounts(got, want) {
+			t.Errorf("golden %s with ICC: got %v want %v", g.Name, got, want)
+		}
+		totalWarnings += len(res.Reports)
+	}
+	// 130 correct + 0 FP (the 9 FPs are gone), 5 FNs remain unseen.
+	if totalWarnings != 130 {
+		t.Errorf("total warnings with ICC = %d, want 130 (all correct, no FPs)", totalWarnings)
+	}
+}
+
+func countReports(res *core.Result, c report.Cause) int {
+	n := 0
+	for i := range res.Reports {
+		if res.Reports[i].Cause == c {
+			n++
+		}
+	}
+	return n
+}
+
+// TestGuardSensitiveCatchesUnusedCheck: with the path-sensitive
+// refinement, a check whose result is ignored no longer satisfies
+// Checker 1 — the paper's §5.3 false negatives become true positives.
+func TestGuardSensitiveCatchesUnusedCheck(t *testing.T) {
+	site := SiteSpec{Lib: apimodel.LibBasic, Ctx: CtxActivity,
+		ConnCheck: true, ConnCheckUnused: true, SetTimeout: true,
+		SetRetry: true, RetryCount: 1, Notify: true}
+	spec := AppSpec{Package: "guard.fn", Sites: []SiteSpec{site}}
+	plain := core.New().ScanApp(MustBuild(spec))
+	if n := countReports(plain, report.CauseNoConnectivityCheck); n != 0 {
+		t.Fatalf("path-insensitive tool should miss the unused check, got %d", n)
+	}
+	guarded := core.NewWithOptions(core.Options{GuardSensitiveConnCheck: true}).ScanApp(MustBuild(spec))
+	if n := countReports(guarded, report.CauseNoConnectivityCheck); n != 1 {
+		t.Errorf("guard-sensitive tool should flag the unused check, got %d", n)
+	}
+}
+
+// TestGuardSensitiveAcceptsRealGuards: properly guarded requests stay
+// clean under the refinement.
+func TestGuardSensitiveAcceptsRealGuards(t *testing.T) {
+	site := SiteSpec{Lib: apimodel.LibBasic, Ctx: CtxActivity,
+		ConnCheck: true, SetTimeout: true, SetRetry: true, RetryCount: 1, Notify: true}
+	spec := AppSpec{Package: "guard.ok", Sites: []SiteSpec{site}}
+	res := core.NewWithOptions(core.Options{GuardSensitiveConnCheck: true}).ScanApp(MustBuild(spec))
+	if n := countReports(res, report.CauseNoConnectivityCheck); n != 0 {
+		t.Errorf("guarded request flagged under guard-sensitivity: %d", n)
+	}
+}
+
+// TestGoldensFullPrecision: ICC + guard-sensitivity together grade
+// perfectly against the real-defect oracle: 135 warnings (the original
+// 130 plus the 5 recovered FNs), no FPs, no FNs.
+func TestGoldensFullPrecision(t *testing.T) {
+	reg := apimodel.NewRegistry()
+	nc := core.NewWithOptions(core.Options{EnableICC: true, GuardSensitiveConnCheck: true})
+	totalWarnings, totalReal := 0, 0
+	for _, g := range GoldenSpecs() {
+		app := MustBuild(g.Spec)
+		res := nc.ScanApp(app)
+		want := make(map[report.Cause]int)
+		for _, s := range g.Spec.Sites {
+			for _, c := range Oracle(reg, s).RealDefects {
+				want[c]++
+				totalReal++
+			}
+		}
+		got := make(map[report.Cause]int)
+		for i := range res.Reports {
+			got[res.Reports[i].Cause]++
+		}
+		if !sameCauseCounts(got, want) {
+			t.Errorf("golden %s full precision: got %v want %v", g.Name, got, want)
+		}
+		totalWarnings += len(res.Reports)
+	}
+	if totalWarnings != 135 || totalWarnings != totalReal {
+		t.Errorf("full-precision warnings = %d (real defects %d), want 135", totalWarnings, totalReal)
+	}
+}

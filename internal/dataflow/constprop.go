@@ -1,0 +1,134 @@
+package dataflow
+
+import (
+	"repro/internal/jimple"
+)
+
+// ConstProp evaluates integer constants of locals at statements using
+// reaching definitions, following copy chains. NChecker uses it to recover
+// the arguments of configuration APIs such as setMaxRetries (paper §4.4.2:
+// "NChecker infers the value of config APIs through constant
+// propagation").
+type ConstProp struct {
+	rd *ReachDefs
+}
+
+// NewConstProp wraps a reaching-definitions result.
+func NewConstProp(rd *ReachDefs) *ConstProp { return &ConstProp{rd: rd} }
+
+// maxConstDepth bounds copy-chain recursion; chains longer than this are
+// treated as non-constant.
+const maxConstDepth = 32
+
+// IntAt evaluates local to an integer constant at stmt. ok is false when
+// the local may hold more than one value, a non-constant value, or when
+// evaluation exceeds the recursion bound.
+func (c *ConstProp) IntAt(stmt int, local string) (int64, bool) {
+	return c.intAt(stmt, local, 0)
+}
+
+func (c *ConstProp) intAt(stmt int, local string, depth int) (int64, bool) {
+	if depth > maxConstDepth {
+		return 0, false
+	}
+	defs := c.rd.DefsReaching(stmt, local)
+	if len(defs) == 0 {
+		return 0, false
+	}
+	var val int64
+	have := false
+	for _, d := range defs {
+		v, ok := c.evalDef(d, depth)
+		if !ok {
+			return 0, false
+		}
+		if have && v != val {
+			return 0, false // conflicting constants on different paths
+		}
+		val, have = v, true
+	}
+	return val, have
+}
+
+func (c *ConstProp) evalDef(def int, depth int) (int64, bool) {
+	a, ok := c.rd.g.Method.Body[def].(*jimple.AssignStmt)
+	if !ok {
+		return 0, false
+	}
+	return c.evalValue(def, a.RHS, depth+1)
+}
+
+func (c *ConstProp) evalValue(at int, v jimple.Value, depth int) (int64, bool) {
+	switch v := v.(type) {
+	case jimple.IntConst:
+		return v.V, true
+	case jimple.Local:
+		return c.intAt(at, v.Name, depth)
+	case jimple.CastExpr:
+		return c.evalValue(at, v.V, depth)
+	case jimple.BinExpr:
+		l, okL := c.evalValue(at, v.L, depth)
+		r, okR := c.evalValue(at, v.R, depth)
+		if !okL || !okR {
+			return 0, false
+		}
+		return foldBin(v.Op, l, r)
+	default:
+		return 0, false
+	}
+}
+
+func foldBin(op jimple.BinOp, l, r int64) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case jimple.OpAdd:
+		return l + r, true
+	case jimple.OpSub:
+		return l - r, true
+	case jimple.OpMul:
+		return l * r, true
+	case jimple.OpDiv:
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case jimple.OpRem:
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case jimple.OpAnd:
+		return l & r, true
+	case jimple.OpOr:
+		return l | r, true
+	case jimple.OpXor:
+		return l ^ r, true
+	case jimple.OpEQ:
+		return b2i(l == r), true
+	case jimple.OpNE:
+		return b2i(l != r), true
+	case jimple.OpLT:
+		return b2i(l < r), true
+	case jimple.OpLE:
+		return b2i(l <= r), true
+	case jimple.OpGT:
+		return b2i(l > r), true
+	case jimple.OpGE:
+		return b2i(l >= r), true
+	}
+	return 0, false
+}
+
+// ArgInt evaluates the i'th argument of the invocation at stmt as an
+// integer constant.
+func (c *ConstProp) ArgInt(stmt int, inv jimple.InvokeExpr, i int) (int64, bool) {
+	if i < 0 || i >= len(inv.Args) {
+		return 0, false
+	}
+	return c.evalValue(stmt, inv.Args[i], 0)
+}

@@ -1,0 +1,219 @@
+package dataflow
+
+import (
+	"repro/internal/callgraph"
+	"repro/internal/cfg"
+	"repro/internal/jimple"
+)
+
+// GenFunc decides whether executing stmt of m establishes the tracked
+// condition (e.g. "a connectivity check has run").
+type GenFunc func(m *jimple.Method, stmt int, inv jimple.InvokeExpr) bool
+
+// MustPrecede is an interprocedural, context-insensitive must-analysis:
+// it computes, for every statement of every method reachable from the
+// app's entry points, whether the tracked condition has definitely been
+// established on all paths from every entry point to that statement.
+//
+// NChecker's Checker 1 instantiates it with "invokes a connectivity-check
+// API" to decide whether each network request is guarded (paper §4.4.1:
+// "For each path from the entry point to the target API, NChecker checks
+// if there is connectivity checking API invoked on the path"). Like the
+// paper's implementation it is path-insensitive: the check only needs to
+// be invoked, not to govern the branch — which reproduces the false
+// negatives §5.3 reports.
+type MustPrecede struct {
+	cg   *callgraph.Graph
+	gen  GenFunc
+	fact map[string][]bool // method key -> per-statement "definitely established before stmt"
+}
+
+// NewMustPrecede runs the analysis over all entry points of cg.
+func NewMustPrecede(cg *callgraph.Graph, gen GenFunc) *MustPrecede {
+	mp := &MustPrecede{cg: cg, gen: gen, fact: make(map[string][]bool)}
+	mp.solve()
+	return mp
+}
+
+// FactBefore reports whether the condition definitely holds immediately
+// before stmt of the method with the given signature key executes. It
+// returns false for methods outside the reachable set.
+func (mp *MustPrecede) FactBefore(methodKey string, stmt int) bool {
+	f := mp.fact[methodKey]
+	if f == nil || stmt < 0 || stmt >= len(f) {
+		return false
+	}
+	return f[stmt]
+}
+
+type mpMethodState struct {
+	m       *jimple.Method
+	g       *cfg.Graph
+	in      []bool // per node
+	out     []bool
+	summary bool // every entry→exit path establishes the condition
+	entry   bool // condition definitely holds at method entry
+}
+
+func (mp *MustPrecede) solve() {
+	// Reachable methods from all entries.
+	reach := make(map[string]bool)
+	for _, e := range mp.cg.Entries() {
+		for k := range mp.cg.ReachableFrom(e.Method.Sig) {
+			reach[k] = true
+		}
+	}
+	entryKeys := make(map[string]bool)
+	for _, e := range mp.cg.Entries() {
+		entryKeys[e.Method.Sig.Key()] = true
+	}
+	states := make(map[string]*mpMethodState)
+	for k := range reach {
+		m := mp.cg.Method(k)
+		if m == nil {
+			continue
+		}
+		g := cfg.New(m)
+		st := &mpMethodState{
+			m:       m,
+			g:       g,
+			in:      make([]bool, g.NumNodes()),
+			out:     make([]bool, g.NumNodes()),
+			summary: true, // optimistic; lowered by iteration
+			entry:   !entryKeys[k],
+		}
+		// Must-analysis requires optimistic initialization (start at TOP
+		// and lower): pessimistic false would be sticky around loop back
+		// edges and never recover.
+		for i := range st.in {
+			st.in[i] = true
+			st.out[i] = true
+		}
+		states[k] = st
+	}
+	// Global fixpoint: facts only move true→false, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for k, st := range states {
+			if mp.solveMethod(k, st, states) {
+				changed = true
+			}
+		}
+		// Recompute entry facts from call-site facts.
+		for k, st := range states {
+			if entryKeys[k] {
+				continue
+			}
+			newEntry := mp.entryFact(k, states)
+			if newEntry != st.entry {
+				st.entry = newEntry
+				changed = true
+			}
+		}
+	}
+	for k, st := range states {
+		mp.fact[k] = st.in[:len(st.m.Body)]
+	}
+}
+
+// entryFact is the meet (AND) over the facts holding before every call
+// site that can invoke method k. A method never called from the reachable
+// region keeps fact true vacuously — it only matters if later iterations
+// discover a call.
+func (mp *MustPrecede) entryFact(k string, states map[string]*mpMethodState) bool {
+	for _, e := range mp.cg.InEdges(k) {
+		caller := states[e.Caller.Key()]
+		if caller == nil {
+			continue
+		}
+		if !caller.in[e.Site] && !mp.siteEstablishesBeforeDispatch(caller, e) {
+			return false
+		}
+	}
+	return true
+}
+
+// siteEstablishesBeforeDispatch reports whether the trigger statement
+// itself establishes the condition before control reaches the callee
+// (it does when the trigger invocation is itself a gen, e.g. a request
+// wrapped in a checking helper — conservative: only the direct GenFunc).
+func (mp *MustPrecede) siteEstablishesBeforeDispatch(caller *mpMethodState, e callgraph.Edge) bool {
+	inv, ok := jimple.InvokeOf(caller.m.Body[e.Site])
+	if !ok {
+		return false
+	}
+	return mp.gen(caller.m, e.Site, inv)
+}
+
+// solveMethod runs the intraprocedural forward must-analysis for one
+// method given the current callee summaries; reports whether anything
+// changed.
+func (mp *MustPrecede) solveMethod(k string, st *mpMethodState, states map[string]*mpMethodState) bool {
+	g := st.g
+	n := g.NumNodes()
+	changed := false
+	// Iterate locally to a fixpoint (bodies are small).
+	for localChange := true; localChange; {
+		localChange = false
+		for u := 0; u < n; u++ {
+			// in = meet (AND) over predecessor outs; the entry node also
+			// meets the interprocedural entry fact. Unreachable nodes are
+			// vacuously true, which cannot lower any reachable fact.
+			in := true
+			if u == 0 {
+				in = st.entry
+			}
+			for _, p := range g.Preds(u) {
+				in = in && st.out[p]
+			}
+			out := in || mp.genAt(st, u, states)
+			if in != st.in[u] {
+				st.in[u] = in
+				localChange, changed = true, true
+			}
+			if out != st.out[u] {
+				st.out[u] = out
+				localChange, changed = true, true
+			}
+		}
+	}
+	newSummary := st.out[g.Exit()]
+	if newSummary != st.summary {
+		st.summary = newSummary
+		changed = true
+	}
+	return changed
+}
+
+// genAt decides whether node u establishes the condition: either its
+// statement matches GenFunc directly, or it is a call site whose every
+// (synchronously) dispatched target has a true summary.
+func (mp *MustPrecede) genAt(st *mpMethodState, u int, states map[string]*mpMethodState) bool {
+	if u >= len(st.m.Body) {
+		return false
+	}
+	inv, ok := jimple.InvokeOf(st.m.Body[u])
+	if !ok {
+		return false
+	}
+	if mp.gen(st.m, u, inv) {
+		return true
+	}
+	// Call into app methods: condition established if every possible
+	// synchronous callee establishes it on all its paths.
+	sawCallee := false
+	allGen := true
+	for _, e := range mp.cg.OutEdges(st.m.Sig.Key()) {
+		if e.Site != u || e.Kind != callgraph.EdgeCall {
+			continue
+		}
+		callee := states[e.Callee.Key()]
+		if callee == nil {
+			allGen = false
+			continue
+		}
+		sawCallee = true
+		allGen = allGen && callee.summary
+	}
+	return sawCallee && allGen
+}

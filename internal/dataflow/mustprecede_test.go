@@ -1,0 +1,220 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/callgraph"
+	"repro/internal/hierarchy"
+	"repro/internal/jimple"
+)
+
+// connectivity-check gen function shared by the tests.
+func checkGen(_ *jimple.Method, _ int, inv jimple.InvokeExpr) bool {
+	return android.IsConnectivityCheck(inv.Callee)
+}
+
+func buildCG(t *testing.T, src string) *callgraph.Graph {
+	t.Helper()
+	prog := jimple.MustParse(src)
+	prog.Merge(android.Framework())
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("invalid program: %v", err)
+	}
+	return callgraph.Build(hierarchy.New(prog), nil)
+}
+
+const checkedApp = `class com.a.Main extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local cm android.net.ConnectivityManager
+    local ni android.net.NetworkInfo
+    local ok boolean
+    cm = new android.net.ConnectivityManager
+    specialinvoke cm android.net.ConnectivityManager.<init>()void
+    ni = virtualinvoke cm android.net.ConnectivityManager.getActiveNetworkInfo()android.net.NetworkInfo
+    if ni == null goto L1
+    staticinvoke com.a.Net.fetch()void
+    L1:
+    return
+  }
+}
+class com.a.Net extends java.lang.Object {
+  method static fetch()void {
+    staticinvoke com.a.Net.send()void
+    return
+  }
+  method static send()void {
+    return
+  }
+}`
+
+func TestMustPrecedeGuardedRequest(t *testing.T) {
+	cg := buildCG(t, checkedApp)
+	mp := NewMustPrecede(cg, checkGen)
+	// Inside onCreate: the fetch call site (stmt 4) is after the check.
+	onCreate := "com.a.Main.onCreate(android.os.Bundle)void"
+	if !mp.FactBefore(onCreate, 4) {
+		t.Error("fetch call site should be preceded by the check")
+	}
+	if mp.FactBefore(onCreate, 2) {
+		t.Error("check must not precede itself")
+	}
+	// Interprocedural: the body of fetch and send inherit the fact.
+	if !mp.FactBefore("com.a.Net.fetch()void", 0) {
+		t.Error("callee entry should inherit the established fact")
+	}
+	if !mp.FactBefore("com.a.Net.send()void", 0) {
+		t.Error("transitive callee should inherit the fact")
+	}
+}
+
+const uncheckedApp = `class com.b.Main extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    staticinvoke com.b.Net.fetch()void
+    return
+  }
+}
+class com.b.Net extends java.lang.Object {
+  method static fetch()void {
+    return
+  }
+}`
+
+func TestMustPrecedeUnguardedRequest(t *testing.T) {
+	cg := buildCG(t, uncheckedApp)
+	mp := NewMustPrecede(cg, checkGen)
+	if mp.FactBefore("com.b.Main.onCreate(android.os.Bundle)void", 0) {
+		t.Error("nothing should precede the first statement of an entry")
+	}
+	if mp.FactBefore("com.b.Net.fetch()void", 0) {
+		t.Error("unguarded callee must not inherit a check")
+	}
+}
+
+// One caller checks, the other does not: the callee entry fact must be
+// the meet (false).
+const mixedApp = `class com.c.Main extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local cm android.net.ConnectivityManager
+    local ni android.net.NetworkInfo
+    cm = new android.net.ConnectivityManager
+    specialinvoke cm android.net.ConnectivityManager.<init>()void
+    ni = virtualinvoke cm android.net.ConnectivityManager.getActiveNetworkInfo()android.net.NetworkInfo
+    staticinvoke com.c.Net.fetch()void
+    return
+  }
+  method onResume()void {
+    staticinvoke com.c.Net.fetch()void
+    return
+  }
+}
+class com.c.Net extends java.lang.Object {
+  method static fetch()void {
+    return
+  }
+}`
+
+func TestMustPrecedeMeetOverCallers(t *testing.T) {
+	cg := buildCG(t, mixedApp)
+	mp := NewMustPrecede(cg, checkGen)
+	if mp.FactBefore("com.c.Net.fetch()void", 0) {
+		t.Error("fact must meet to false across a checking and a non-checking caller")
+	}
+	// But within onCreate the site itself is still guarded.
+	if !mp.FactBefore("com.c.Main.onCreate(android.os.Bundle)void", 3) {
+		t.Error("the checked call site should retain its local fact")
+	}
+}
+
+// The check occurs on only one arm of a branch: the join must be false.
+const oneArmApp = `class com.d.Main extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local cm android.net.ConnectivityManager
+    local c int
+    c = 1
+    if c == 0 goto L1
+    cm = new android.net.ConnectivityManager
+    specialinvoke cm android.net.ConnectivityManager.<init>()void
+    virtualinvoke cm android.net.ConnectivityManager.getActiveNetworkInfo()android.net.NetworkInfo
+    L1:
+    staticinvoke com.d.Net.fetch()void
+    return
+  }
+}
+class com.d.Net extends java.lang.Object {
+  method static fetch()void {
+    return
+  }
+}`
+
+func TestMustPrecedeRequiresAllPaths(t *testing.T) {
+	cg := buildCG(t, oneArmApp)
+	mp := NewMustPrecede(cg, checkGen)
+	if mp.FactBefore("com.d.Main.onCreate(android.os.Bundle)void", 5) {
+		t.Error("a check on one arm only must not establish the fact at the join")
+	}
+}
+
+// A helper that always checks: calling it establishes the fact
+// (callee-summary propagation).
+const helperApp = `class com.e.Main extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local self com.e.Main
+    self = this com.e.Main
+    virtualinvoke self com.e.Main.ensureOnline()void
+    staticinvoke com.e.Net.fetch()void
+    return
+  }
+  method ensureOnline()void {
+    local cm android.net.ConnectivityManager
+    cm = new android.net.ConnectivityManager
+    specialinvoke cm android.net.ConnectivityManager.<init>()void
+    virtualinvoke cm android.net.ConnectivityManager.getActiveNetworkInfo()android.net.NetworkInfo
+    return
+  }
+}
+class com.e.Net extends java.lang.Object {
+  method static fetch()void {
+    return
+  }
+}`
+
+func TestMustPrecedeCalleeSummary(t *testing.T) {
+	cg := buildCG(t, helperApp)
+	mp := NewMustPrecede(cg, checkGen)
+	if !mp.FactBefore("com.e.Main.onCreate(android.os.Bundle)void", 2) {
+		t.Error("a call to an always-checking helper should establish the fact")
+	}
+	if !mp.FactBefore("com.e.Net.fetch()void", 0) {
+		t.Error("fetch should see the fact from its only (guarded) caller")
+	}
+}
+
+// Path-insensitivity FN reproduction (paper §5.3): a check invoked but not
+// used as the branch condition still satisfies the analysis.
+const pathInsensitiveApp = `class com.f.Main extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local cm android.net.ConnectivityManager
+    local ni android.net.NetworkInfo
+    cm = new android.net.ConnectivityManager
+    specialinvoke cm android.net.ConnectivityManager.<init>()void
+    ni = virtualinvoke cm android.net.ConnectivityManager.getActiveNetworkInfo()android.net.NetworkInfo
+    staticinvoke com.f.Net.fetch()void
+    return
+  }
+}
+class com.f.Net extends java.lang.Object {
+  method static fetch()void {
+    return
+  }
+}`
+
+func TestMustPrecedeIsPathInsensitive(t *testing.T) {
+	cg := buildCG(t, pathInsensitiveApp)
+	mp := NewMustPrecede(cg, checkGen)
+	// The result of the check is never consulted, yet the analysis is
+	// satisfied — by design, mirroring NChecker's known false negatives.
+	if !mp.FactBefore("com.f.Main.onCreate(android.os.Bundle)void", 3) {
+		t.Error("path-insensitive analysis should accept an unused check")
+	}
+}

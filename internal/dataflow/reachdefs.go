@@ -1,0 +1,122 @@
+// Package dataflow implements the program analyses NChecker's checkers are
+// built from: reaching definitions, constant propagation, forward taint
+// tracking, backward slicing over data and control dependence, and an
+// interprocedural must-precede analysis. All intraprocedural analyses
+// operate on internal/cfg graphs; the interprocedural analysis operates on
+// internal/callgraph graphs.
+package dataflow
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/jimple"
+)
+
+// ReachDefs holds the result of a reaching-definitions analysis of one
+// method: for each statement, the set of definition sites (statement
+// indexes) whose values may reach it.
+type ReachDefs struct {
+	g     *cfg.Graph
+	words int
+	in    [][]uint64 // per node, bitset over def statement indexes
+	defAt []string   // defAt[i] = local defined by stmt i, or ""
+}
+
+// NewReachDefs runs the classic gen/kill worklist algorithm on g.
+func NewReachDefs(g *cfg.Graph) *ReachDefs {
+	body := g.Method.Body
+	n := len(body)
+	r := &ReachDefs{
+		g:     g,
+		words: (n + 63) / 64,
+		in:    make([][]uint64, g.NumNodes()),
+		defAt: make([]string, n),
+	}
+	defsOf := make(map[string][]int)
+	for i, s := range body {
+		if d := jimple.DefOf(s); d != "" {
+			r.defAt[i] = d
+			defsOf[d] = append(defsOf[d], i)
+		}
+	}
+	for i := range r.in {
+		r.in[i] = make([]uint64, r.words)
+	}
+	out := make([][]uint64, g.NumNodes())
+	for i := range out {
+		out[i] = make([]uint64, r.words)
+	}
+	// Worklist over nodes (statement indexes; the synthetic exit has no
+	// body statement and acts as a plain join).
+	work := make([]int, 0, g.NumNodes())
+	inWork := make([]bool, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		u := work[0]
+		work = work[1:]
+		inWork[u] = false
+		// in[u] = union of out[p]
+		for w := 0; w < r.words; w++ {
+			r.in[u][w] = 0
+		}
+		for _, p := range g.Preds(u) {
+			for w := 0; w < r.words; w++ {
+				r.in[u][w] |= out[p][w]
+			}
+		}
+		// out[u] = gen(u) ∪ (in[u] − kill(u))
+		changed := false
+		for w := 0; w < r.words; w++ {
+			nv := r.in[u][w]
+			if u < n && r.defAt[u] != "" {
+				for _, d := range defsOf[r.defAt[u]] {
+					if d/64 == w {
+						nv &^= 1 << uint(d%64)
+					}
+				}
+				if u/64 == w {
+					nv |= 1 << uint(u%64)
+				}
+			}
+			if out[u][w] != nv {
+				out[u][w] = nv
+				changed = true
+			}
+		}
+		if changed {
+			for _, s := range g.Succs(u) {
+				if !inWork[s] {
+					inWork[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// DefsReaching returns the definition sites of local that reach stmt
+// (i.e. may supply its value when stmt reads it), sorted ascending.
+func (r *ReachDefs) DefsReaching(stmt int, local string) []int {
+	var out []int
+	bits := r.in[stmt]
+	for i := 0; i < len(r.defAt); i++ {
+		if r.defAt[i] == local && bits[i/64]&(1<<uint(i%64)) != 0 {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DefOfStmt returns the local defined by statement i, or "".
+func (r *ReachDefs) DefOfStmt(i int) string {
+	if i < 0 || i >= len(r.defAt) {
+		return ""
+	}
+	return r.defAt[i]
+}

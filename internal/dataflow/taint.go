@@ -1,0 +1,269 @@
+package dataflow
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/jimple"
+)
+
+// TaintOptions configures forward taint propagation.
+type TaintOptions struct {
+	// TaintThroughReceiver taints the result of a call whose receiver is
+	// tainted (r = resp.getBody() taints r when resp is tainted). On by
+	// default via DefaultTaintOptions.
+	TaintThroughReceiver bool
+	// TaintThroughArgs taints the result of a call when any argument is
+	// tainted.
+	TaintThroughArgs bool
+	// TaintStoredInto taints the base object of a field store whose
+	// stored value is tainted (object-level field insensitivity).
+	TaintStoredInto bool
+}
+
+// DefaultTaintOptions matches NChecker's object-taint behaviour.
+func DefaultTaintOptions() TaintOptions {
+	return TaintOptions{TaintThroughReceiver: true, TaintStoredInto: true}
+}
+
+// TaintResult reports, per statement, which locals may be tainted when the
+// statement executes (a may-analysis: union over paths).
+type TaintResult struct {
+	in []map[string]bool // per node
+}
+
+// TaintedAt reports whether local may be tainted immediately before stmt
+// executes.
+func (t *TaintResult) TaintedAt(stmt int, local string) bool {
+	if stmt < 0 || stmt >= len(t.in) {
+		return false
+	}
+	return t.in[stmt][local]
+}
+
+// TaintedLocalsAt returns the sorted tainted-local set before stmt.
+func (t *TaintResult) TaintedLocalsAt(stmt int) []string {
+	m := t.in[stmt]
+	out := make([]string, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForwardTaint propagates taint forward from sources, where sources maps a
+// statement index to locals that become tainted immediately after that
+// statement executes (e.g. the def site of a response object).
+func ForwardTaint(g *cfg.Graph, sources map[int][]string, opts TaintOptions) *TaintResult {
+	n := g.NumNodes()
+	in := make([]map[string]bool, n)
+	out := make([]map[string]bool, n)
+	for i := range in {
+		in[i] = make(map[string]bool)
+		out[i] = make(map[string]bool)
+	}
+	body := g.Method.Body
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	push := func(i int) {
+		if !inWork[i] {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		push(i)
+	}
+	for len(work) > 0 {
+		u := work[0]
+		work = work[1:]
+		inWork[u] = false
+		// in[u] = union of out[preds]
+		nu := make(map[string]bool)
+		for _, p := range g.Preds(u) {
+			for l := range out[p] {
+				nu[l] = true
+			}
+		}
+		in[u] = nu
+		// transfer
+		no := make(map[string]bool, len(nu))
+		for l := range nu {
+			no[l] = true
+		}
+		if u < len(body) {
+			applyTaintTransfer(body[u], no, opts)
+			for _, l := range sources[u] {
+				no[l] = true
+			}
+		}
+		if !sameSet(out[u], no) {
+			out[u] = no
+			for _, s := range g.Succs(u) {
+				push(s)
+			}
+		}
+	}
+	return &TaintResult{in: in}
+}
+
+func applyTaintTransfer(s jimple.Stmt, taint map[string]bool, opts TaintOptions) {
+	a, ok := s.(*jimple.AssignStmt)
+	if !ok {
+		return
+	}
+	// Field store: x.f = v may taint x.
+	if f, isField := a.LHS.(jimple.FieldRef); isField {
+		if opts.TaintStoredInto && f.Base != "" && valueTainted(a.RHS, taint, opts) {
+			taint[f.Base] = true
+		}
+		return
+	}
+	dst := a.LHS.(jimple.Local).Name
+	if valueTainted(a.RHS, taint, opts) {
+		taint[dst] = true
+	} else {
+		delete(taint, dst) // strong update: overwritten with untainted value
+	}
+}
+
+func valueTainted(v jimple.Value, taint map[string]bool, opts TaintOptions) bool {
+	switch v := v.(type) {
+	case jimple.Local:
+		return taint[v.Name]
+	case jimple.CastExpr:
+		return valueTainted(v.V, taint, opts)
+	case jimple.FieldRef:
+		// Field load from a tainted object yields taint.
+		return v.Base != "" && taint[v.Base]
+	case jimple.InvokeExpr:
+		if opts.TaintThroughReceiver && v.Base != "" && taint[v.Base] {
+			return true
+		}
+		if opts.TaintThroughArgs {
+			for _, a := range v.Args {
+				if valueTainted(a, taint, opts) {
+					return true
+				}
+			}
+		}
+		return false
+	case jimple.BinExpr:
+		return valueTainted(v.L, taint, opts) || valueTainted(v.R, taint, opts)
+	case jimple.NegExpr:
+		return valueTainted(v.V, taint, opts)
+	case jimple.InstanceOfExpr:
+		return valueTainted(v.V, taint, opts)
+	default:
+		return false
+	}
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllocSitesOf chases the definition chain of local at stmt backward
+// through copies and casts to the allocation or call sites that produce
+// the object — the "backward propagation until reaching the call site of
+// creating the instance" step of paper §4.4.1. It returns the statement
+// indexes of the originating definitions (NewExpr, InvokeExpr, ParamRef,
+// FieldRef or CaughtExRef right-hand sides), sorted.
+func AllocSitesOf(rd *ReachDefs, stmt int, local string) []int {
+	seen := make(map[[2]interface{}]bool)
+	var out []int
+	outSet := make(map[int]bool)
+	var walk func(at int, l string)
+	walk = func(at int, l string) {
+		key := [2]interface{}{at, l}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		for _, d := range rd.DefsReaching(at, l) {
+			a, ok := rd.g.Method.Body[d].(*jimple.AssignStmt)
+			if !ok {
+				continue
+			}
+			switch rhs := a.RHS.(type) {
+			case jimple.Local:
+				walk(d, rhs.Name)
+			case jimple.CastExpr:
+				if inner, isLocal := rhs.V.(jimple.Local); isLocal {
+					walk(d, inner.Name)
+				} else if !outSet[d] {
+					outSet[d] = true
+					out = append(out, d)
+				}
+			default:
+				if !outSet[d] {
+					outSet[d] = true
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	walk(stmt, local)
+	sort.Ints(out)
+	return out
+}
+
+// ObjectFlow combines the backward and forward halves of NChecker's
+// config-API discovery: starting from the use of local at stmt, it finds
+// the object's allocation sites, then taints forward from each and returns
+// every invocation statement whose receiver is an alias of the object,
+// with the method invoked. The result is sorted by statement index.
+type ObjectCall struct {
+	Stmt   int
+	Callee jimple.Sig
+}
+
+// CallsOnObject returns all calls whose receiver aliases the object that
+// local denotes at stmt.
+func CallsOnObject(g *cfg.Graph, rd *ReachDefs, stmt int, local string) []ObjectCall {
+	allocs := AllocSitesOf(rd, stmt, local)
+	sources := make(map[int][]string)
+	for _, d := range allocs {
+		if def := rd.DefOfStmt(d); def != "" {
+			sources[d] = append(sources[d], def)
+		}
+	}
+	// The object may also be directly the local with no visible alloc
+	// (e.g. parameter identity not modeled); fall back to tainting the
+	// local at its first reaching def or method entry.
+	if len(sources) == 0 {
+		sources[0] = []string{local}
+	}
+	taint := ForwardTaint(g, sources, DefaultTaintOptions())
+	var out []ObjectCall
+	for i, s := range g.Method.Body {
+		inv, ok := jimple.InvokeOf(s)
+		if !ok || inv.Base == "" {
+			continue
+		}
+		// Receiver tainted before the call executes — but the def site
+		// itself has taint only after, so also accept the def statement.
+		if taint.TaintedAt(i, inv.Base) || sourcesContain(sources, i, inv.Base) {
+			out = append(out, ObjectCall{Stmt: i, Callee: inv.Callee})
+		}
+	}
+	return out
+}
+
+func sourcesContain(sources map[int][]string, stmt int, local string) bool {
+	for _, l := range sources[stmt] {
+		if l == local {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,383 @@
+// Package dex implements a compact binary encoding of jimple programs —
+// the stand-in for the DEX bytecode container that the real NChecker's
+// Dexpler front end consumes. The format uses a deduplicated string pool
+// (as DEX does) and varint-encoded structures. Encoding is deterministic:
+// the same program always produces the same bytes.
+package dex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/jimple"
+)
+
+// Magic identifies the format; Version is bumped on layout changes.
+var Magic = [4]byte{'G', 'D', 'E', 'X'}
+
+// Version of the encoding.
+const Version = 1
+
+// Statement opcodes.
+const (
+	opAssign byte = iota
+	opInvoke
+	opIf
+	opGoto
+	opReturn
+	opReturnVoid
+	opThrow
+	opNop
+)
+
+// Value tags.
+const (
+	tagLocal byte = iota
+	tagIntConst
+	tagStrConst
+	tagNull
+	tagParamRef
+	tagThisRef
+	tagCaughtEx
+	tagFieldRef
+	tagNew
+	tagInvoke
+	tagBin
+	tagNeg
+	tagCast
+	tagInstanceOf
+)
+
+// Class flags.
+const (
+	flagIface    byte = 1 << 0
+	flagAbstract byte = 1 << 1
+)
+
+// Method flags.
+const (
+	mflagStatic   byte = 1 << 0
+	mflagAbstract byte = 1 << 1
+	mflagHasBody  byte = 1 << 2
+)
+
+// Field flags.
+const fflagStatic byte = 1 << 0
+
+type encoder struct {
+	buf     []byte
+	strings map[string]uint64
+	pool    []string
+}
+
+// Encode serializes p. The string pool is built in a first pass so the
+// output is stable for a given program.
+func Encode(p *jimple.Program) []byte {
+	e := &encoder{strings: make(map[string]uint64)}
+	// Collect all strings deterministically: walk classes sorted.
+	classes := p.Classes()
+	collect := newCollector()
+	for _, c := range classes {
+		collect.class(c)
+	}
+	e.pool = collect.sorted()
+	for i, s := range e.pool {
+		e.strings[s] = uint64(i)
+	}
+
+	e.buf = append(e.buf, Magic[:]...)
+	e.u64(Version)
+	e.u64(uint64(len(e.pool)))
+	for _, s := range e.pool {
+		e.str(s)
+	}
+	e.u64(uint64(len(classes)))
+	for _, c := range classes {
+		e.class(c)
+	}
+	return e.buf
+}
+
+type collector struct {
+	set map[string]bool
+}
+
+func newCollector() *collector { return &collector{set: make(map[string]bool)} }
+
+func (c *collector) add(ss ...string) {
+	for _, s := range ss {
+		c.set[s] = true
+	}
+}
+
+func (c *collector) sorted() []string {
+	out := make([]string, 0, len(c.set))
+	for s := range c.set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *collector) class(cl *jimple.Class) {
+	c.add(cl.Name, cl.Super)
+	c.add(cl.Interfaces...)
+	for _, f := range cl.Fields {
+		c.add(f.Name, f.Type)
+	}
+	for _, m := range cl.Methods {
+		c.sig(m.Sig)
+		for _, l := range m.Locals {
+			c.add(l.Name, l.Type)
+		}
+		for _, s := range m.Body {
+			c.stmt(s)
+		}
+		for _, t := range m.Traps {
+			c.add(t.Exception)
+		}
+	}
+}
+
+func (c *collector) sig(s jimple.Sig) {
+	c.add(s.Class, s.Name, s.Ret)
+	c.add(s.Params...)
+}
+
+func (c *collector) stmt(s jimple.Stmt) {
+	switch s := s.(type) {
+	case *jimple.AssignStmt:
+		c.value(s.LHS)
+		c.value(s.RHS)
+	case *jimple.InvokeStmt:
+		c.value(s.Call)
+	case *jimple.IfStmt:
+		c.value(s.Cond)
+	case *jimple.ReturnStmt:
+		if s.V != nil {
+			c.value(s.V)
+		}
+	case *jimple.ThrowStmt:
+		c.value(s.V)
+	}
+}
+
+func (c *collector) value(v jimple.Value) {
+	switch v := v.(type) {
+	case jimple.Local:
+		c.add(v.Name)
+	case jimple.StrConst:
+		c.add(v.V)
+	case jimple.ParamRef:
+		c.add(v.Type)
+	case jimple.ThisRef:
+		c.add(v.Type)
+	case jimple.FieldRef:
+		c.add(v.Base, v.Class, v.Field)
+	case jimple.NewExpr:
+		c.add(v.Type)
+	case jimple.InvokeExpr:
+		c.add(v.Base)
+		c.sig(v.Callee)
+		for _, a := range v.Args {
+			c.value(a)
+		}
+	case jimple.BinExpr:
+		c.value(v.L)
+		c.value(v.R)
+	case jimple.NegExpr:
+		c.value(v.V)
+	case jimple.CastExpr:
+		c.add(v.Type)
+		c.value(v.V)
+	case jimple.InstanceOfExpr:
+		c.add(v.Type)
+		c.value(v.V)
+	}
+}
+
+func (e *encoder) u64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+func (e *encoder) i64(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) ref(s string) {
+	idx, ok := e.strings[s]
+	if !ok {
+		panic(fmt.Sprintf("dex: string %q missing from pool", s))
+	}
+	e.u64(idx)
+}
+
+func (e *encoder) class(c *jimple.Class) {
+	e.ref(c.Name)
+	e.ref(c.Super)
+	var flags byte
+	if c.IsIface {
+		flags |= flagIface
+	}
+	if c.Abstract {
+		flags |= flagAbstract
+	}
+	e.buf = append(e.buf, flags)
+	e.u64(uint64(len(c.Interfaces)))
+	for _, i := range c.Interfaces {
+		e.ref(i)
+	}
+	e.u64(uint64(len(c.Fields)))
+	for _, f := range c.Fields {
+		e.ref(f.Name)
+		e.ref(f.Type)
+		var ff byte
+		if f.Static {
+			ff |= fflagStatic
+		}
+		e.buf = append(e.buf, ff)
+	}
+	e.u64(uint64(len(c.Methods)))
+	for _, m := range c.Methods {
+		e.method(m)
+	}
+}
+
+func (e *encoder) sig(s jimple.Sig) {
+	e.ref(s.Class)
+	e.ref(s.Name)
+	e.u64(uint64(len(s.Params)))
+	for _, p := range s.Params {
+		e.ref(p)
+	}
+	e.ref(s.Ret)
+}
+
+func (e *encoder) method(m *jimple.Method) {
+	e.sig(m.Sig)
+	var flags byte
+	if m.Static {
+		flags |= mflagStatic
+	}
+	if m.Abstract {
+		flags |= mflagAbstract
+	}
+	if m.HasBody() {
+		flags |= mflagHasBody
+	}
+	e.buf = append(e.buf, flags)
+	if !m.HasBody() {
+		return
+	}
+	e.u64(uint64(len(m.Locals)))
+	for _, l := range m.Locals {
+		e.ref(l.Name)
+		e.ref(l.Type)
+	}
+	e.u64(uint64(len(m.Body)))
+	for _, s := range m.Body {
+		e.stmt(s)
+	}
+	e.u64(uint64(len(m.Traps)))
+	for _, t := range m.Traps {
+		e.u64(uint64(t.Begin))
+		e.u64(uint64(t.End))
+		e.u64(uint64(t.Handler))
+		e.ref(t.Exception)
+	}
+}
+
+func (e *encoder) stmt(s jimple.Stmt) {
+	switch s := s.(type) {
+	case *jimple.AssignStmt:
+		e.buf = append(e.buf, opAssign)
+		e.value(s.LHS)
+		e.value(s.RHS)
+	case *jimple.InvokeStmt:
+		e.buf = append(e.buf, opInvoke)
+		e.value(s.Call)
+	case *jimple.IfStmt:
+		e.buf = append(e.buf, opIf)
+		e.value(s.Cond)
+		e.u64(uint64(s.Target))
+	case *jimple.GotoStmt:
+		e.buf = append(e.buf, opGoto)
+		e.u64(uint64(s.Target))
+	case *jimple.ReturnStmt:
+		if s.V == nil {
+			e.buf = append(e.buf, opReturnVoid)
+		} else {
+			e.buf = append(e.buf, opReturn)
+			e.value(s.V)
+		}
+	case *jimple.ThrowStmt:
+		e.buf = append(e.buf, opThrow)
+		e.value(s.V)
+	case *jimple.NopStmt:
+		e.buf = append(e.buf, opNop)
+	default:
+		panic(fmt.Sprintf("dex: unknown statement type %T", s))
+	}
+}
+
+func (e *encoder) value(v jimple.Value) {
+	switch v := v.(type) {
+	case jimple.Local:
+		e.buf = append(e.buf, tagLocal)
+		e.ref(v.Name)
+	case jimple.IntConst:
+		e.buf = append(e.buf, tagIntConst)
+		e.i64(v.V)
+	case jimple.StrConst:
+		e.buf = append(e.buf, tagStrConst)
+		e.ref(v.V)
+	case jimple.NullConst:
+		e.buf = append(e.buf, tagNull)
+	case jimple.ParamRef:
+		e.buf = append(e.buf, tagParamRef)
+		e.u64(uint64(v.Index))
+		e.ref(v.Type)
+	case jimple.ThisRef:
+		e.buf = append(e.buf, tagThisRef)
+		e.ref(v.Type)
+	case jimple.CaughtExRef:
+		e.buf = append(e.buf, tagCaughtEx)
+	case jimple.FieldRef:
+		e.buf = append(e.buf, tagFieldRef)
+		e.ref(v.Base)
+		e.ref(v.Class)
+		e.ref(v.Field)
+	case jimple.NewExpr:
+		e.buf = append(e.buf, tagNew)
+		e.ref(v.Type)
+	case jimple.InvokeExpr:
+		e.buf = append(e.buf, tagInvoke)
+		e.buf = append(e.buf, byte(v.Kind))
+		e.ref(v.Base)
+		e.sig(v.Callee)
+		e.u64(uint64(len(v.Args)))
+		for _, a := range v.Args {
+			e.value(a)
+		}
+	case jimple.BinExpr:
+		e.buf = append(e.buf, tagBin)
+		e.buf = append(e.buf, byte(v.Op))
+		e.value(v.L)
+		e.value(v.R)
+	case jimple.NegExpr:
+		e.buf = append(e.buf, tagNeg)
+		e.value(v.V)
+	case jimple.CastExpr:
+		e.buf = append(e.buf, tagCast)
+		e.ref(v.Type)
+		e.value(v.V)
+	case jimple.InstanceOfExpr:
+		e.buf = append(e.buf, tagInstanceOf)
+		e.ref(v.Type)
+		e.value(v.V)
+	default:
+		panic(fmt.Sprintf("dex: unknown value type %T", v))
+	}
+}

@@ -1,0 +1,33 @@
+package dex_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dex"
+	"repro/internal/jimple"
+)
+
+// TestCorpusRoundTrip encodes and decodes every app of a generated corpus
+// and checks bit- and text-level fidelity — the dex layer soak test.
+func TestCorpusRoundTrip(t *testing.T) {
+	apps, err := corpus.GenerateCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps[:60] {
+		data := dex.Encode(a.App.Program)
+		got, err := dex.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", a.Name, err)
+		}
+		if jimple.Print(got) != jimple.Print(a.App.Program) {
+			t.Fatalf("%s: round trip changed the program", a.Name)
+		}
+		// Re-encoding the decoded program is byte-identical (canonical form).
+		if !bytes.Equal(dex.Encode(got), data) {
+			t.Fatalf("%s: re-encoding not canonical", a.Name)
+		}
+	}
+}

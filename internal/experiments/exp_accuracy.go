@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apimodel"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/report"
+)
+
+// Table9Row is one cause row of the accuracy table.
+type Table9Row struct {
+	Cause   report.Cause
+	Correct int
+	FP      int
+	KnownFN int
+}
+
+// Table9Result reproduces Table 9: NChecker's accuracy on the 16 golden
+// (open-source stand-in) apps, measured against the generator's ground
+// truth.
+type Table9Result struct {
+	Rows     []Table9Row
+	Correct  int
+	FP       int
+	FN       int
+	Accuracy float64
+}
+
+// Table9 scans the goldens and scores each warning against the oracle.
+func Table9() (Table9Result, error) {
+	reg := apimodel.NewRegistry()
+	nc := core.New()
+	perCause := map[report.Cause]*Table9Row{}
+	order := []report.Cause{}
+	get := func(c report.Cause) *Table9Row {
+		if r, ok := perCause[c]; ok {
+			return r
+		}
+		r := &Table9Row{Cause: c}
+		perCause[c] = r
+		order = append(order, c)
+		return r
+	}
+	for _, g := range corpus.GoldenSpecs() {
+		app, err := corpus.Build(g.Spec)
+		if err != nil {
+			return Table9Result{}, err
+		}
+		res := nc.ScanApp(app)
+		got := map[report.Cause]int{}
+		for i := range res.Reports {
+			got[res.Reports[i].Cause]++
+		}
+		at := corpus.OracleApp(reg, g.Spec)
+		for c, n := range got {
+			fp := at.FalsePositives[c]
+			if fp > n {
+				fp = n
+			}
+			row := get(c)
+			row.Correct += n - fp
+			row.FP += fp
+		}
+		for c, n := range at.FalseNegatives {
+			get(c).KnownFN += n
+		}
+	}
+	var out Table9Result
+	for _, c := range report.AllCauses() {
+		if row, ok := perCause[c]; ok {
+			out.Rows = append(out.Rows, *row)
+			out.Correct += row.Correct
+			out.FP += row.FP
+			out.FN += row.KnownFN
+		}
+	}
+	if d := out.Correct + out.FP; d > 0 {
+		out.Accuracy = float64(out.Correct) / float64(d)
+	}
+	return out, nil
+}
+
+// Table9WithICC re-runs the accuracy evaluation with the inter-component
+// analysis enabled — the paper's §4.7 future work implemented. The nine
+// false positives disappear; the five path-insensitivity false negatives
+// remain.
+func Table9WithICC() (Table9Result, error) {
+	reg := apimodel.NewRegistry()
+	nc := core.NewWithOptions(core.Options{EnableICC: true})
+	perCause := map[report.Cause]*Table9Row{}
+	get := func(c report.Cause) *Table9Row {
+		if r, ok := perCause[c]; ok {
+			return r
+		}
+		r := &Table9Row{Cause: c}
+		perCause[c] = r
+		return r
+	}
+	for _, g := range corpus.GoldenSpecs() {
+		app, err := corpus.Build(g.Spec)
+		if err != nil {
+			return Table9Result{}, err
+		}
+		res := nc.ScanApp(app)
+		// With ICC the tool expectation equals the real-defect set minus
+		// the path-insensitivity misses; grade against the real oracle.
+		real := map[report.Cause]int{}
+		fnExpected := map[report.Cause]int{}
+		for _, s := range g.Spec.Sites {
+			truth := corpus.Oracle(reg, s)
+			iccSet := map[report.Cause]bool{}
+			for _, c := range corpus.OracleICC(reg, s) {
+				iccSet[c] = true
+			}
+			for _, c := range truth.RealDefects {
+				real[c]++
+				if !iccSet[c] {
+					fnExpected[c]++
+				}
+			}
+		}
+		got := map[report.Cause]int{}
+		for i := range res.Reports {
+			got[res.Reports[i].Cause]++
+		}
+		for c, n := range got {
+			row := get(c)
+			correct := n
+			if correct > real[c] {
+				row.FP += correct - real[c]
+				correct = real[c]
+			}
+			row.Correct += correct
+		}
+		for c, n := range fnExpected {
+			get(c).KnownFN += n
+		}
+	}
+	var out Table9Result
+	for _, c := range report.AllCauses() {
+		if row, ok := perCause[c]; ok {
+			out.Rows = append(out.Rows, *row)
+			out.Correct += row.Correct
+			out.FP += row.FP
+			out.FN += row.KnownFN
+		}
+	}
+	if d := out.Correct + out.FP; d > 0 {
+		out.Accuracy = float64(out.Correct) / float64(d)
+	}
+	return out, nil
+}
+
+// Render formats the table.
+func (r Table9Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows)+1)
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.Cause),
+			fmt.Sprintf("%d", row.Correct),
+			fmt.Sprintf("%d", row.FP),
+			fmt.Sprintf("%d", row.KnownFN),
+		})
+	}
+	rows = append(rows, []string{"Total",
+		fmt.Sprintf("%d", r.Correct), fmt.Sprintf("%d", r.FP), fmt.Sprintf("%d", r.FN)})
+	head := fmt.Sprintf("Table 9: accuracy on the 16 golden apps — %.1f%% (paper: 94+%%)\n", 100*r.Accuracy)
+	return head + table([]string{"NPD cause", "#Correct warning", "#FP", "#Known FN"}, rows)
+}

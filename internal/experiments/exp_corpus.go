@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apimodel"
+)
+
+// Table6Row is one NPD-cause row of Table 6.
+type Table6Row struct {
+	Cause     string
+	Condition string
+	EvalApps  int
+	BuggyApps int
+}
+
+// Table6Result reproduces Table 6: the percentage of buggy apps per NPD
+// cause across the corpus, under the paper's per-cause evaluation
+// conditions.
+type Table6Result struct {
+	Rows          []Table6Row
+	TotalApps     int
+	TotalWarnings int
+	BuggyTotal    int
+}
+
+// Table6 aggregates the corpus scan.
+func Table6(cs *CorpusScan) Table6Result {
+	reg := apimodel.NewRegistry()
+	r := Table6Result{TotalApps: len(cs.Apps)}
+	var connEval, connBuggy int
+	var toEval, toBuggy int
+	var retryEval, retryBuggy, overBuggy int
+	var notifEval, notifBuggy int
+	var respEval, respBuggy int
+	for i := range cs.Apps {
+		st := cs.Apps[i].Stats
+		if st.Requests > 0 {
+			connEval++
+			if st.MissConnCheck == st.Requests {
+				connBuggy++ // never checks connectivity
+			}
+			toEval++
+			if st.MissTimeout == st.Requests {
+				toBuggy++ // never sets timeouts
+			}
+		}
+		if usesRetryLib(reg, st) {
+			retryEval++
+			if st.RetryEvalRequests > 0 && st.MissRetryConfig == st.RetryEvalRequests {
+				retryBuggy++ // never sets retry APIs
+			}
+			if st.OverRetryService+st.OverRetryPost > 0 {
+				overBuggy++
+			}
+		}
+		if st.UserRequests > 0 {
+			notifEval++
+			if st.UserRequestsNoNotif == st.UserRequests {
+				notifBuggy++ // never shows failure notifications
+			}
+		}
+		if usesRespLib(reg, st) {
+			respEval++
+			if st.RespMissCheck > 0 {
+				respBuggy++
+			}
+		}
+	}
+	r.Rows = []Table6Row{
+		{"Missed conn. checks", "All apps", connEval, connBuggy},
+		{"Missed timeout APIs", "Use libs that have timeout APIs", toEval, toBuggy},
+		{"Missed retry APIs", "Use libs that have retry APIs", retryEval, retryBuggy},
+		{"Over retries", "Use libs that have retry APIs", retryEval, overBuggy},
+		{"Missed failure notifications", "Include user-initiated requests", notifEval, notifBuggy},
+		{"Missed response checks", "Use libs that have resp. check APIs", respEval, respBuggy},
+	}
+	r.TotalWarnings = cs.TotalWarnings()
+	r.BuggyTotal = cs.BuggyApps()
+	return r
+}
+
+// Render formats the table.
+func (r Table6Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Cause, row.Condition,
+			fmt.Sprintf("%d", row.EvalApps),
+			fmt.Sprintf("%d (%s)", row.BuggyApps, strings.TrimSpace(pct(row.BuggyApps, row.EvalApps))),
+		}
+	}
+	head := fmt.Sprintf("Table 6: buggy apps per NPD cause — %d NPDs across %d of %d apps\n",
+		r.TotalWarnings, r.BuggyTotal, r.TotalApps)
+	return head + table([]string{"NPD cause", "Eval. condition", "#Eval apps", "#Buggy apps (%)"}, rows)
+}
+
+// Table7Result reproduces Table 7: evaluated apps per library.
+type Table7Result struct {
+	Native, Volley, AsyncHTTP, Basic, OkHttp int
+	Total                                    int
+}
+
+// Table7 counts library usage across the corpus.
+func Table7(cs *CorpusScan) Table7Result {
+	r := Table7Result{Total: len(cs.Apps)}
+	for i := range cs.Apps {
+		native := false
+		for _, k := range cs.Apps[i].Stats.LibsUsed {
+			switch k {
+			case apimodel.LibHttpURL, apimodel.LibApache:
+				native = true
+			case apimodel.LibVolley:
+				r.Volley++
+			case apimodel.LibAsyncHTTP:
+				r.AsyncHTTP++
+			case apimodel.LibBasic:
+				r.Basic++
+			case apimodel.LibOkHttp:
+				r.OkHttp++
+			}
+		}
+		if native {
+			r.Native++
+		}
+	}
+	return r
+}
+
+// Render formats the table.
+func (r Table7Result) Render() string {
+	rows := [][]string{
+		{"Native (HttpURLConnection/Apache)", fmt.Sprintf("%d", r.Native)},
+		{"Volley", fmt.Sprintf("%d", r.Volley)},
+		{"Android Async Http", fmt.Sprintf("%d", r.AsyncHTTP)},
+		{"Basic Http", fmt.Sprintf("%d", r.Basic)},
+		{"OkHttp", fmt.Sprintf("%d", r.OkHttp)},
+	}
+	return fmt.Sprintf("Table 7: evaluated apps (%d) and their libraries\n", r.Total) +
+		table([]string{"Lib used", "#Apps"}, rows)
+}
+
+// Table8Result reproduces Table 8: apps with inappropriate retry
+// behaviours among retry-capable-library users, and the share caused by
+// library defaults.
+type Table8Result struct {
+	EvalApps            int
+	NoRetryActivityApps int
+	OverServiceApps     int
+	OverServiceDefault  float64 // fraction of over-retry-service warnings from defaults
+	OverPostApps        int
+	OverPostDefault     float64
+}
+
+// Table8 aggregates retry behaviour.
+func Table8(cs *CorpusScan) Table8Result {
+	reg := apimodel.NewRegistry()
+	var r Table8Result
+	var svcTotal, svcDefault, postTotal, postDefault int
+	for i := range cs.Apps {
+		st := cs.Apps[i].Stats
+		if !usesRetryLib(reg, st) {
+			continue
+		}
+		r.EvalApps++
+		if st.NoRetryTimeSensitive > 0 {
+			r.NoRetryActivityApps++
+		}
+		if st.OverRetryService > 0 {
+			r.OverServiceApps++
+		}
+		if st.OverRetryPost > 0 {
+			r.OverPostApps++
+		}
+		svcTotal += st.OverRetryService
+		svcDefault += st.OverRetryServiceDefault
+		postTotal += st.OverRetryPost
+		postDefault += st.OverRetryPostDefault
+	}
+	if svcTotal > 0 {
+		r.OverServiceDefault = float64(svcDefault) / float64(svcTotal)
+	}
+	if postTotal > 0 {
+		r.OverPostDefault = float64(postDefault) / float64(postTotal)
+	}
+	return r
+}
+
+// Render formats the table.
+func (r Table8Result) Render() string {
+	rows := [][]string{
+		{"No retry in Activities", pct(r.NoRetryActivityApps, r.EvalApps), "0%"},
+		{"Over retry in Services", pct(r.OverServiceApps, r.EvalApps),
+			fmt.Sprintf("%.0f%%", 100*r.OverServiceDefault)},
+		{"Over retry in POST requests", pct(r.OverPostApps, r.EvalApps),
+			fmt.Sprintf("%.0f%%", 100*r.OverPostDefault)},
+	}
+	return fmt.Sprintf("Table 8: inappropriate retry behaviours (over %d retry-lib apps)\n", r.EvalApps) +
+		table([]string{"NPD cause", "Apps(%)", "Default behavior"}, rows)
+}
+
+// CDFSeries is one empirical CDF.
+type CDFSeries struct {
+	Name   string
+	Ratios []float64 // per-app miss ratios in (0,1)
+}
+
+// At evaluates the CDF at x.
+func (s CDFSeries) At(x float64) float64 { return cdfAt(s.Ratios, x) }
+
+// Points returns the CDF's (x, y) points.
+func (s CDFSeries) Points() (xs, ys []float64) { return cdf(s.Ratios) }
+
+// Figure8Result reproduces Figure 8: among apps that invoke the config
+// API somewhere but miss it elsewhere, the CDF of the per-app ratio of
+// requests missing connectivity checks (red) and timeouts (blue).
+type Figure8Result struct {
+	ConnCheck CDFSeries
+	Timeout   CDFSeries
+}
+
+// Figure8 extracts the partial-missing apps from the corpus scan.
+func Figure8(cs *CorpusScan) Figure8Result {
+	var r Figure8Result
+	r.ConnCheck.Name = "conn. check API"
+	r.Timeout.Name = "timeout API"
+	for i := range cs.Apps {
+		st := cs.Apps[i].Stats
+		if st.Requests == 0 {
+			continue
+		}
+		if st.MissConnCheck > 0 && st.MissConnCheck < st.Requests {
+			r.ConnCheck.Ratios = append(r.ConnCheck.Ratios, float64(st.MissConnCheck)/float64(st.Requests))
+		}
+		if st.MissTimeout > 0 && st.MissTimeout < st.Requests {
+			r.Timeout.Ratios = append(r.Timeout.Ratios, float64(st.MissTimeout)/float64(st.Requests))
+		}
+	}
+	return r
+}
+
+// Render prints both CDFs at decile points.
+func (r Figure8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: CDF of per-app ratio of requests missing the config API\n")
+	b.WriteString("          (apps that set the API somewhere but miss it elsewhere)\n")
+	renderCDF(&b, r.ConnCheck)
+	renderCDF(&b, r.Timeout)
+	return b.String()
+}
+
+func renderCDF(b *strings.Builder, s CDFSeries) {
+	fmt.Fprintf(b, "  %s (%d apps):\n    ratio:", s.Name, len(s.Ratios))
+	for x := 0.1; x <= 1.001; x += 0.1 {
+		fmt.Fprintf(b, " %4.1f", x)
+	}
+	b.WriteString("\n    CDF:  ")
+	for x := 0.1; x <= 1.001; x += 0.1 {
+		fmt.Fprintf(b, " %4.2f", s.At(x))
+	}
+	b.WriteByte('\n')
+}
+
+// Figure9Result reproduces Figure 9: CDF of the per-app ratio of user
+// requests missing failure notifications, among apps that notify somewhere
+// but not everywhere.
+type Figure9Result struct {
+	Notif CDFSeries
+	// Callback-style statistics (§5.2.3): share of requests with
+	// explicit vs. implicit callbacks that have notifications, and the
+	// fraction of apps ignoring error types.
+	ExplicitNotifiedPct float64
+	ImplicitNotifiedPct float64
+	ErrorTypeIgnoredPct float64
+}
+
+// Figure9 extracts the notification CDF and callback statistics.
+func Figure9(cs *CorpusScan) Figure9Result {
+	var r Figure9Result
+	r.Notif.Name = "failure notification"
+	var expl, explNotif, impl, implNotif int
+	var errCb, errChecked, errCbApps, errCheckedApps int
+	for i := range cs.Apps {
+		st := cs.Apps[i].Stats
+		if st.UserRequests > 0 && st.UserRequestsNoNotif > 0 && st.UserRequestsNoNotif < st.UserRequests {
+			r.Notif.Ratios = append(r.Notif.Ratios, float64(st.UserRequestsNoNotif)/float64(st.UserRequests))
+		}
+		expl += st.ExplicitCallbackReqs
+		explNotif += st.ExplicitCallbackNotified
+		impl += st.ImplicitCallbackReqs
+		implNotif += st.ImplicitCallbackNotified
+		errCb += st.ErrorCallbacks
+		errChecked += st.ErrorTypeChecked
+		if st.ErrorCallbacks > 0 {
+			errCbApps++
+			if st.ErrorTypeChecked > 0 {
+				errCheckedApps++
+			}
+		}
+	}
+	if expl > 0 {
+		r.ExplicitNotifiedPct = 100 * float64(explNotif) / float64(expl)
+	}
+	if impl > 0 {
+		r.ImplicitNotifiedPct = 100 * float64(implNotif) / float64(impl)
+	}
+	if errCbApps > 0 {
+		r.ErrorTypeIgnoredPct = 100 * float64(errCbApps-errCheckedApps) / float64(errCbApps)
+	}
+	return r
+}
+
+// Render prints the CDF and the callback statistics.
+func (r Figure9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: CDF of per-app ratio of user requests missing failure notifications\n")
+	renderCDF(&b, r.Notif)
+	fmt.Fprintf(&b, "  requests notified — explicit callbacks: %.0f%%, implicit: %.0f%%\n",
+		r.ExplicitNotifiedPct, r.ImplicitNotifiedPct)
+	fmt.Fprintf(&b, "  apps ignoring error types: %.0f%%\n", r.ErrorTypeIgnoredPct)
+	return b.String()
+}

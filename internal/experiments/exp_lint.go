@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apimodel"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/lint"
+	"repro/internal/report"
+)
+
+// lintRuleToCause maps each lint rule to the NPD cause it approximates.
+var lintRuleToCause = map[lint.Rule]report.Cause{
+	lint.RuleNoConnCheck:   report.CauseNoConnectivityCheck,
+	lint.RuleNoTimeout:     report.CauseNoTimeout,
+	lint.RuleNoRetryConfig: report.CauseNoRetryConfig,
+	lint.RuleNoErrorUI:     report.CauseNoFailureNotification,
+	lint.RuleUncheckedResp: report.CauseNoResponseCheck,
+}
+
+// LintComparisonResult scores the shallow lint baseline against NChecker
+// on the golden apps at (app, cause) granularity — the only granularity
+// app-level lint can even express.
+type LintComparisonResult struct {
+	LintTP, LintFP, LintFN             int
+	NCheckerTP, NCheckerFP, NCheckerFN int
+	LintWarnings, NCheckerWarnings     int
+}
+
+// LintComparison runs both tools over the 16 goldens and grades them
+// against the generator's ground truth.
+func LintComparison() (LintComparisonResult, error) {
+	reg := apimodel.NewRegistry()
+	nc := core.New()
+	var out LintComparisonResult
+	causes := []report.Cause{
+		report.CauseNoConnectivityCheck, report.CauseNoTimeout,
+		report.CauseNoRetryConfig, report.CauseNoFailureNotification,
+		report.CauseNoResponseCheck,
+	}
+	for _, g := range corpus.GoldenSpecs() {
+		app, err := corpus.Build(g.Spec)
+		if err != nil {
+			return out, err
+		}
+		truth := corpus.OracleApp(reg, g.Spec)
+
+		lintHas := map[report.Cause]bool{}
+		findings := lint.Run(app)
+		out.LintWarnings += len(findings)
+		for _, f := range findings {
+			if c, ok := lintRuleToCause[f.Rule]; ok {
+				lintHas[c] = true
+			}
+		}
+		ncHas := map[report.Cause]bool{}
+		res := nc.ScanApp(app)
+		out.NCheckerWarnings += len(res.Reports)
+		for i := range res.Reports {
+			ncHas[res.Reports[i].Cause] = true
+		}
+		for _, c := range causes {
+			real := truth.RealByCause[c] > 0
+			score(&out.LintTP, &out.LintFP, &out.LintFN, lintHas[c], real)
+			score(&out.NCheckerTP, &out.NCheckerFP, &out.NCheckerFN, ncHas[c], real)
+		}
+	}
+	return out, nil
+}
+
+func score(tp, fp, fn *int, flagged, real bool) {
+	switch {
+	case flagged && real:
+		*tp++
+	case flagged && !real:
+		*fp++
+	case !flagged && real:
+		*fn++
+	}
+}
+
+// Recall and precision helpers.
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Render formats the comparison.
+func (r LintComparisonResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Baseline comparison: app-level network lint vs. NChecker (16 golden apps,\n")
+	b.WriteString("                     graded per (app, cause) against ground truth)\n")
+	rows := [][]string{
+		{"app-level lint",
+			fmt.Sprintf("%d", r.LintWarnings),
+			fmt.Sprintf("%d/%d/%d", r.LintTP, r.LintFP, r.LintFN),
+			fmt.Sprintf("%.0f%%", 100*rate(r.LintTP, r.LintTP+r.LintFN)),
+			fmt.Sprintf("%.0f%%", 100*rate(r.LintTP, r.LintTP+r.LintFP))},
+		{"NChecker",
+			fmt.Sprintf("%d", r.NCheckerWarnings),
+			fmt.Sprintf("%d/%d/%d", r.NCheckerTP, r.NCheckerFP, r.NCheckerFN),
+			fmt.Sprintf("%.0f%%", 100*rate(r.NCheckerTP, r.NCheckerTP+r.NCheckerFN)),
+			fmt.Sprintf("%.0f%%", 100*rate(r.NCheckerTP, r.NCheckerTP+r.NCheckerFP))},
+	}
+	b.WriteString(table([]string{"Tool", "Warnings", "TP/FP/FN", "Recall", "Precision"}, rows))
+	b.WriteString("Lint cannot see partial misses (one config call anywhere silences a rule),\n")
+	b.WriteString("cannot localize a warning to a request, and knows nothing of request context.\n")
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+)
+
+// Figure3Series is one curve of Figure 3.
+type Figure3Series struct {
+	Network string
+	Sizes   []int
+	Rates   []float64
+}
+
+// Figure3Result reproduces Figure 3: success rate of downloading files of
+// different sizes with the Volley defaults (2500 ms timeout, one retry)
+// under a clean and a 10%-loss 3G link.
+type Figure3Result struct {
+	Series []Figure3Series
+	Trials int
+}
+
+// Figure3 runs the download experiment.
+func Figure3(trials int, seed int64) Figure3Result {
+	client := netsim.DefaultVolley()
+	sizes := netsim.FileSizes()
+	out := Figure3Result{Trials: trials}
+	for _, p := range []netsim.Profile{netsim.ThreeGLossy(0), netsim.ThreeGLossy(0.10)} {
+		s := Figure3Series{Network: p.Name, Sizes: sizes}
+		for i, size := range sizes {
+			s.Rates = append(s.Rates, client.SuccessRate(p, size, trials, seed+int64(i)))
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out
+}
+
+// Render prints the two series as the paper's rows.
+func (r Figure3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: download success rate with default Volley parameters (%d trials/point)\n", r.Trials)
+	b.WriteString("  size:    ")
+	for _, size := range r.Series[0].Sizes {
+		fmt.Fprintf(&b, "%6s", netsim.SizeLabel(size))
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "  %-24s", s.Network)
+		for _, rate := range s.Rates {
+			fmt.Fprintf(&b, "%6.2f", rate)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/study"
+)
+
+// Table1Result reproduces the paper's Table 1 (the 21 studied apps).
+type Table1Result struct {
+	Apps []study.App
+}
+
+// Table1 returns the studied-app roster.
+func Table1() Table1Result { return Table1Result{Apps: study.Apps()} }
+
+// Render formats the table.
+func (r Table1Result) Render() string {
+	rows := make([][]string, len(r.Apps))
+	for i, a := range r.Apps {
+		rows[i] = []string{a.Name, a.Category, a.Installs}
+	}
+	return "Table 1: 21 Android apps used in the study\n" +
+		table([]string{"App/Sys", "Category", "#Installs"}, rows)
+}
+
+// Table2Result reproduces Table 2 (representative NPDs).
+type Table2Result struct {
+	Rows []study.Representative
+}
+
+// Table2 returns the representative cases.
+func Table2() Table2Result { return Table2Result{Rows: study.Representatives()} }
+
+// Render formats the table.
+func (r Table2Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, c := range r.Rows {
+		rows[i] = []string{"(" + c.ID + ")", c.Category, c.App, c.Desc, c.Resolution}
+	}
+	return "Table 2: Representative NPDs found in real-world mobile apps\n" +
+		table([]string{"ID", "Category", "App", "NPD description", "Developer's resolution"}, rows)
+}
+
+// Figure4Result reproduces Figure 4 (NPD impact distribution).
+type Figure4Result struct {
+	Counts   map[study.Impact]int
+	Percents map[study.Impact]float64
+	Total    int
+}
+
+// Figure4 aggregates the study dataset by UX impact.
+func Figure4() Figure4Result {
+	c, p := study.ImpactDistribution()
+	return Figure4Result{Counts: c, Percents: p, Total: len(study.Dataset())}
+}
+
+// Render formats the distribution with a text bar chart.
+func (r Figure4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Distribution of NPD impact on user experience\n")
+	order := []study.Impact{study.Dysfunction, study.UnfriendlyUI, study.CrashFreeze, study.BatteryDrain}
+	for _, k := range order {
+		bar := strings.Repeat("#", r.Counts[k])
+		fmt.Fprintf(&b, "  %-14s %3.0f%% (%2d/%2d) %s\n", k, r.Percents[k], r.Counts[k], r.Total, bar)
+	}
+	return b.String()
+}
+
+// Table3Result reproduces Table 3 (root causes).
+type Table3Result struct {
+	Counts   map[study.RootCause]int
+	Percents map[study.RootCause]float64
+	Subs     map[study.RootCause]map[study.SubCause]int
+	Total    int
+}
+
+// Table3 aggregates the study dataset by root cause.
+func Table3() Table3Result {
+	c, p := study.CauseDistribution()
+	subs := map[study.RootCause]map[study.SubCause]int{
+		study.MishandleTransient: study.SubCauseDistribution(study.MishandleTransient),
+		study.MishandlePermanent: study.SubCauseDistribution(study.MishandlePermanent),
+		study.MishandleNetSwitch: study.SubCauseDistribution(study.MishandleNetSwitch),
+	}
+	return Table3Result{Counts: c, Percents: p, Subs: subs, Total: len(study.Dataset())}
+}
+
+// Render formats the table with sub-cause splits.
+func (r Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: Root causes of studied NPDs\n")
+	order := []study.RootCause{
+		study.NoConnectivityChecks, study.MishandleTransient,
+		study.MishandlePermanent, study.MishandleNetSwitch,
+	}
+	for _, k := range order {
+		fmt.Fprintf(&b, "  %-32s %2d (%2.0f%%)\n", k, r.Counts[k], r.Percents[k])
+		if subs := r.Subs[k]; subs != nil {
+			keys := make([]string, 0, len(subs))
+			for sub := range subs {
+				keys = append(keys, string(sub))
+			}
+			sort.Strings(keys)
+			for _, sub := range keys {
+				fmt.Fprintf(&b, "      %-40s %2d\n", sub, subs[study.SubCause(sub)])
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func scan(t *testing.T) *CorpusScan {
+	t.Helper()
+	cs, err := DefaultScan()
+	if err != nil {
+		t.Fatalf("DefaultScan: %v", err)
+	}
+	return cs
+}
+
+func TestFigure3Shape(t *testing.T) {
+	r := Figure3(120, 1)
+	if len(r.Series) != 2 {
+		t.Fatalf("series: %d", len(r.Series))
+	}
+	clean, lossy := r.Series[0], r.Series[1]
+	for i := range clean.Rates {
+		if clean.Rates[i] < 0.97 {
+			t.Errorf("clean 3G rate[%d]=%.2f, want ≈1", i, clean.Rates[i])
+		}
+	}
+	first, last := lossy.Rates[0], lossy.Rates[len(lossy.Rates)-1]
+	if first < 0.85 {
+		t.Errorf("lossy 2K rate %.2f too low", first)
+	}
+	if last > 0.45 {
+		t.Errorf("lossy 2M rate %.2f too high — failure should dominate", last)
+	}
+	if !strings.Contains(r.Render(), "2M") {
+		t.Error("render missing size labels")
+	}
+}
+
+func TestStudyExperimentsRender(t *testing.T) {
+	if got := Table1(); len(got.Apps) != 21 || !strings.Contains(got.Render(), "Chrome") {
+		t.Error("Table1 wrong")
+	}
+	if got := Table2(); len(got.Rows) != 6 || !strings.Contains(got.Render(), "ChatSecure") {
+		t.Error("Table2 wrong")
+	}
+	f4 := Figure4()
+	if f4.Total != 90 || !strings.Contains(f4.Render(), "Dysfunction") {
+		t.Error("Figure4 wrong")
+	}
+	t3 := Table3()
+	if t3.Total != 90 || !strings.Contains(t3.Render(), "No connectivity checks") {
+		t.Error("Table3 wrong")
+	}
+}
+
+func TestTable4Matrix(t *testing.T) {
+	r := Table4()
+	if len(r.Libraries) != 6 || len(r.RowNames) != 8 {
+		t.Fatalf("matrix shape: %d libs × %d rows", len(r.Libraries), len(r.RowNames))
+	}
+	// Row "No timeout": Volley and Android Async auto (defaults exist),
+	// HttpURL/Apache/OkHttp api-only.
+	var timeoutRow []string
+	for i, n := range r.RowNames {
+		if n == "No timeout" {
+			timeoutRow = r.Cells[i]
+		}
+	}
+	if timeoutRow == nil {
+		t.Fatal("missing No timeout row")
+	}
+	if timeoutRow[0] != "api" { // HttpURLConnection
+		t.Errorf("HttpURL timeout cell: %s", timeoutRow[0])
+	}
+	if timeoutRow[2] != "auto" { // Volley
+		t.Errorf("Volley timeout cell: %s", timeoutRow[2])
+	}
+	if !strings.Contains(r.Render(), "Table 4") {
+		t.Error("render header missing")
+	}
+}
+
+func TestTable5Catalogue(t *testing.T) {
+	r := Table5()
+	if len(r.Rows) < 9 {
+		t.Fatalf("pattern rows: %d", len(r.Rows))
+	}
+	if !strings.Contains(r.Render(), "no-connectivity-check") {
+		t.Error("render missing causes")
+	}
+}
+
+func TestTable6MatchesPaperShape(t *testing.T) {
+	cs := scan(t)
+	r := Table6(cs)
+	want := map[string][2]float64{ // cause -> [paper %, tolerance]
+		"Missed conn. checks":          {43, 7},
+		"Missed timeout APIs":          {49, 7},
+		"Missed retry APIs":            {70, 8},
+		"Over retries":                 {55, 10},
+		"Missed failure notifications": {57, 8},
+		"Missed response checks":       {75, 15},
+	}
+	for _, row := range r.Rows {
+		w, ok := want[row.Cause]
+		if !ok {
+			t.Errorf("unexpected row %q", row.Cause)
+			continue
+		}
+		got := 100 * float64(row.BuggyApps) / float64(row.EvalApps)
+		if got < w[0]-w[1] || got > w[0]+w[1] {
+			t.Errorf("%s: %.0f%% buggy (%d/%d), paper %v%%", row.Cause, got, row.BuggyApps, row.EvalApps, w[0])
+		}
+	}
+	// Denominators.
+	for _, row := range r.Rows {
+		switch row.Cause {
+		case "Missed conn. checks", "Missed timeout APIs":
+			if row.EvalApps != 285 {
+				t.Errorf("%s eval apps %d, want 285", row.Cause, row.EvalApps)
+			}
+		case "Missed retry APIs", "Over retries":
+			if row.EvalApps != 91 {
+				t.Errorf("%s eval apps %d, want 91", row.Cause, row.EvalApps)
+			}
+		case "Missed failure notifications":
+			if row.EvalApps < 256 || row.EvalApps > 272 {
+				t.Errorf("%s eval apps %d, want ≈264", row.Cause, row.EvalApps)
+			}
+		case "Missed response checks":
+			if row.EvalApps != 20 {
+				t.Errorf("%s eval apps %d, want 20", row.Cause, row.EvalApps)
+			}
+		}
+	}
+	if r.TotalWarnings < 3300 || r.TotalWarnings > 5200 {
+		t.Errorf("total NPDs %d, paper 4180", r.TotalWarnings)
+	}
+	if r.BuggyTotal < 277 || r.BuggyTotal > 284 {
+		t.Errorf("buggy apps %d, paper 281", r.BuggyTotal)
+	}
+}
+
+func TestTable7MatchesPaper(t *testing.T) {
+	cs := scan(t)
+	r := Table7(cs)
+	if r.Native != 270 || r.Volley != 78 || r.AsyncHTTP != 25 || r.Basic != 18 || r.OkHttp != 11 {
+		t.Errorf("Table 7 mismatch: %+v", r)
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	cs := scan(t)
+	r := Table8(cs)
+	if r.EvalApps != 91 {
+		t.Fatalf("eval apps %d, want 91", r.EvalApps)
+	}
+	check := func(name string, apps int, paperPct, tol float64) {
+		got := 100 * float64(apps) / float64(r.EvalApps)
+		if got < paperPct-tol || got > paperPct+tol {
+			t.Errorf("%s: %.0f%% (%d apps), paper %v%%", name, got, apps, paperPct)
+		}
+	}
+	check("no retry in Activities", r.NoRetryActivityApps, 8, 8)
+	check("over retry in Services", r.OverServiceApps, 32, 12)
+	check("over retry in POSTs", r.OverPostApps, 25, 12)
+	// The headline finding: most over-retries come from library defaults.
+	if r.OverServiceDefault < 0.55 {
+		t.Errorf("service over-retry default share %.2f, paper 76%%", r.OverServiceDefault)
+	}
+	if r.OverPostDefault < 0.7 {
+		t.Errorf("POST over-retry default share %.2f, paper 98%%", r.OverPostDefault)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	cs := scan(t)
+	r := Figure8(cs)
+	if len(r.ConnCheck.Ratios) == 0 || len(r.Timeout.Ratios) == 0 {
+		t.Fatal("no partially-missing apps found")
+	}
+	// Paper: 62% of partially-missing apps miss conn checks in over half
+	// their requests; 58% for timeouts. Equivalent: CDF(0.5) ≈ 0.38/0.42.
+	if c := r.ConnCheck.At(0.5); c < 0.18 || c > 0.60 {
+		t.Errorf("conn CDF(0.5)=%.2f, paper ≈0.38", c)
+	}
+	if c := r.Timeout.At(0.5); c < 0.20 || c > 0.62 {
+		t.Errorf("timeout CDF(0.5)=%.2f, paper ≈0.42", c)
+	}
+	xs, ys := r.ConnCheck.Points()
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] || xs[i] < xs[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	cs := scan(t)
+	r := Figure9(cs)
+	if len(r.Notif.Ratios) == 0 {
+		t.Fatal("no partially-notifying apps")
+	}
+	// §5.2.3: explicit callbacks are notified more often than implicit
+	// ones (paper: 30% vs 12%).
+	if r.ExplicitNotifiedPct <= r.ImplicitNotifiedPct {
+		t.Errorf("explicit (%.0f%%) should out-notify implicit (%.0f%%)",
+			r.ExplicitNotifiedPct, r.ImplicitNotifiedPct)
+	}
+	// 93% of apps ignore error types.
+	if r.ErrorTypeIgnoredPct < 80 {
+		t.Errorf("error types ignored by %.0f%% of apps, paper 93%%", r.ErrorTypeIgnoredPct)
+	}
+}
+
+func TestTable9MatchesPaper(t *testing.T) {
+	r, err := Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Correct != 130 || r.FP != 9 || r.FN != 5 {
+		t.Errorf("Table 9 totals: correct=%d FP=%d FN=%d, want 130/9/5", r.Correct, r.FP, r.FN)
+	}
+	if r.Accuracy < 0.93 || r.Accuracy > 0.95 {
+		t.Errorf("accuracy %.3f, want ≈0.94", r.Accuracy)
+	}
+	if !strings.Contains(r.Render(), "130") {
+		t.Error("render missing totals")
+	}
+}
+
+func TestTable10AllAutoFixed(t *testing.T) {
+	r, err := Table10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.AutoFixed {
+			t.Errorf("%s (%s) not auto-fixed", row.Name, row.NPD)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	r := Figure10(Seed)
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	if r.OverallMean < 1.4 || r.OverallMean > 2.0 {
+		t.Errorf("overall mean %.2f, paper 1.7", r.OverallMean)
+	}
+	if r.HardCaseCorrect != 1 {
+		t.Errorf("hard case fixed by %d, paper 1", r.HardCaseCorrect)
+	}
+	if !strings.Contains(r.Render(), "overall") {
+		t.Error("render missing overall row")
+	}
+}
+
+func TestTable9WithICCEliminatesFPs(t *testing.T) {
+	r, err := Table9WithICC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Correct != 130 || r.FP != 0 || r.FN != 5 {
+		t.Errorf("Table 9 + ICC: correct=%d FP=%d FN=%d, want 130/0/5", r.Correct, r.FP, r.FN)
+	}
+	if r.Accuracy != 1.0 {
+		t.Errorf("accuracy with ICC = %.3f, want 1.0 (no FPs left)", r.Accuracy)
+	}
+}
+
+func TestTable11RobustDominatesNaive(t *testing.T) {
+	r := Table11(Seed)
+	if r.Requests == 0 {
+		t.Fatal("empty workload")
+	}
+	if r.OfflineAttemptsRobust != 0 {
+		t.Errorf("robust library transmitted %d times while offline", r.OfflineAttemptsRobust)
+	}
+	if r.OfflineAttemptsNaive == 0 {
+		t.Error("naive baseline never burned the radio offline — comparison vacuous")
+	}
+	if r.DuplicatePostsRobust != 0 {
+		t.Errorf("robust library duplicated %d POSTs", r.DuplicatePostsRobust)
+	}
+	if r.DuplicatePostsNaive == 0 {
+		t.Error("naive baseline never duplicated a POST")
+	}
+	if r.SilentUserFailuresRobust != 0 {
+		t.Errorf("robust library had %d silent user failures", r.SilentUserFailuresRobust)
+	}
+	if r.InvalidToSuccessRobust != 0 {
+		t.Errorf("robust library leaked %d invalid responses to the success path", r.InvalidToSuccessRobust)
+	}
+	if r.InvalidToSuccessNaive == 0 {
+		t.Error("naive baseline never leaked an invalid response")
+	}
+	if r.BackgroundRecoveredRobust == 0 {
+		t.Error("robust library recovered no deferred background work")
+	}
+	if !strings.Contains(r.Render(), "Table 11") {
+		t.Error("render header missing")
+	}
+}
+
+func TestDynamicComparisonShowsStaticAdvantage(t *testing.T) {
+	r, err := DynamicComparison(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 16 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	// Static flags every golden app (each has warnings).
+	if r.StaticApps != 16 {
+		t.Errorf("static flagged %d of 16 apps", r.StaticApps)
+	}
+	// Dynamic crash-only must find SOMETHING (unguarded requests crash
+	// offline) but strictly less than static — the §7 claim.
+	if r.CrashTotal == 0 {
+		t.Error("dynamic crash oracle found nothing — fault injection inert")
+	}
+	if r.CrashTotal >= r.StaticTotal {
+		t.Errorf("crash oracle (%d) should find less than static (%d)", r.CrashTotal, r.StaticTotal)
+	}
+	// The richer oracle sits between the two.
+	if r.RichTotal < r.CrashTotal {
+		t.Errorf("rich oracle (%d) below crash-only (%d)", r.RichTotal, r.CrashTotal)
+	}
+	if r.RichTotal >= r.StaticTotal {
+		t.Errorf("rich oracle (%d) should still trail static (%d)", r.RichTotal, r.StaticTotal)
+	}
+	if !strings.Contains(r.Render(), "TOTAL") {
+		t.Error("render missing totals")
+	}
+}
+
+func TestLintBaselineLosesToNChecker(t *testing.T) {
+	r, err := LintComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintRecall := float64(r.LintTP) / float64(r.LintTP+r.LintFN)
+	ncRecall := float64(r.NCheckerTP) / float64(r.NCheckerTP+r.NCheckerFN)
+	if ncRecall <= lintRecall {
+		t.Errorf("NChecker recall %.2f should beat lint recall %.2f", ncRecall, lintRecall)
+	}
+	if r.NCheckerWarnings <= r.LintWarnings {
+		t.Errorf("NChecker should localize more warnings (%d) than app-level lint (%d)",
+			r.NCheckerWarnings, r.LintWarnings)
+	}
+	if lintRecall > 0.75 {
+		t.Errorf("lint recall %.2f implausibly high — partial misses should blind it", lintRecall)
+	}
+	if !strings.Contains(r.Render(), "Recall") {
+		t.Error("render missing recall column")
+	}
+}

@@ -1,0 +1,385 @@
+// Package fixer applies NChecker's fix suggestions mechanically: given a
+// warning report, it patches the app's IR the way the paper's user-study
+// volunteers patched source code (§5.4, Table 10) — inserting connectivity
+// guards, timeout and retry config calls, failure notifications,
+// error-type inspection, response null checks, and retry-loop backoff —
+// and the caller re-scans to verify the warning disappears. A fix that
+// survives a re-scan is machine-checked evidence that the report is
+// actionable, which is the property the paper's user study measures in
+// human time.
+package fixer
+
+import (
+	"fmt"
+
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/core"
+	"repro/internal/jimple"
+	"repro/internal/report"
+)
+
+// Fixer patches apps according to warning reports.
+type Fixer struct {
+	reg     *apimodel.Registry
+	counter int
+}
+
+// New returns a Fixer over the standard library annotations.
+func New() *Fixer {
+	return &Fixer{reg: apimodel.NewRegistry()}
+}
+
+// Apply patches the app in place to address r. It returns an error when
+// the report cannot be located or the cause has no mechanical fix.
+func (f *Fixer) Apply(app *apk.App, r *report.Report) error {
+	m := app.Program.Method(r.Location.Method)
+	if m == nil || !m.HasBody() {
+		return fmt.Errorf("fixer: method %s not found", r.Location.Method.Key())
+	}
+	if r.Location.Stmt < 0 || r.Location.Stmt > len(m.Body) {
+		return fmt.Errorf("fixer: statement %d out of range in %s", r.Location.Stmt, r.Location.Method.Key())
+	}
+	var err error
+	switch r.Cause {
+	case report.CauseNoConnectivityCheck:
+		err = f.fixConnCheck(m, r)
+	case report.CauseNoTimeout:
+		err = f.fixTimeout(m, r)
+	case report.CauseNoRetryConfig:
+		count := 0
+		if r.Context.UserInitiated && r.Context.HTTPMethod != "POST" {
+			count = 2
+		}
+		err = f.fixRetry(m, r, count)
+	case report.CauseNoRetryTimeSensitive:
+		err = f.fixRetry(m, r, 2)
+	case report.CauseOverRetryService, report.CauseOverRetryPost:
+		err = f.fixRetry(m, r, 0)
+	case report.CauseNoFailureNotification:
+		err = f.fixNotification(m, r)
+	case report.CauseNoErrorTypeCheck:
+		err = f.fixErrorType(m)
+	case report.CauseNoResponseCheck:
+		err = f.fixResponseCheck(m, r)
+	case report.CauseAggressiveRetryLoop:
+		err = f.fixRetryLoopBackoff(m, r)
+	default:
+		err = fmt.Errorf("fixer: no mechanical fix for cause %s", r.Cause)
+	}
+	if err != nil {
+		return err
+	}
+	if verr := app.Program.Validate(); verr != nil {
+		return fmt.Errorf("fixer: fix for %s broke the program: %w", r.Cause, verr)
+	}
+	return nil
+}
+
+// Outcome summarizes a FixAll run.
+type Outcome struct {
+	Rounds  int
+	Applied int
+	// Remaining warnings after the final scan.
+	Remaining int
+	// Unfixable counts reports Apply refused.
+	Unfixable int
+}
+
+// FixAll repeatedly scans and patches until the app is warning-free or no
+// progress is possible (at most maxRounds scan/fix cycles).
+func (f *Fixer) FixAll(app *apk.App, maxRounds int) (Outcome, error) {
+	nc := core.New()
+	var out Outcome
+	for round := 0; round < maxRounds; round++ {
+		res := nc.ScanApp(app)
+		out.Remaining = len(res.Reports)
+		if len(res.Reports) == 0 {
+			return out, nil
+		}
+		out.Rounds++
+		progress := false
+		for i := range res.Reports {
+			if err := f.Apply(app, &res.Reports[i]); err != nil {
+				out.Unfixable++
+				continue
+			}
+			out.Applied++
+			progress = true
+			// Re-scan after each batch member could invalidate later
+			// locations; conservatively restart the round after the
+			// first successful fix.
+			break
+		}
+		if !progress {
+			return out, fmt.Errorf("fixer: no applicable fix among %d warnings", len(res.Reports))
+		}
+	}
+	res := nc.ScanApp(app)
+	out.Remaining = len(res.Reports)
+	return out, nil
+}
+
+// fresh returns a unique local name with the given stem.
+func (f *Fixer) fresh(stem string) string {
+	f.counter++
+	return fmt.Sprintf("fx%s%d", stem, f.counter)
+}
+
+// insertStmts splices stmts into m.Body at index at, declaring locals and
+// shifting branch targets and trap ranges.
+func insertStmts(m *jimple.Method, at int, locals []jimple.LocalDecl, stmts []jimple.Stmt) {
+	n := len(stmts)
+	shift := func(t int) int {
+		if t >= at {
+			return t + n
+		}
+		return t
+	}
+	for _, s := range m.Body {
+		switch s := s.(type) {
+		case *jimple.IfStmt:
+			s.Target = shift(s.Target)
+		case *jimple.GotoStmt:
+			s.Target = shift(s.Target)
+		}
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *jimple.IfStmt:
+			s.Target = shift(s.Target)
+		case *jimple.GotoStmt:
+			s.Target = shift(s.Target)
+		}
+	}
+	for i := range m.Traps {
+		m.Traps[i].Begin = shift(m.Traps[i].Begin)
+		m.Traps[i].End = shift(m.Traps[i].End)
+		m.Traps[i].Handler = shift(m.Traps[i].Handler)
+	}
+	body := make([]jimple.Stmt, 0, len(m.Body)+n)
+	body = append(body, m.Body[:at]...)
+	body = append(body, stmts...)
+	body = append(body, m.Body[at:]...)
+	m.Body = body
+	m.Locals = append(m.Locals, locals...)
+}
+
+// fixConnCheck inserts a connectivity check and an offline guard before
+// the flagged request.
+func (f *Fixer) fixConnCheck(m *jimple.Method, r *report.Report) error {
+	at := r.Location.Stmt
+	cm := f.fresh("cm")
+	ni := f.fresh("ni")
+	locals := []jimple.LocalDecl{
+		{Name: cm, Type: android.ClassConnectivityMgr},
+		{Name: ni, Type: android.ClassNetworkInfo},
+	}
+	// Guard jumps to the method's final statement (the return emitted by
+	// the generator and by compilers alike).
+	guardTarget := len(m.Body) - 1
+	stmts := []jimple.Stmt{
+		&jimple.AssignStmt{LHS: jimple.Local{Name: cm}, RHS: jimple.NewExpr{Type: android.ClassConnectivityMgr}},
+		&jimple.AssignStmt{
+			LHS: jimple.Local{Name: ni},
+			RHS: jimple.InvokeExpr{Kind: jimple.InvokeVirtual, Base: cm,
+				Callee: jimple.Sig{Class: android.ClassConnectivityMgr, Name: "getActiveNetworkInfo",
+					Ret: android.ClassNetworkInfo}},
+		},
+		&jimple.IfStmt{
+			Cond:   jimple.BinExpr{Op: jimple.OpEQ, L: jimple.Local{Name: ni}, R: jimple.NullConst{}},
+			Target: guardTarget,
+		},
+	}
+	insertStmts(m, at, locals, stmts)
+	return nil
+}
+
+// configObjectAt resolves the config-object local of the request at stmt.
+func (f *Fixer) configObjectAt(m *jimple.Method, stmt int) (string, *apimodel.Library, error) {
+	if stmt >= len(m.Body) {
+		return "", nil, fmt.Errorf("fixer: no statement at %d", stmt)
+	}
+	inv, ok := jimple.InvokeOf(m.Body[stmt])
+	if !ok {
+		return "", nil, fmt.Errorf("fixer: statement %d is not a request", stmt)
+	}
+	lib, target, isTarget := f.reg.TargetOf(inv.Callee)
+	if !isTarget {
+		return "", nil, fmt.Errorf("fixer: statement %d does not invoke a target API", stmt)
+	}
+	if target.ConfigObjArg < 0 {
+		return inv.Base, lib, nil
+	}
+	if target.ConfigObjArg < len(inv.Args) {
+		if l, isLocal := inv.Args[target.ConfigObjArg].(jimple.Local); isLocal {
+			return l.Name, lib, nil
+		}
+	}
+	return "", nil, fmt.Errorf("fixer: cannot resolve the config object at %d", stmt)
+}
+
+// fixTimeout inserts the library's timeout config call before the request.
+func (f *Fixer) fixTimeout(m *jimple.Method, r *report.Report) error {
+	obj, lib, err := f.configObjectAt(m, r.Location.Stmt)
+	if err != nil {
+		return err
+	}
+	for _, cfg := range lib.Configs {
+		if cfg.Kind == apimodel.ConfigTimeout && len(cfg.Sig.Params) == 1 && cfg.Sig.Params[0] == "int" {
+			call := &jimple.InvokeStmt{Call: jimple.InvokeExpr{
+				Kind: jimple.InvokeVirtual, Base: obj, Callee: cfg.Sig,
+				Args: []jimple.Value{jimple.IntConst{V: 5000}},
+			}}
+			insertStmts(m, r.Location.Stmt, nil, []jimple.Stmt{call})
+			return nil
+		}
+	}
+	return fmt.Errorf("fixer: %s has no int timeout config API", lib.Name)
+}
+
+// fixRetry sets the retry count to `count`, rewriting an existing retry
+// config call or inserting a new one. For Android Async HTTP it also adds
+// allowRetryExceptionClass, the API the paper's user study found hardest.
+func (f *Fixer) fixRetry(m *jimple.Method, r *report.Report, count int) error {
+	obj, lib, err := f.configObjectAt(m, r.Location.Stmt)
+	if err != nil {
+		return err
+	}
+	// Rewrite an existing countable retry call on the same object.
+	for i := 0; i < r.Location.Stmt; i++ {
+		inv, ok := jimple.InvokeOf(m.Body[i])
+		if !ok || inv.Base != obj {
+			continue
+		}
+		if _, cfg, isCfg := f.reg.ConfigOf(inv.Callee); isCfg && cfg.Kind == apimodel.ConfigRetry && cfg.CountArg >= 0 {
+			inv.Args[cfg.CountArg] = jimple.IntConst{V: int64(count)}
+			switch s := m.Body[i].(type) {
+			case *jimple.InvokeStmt:
+				s.Call = inv
+			case *jimple.AssignStmt:
+				s.RHS = inv
+			}
+			return nil
+		}
+	}
+	var stmts []jimple.Stmt
+	for _, cfg := range lib.Configs {
+		if cfg.Kind != apimodel.ConfigRetry || cfg.CountArg < 0 {
+			continue
+		}
+		args := make([]jimple.Value, len(cfg.Sig.Params))
+		for ai := range args {
+			args[ai] = jimple.IntConst{V: 20000} // secondary int params (timeouts)
+		}
+		args[cfg.CountArg] = jimple.IntConst{V: int64(count)}
+		stmts = append(stmts, &jimple.InvokeStmt{Call: jimple.InvokeExpr{
+			Kind: jimple.InvokeVirtual, Base: obj, Callee: cfg.Sig, Args: args,
+		}})
+		break
+	}
+	if stmts == nil {
+		return fmt.Errorf("fixer: %s has no countable retry config API", lib.Name)
+	}
+	if lib.Key == apimodel.LibAsyncHTTP && count > 0 {
+		stmts = append(stmts, &jimple.InvokeStmt{Call: jimple.InvokeExpr{
+			Kind: jimple.InvokeVirtual, Base: obj,
+			Callee: jimple.Sig{Class: apimodel.ClassAsyncClient, Name: "allowRetryExceptionClass",
+				Params: []string{"java.lang.Class"}, Ret: jimple.TypeVoid},
+			Args: []jimple.Value{jimple.NullConst{}},
+		}})
+	}
+	insertStmts(m, r.Location.Stmt, nil, stmts)
+	return nil
+}
+
+// fixNotification inserts a Toast at the report location (the error
+// callback for explicit-callback libraries, the request site otherwise).
+func (f *Fixer) fixNotification(m *jimple.Method, r *report.Report) error {
+	toast := f.fresh("toast")
+	locals := []jimple.LocalDecl{{Name: toast, Type: android.ClassToast}}
+	stmts := []jimple.Stmt{
+		&jimple.AssignStmt{LHS: jimple.Local{Name: toast}, RHS: jimple.NewExpr{Type: android.ClassToast}},
+		&jimple.InvokeStmt{Call: jimple.InvokeExpr{
+			Kind: jimple.InvokeVirtual, Base: toast,
+			Callee: jimple.Sig{Class: android.ClassToast, Name: "show", Ret: jimple.TypeVoid},
+		}},
+	}
+	at := r.Location.Stmt
+	if at >= len(m.Body) {
+		at = len(m.Body) - 1
+	}
+	insertStmts(m, at, locals, stmts)
+	return nil
+}
+
+// fixErrorType inserts an instanceof inspection of the error callback's
+// parameter.
+func (f *Fixer) fixErrorType(m *jimple.Method) error {
+	// Find the identity assignment of the error parameter.
+	for i, s := range m.Body {
+		asg, ok := s.(*jimple.AssignStmt)
+		if !ok {
+			continue
+		}
+		if _, isParam := asg.RHS.(jimple.ParamRef); !isParam {
+			continue
+		}
+		errLocal, isLocal := asg.LHS.(jimple.Local)
+		if !isLocal {
+			continue
+		}
+		probe := f.fresh("isNoConn")
+		locals := []jimple.LocalDecl{{Name: probe, Type: jimple.TypeBoolean}}
+		stmts := []jimple.Stmt{&jimple.AssignStmt{
+			LHS: jimple.Local{Name: probe},
+			RHS: jimple.InstanceOfExpr{Type: apimodel.ClassVolleyNoConn, V: errLocal},
+		}}
+		insertStmts(m, i+1, locals, stmts)
+		return nil
+	}
+	return fmt.Errorf("fixer: %s has no error parameter to inspect", m.Sig.Key())
+}
+
+// fixResponseCheck guards the flagged response use with a null check that
+// skips past it.
+func (f *Fixer) fixResponseCheck(m *jimple.Method, r *report.Report) error {
+	use := r.Location.Stmt
+	if use >= len(m.Body) {
+		return fmt.Errorf("fixer: response use out of range")
+	}
+	inv, ok := jimple.InvokeOf(m.Body[use])
+	if !ok || inv.Base == "" {
+		return fmt.Errorf("fixer: statement %d is not a response use", use)
+	}
+	guard := &jimple.IfStmt{
+		Cond: jimple.BinExpr{Op: jimple.OpEQ,
+			L: jimple.Local{Name: inv.Base}, R: jimple.NullConst{}},
+		Target: use + 1, // past the use once the guard is inserted
+	}
+	insertStmts(m, use, nil, []jimple.Stmt{guard})
+	return nil
+}
+
+// fixRetryLoopBackoff inserts Thread.sleep into the catch block of the
+// retry loop whose head the report names.
+func (f *Fixer) fixRetryLoopBackoff(m *jimple.Method, r *report.Report) error {
+	if len(m.Traps) == 0 {
+		return fmt.Errorf("fixer: %s has no catch block for backoff", m.Sig.Key())
+	}
+	// Insert after the handler's caught-exception binding.
+	h := m.Traps[0].Handler
+	at := h + 1
+	if at > len(m.Body) {
+		at = len(m.Body)
+	}
+	sleep := &jimple.InvokeStmt{Call: jimple.InvokeExpr{
+		Kind: jimple.InvokeStatic,
+		Callee: jimple.Sig{Class: android.ClassThread, Name: "sleep",
+			Params: []string{"long"}, Ret: jimple.TypeVoid},
+		Args: []jimple.Value{jimple.IntConst{V: 2000}},
+	}}
+	insertStmts(m, at, nil, []jimple.Stmt{sleep})
+	return nil
+}

@@ -1,0 +1,173 @@
+// Package hierarchy builds the class-hierarchy graph of a jimple.Program
+// and answers the subtype and dispatch queries that call-graph
+// construction (class-hierarchy analysis, CHA) requires.
+package hierarchy
+
+import (
+	"sort"
+
+	"repro/internal/jimple"
+)
+
+// Hierarchy is an immutable view of a program's class hierarchy.
+type Hierarchy struct {
+	prog     *jimple.Program
+	subsOf   map[string][]string // direct subclasses and implementers
+	supersOf map[string][]string // direct superclass + interfaces
+}
+
+// New indexes the hierarchy of p. Types referenced but not defined in p
+// (phantom classes) participate with no members and no known supertypes.
+func New(p *jimple.Program) *Hierarchy {
+	h := &Hierarchy{
+		prog:     p,
+		subsOf:   make(map[string][]string),
+		supersOf: make(map[string][]string),
+	}
+	for _, c := range p.Classes() {
+		if c.Super != "" {
+			h.supersOf[c.Name] = append(h.supersOf[c.Name], c.Super)
+			h.subsOf[c.Super] = append(h.subsOf[c.Super], c.Name)
+		}
+		for _, i := range c.Interfaces {
+			h.supersOf[c.Name] = append(h.supersOf[c.Name], i)
+			h.subsOf[i] = append(h.subsOf[i], c.Name)
+		}
+	}
+	for _, m := range []map[string][]string{h.subsOf, h.supersOf} {
+		for k := range m {
+			sort.Strings(m[k])
+		}
+	}
+	return h
+}
+
+// Program returns the underlying program.
+func (h *Hierarchy) Program() *jimple.Program { return h.prog }
+
+// IsSubtype reports whether sub is the same as, or a transitive subtype
+// (subclass or implementer) of, super.
+func (h *Hierarchy) IsSubtype(sub, super string) bool {
+	if sub == super {
+		return true
+	}
+	seen := map[string]bool{sub: true}
+	stack := []string{sub}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range h.supersOf[c] {
+			if s == super {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// SubtypesOf returns all transitive subtypes of t, including t itself,
+// sorted by name.
+func (h *Hierarchy) SubtypesOf(t string) []string {
+	seen := map[string]bool{t: true}
+	stack := []string{t}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range h.subsOf[c] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Supertypes returns all transitive supertypes of t (not including t),
+// sorted by name.
+func (h *Hierarchy) Supertypes(t string) []string {
+	seen := map[string]bool{}
+	stack := []string{t}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range h.supersOf[c] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupMethod resolves a method by subsignature starting at class c and
+// walking up the superclass chain, as Java virtual lookup does. Returns
+// nil if no definition is found in the program.
+func (h *Hierarchy) LookupMethod(c, subSigKey string) *jimple.Method {
+	for cur := c; cur != ""; {
+		cls := h.prog.Class(cur)
+		if cls == nil {
+			return nil
+		}
+		if m := cls.Method(subSigKey); m != nil {
+			return m
+		}
+		cur = cls.Super
+	}
+	return nil
+}
+
+// Dispatch resolves the possible concrete targets of an invocation using
+// CHA. For virtual/interface invokes the result is every definition of the
+// subsignature on the declared class's subtree (plus the inherited
+// definition if the declared class itself doesn't define it). For special
+// and static invokes it is the single static target.
+func (h *Hierarchy) Dispatch(e jimple.InvokeExpr) []*jimple.Method {
+	sub := e.Callee.SubSigKey()
+	switch e.Kind {
+	case jimple.InvokeStatic, jimple.InvokeSpecial:
+		if m := h.LookupMethod(e.Callee.Class, sub); m != nil && m.HasBody() {
+			return []*jimple.Method{m}
+		}
+		return nil
+	}
+	var out []*jimple.Method
+	seen := make(map[string]bool)
+	for _, t := range h.SubtypesOf(e.Callee.Class) {
+		m := h.LookupMethod(t, sub)
+		if m == nil || !m.HasBody() {
+			continue
+		}
+		if !seen[m.Sig.Key()] {
+			seen[m.Sig.Key()] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sig.Key() < out[j].Sig.Key() })
+	return out
+}
+
+// DeclaredDispatch resolves only against the declared type (no subtree
+// search). It exists as the ablation baseline for the CHA comparison
+// benchmark: it misses overrides in subclasses.
+func (h *Hierarchy) DeclaredDispatch(e jimple.InvokeExpr) []*jimple.Method {
+	if m := h.LookupMethod(e.Callee.Class, e.Callee.SubSigKey()); m != nil && m.HasBody() {
+		return []*jimple.Method{m}
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/corpus"
+	"repro/internal/jimple"
+)
+
+func runSite(t *testing.T, site corpus.SiteSpec, s Scenario) *RunReport {
+	t.Helper()
+	app := corpus.MustBuild(corpus.AppSpec{Package: "dyn.app", Sites: []corpus.SiteSpec{site}})
+	return RunApp(app, s, 1)
+}
+
+func total(rep *RunReport, crashOnly bool) map[DynamicFinding]int {
+	return rep.Findings(crashOnly)
+}
+
+func TestHealthyRunIsQuiet(t *testing.T) {
+	site := corpus.SiteSpec{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity,
+		ConnCheck: true, SetTimeout: true, SetRetry: true, RetryCount: 1,
+		Notify: true, UseResponse: true, CheckResponse: true}
+	rep := runSite(t, site, NetOK)
+	if len(rep.Runs) == 0 {
+		t.Fatal("no entry points ran")
+	}
+	f := total(rep, false)
+	if len(f) != 0 {
+		t.Errorf("healthy disciplined app manifested findings: %v", f)
+	}
+	for _, run := range rep.Runs {
+		if run.Obs.NetworkAttempts == 0 {
+			t.Error("no network attempt recorded")
+		}
+		if run.Obs.RequestSuccesses == 0 {
+			t.Error("request did not succeed on a healthy network")
+		}
+	}
+}
+
+// The Checker 4 hazard manifests as a crash only dynamically under the
+// invalid-response fault: an unchecked response is used (NPE).
+func TestUncheckedResponseCrashesUnderInvalidFault(t *testing.T) {
+	site := corpus.SiteSpec{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity,
+		ConnCheck: true, SetTimeout: true, SetRetry: true, RetryCount: 1,
+		Notify: true, UseResponse: true, CheckResponse: false}
+	rep := runSite(t, site, NetInvalidResp)
+	if total(rep, true)[FindingCrash] == 0 {
+		t.Error("unchecked response use should crash under the invalid-response fault")
+	}
+	// The same app with the null check survives.
+	site.CheckResponse = true
+	rep = runSite(t, site, NetInvalidResp)
+	if total(rep, true)[FindingCrash] != 0 {
+		t.Error("null-checked response should not crash")
+	}
+	// And no crash on a healthy network — the defect is latent.
+	site.CheckResponse = false
+	rep = runSite(t, site, NetOK)
+	if total(rep, true)[FindingCrash] != 0 {
+		t.Error("latent defect crashed without the fault")
+	}
+}
+
+// An unhandled request failure crashes only when no trap catches it: our
+// generated direct sites have no try/catch, so offline GETs crash the
+// component — unless the connectivity guard prevents the request.
+func TestConnGuardPreventsOfflineCrash(t *testing.T) {
+	unguarded := corpus.SiteSpec{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity,
+		SetTimeout: true, SetRetry: true, RetryCount: 1, Notify: true}
+	rep := runSite(t, unguarded, NetOffline)
+	if total(rep, true)[FindingCrash] == 0 {
+		t.Error("unguarded offline request should crash (uncaught IOException)")
+	}
+	guarded := unguarded
+	guarded.ConnCheck = true
+	rep = runSite(t, guarded, NetOffline)
+	if total(rep, true)[FindingCrash] != 0 {
+		t.Error("guarded request should not crash offline")
+	}
+	for _, run := range rep.Runs {
+		if run.Obs.NetworkAttempts != 0 {
+			t.Error("guarded offline run should not touch the network")
+		}
+	}
+}
+
+// The no-timeout NPD does NOT manifest as a crash — it hangs. This is the
+// paper's §7 point: crash-oriented dynamic tools cannot see it.
+func TestNoTimeoutManifestsAsHangNotCrash(t *testing.T) {
+	site := corpus.SiteSpec{Lib: apimodel.LibOkHttp, Ctx: corpus.CtxActivity,
+		ConnCheck: true, SetRetry: true, RetryCount: 1, Notify: true}
+	// OkHttp has no default timeout; the site never sets one.
+	rep := runSite(t, site, NetPoor)
+	crash := total(rep, true)
+	rich := total(rep, false)
+	if crash[FindingCrash] != 0 {
+		// The request eventually fails with IOException... which our
+		// generated code does not catch, so it can crash. Accept either,
+		// but a hang must be observable when it doesn't crash.
+		t.Logf("note: poor-network failure crashed (uncaught IOException)")
+	}
+	if rich[FindingHang] == 0 && crash[FindingCrash] == 0 {
+		t.Error("no-timeout request under poor network manifested nothing")
+	}
+	hung := false
+	for _, run := range rep.Runs {
+		if run.Obs.VirtualTimeMs >= 20000 {
+			hung = true
+		}
+	}
+	if !hung {
+		t.Error("blocking request never stalled — timeout model inert")
+	}
+}
+
+// A tight retry loop under a persistent outage exhausts the step budget
+// (runaway); the backoff variant advances virtual time instead.
+func TestTightRetryLoopRunsAway(t *testing.T) {
+	tight := corpus.SiteSpec{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity,
+		ConnCheck: false, SetTimeout: true, SetRetry: true, RetryCount: 0,
+		Notify: true, RetryLoop: true, LoopBackoff: false}
+	// A persistent outage: the loop can never succeed.
+	rep := runSite(t, tight, NetOffline)
+	f := total(rep, false)
+	if f[FindingRunawayLoop] == 0 && f[FindingHang] == 0 {
+		t.Errorf("tight retry loop under a persistent outage should run away or hang: %v", f)
+	}
+	polite := tight
+	polite.LoopBackoff = true
+	rep = runSite(t, polite, NetOffline)
+	slept := false
+	for _, run := range rep.Runs {
+		if run.Obs.Slept > 0 {
+			slept = true
+		}
+	}
+	if !slept {
+		t.Error("backoff loop never slept")
+	}
+}
+
+// Silent failures: a user request fails offline with no Toast anywhere.
+func TestSilentFailureObserved(t *testing.T) {
+	// Volley fails via its error listener (no crash); without Notify the
+	// failure is silent.
+	silent := corpus.SiteSpec{Lib: apimodel.LibVolley, Ctx: corpus.CtxActivity,
+		ConnCheck: false, SetTimeout: true, SetRetry: true, RetryCount: 1, Notify: false}
+	rep := runSite(t, silent, NetOffline)
+	if total(rep, false)[FindingSilentFailure] == 0 {
+		t.Error("silent Volley failure not observed")
+	}
+	noisy := silent
+	noisy.Notify = true
+	rep = runSite(t, noisy, NetOffline)
+	if total(rep, false)[FindingSilentFailure] != 0 {
+		t.Error("notified failure flagged as silent")
+	}
+	alerted := false
+	for _, run := range rep.Runs {
+		if run.Obs.UIAlerts > 0 {
+			alerted = true
+		}
+	}
+	if !alerted {
+		t.Error("toast in onErrorResponse never shown")
+	}
+}
+
+// Async HTTP callbacks fire on both paths.
+func TestAsyncHTTPCallbacksRun(t *testing.T) {
+	site := corpus.SiteSpec{Lib: apimodel.LibAsyncHTTP, Ctx: corpus.CtxActivity,
+		ConnCheck: true, SetTimeout: true, SetRetry: true, RetryCount: 0, Notify: true}
+	rep := runSite(t, site, NetPoor)
+	alerted := false
+	for _, run := range rep.Runs {
+		if run.Obs.UIAlerts > 0 {
+			alerted = true
+		}
+	}
+	if !alerted {
+		t.Error("onFailure toast never ran under poor network")
+	}
+}
+
+// AsyncTask wrapping executes doInBackground and onPostExecute.
+func TestAsyncTaskLifecycleRuns(t *testing.T) {
+	site := corpus.SiteSpec{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity,
+		Wrap: corpus.WrapAsyncTask, ConnCheck: true, SetTimeout: true,
+		SetRetry: true, RetryCount: 1, Notify: true}
+	rep := runSite(t, site, NetOK)
+	attempts, alerts := 0, 0
+	for _, run := range rep.Runs {
+		attempts += run.Obs.NetworkAttempts
+		alerts += run.Obs.UIAlerts
+	}
+	if attempts == 0 {
+		t.Error("AsyncTask request never transmitted")
+	}
+	if alerts == 0 {
+		t.Error("onPostExecute toast never shown")
+	}
+}
+
+// ICC runs dynamically: the launcher starts the target activity.
+func TestStartActivityRunsTarget(t *testing.T) {
+	site := corpus.SiteSpec{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity,
+		ConnCheckInPrevComponent: true, SetTimeout: true, SetRetry: true,
+		RetryCount: 1, Notify: true}
+	rep := runSite(t, site, NetOK)
+	// The launcher's onCreate (an entry) must reach the target's request.
+	sawRequestViaLauncher := false
+	for _, run := range rep.Runs {
+		if run.Entry.Class == "dyn.app.Comp0Launcher" && run.Obs.NetworkAttempts > 0 {
+			sawRequestViaLauncher = true
+		}
+	}
+	if !sawRequestViaLauncher {
+		t.Error("startActivity did not execute the launched activity")
+	}
+}
+
+// Retries consume energy: default AsyncHttp retries burn attempts.
+func TestDefaultRetriesBurnAttempts(t *testing.T) {
+	site := corpus.SiteSpec{Lib: apimodel.LibAsyncHTTP, Ctx: corpus.CtxService,
+		ConnCheck: false, SetTimeout: true, Notify: false} // no SetRetry: default 5 retries
+	app := corpus.MustBuild(corpus.AppSpec{Package: "dyn.energy", Sites: []corpus.SiteSpec{site}})
+	// Offline, unguarded: every attempt fails, so the library's default
+	// of 5 retries burns exactly 6 transmissions.
+	rep := RunApp(app, NetOffline, 3)
+	maxAttempts := 0
+	for _, run := range rep.Runs {
+		if run.Obs.NetworkAttempts > maxAttempts {
+			maxAttempts = run.Obs.NetworkAttempts
+		}
+	}
+	if maxAttempts != 6 {
+		t.Errorf("default retries should produce 6 attempts, saw %d", maxAttempts)
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	for _, s := range Scenarios() {
+		if s.String() == "?" {
+			t.Errorf("scenario %d unnamed", s)
+		}
+	}
+}
+
+// Every library's request path executes under every scenario without the
+// machine itself misbehaving (panic-free, plausible observations).
+func TestAllLibrariesAllScenarios(t *testing.T) {
+	libs := []apimodel.LibKey{
+		apimodel.LibHttpURL, apimodel.LibApache, apimodel.LibVolley,
+		apimodel.LibOkHttp, apimodel.LibAsyncHTTP, apimodel.LibBasic,
+	}
+	for _, lib := range libs {
+		for _, s := range Scenarios() {
+			site := corpus.SiteSpec{Lib: lib, Ctx: corpus.CtxActivity,
+				ConnCheck: true, SetTimeout: true, Notify: true}
+			if lib == apimodel.LibBasic || lib == apimodel.LibOkHttp {
+				site.UseResponse = true
+				site.CheckResponse = true
+			}
+			rep := runSite(t, site, s)
+			if len(rep.Runs) == 0 {
+				t.Fatalf("%s/%s: no runs", lib, s)
+			}
+			for _, run := range rep.Runs {
+				if s == NetOffline && run.Obs.NetworkAttempts != 0 {
+					t.Errorf("%s/%s: guarded offline run transmitted", lib, s)
+				}
+				if s == NetOK && run.Obs.RequestFailures > 0 {
+					t.Errorf("%s/%s: healthy network failed", lib, s)
+				}
+			}
+		}
+	}
+}
+
+// The OkHttp callback path: enqueue-style apps are modeled through the
+// Callback-implementing class (checker 4's callback case).
+func TestOkHttpCallbackClassRuns(t *testing.T) {
+	// Hand-build: activity enqueues with a callback showing a toast on
+	// failure and reading the body on response.
+	appSrc := `class dyn.Ok extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local client com.squareup.okhttp.OkHttpClient
+    local req com.squareup.okhttp.Request
+    local cb dyn.Ok$Cb
+    client = new com.squareup.okhttp.OkHttpClient
+    virtualinvoke client com.squareup.okhttp.OkHttpClient.setReadTimeout(int)void 4000
+    req = new com.squareup.okhttp.Request
+    cb = new dyn.Ok$Cb
+    specialinvoke cb dyn.Ok$Cb.<init>()void
+    virtualinvoke client com.squareup.okhttp.OkHttpClient.enqueue(com.squareup.okhttp.Request,com.squareup.okhttp.Callback)void req cb
+    return
+  }
+}
+class dyn.Ok$Cb extends java.lang.Object implements com.squareup.okhttp.Callback {
+  method <init>()void {
+    return
+  }
+  method onResponse(com.squareup.okhttp.Response)void {
+    local resp com.squareup.okhttp.Response
+    local ok boolean
+    local body java.lang.String
+    resp = param 0 com.squareup.okhttp.Response
+    ok = virtualinvoke resp com.squareup.okhttp.Response.isSuccessful()boolean
+    if ok == 0 goto L1
+    body = virtualinvoke resp com.squareup.okhttp.Response.getBody()java.lang.String
+    L1:
+    return
+  }
+  method onFailure(com.squareup.okhttp.Request,java.io.IOException)void {
+    local toast android.widget.Toast
+    toast = new android.widget.Toast
+    virtualinvoke toast android.widget.Toast.show()void
+    return
+  }
+}`
+	prog := jimpleMustParse(t, appSrc)
+	man := &android.Manifest{Package: "dyn", Activities: []string{"dyn.Ok"}}
+	man.Normalize()
+	app := &apk.App{Manifest: man, Program: prog}
+
+	// Offline: onFailure fires, toast shown, no crash.
+	rep := RunApp(app, NetOffline, 1)
+	if len(rep.Runs) != 1 {
+		t.Fatalf("runs: %d", len(rep.Runs))
+	}
+	if rep.Runs[0].Obs.Crashed() {
+		t.Errorf("callback app crashed offline: %+v", rep.Runs[0].Obs.Crashes)
+	}
+	if rep.Runs[0].Obs.UIAlerts == 0 {
+		t.Error("onFailure toast not shown")
+	}
+	// Invalid response: isSuccessful guard skips the body read; no crash.
+	rep = RunApp(app, NetInvalidResp, 1)
+	if rep.Runs[0].Obs.Crashed() {
+		t.Errorf("guarded callback crashed on invalid response: %+v", rep.Runs[0].Obs.Crashes)
+	}
+	// Healthy: success path runs.
+	rep = RunApp(app, NetOK, 1)
+	if rep.Runs[0].Obs.RequestSuccesses == 0 {
+		t.Error("healthy enqueue did not succeed")
+	}
+}
+
+// Intra-app exceptions: a throw caught by an app trap does not crash.
+func TestAppLevelTryCatch(t *testing.T) {
+	src := `class dyn.Catcher extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local client com.turbomanage.httpclient.BasicHttpClient
+    local resp com.turbomanage.httpclient.HttpResponse
+    local e java.io.IOException
+    local toast android.widget.Toast
+    client = new com.turbomanage.httpclient.BasicHttpClient
+    virtualinvoke client com.turbomanage.httpclient.BasicHttpClient.setReadTimeout(int)void 3000
+    L0:
+    resp = virtualinvoke client com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "u"
+    L1:
+    return
+    L2:
+    e = caught
+    toast = new android.widget.Toast
+    virtualinvoke toast android.widget.Toast.show()void
+    return
+    trap L0 L1 L2 java.io.IOException
+  }
+}`
+	prog := jimpleMustParse(t, src)
+	man := &android.Manifest{Package: "dyn", Activities: []string{"dyn.Catcher"}}
+	man.Normalize()
+	app := &apk.App{Manifest: man, Program: prog}
+	rep := RunApp(app, NetOffline, 1)
+	if rep.Runs[0].Obs.Crashed() {
+		t.Errorf("caught IOException crashed the app: %+v", rep.Runs[0].Obs.Crashes)
+	}
+	if rep.Runs[0].Obs.UIAlerts == 0 {
+		t.Error("catch-block toast not shown")
+	}
+}
+
+func jimpleMustParse(t *testing.T, src string) *jimple.Program {
+	t.Helper()
+	prog, err := jimple.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("invalid test app: %v", err)
+	}
+	return prog
+}

@@ -1,0 +1,219 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/jimple"
+)
+
+// machineFor builds a machine over a standalone program (no Android).
+func machineFor(t *testing.T, src string) (*Machine, *jimple.Program) {
+	t.Helper()
+	prog, err := jimple.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	h := hierarchy.New(prog)
+	return NewMachine(h, NewNetModel(NetOK, 1)), prog
+}
+
+func TestInterpreterArithmetic(t *testing.T) {
+	src := `class m.T extends java.lang.Object {
+  method static f(int)int {
+    local a int
+    local b int
+    a = param 0 int
+    b = a * 3
+    b = b + 10
+    b = b - 1
+    b = b / 2
+    b = b % 100
+    b = b & 255
+    b = b | 1
+    b = b ^ 2
+    return b
+  }
+}`
+	m, prog := machineFor(t, src)
+	method := prog.Class("m.T").MethodNamed("f")
+	v, th := m.Call(method, nil, []Value{int64(4)})
+	if th != nil {
+		t.Fatalf("thrown: %v", th)
+	}
+	// ((4*3+10-1)/2)%100 = 10; 10&255=10; 10|1=11; 11^2=9.
+	if v != int64(9) {
+		t.Errorf("arithmetic: got %v want 9", v)
+	}
+}
+
+func TestInterpreterFieldsAndStatics(t *testing.T) {
+	src := `class m.Holder extends java.lang.Object {
+  field v int
+  field static s int
+  method static f()int {
+    local h m.Holder
+    local x int
+    h = new m.Holder
+    field(h,m.Holder,v) = 21
+    x = field(h,m.Holder,v)
+    sfield(m.Holder,s) = x
+    x = sfield(m.Holder,s)
+    x = x * 2
+    return x
+  }
+}`
+	m, prog := machineFor(t, src)
+	v, th := m.Call(prog.Class("m.Holder").MethodNamed("f"), nil, nil)
+	if th != nil {
+		t.Fatalf("thrown: %v", th)
+	}
+	if v != int64(42) {
+		t.Errorf("fields: got %v want 42", v)
+	}
+}
+
+func TestInterpreterNullFieldNPE(t *testing.T) {
+	src := `class m.N extends java.lang.Object {
+  field v int
+  method static f()int {
+    local h m.N
+    local x int
+    h = null
+    x = field(h,m.N,v)
+    return x
+  }
+}`
+	m, prog := machineFor(t, src)
+	_, th := m.Call(prog.Class("m.N").MethodNamed("f"), nil, nil)
+	if th == nil || th.Type != "java.lang.NullPointerException" {
+		t.Errorf("expected NPE, got %v", th)
+	}
+}
+
+func TestInterpreterVirtualDispatch(t *testing.T) {
+	src := `class m.Base extends java.lang.Object {
+  method id()int {
+    return 1
+  }
+}
+class m.Sub extends m.Base {
+  method id()int {
+    return 2
+  }
+}
+class m.Main extends java.lang.Object {
+  method static f()int {
+    local o m.Base
+    local r int
+    o = new m.Sub
+    r = virtualinvoke o m.Base.id()int
+    return r
+  }
+}`
+	m, prog := machineFor(t, src)
+	v, th := m.Call(prog.Class("m.Main").MethodNamed("f"), nil, nil)
+	if th != nil || v != int64(2) {
+		t.Errorf("virtual dispatch: got %v (%v), want 2", v, th)
+	}
+}
+
+func TestInterpreterInstanceOfAndNeg(t *testing.T) {
+	src := `class m.A extends java.lang.Object {
+}
+class m.B extends m.A {
+}
+class m.Main extends java.lang.Object {
+  method static f()int {
+    local o m.A
+    local is boolean
+    local neg boolean
+    o = new m.B
+    is = instanceof m.B o
+    neg = !is
+    if neg goto L0
+    return 7
+    L0:
+    return 0
+  }
+}`
+	m, prog := machineFor(t, src)
+	v, th := m.Call(prog.Class("m.Main").MethodNamed("f"), nil, nil)
+	if th != nil || v != int64(7) {
+		t.Errorf("instanceof/neg: got %v (%v), want 7", v, th)
+	}
+}
+
+func TestInterpreterUncaughtAppThrow(t *testing.T) {
+	src := `class m.Thrower extends java.lang.Object {
+  method static f()void {
+    local e java.lang.RuntimeException
+    e = new java.lang.RuntimeException
+    throw e
+  }
+}
+class java.lang.RuntimeException extends java.lang.Object {
+}`
+	m, prog := machineFor(t, src)
+	_, th := m.Call(prog.Class("m.Thrower").MethodNamed("f"), nil, nil)
+	if th == nil || th.Type != "java.lang.RuntimeException" {
+		t.Errorf("expected RuntimeException, got %v", th)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	src := `class m.Spin extends java.lang.Object {
+  method static f()void {
+    local i int
+    i = 0
+    L0:
+    i = i + 1
+    goto L0
+  }
+}`
+	m, prog := machineFor(t, src)
+	m.MaxSteps = 1000
+	_, th := m.Call(prog.Class("m.Spin").MethodNamed("f"), nil, nil)
+	if th == nil || th.Type != budgetExceeded {
+		t.Errorf("expected budget exhaustion, got %v", th)
+	}
+	if !m.Obs.BudgetExhausted {
+		t.Error("BudgetExhausted not recorded")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	o := NewObj("a.A")
+	if o.String() == "" || (*Obj)(nil).String() != "null" {
+		t.Error("Obj.String wrong")
+	}
+	th := &Thrown{Type: "T", Msg: "m"}
+	if th.Error() == "" {
+		t.Error("Thrown.Error empty")
+	}
+	if truthy(nil) || !truthy(int64(1)) || truthy(int64(0)) || !truthy("x") || truthy("") || !truthy(o) || !truthy(3.14) {
+		t.Error("truthy misbehaves")
+	}
+	if v, ok := asInt(float64(7.9)); !ok || v != 7 {
+		t.Error("asInt float")
+	}
+	if _, ok := asInt("nope"); ok {
+		t.Error("asInt string")
+	}
+	if o.GetInt("missing", 9) != 9 {
+		t.Error("GetInt default")
+	}
+}
+
+func TestEvalBinReferenceEquality(t *testing.T) {
+	a, b := NewObj("x.X"), NewObj("x.X")
+	if evalBin(jimple.OpEQ, a, a) != int64(1) || evalBin(jimple.OpEQ, a, b) != int64(0) {
+		t.Error("reference equality wrong")
+	}
+	if evalBin(jimple.OpNE, a, nil) != int64(1) || evalBin(jimple.OpEQ, nil, nil) != int64(1) {
+		t.Error("null comparisons wrong")
+	}
+}

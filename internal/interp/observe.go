@@ -1,0 +1,113 @@
+package interp
+
+import (
+	"math/rand"
+)
+
+// Scenario is an injected network condition, the fault dimensions
+// VanarSena/Caiipa-style dynamic checkers explore.
+type Scenario uint8
+
+const (
+	// NetOK: healthy network, valid responses.
+	NetOK Scenario = iota
+	// NetOffline: no connectivity; connectivity checks report offline and
+	// every transmission fails.
+	NetOffline
+	// NetPoor: connectivity checks pass but transmissions fail with high
+	// probability (the ChatSecure condition).
+	NetPoor
+	// NetInvalidResp: transmissions "succeed" but deliver a null/invalid
+	// response (the Checker 4 hazard).
+	NetInvalidResp
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case NetOK:
+		return "healthy"
+	case NetOffline:
+		return "offline"
+	case NetPoor:
+		return "poor-signal"
+	case NetInvalidResp:
+		return "invalid-response"
+	}
+	return "?"
+}
+
+// Scenarios returns all injected conditions.
+func Scenarios() []Scenario {
+	return []Scenario{NetOK, NetOffline, NetPoor, NetInvalidResp}
+}
+
+// NetModel injects network behaviour into the library natives.
+type NetModel struct {
+	Scenario Scenario
+	// FailP is the per-attempt failure probability under NetPoor.
+	FailP float64
+	rng   *rand.Rand
+}
+
+// NewNetModel builds a fault model for the scenario.
+func NewNetModel(s Scenario, seed int64) *NetModel {
+	return &NetModel{Scenario: s, FailP: 0.7, rng: rand.New(rand.NewSource(seed))}
+}
+
+// online reports whether connectivity checks should pass.
+func (n *NetModel) online() bool { return n.Scenario != NetOffline }
+
+// attemptFails decides one transmission attempt.
+func (n *NetModel) attemptFails() bool {
+	switch n.Scenario {
+	case NetOffline:
+		return true
+	case NetPoor:
+		return n.rng.Float64() < n.FailP
+	}
+	return false
+}
+
+// invalidResponse reports whether a "successful" transfer delivers an
+// unusable response.
+func (n *NetModel) invalidResponse() bool { return n.Scenario == NetInvalidResp }
+
+// Observations accumulates what a run manifested — the signals a dynamic
+// checker can see.
+type Observations struct {
+	// Crashes records uncaught exceptions reaching the entry point.
+	Crashes []Thrown
+	// UIAlerts counts user-visible messages shown (Toast/TextView/…).
+	UIAlerts int
+	// NetworkAttempts counts transmissions, including library-internal
+	// retries (the radio/energy proxy).
+	NetworkAttempts int
+	// RequestFailures counts requests whose final outcome was failure.
+	RequestFailures int
+	// RequestSuccesses counts requests that completed.
+	RequestSuccesses int
+	// VirtualTimeMs is the modeled wall-clock: timeouts and sleeps
+	// advance it; a huge value under NetOffline marks a hang (the
+	// no-timeout blocking connect).
+	VirtualTimeMs float64
+	// BudgetExhausted marks a run that hit the step budget — a runaway
+	// loop (the tight-reconnect symptom).
+	BudgetExhausted bool
+	// Slept counts backoff sleeps (distinguishes polite retry loops).
+	Slept int
+
+	statics map[string]Value
+}
+
+// Crashed reports whether the run ended in an uncaught exception.
+func (o *Observations) Crashed() bool { return len(o.Crashes) > 0 }
+
+// SilentFailure reports a failed request with no user-visible message —
+// the "unfriendly UI" manifestation. Meaningful for user-initiated
+// entries.
+func (o *Observations) SilentFailure() bool {
+	return o.RequestFailures > 0 && o.UIAlerts == 0 && !o.Crashed()
+}
+
+// HangSuspect reports a virtual time beyond what any user would wait.
+func (o *Observations) HangSuspect() bool { return o.VirtualTimeMs >= 20000 }

@@ -1,0 +1,146 @@
+package interp
+
+import (
+	"sort"
+
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/hierarchy"
+	"repro/internal/jimple"
+)
+
+// EntryRun is one entry point executed under one scenario.
+type EntryRun struct {
+	Entry    jimple.Sig
+	Kind     android.ComponentKind
+	Scenario Scenario
+	Obs      Observations
+}
+
+// RunReport aggregates a whole app's dynamic exploration.
+type RunReport struct {
+	Runs []EntryRun
+}
+
+// RunApp executes every framework entry point of the app under the given
+// scenario, VanarSena-style: construct the component, fire the lifecycle
+// method, observe what manifests. Each entry gets a fresh machine so
+// observations do not bleed across runs.
+func RunApp(app *apk.App, scenario Scenario, seed int64) *RunReport {
+	prog := jimple.NewProgram()
+	prog.Merge(app.Program)
+	prog.Merge(android.Framework())
+	prog.Merge(apimodel.Stubs())
+	h := hierarchy.New(prog)
+
+	entries := discoverEntries(app, h)
+	rep := &RunReport{}
+	for i, e := range entries {
+		m := NewMachine(h, NewNetModel(scenario, seed+int64(i)))
+		if app.Manifest != nil {
+			m.Receivers = app.Manifest.Receivers
+		}
+		method := prog.Method(e.sig)
+		if method == nil || !method.HasBody() {
+			continue
+		}
+		args := zeroArgs(method.Sig)
+		_, thrown := m.Call(method, NewObj(e.sig.Class), args)
+		if thrown != nil && thrown.Type != budgetExceeded {
+			m.Obs.Crashes = append(m.Obs.Crashes, *thrown)
+		}
+		rep.Runs = append(rep.Runs, EntryRun{
+			Entry: e.sig, Kind: e.kind, Scenario: scenario, Obs: *m.Obs,
+		})
+	}
+	return rep
+}
+
+type entryPoint struct {
+	sig  jimple.Sig
+	kind android.ComponentKind
+}
+
+// discoverEntries mirrors the static tool's entry discovery: lifecycle
+// methods of component subclasses (but dynamically we skip listener
+// callbacks, which setOnClickListener already exercises in-run).
+func discoverEntries(app *apk.App, h *hierarchy.Hierarchy) []entryPoint {
+	var out []entryPoint
+	for _, c := range app.Program.Classes() {
+		for _, base := range android.ComponentBases() {
+			if !h.IsSubtype(c.Name, base) {
+				continue
+			}
+			for _, sub := range android.LifecycleSubsigs(base) {
+				m := c.Method(sub)
+				if m == nil || !m.HasBody() {
+					continue
+				}
+				out = append(out, entryPoint{sig: m.Sig, kind: android.KindOf(h, c.Name)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sig.Key() < out[j].sig.Key() })
+	return out
+}
+
+func zeroArgs(sig jimple.Sig) []Value {
+	args := make([]Value, len(sig.Params))
+	for i, p := range sig.Params {
+		if jimple.IsPrimitive(p) {
+			args[i] = int64(0)
+		}
+	}
+	return args
+}
+
+// DynamicFinding is an NPD manifestation a run-time checker can report.
+type DynamicFinding string
+
+const (
+	// FindingCrash: an uncaught exception (what VanarSena files a crash
+	// report for).
+	FindingCrash DynamicFinding = "crash"
+	// FindingHang: virtual time beyond a user's patience (needs the
+	// timing fault model the paper notes most dynamic tools lack).
+	FindingHang DynamicFinding = "hang"
+	// FindingRunawayLoop: the step budget died in a tight loop.
+	FindingRunawayLoop DynamicFinding = "runaway-loop"
+	// FindingSilentFailure: a failed user-facing request with no
+	// user-visible message.
+	FindingSilentFailure DynamicFinding = "silent-failure"
+)
+
+// Findings classifies one run's manifestations. crashOnly restricts to
+// crash reports (the VanarSena model); otherwise hangs, runaway loops and
+// silent failures are also counted (a Caiipa-like richer oracle).
+func (run *EntryRun) Findings(crashOnly bool) []DynamicFinding {
+	var out []DynamicFinding
+	if run.Obs.Crashed() {
+		out = append(out, FindingCrash)
+	}
+	if crashOnly {
+		return out
+	}
+	if run.Obs.BudgetExhausted {
+		out = append(out, FindingRunawayLoop)
+	} else if run.Obs.HangSuspect() {
+		out = append(out, FindingHang)
+	}
+	if run.Kind == android.KindActivity && run.Obs.SilentFailure() {
+		out = append(out, FindingSilentFailure)
+	}
+	return out
+}
+
+// Findings aggregates per-run findings over the whole report.
+func (r *RunReport) Findings(crashOnly bool) map[DynamicFinding]int {
+	out := make(map[DynamicFinding]int)
+	for i := range r.Runs {
+		for _, f := range r.Runs[i].Findings(crashOnly) {
+			out[f]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+// Package interp is a dynamic-analysis substrate: an interpreter for the
+// jimple IR with a modeled Android runtime and a fault-injecting network.
+// It executes app entry points under injected network conditions (offline,
+// poor signal, invalid responses) and records the NPD *manifestations* —
+// crashes, hangs, silent failures, radio attempts — enabling the §7
+// comparison the paper makes against dynamic tools (VanarSena, Caiipa):
+// run-time fault injection only surfaces the crash-manifesting subset of
+// NPDs, while NChecker's static analyses cover the rest.
+package interp
+
+import (
+	"fmt"
+)
+
+// Value is a runtime value: nil (null reference), int64, float64, string,
+// or *Obj.
+type Value interface{}
+
+// Obj is a heap object.
+type Obj struct {
+	Type   string
+	Fields map[string]Value
+}
+
+// NewObj allocates an object of the given class.
+func NewObj(typ string) *Obj {
+	return &Obj{Type: typ, Fields: make(map[string]Value)}
+}
+
+// Get reads a field (zero value nil when absent).
+func (o *Obj) Get(name string) Value { return o.Fields[name] }
+
+// Set writes a field.
+func (o *Obj) Set(name string, v Value) { o.Fields[name] = v }
+
+// GetInt reads an int field with a default.
+func (o *Obj) GetInt(name string, def int64) int64 {
+	if v, ok := o.Fields[name].(int64); ok {
+		return v
+	}
+	return def
+}
+
+func (o *Obj) String() string {
+	if o == nil {
+		return "null"
+	}
+	return fmt.Sprintf("%s@%p", o.Type, o)
+}
+
+// Thrown is an exception in flight.
+type Thrown struct {
+	Type string
+	Msg  string
+	// Obj is the exception object when one exists.
+	Obj *Obj
+}
+
+func (t *Thrown) Error() string { return fmt.Sprintf("%s: %s", t.Type, t.Msg) }
+
+// truthy converts a value to a branch decision: non-zero ints, non-nil
+// refs and non-empty strings are true.
+func truthy(v Value) bool {
+	switch v := v.(type) {
+	case nil:
+		return false
+	case int64:
+		return v != 0
+	case float64:
+		return v != 0
+	case string:
+		return v != ""
+	case *Obj:
+		return v != nil
+	}
+	return true
+}
+
+// asInt coerces numeric values.
+func asInt(v Value) (int64, bool) {
+	switch v := v.(type) {
+	case int64:
+		return v, true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

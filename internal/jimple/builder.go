@@ -1,0 +1,224 @@
+package jimple
+
+import (
+	"fmt"
+)
+
+// Label is a forward-referenceable branch target handed out by a
+// BodyBuilder. Bind it to the next emitted statement with Bind.
+type Label struct {
+	id int
+}
+
+// BodyBuilder assembles a method body statement by statement, resolving
+// labels to statement indexes at Build time. It is the programmatic
+// front end used by tests, the synthetic-app corpus generator, and the
+// golden apps.
+type BodyBuilder struct {
+	locals   []LocalDecl
+	seen     map[string]bool
+	stmts    []Stmt
+	traps    []Trap
+	nextLbl  int
+	bound    map[int]int   // label id -> stmt index
+	pending  map[int][]int // label id -> stmt indexes needing patch
+	buildErr error
+}
+
+// NewBody returns an empty body builder.
+func NewBody() *BodyBuilder {
+	return &BodyBuilder{
+		seen:    make(map[string]bool),
+		bound:   make(map[int]int),
+		pending: make(map[int][]int),
+	}
+}
+
+// Local declares a local variable (idempotent for an identical
+// redeclaration) and returns a Local value for use in statements.
+func (b *BodyBuilder) Local(name, typ string) Local {
+	if !b.seen[name] {
+		b.seen[name] = true
+		b.locals = append(b.locals, LocalDecl{Name: name, Type: typ})
+	}
+	return Local{Name: name}
+}
+
+// NewLabel allocates an unbound label.
+func (b *BodyBuilder) NewLabel() *Label {
+	b.nextLbl++
+	return &Label{id: b.nextLbl}
+}
+
+// Bind anchors lbl at the position of the next emitted statement.
+func (b *BodyBuilder) Bind(lbl *Label) {
+	if _, dup := b.bound[lbl.id]; dup {
+		b.fail(fmt.Errorf("label %d bound twice", lbl.id))
+		return
+	}
+	b.bound[lbl.id] = len(b.stmts)
+}
+
+func (b *BodyBuilder) fail(err error) {
+	if b.buildErr == nil {
+		b.buildErr = err
+	}
+}
+
+func (b *BodyBuilder) emit(s Stmt) int {
+	b.stmts = append(b.stmts, s)
+	return len(b.stmts) - 1
+}
+
+// Assign emits "lhs = rhs".
+func (b *BodyBuilder) Assign(lhs LValue, rhs Value) *BodyBuilder {
+	b.emit(&AssignStmt{LHS: lhs, RHS: rhs})
+	return b
+}
+
+// New emits "l = new T" followed by a special-invoke of T's no-arg
+// constructor on l, mirroring Jimple's two-step allocation.
+func (b *BodyBuilder) New(l Local, typ string) *BodyBuilder {
+	b.Assign(l, NewExpr{Type: typ})
+	b.emit(&InvokeStmt{Call: InvokeExpr{
+		Kind:   InvokeSpecial,
+		Base:   l.Name,
+		Callee: Sig{Class: typ, Name: "<init>", Ret: TypeVoid},
+	}})
+	return b
+}
+
+// Invoke emits a call for side effects.
+func (b *BodyBuilder) Invoke(kind InvokeKind, base string, callee Sig, args ...Value) *BodyBuilder {
+	b.emit(&InvokeStmt{Call: InvokeExpr{Kind: kind, Base: base, Callee: callee, Args: args}})
+	return b
+}
+
+// InvokeAssign emits "l = <call>".
+func (b *BodyBuilder) InvokeAssign(l Local, kind InvokeKind, base string, callee Sig, args ...Value) *BodyBuilder {
+	b.Assign(l, InvokeExpr{Kind: kind, Base: base, Callee: callee, Args: args})
+	return b
+}
+
+// If emits a conditional branch to lbl.
+func (b *BodyBuilder) If(cond Value, lbl *Label) *BodyBuilder {
+	idx := b.emit(&IfStmt{Cond: cond, Target: -1})
+	b.pending[lbl.id] = append(b.pending[lbl.id], idx)
+	return b
+}
+
+// Goto emits an unconditional branch to lbl.
+func (b *BodyBuilder) Goto(lbl *Label) *BodyBuilder {
+	idx := b.emit(&GotoStmt{Target: -1})
+	b.pending[lbl.id] = append(b.pending[lbl.id], idx)
+	return b
+}
+
+// Return emits a return; v may be nil for void.
+func (b *BodyBuilder) Return(v Value) *BodyBuilder {
+	b.emit(&ReturnStmt{V: v})
+	return b
+}
+
+// Throw emits a throw of v.
+func (b *BodyBuilder) Throw(v Value) *BodyBuilder {
+	b.emit(&ThrowStmt{V: v})
+	return b
+}
+
+// Nop emits a no-op, useful as an explicit join point.
+func (b *BodyBuilder) Nop() *BodyBuilder {
+	b.emit(&NopStmt{})
+	return b
+}
+
+// TrapRegion records an exception handler covering [begin, end) labels
+// with the handler at handlerLbl. All three labels must be bound by Build
+// time.
+func (b *BodyBuilder) TrapRegion(begin, end, handler *Label, exception string) *BodyBuilder {
+	// Store label ids negatively offset so Build can distinguish them
+	// from resolved indexes; resolution happens in Build.
+	b.traps = append(b.traps, Trap{Begin: -begin.id, End: -end.id, Handler: -handler.id, Exception: exception})
+	return b
+}
+
+// Mark returns the index of the next statement to be emitted. Callers that
+// prefer raw indexes over labels (e.g. generated code) can use Mark with
+// TrapAt.
+func (b *BodyBuilder) Mark() int { return len(b.stmts) }
+
+// TrapAt records an exception handler using raw statement indexes.
+func (b *BodyBuilder) TrapAt(begin, end, handler int, exception string) *BodyBuilder {
+	b.traps = append(b.traps, Trap{Begin: begin, End: end, Handler: handler, Exception: exception})
+	return b
+}
+
+// Build finalizes the body into a Method with the given signature.
+func (b *BodyBuilder) Build(sig Sig, static bool) (*Method, error) {
+	if b.buildErr != nil {
+		return nil, b.buildErr
+	}
+	resolve := func(id int) (int, error) {
+		idx, ok := b.bound[id]
+		if !ok {
+			return 0, fmt.Errorf("label %d used but never bound", id)
+		}
+		return idx, nil
+	}
+	for id, sites := range b.pending {
+		idx, err := resolve(id)
+		if err != nil {
+			return nil, err
+		}
+		if idx >= len(b.stmts) {
+			// A label bound past the last statement needs an anchor.
+			return nil, fmt.Errorf("label %d bound past the end of the body", id)
+		}
+		for _, site := range sites {
+			switch s := b.stmts[site].(type) {
+			case *IfStmt:
+				s.Target = idx
+			case *GotoStmt:
+				s.Target = idx
+			default:
+				return nil, fmt.Errorf("pending patch at non-branch statement %d", site)
+			}
+		}
+	}
+	traps := make([]Trap, len(b.traps))
+	for i, t := range b.traps {
+		rt := t
+		if t.Begin < 0 { // label-based trap: resolve all three
+			var err error
+			if rt.Begin, err = resolve(-t.Begin); err != nil {
+				return nil, err
+			}
+			if rt.End, err = resolve(-t.End); err != nil {
+				return nil, err
+			}
+			if rt.Handler, err = resolve(-t.Handler); err != nil {
+				return nil, err
+			}
+		}
+		traps[i] = rt
+	}
+	m := &Method{
+		Sig:    sig,
+		Static: static,
+		Locals: b.locals,
+		Body:   b.stmts,
+		Traps:  traps,
+	}
+	return m, nil
+}
+
+// MustBuild is Build that panics on error; intended for hand-authored
+// bodies in tests, goldens and generators where a failure is a programming
+// bug.
+func (b *BodyBuilder) MustBuild(sig Sig, static bool) *Method {
+	m, err := b.Build(sig, static)
+	if err != nil {
+		panic(fmt.Sprintf("jimple: MustBuild %s: %v", sig.Key(), err))
+	}
+	return m
+}

@@ -1,0 +1,235 @@
+package jimple
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fprint renders the program in the textual assembly form accepted by
+// Parse. The rendering is deterministic: classes sorted by name, members
+// in declaration order.
+func Fprint(b *strings.Builder, p *Program) {
+	for i, c := range p.Classes() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printClass(b, c)
+	}
+}
+
+// Print renders the program as a string.
+func Print(p *Program) string {
+	var b strings.Builder
+	Fprint(&b, p)
+	return b.String()
+}
+
+// PrintClass renders a single class.
+func PrintClass(c *Class) string {
+	var b strings.Builder
+	printClass(&b, c)
+	return b.String()
+}
+
+func printClass(b *strings.Builder, c *Class) {
+	if c.IsIface {
+		b.WriteString("interface ")
+	} else {
+		if c.Abstract {
+			b.WriteString("abstract ")
+		}
+		b.WriteString("class ")
+	}
+	b.WriteString(c.Name)
+	if c.Super != "" {
+		b.WriteString(" extends ")
+		b.WriteString(c.Super)
+	}
+	if len(c.Interfaces) > 0 {
+		b.WriteString(" implements ")
+		b.WriteString(strings.Join(c.Interfaces, ","))
+	}
+	b.WriteString(" {\n")
+	for _, f := range c.Fields {
+		b.WriteString("  field ")
+		if f.Static {
+			b.WriteString("static ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type)
+		b.WriteByte('\n')
+	}
+	for _, m := range c.Methods {
+		printMethod(b, m)
+	}
+	b.WriteString("}\n")
+}
+
+func printMethod(b *strings.Builder, m *Method) {
+	b.WriteString("  method ")
+	if m.Static {
+		b.WriteString("static ")
+	}
+	if m.Abstract {
+		b.WriteString("abstract ")
+	}
+	b.WriteString(m.Sig.Name)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(m.Sig.Params, ","))
+	b.WriteByte(')')
+	b.WriteString(m.Sig.Ret)
+	if !m.HasBody() {
+		b.WriteByte('\n')
+		return
+	}
+	b.WriteString(" {\n")
+	for _, l := range m.Locals {
+		fmt.Fprintf(b, "    local %s %s\n", l.Name, l.Type)
+	}
+	labels := collectLabels(m)
+	for i, s := range m.Body {
+		if lbl, ok := labels[i]; ok {
+			fmt.Fprintf(b, "    L%d:\n", lbl)
+		}
+		b.WriteString("    ")
+		b.WriteString(formatStmt(s, labels))
+		b.WriteByte('\n')
+	}
+	// A label may anchor one past the last statement only via traps ends;
+	// trap ends are exclusive and may equal len(Body).
+	if lbl, ok := labels[len(m.Body)]; ok {
+		fmt.Fprintf(b, "    L%d:\n", lbl)
+	}
+	for _, t := range m.Traps {
+		fmt.Fprintf(b, "    trap L%d L%d L%d %s\n",
+			labels[t.Begin], labels[t.End], labels[t.Handler], t.Exception)
+	}
+	b.WriteString("  }\n")
+}
+
+// collectLabels assigns a label number to every statement index that is a
+// branch target or trap boundary, in increasing index order.
+func collectLabels(m *Method) map[int]int {
+	idxSet := make(map[int]bool)
+	var scratch []int
+	for _, s := range m.Body {
+		for _, t := range BranchTargets(scratch[:0], s) {
+			idxSet[t] = true
+		}
+	}
+	for _, t := range m.Traps {
+		idxSet[t.Begin] = true
+		idxSet[t.End] = true
+		idxSet[t.Handler] = true
+	}
+	idxs := make([]int, 0, len(idxSet))
+	for i := range idxSet {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	labels := make(map[int]int, len(idxs))
+	for n, i := range idxs {
+		labels[i] = n
+	}
+	return labels
+}
+
+func formatStmt(s Stmt, labels map[int]int) string {
+	switch s := s.(type) {
+	case *AssignStmt:
+		return formatLValue(s.LHS) + " = " + formatValue(s.RHS)
+	case *InvokeStmt:
+		return formatInvoke(s.Call)
+	case *IfStmt:
+		return fmt.Sprintf("if %s goto L%d", formatValue(s.Cond), labels[s.Target])
+	case *GotoStmt:
+		return fmt.Sprintf("goto L%d", labels[s.Target])
+	case *ReturnStmt:
+		if s.V == nil {
+			return "return"
+		}
+		return "return " + formatAtom(s.V)
+	case *ThrowStmt:
+		return "throw " + formatAtom(s.V)
+	case *NopStmt:
+		return "nop"
+	}
+	return "?"
+}
+
+func formatLValue(v LValue) string {
+	switch v := v.(type) {
+	case Local:
+		return v.Name
+	case FieldRef:
+		return formatFieldRef(v)
+	}
+	return "?"
+}
+
+func formatFieldRef(f FieldRef) string {
+	if f.Base == "" {
+		return fmt.Sprintf("sfield(%s,%s)", f.Class, f.Field)
+	}
+	return fmt.Sprintf("field(%s,%s,%s)", f.Base, f.Class, f.Field)
+}
+
+func formatAtom(v Value) string {
+	switch v := v.(type) {
+	case Local:
+		return v.Name
+	case IntConst:
+		return strconv.FormatInt(v.V, 10)
+	case StrConst:
+		return strconv.Quote(v.V)
+	case NullConst:
+		return "null"
+	case ParamRef:
+		return fmt.Sprintf("param %d %s", v.Index, v.Type)
+	case ThisRef:
+		return "this " + v.Type
+	case CaughtExRef:
+		return "caught"
+	case FieldRef:
+		return formatFieldRef(v)
+	}
+	return "?" + v.String()
+}
+
+func formatValue(v Value) string {
+	switch v := v.(type) {
+	case NewExpr:
+		return "new " + v.Type
+	case InvokeExpr:
+		return formatInvoke(v)
+	case BinExpr:
+		return fmt.Sprintf("%s %s %s", formatAtom(v.L), v.Op.String(), formatAtom(v.R))
+	case NegExpr:
+		return "!" + formatAtom(v.V)
+	case CastExpr:
+		return fmt.Sprintf("cast %s %s", v.Type, formatAtom(v.V))
+	case InstanceOfExpr:
+		return fmt.Sprintf("instanceof %s %s", v.Type, formatAtom(v.V))
+	default:
+		return formatAtom(v)
+	}
+}
+
+func formatInvoke(e InvokeExpr) string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	b.WriteByte(' ')
+	if e.Kind != InvokeStatic {
+		b.WriteString(e.Base)
+		b.WriteByte(' ')
+	}
+	b.WriteString(e.Callee.Key())
+	for _, a := range e.Args {
+		b.WriteByte(' ')
+		b.WriteString(formatAtom(a))
+	}
+	return b.String()
+}

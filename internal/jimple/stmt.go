@@ -1,0 +1,153 @@
+package jimple
+
+import (
+	"fmt"
+)
+
+// Stmt is a single IR statement. Method bodies are flat []Stmt slices;
+// branch targets are indexes into that slice.
+type Stmt interface {
+	stmtNode()
+	String() string
+}
+
+// AssignStmt stores the value of RHS into LHS.
+type AssignStmt struct {
+	LHS LValue
+	RHS Value
+}
+
+func (*AssignStmt) stmtNode() {}
+func (s *AssignStmt) String() string {
+	return fmt.Sprintf("%s = %s", s.LHS.String(), s.RHS.String())
+}
+
+// InvokeStmt evaluates a call purely for its side effects (a call whose
+// result, if any, is discarded).
+type InvokeStmt struct {
+	Call InvokeExpr
+}
+
+func (*InvokeStmt) stmtNode()        {}
+func (s *InvokeStmt) String() string { return s.Call.String() }
+
+// IfStmt branches to Target when Cond evaluates to a non-zero value;
+// otherwise control falls through to the next statement.
+type IfStmt struct {
+	Cond   Value
+	Target int
+}
+
+func (*IfStmt) stmtNode() {}
+func (s *IfStmt) String() string {
+	return fmt.Sprintf("if %s goto %d", s.Cond.String(), s.Target)
+}
+
+// GotoStmt unconditionally branches to Target.
+type GotoStmt struct {
+	Target int
+}
+
+func (*GotoStmt) stmtNode()        {}
+func (s *GotoStmt) String() string { return fmt.Sprintf("goto %d", s.Target) }
+
+// ReturnStmt returns from the method. V is nil for void returns.
+type ReturnStmt struct {
+	V Value
+}
+
+func (*ReturnStmt) stmtNode() {}
+func (s *ReturnStmt) String() string {
+	if s.V == nil {
+		return "return"
+	}
+	return "return " + s.V.String()
+}
+
+// ThrowStmt raises the exception held in V.
+type ThrowStmt struct {
+	V Value
+}
+
+func (*ThrowStmt) stmtNode()        {}
+func (s *ThrowStmt) String() string { return "throw " + s.V.String() }
+
+// NopStmt does nothing; it exists as a branch-target anchor.
+type NopStmt struct{}
+
+func (*NopStmt) stmtNode()        {}
+func (s *NopStmt) String() string { return "nop" }
+
+// InvokeOf returns the invocation performed by s, if any: either the call
+// of an InvokeStmt or an InvokeExpr on the right-hand side of an
+// AssignStmt. ok is false when s performs no call.
+func InvokeOf(s Stmt) (InvokeExpr, bool) {
+	switch s := s.(type) {
+	case *InvokeStmt:
+		return s.Call, true
+	case *AssignStmt:
+		if inv, isInv := s.RHS.(InvokeExpr); isInv {
+			return inv, true
+		}
+	}
+	return InvokeExpr{}, false
+}
+
+// DefOf returns the name of the local defined (written) by s, or "" if s
+// defines no local.
+func DefOf(s Stmt) string {
+	if a, ok := s.(*AssignStmt); ok {
+		if l, isLocal := a.LHS.(Local); isLocal {
+			return l.Name
+		}
+	}
+	return ""
+}
+
+// UsesOf appends to dst the names of locals read by s and returns the
+// extended slice.
+func UsesOf(dst []string, s Stmt) []string {
+	switch s := s.(type) {
+	case *AssignStmt:
+		dst = UsedLocals(dst, s.RHS)
+		// A field store reads its receiver local.
+		if f, ok := s.LHS.(FieldRef); ok && f.Base != "" {
+			dst = append(dst, f.Base)
+		}
+		return dst
+	case *InvokeStmt:
+		return UsedLocals(dst, s.Call)
+	case *IfStmt:
+		return UsedLocals(dst, s.Cond)
+	case *ReturnStmt:
+		return UsedLocals(dst, s.V)
+	case *ThrowStmt:
+		return UsedLocals(dst, s.V)
+	default:
+		return dst
+	}
+}
+
+// BranchTargets appends to dst the explicit branch targets of s (not
+// including fallthrough) and returns the extended slice.
+func BranchTargets(dst []int, s Stmt) []int {
+	switch s := s.(type) {
+	case *IfStmt:
+		return append(dst, s.Target)
+	case *GotoStmt:
+		return append(dst, s.Target)
+	default:
+		return dst
+	}
+}
+
+// FallsThrough reports whether control may continue to the next statement
+// after s executes.
+func FallsThrough(s Stmt) bool {
+	switch s.(type) {
+	case *GotoStmt, *ReturnStmt, *ThrowStmt:
+		return false
+	default:
+		return true
+	}
+}

@@ -1,0 +1,269 @@
+package jimple
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is an IR expression: anything that can appear on the right-hand
+// side of an assignment, as a call argument, or as a branch condition.
+type Value interface {
+	valueNode()
+	String() string
+}
+
+// LValue is a Value that may also appear on the left-hand side of an
+// assignment: a local or a field reference.
+type LValue interface {
+	Value
+	lvalueNode()
+}
+
+// Local is a use of (or assignment to) a method-local variable.
+type Local struct {
+	Name string
+}
+
+func (Local) valueNode()       {}
+func (Local) lvalueNode()      {}
+func (l Local) String() string { return l.Name }
+
+// IntConst is an integer (or boolean: 0/1) constant.
+type IntConst struct {
+	V int64
+}
+
+func (IntConst) valueNode()       {}
+func (c IntConst) String() string { return strconv.FormatInt(c.V, 10) }
+
+// StrConst is a string constant.
+type StrConst struct {
+	V string
+}
+
+func (StrConst) valueNode()       {}
+func (c StrConst) String() string { return strconv.Quote(c.V) }
+
+// NullConst is the null reference constant.
+type NullConst struct{}
+
+func (NullConst) valueNode()     {}
+func (NullConst) String() string { return "null" }
+
+// ParamRef reads the method parameter at Index (0-based, not counting the
+// receiver). Jimple spells this "@parameter0: T".
+type ParamRef struct {
+	Index int
+	Type  string
+}
+
+func (ParamRef) valueNode()       {}
+func (p ParamRef) String() string { return fmt.Sprintf("@parameter%d", p.Index) }
+
+// ThisRef reads the receiver of an instance method ("@this").
+type ThisRef struct {
+	Type string
+}
+
+func (ThisRef) valueNode()     {}
+func (ThisRef) String() string { return "@this" }
+
+// CaughtExRef reads the in-flight exception at the head of a trap handler
+// ("@caughtexception").
+type CaughtExRef struct{}
+
+func (CaughtExRef) valueNode()     {}
+func (CaughtExRef) String() string { return "@caughtexception" }
+
+// FieldRef reads or writes a field. Base is the receiver local's name, or
+// "" for a static field.
+type FieldRef struct {
+	Base  string // receiver local; "" => static
+	Class string // declaring class
+	Field string // field name
+}
+
+func (FieldRef) valueNode()  {}
+func (FieldRef) lvalueNode() {}
+func (f FieldRef) String() string {
+	if f.Base == "" {
+		return fmt.Sprintf("%s.%s", f.Class, f.Field)
+	}
+	return fmt.Sprintf("%s.<%s: %s>", f.Base, f.Class, f.Field)
+}
+
+// NewExpr allocates an instance of Type (without running a constructor;
+// the constructor is a separate special-invoke, as in Jimple).
+type NewExpr struct {
+	Type string
+}
+
+func (NewExpr) valueNode()       {}
+func (n NewExpr) String() string { return "new " + n.Type }
+
+// InvokeKind distinguishes the dispatch mechanisms of an invocation.
+type InvokeKind uint8
+
+const (
+	// InvokeVirtual dispatches on the runtime type of the receiver.
+	InvokeVirtual InvokeKind = iota
+	// InvokeInterface dispatches an interface method on the receiver.
+	InvokeInterface
+	// InvokeSpecial calls a constructor or a private/super method
+	// directly, without dynamic dispatch.
+	InvokeSpecial
+	// InvokeStatic calls a static method.
+	InvokeStatic
+)
+
+func (k InvokeKind) String() string {
+	switch k {
+	case InvokeVirtual:
+		return "virtualinvoke"
+	case InvokeInterface:
+		return "interfaceinvoke"
+	case InvokeSpecial:
+		return "specialinvoke"
+	case InvokeStatic:
+		return "staticinvoke"
+	}
+	return fmt.Sprintf("invoke(%d)", uint8(k))
+}
+
+// InvokeExpr is a method invocation. For static calls Base is "".
+type InvokeExpr struct {
+	Kind   InvokeKind
+	Base   string // receiver local name; "" for static invokes
+	Callee Sig
+	Args   []Value
+}
+
+func (InvokeExpr) valueNode() {}
+func (e InvokeExpr) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	b.WriteByte(' ')
+	if e.Base != "" {
+		b.WriteString(e.Base)
+		b.WriteByte('.')
+	}
+	b.WriteString(e.Callee.Class)
+	b.WriteByte('#')
+	b.WriteString(e.Callee.Name)
+	b.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	OpEQ BinOp = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+)
+
+var binOpNames = [...]string{"==", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "&", "|", "^"}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsComparison reports whether op yields a boolean.
+func (op BinOp) IsComparison() bool { return op <= OpGE }
+
+// BinExpr applies a binary operator to two operands.
+type BinExpr struct {
+	Op   BinOp
+	L, R Value
+}
+
+func (BinExpr) valueNode() {}
+func (e BinExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.L.String(), e.Op.String(), e.R.String())
+}
+
+// NegExpr is logical negation of a boolean operand.
+type NegExpr struct {
+	V Value
+}
+
+func (NegExpr) valueNode()       {}
+func (e NegExpr) String() string { return "!" + e.V.String() }
+
+// CastExpr converts V to Type (a checked reference cast or a numeric
+// conversion; the analyses treat it as a copy).
+type CastExpr struct {
+	Type string
+	V    Value
+}
+
+func (CastExpr) valueNode()       {}
+func (e CastExpr) String() string { return fmt.Sprintf("(%s) %s", e.Type, e.V.String()) }
+
+// InstanceOfExpr tests whether V is an instance of Type.
+type InstanceOfExpr struct {
+	Type string
+	V    Value
+}
+
+func (InstanceOfExpr) valueNode() {}
+func (e InstanceOfExpr) String() string {
+	return fmt.Sprintf("%s instanceof %s", e.V.String(), e.Type)
+}
+
+// UsedLocals appends to dst the names of all locals read by v (including
+// invoke receivers) and returns the extended slice.
+func UsedLocals(dst []string, v Value) []string {
+	switch v := v.(type) {
+	case nil:
+		return dst
+	case Local:
+		return append(dst, v.Name)
+	case FieldRef:
+		if v.Base != "" {
+			dst = append(dst, v.Base)
+		}
+		return dst
+	case InvokeExpr:
+		if v.Base != "" {
+			dst = append(dst, v.Base)
+		}
+		for _, a := range v.Args {
+			dst = UsedLocals(dst, a)
+		}
+		return dst
+	case BinExpr:
+		return UsedLocals(UsedLocals(dst, v.L), v.R)
+	case NegExpr:
+		return UsedLocals(dst, v.V)
+	case CastExpr:
+		return UsedLocals(dst, v.V)
+	case InstanceOfExpr:
+		return UsedLocals(dst, v.V)
+	default:
+		return dst
+	}
+}

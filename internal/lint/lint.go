@@ -1,0 +1,127 @@
+// Package lint is the baseline comparator: the kind of shallow,
+// app-level network lint that mainstream Android lint tools could ship —
+// "does this app ever call a timeout API anywhere?" — with none of
+// NChecker's per-request reachability, context, or taint reasoning. It
+// exists to quantify why the shallow approach is not enough (the paper's
+// implicit comparison: network-defect checkers are absent from lint tools
+// precisely because app-level heuristics are too coarse).
+//
+// The lint rules mirror NChecker's causes at whole-app granularity:
+//
+//	net-no-conn-check   the app never calls a connectivity-check API
+//	net-no-timeout      the app never calls any timeout config API
+//	net-no-retry-config the app uses a retry-capable library but never a retry API
+//	net-no-error-ui     the app performs requests but never shows a UI alert
+//	net-unchecked-resp  the app reads response bodies but never calls a
+//	                    response-checking API
+//
+// A rule fires at most once per app and cannot point at a request, which
+// is exactly what makes its warnings unactionable next to NChecker's.
+package lint
+
+import (
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/jimple"
+)
+
+// Rule identifies a lint rule.
+type Rule string
+
+const (
+	RuleNoConnCheck   Rule = "net-no-conn-check"
+	RuleNoTimeout     Rule = "net-no-timeout"
+	RuleNoRetryConfig Rule = "net-no-retry-config"
+	RuleNoErrorUI     Rule = "net-no-error-ui"
+	RuleUncheckedResp Rule = "net-unchecked-resp"
+)
+
+// Finding is one app-level lint warning.
+type Finding struct {
+	Rule    Rule
+	Message string
+}
+
+// appFacts summarizes what APIs the app touches anywhere.
+type appFacts struct {
+	requests     bool
+	connCheck    bool
+	timeoutCfg   bool
+	retryCfg     bool
+	retryLib     bool
+	uiAlert      bool
+	respUse      bool
+	respCheck    bool
+	respCheckLib bool
+}
+
+// Run lints an app and returns its findings.
+func Run(app *apk.App) []Finding {
+	reg := apimodel.NewRegistry()
+	var f appFacts
+	for _, k := range reg.LibsUsedBy(app.Program) {
+		l := reg.Library(k)
+		if l.HasRetryAPIs {
+			f.retryLib = true
+		}
+		if l.HasRespCheckAPIs() {
+			f.respCheckLib = true
+		}
+	}
+	for _, c := range app.Program.Classes() {
+		for _, m := range c.Methods {
+			for _, s := range m.Body {
+				inv, ok := jimple.InvokeOf(s)
+				if !ok {
+					continue
+				}
+				sig := inv.Callee
+				if _, _, isTarget := reg.TargetOf(sig); isTarget {
+					f.requests = true
+				}
+				if android.IsConnectivityCheck(sig) {
+					f.connCheck = true
+				}
+				if android.IsUIAlertCall(sig) {
+					f.uiAlert = true
+				}
+				if _, cfg, isCfg := reg.ConfigOf(sig); isCfg {
+					switch cfg.Kind {
+					case apimodel.ConfigTimeout:
+						f.timeoutCfg = true
+					case apimodel.ConfigRetry:
+						f.retryCfg = true
+					}
+				}
+				if reg.IsRespCheck(sig) {
+					f.respCheck = true
+				}
+				if apimodel.ResponseUseSigs[sig.Key()] {
+					f.respUse = true
+				}
+			}
+		}
+	}
+	if !f.requests {
+		return nil
+	}
+	var out []Finding
+	add := func(r Rule, msg string) { out = append(out, Finding{Rule: r, Message: msg}) }
+	if !f.connCheck {
+		add(RuleNoConnCheck, "app performs network requests but never checks connectivity")
+	}
+	if !f.timeoutCfg {
+		add(RuleNoTimeout, "app performs network requests but never sets a timeout")
+	}
+	if f.retryLib && !f.retryCfg {
+		add(RuleNoRetryConfig, "app uses a retry-capable library but never configures retries")
+	}
+	if !f.uiAlert {
+		add(RuleNoErrorUI, "app performs network requests but never shows a UI message")
+	}
+	if f.respCheckLib && f.respUse && !f.respCheck {
+		add(RuleUncheckedResp, "app reads response bodies but never validates a response")
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/apimodel"
+	"repro/internal/corpus"
+)
+
+func rules(fs []Finding) map[Rule]bool {
+	out := make(map[Rule]bool)
+	for _, f := range fs {
+		out[f.Rule] = true
+	}
+	return out
+}
+
+func TestLintFlagsBareApp(t *testing.T) {
+	app := corpus.MustBuild(corpus.AppSpec{Package: "l.bare", Sites: []corpus.SiteSpec{
+		{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity, UseResponse: true},
+	}})
+	got := rules(Run(app))
+	for _, want := range []Rule{RuleNoConnCheck, RuleNoTimeout, RuleNoRetryConfig, RuleNoErrorUI, RuleUncheckedResp} {
+		if !got[want] {
+			t.Errorf("missing rule %s: %v", want, got)
+		}
+	}
+}
+
+func TestLintQuietOnDisciplinedApp(t *testing.T) {
+	app := corpus.MustBuild(corpus.AppSpec{Package: "l.good", Sites: []corpus.SiteSpec{
+		{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity, ConnCheck: true, SetTimeout: true,
+			SetRetry: true, RetryCount: 1, Notify: true, UseResponse: true, CheckResponse: true},
+	}})
+	// The null check is not a "response-checking API" call, so the
+	// shallow respcheck rule still fires — one of lint's inherent FPs.
+	got := rules(Run(app))
+	for _, silent := range []Rule{RuleNoConnCheck, RuleNoTimeout, RuleNoRetryConfig, RuleNoErrorUI} {
+		if got[silent] {
+			t.Errorf("rule %s fired on a disciplined app", silent)
+		}
+	}
+}
+
+func TestLintIgnoresAppsWithoutRequests(t *testing.T) {
+	app := corpus.MustBuild(corpus.AppSpec{Package: "l.empty"})
+	if fs := Run(app); len(fs) != 0 {
+		t.Errorf("no-request app linted: %v", fs)
+	}
+}
+
+// Lint's fundamental weakness: one config call anywhere silences the rule
+// for the whole app, even when most requests are unprotected — the exact
+// imprecision NChecker's per-request analysis fixes.
+func TestLintBlindToPartialMisses(t *testing.T) {
+	app := corpus.MustBuild(corpus.AppSpec{Package: "l.partial", Sites: []corpus.SiteSpec{
+		{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity, ConnCheck: true, SetTimeout: true,
+			SetRetry: true, RetryCount: 1, Notify: true},
+		{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity}, // completely bare
+		{Lib: apimodel.LibBasic, Ctx: corpus.CtxActivity}, // completely bare
+	}})
+	got := rules(Run(app))
+	if got[RuleNoConnCheck] || got[RuleNoTimeout] {
+		t.Errorf("lint should be fooled by the single good site: %v", got)
+	}
+}

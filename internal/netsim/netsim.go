@@ -1,0 +1,257 @@
+// Package netsim is a discrete-event simulator of mobile networks and of
+// an HTTP client with Volley-like default parameters. It replaces the
+// paper's physical testbed (a 3G link shaped by Apple's Network Link
+// Conditioner) for the Figure 3 experiment: downloading files of varying
+// sizes under packet loss with the library's default timeout (2500 ms)
+// and a single automatic retry, measuring success rates.
+//
+// The model is segment-level: a transfer is a connect handshake followed
+// by MSS-sized segments; each segment is lost independently with the
+// profile's loss rate; a lost segment is recovered either by fast
+// retransmit (one RTT) or by a retransmission timeout that doubles on
+// consecutive losses. The client aborts when no data arrives for its
+// read-timeout window — exactly the failure mode that makes default
+// timeouts too tight under lossy mobile links.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MSS is the segment size in bytes.
+const MSS = 1400
+
+// Profile describes a network's steady-state behaviour.
+type Profile struct {
+	Name string
+	// RTTMs is the round-trip time in milliseconds.
+	RTTMs float64
+	// BandwidthKbps is the bottleneck bandwidth in kilobits per second.
+	BandwidthKbps float64
+	// LossRate is the independent per-segment loss probability.
+	LossRate float64
+	// FastRetransmitP is the probability a loss is recovered by fast
+	// retransmit (≈ one RTT) rather than by an RTO.
+	FastRetransmitP float64
+	// RTOMs is the initial retransmission timeout; it doubles on each
+	// consecutive loss of the same segment.
+	RTOMs float64
+	// Disruption, when non-nil, overlays connectivity outages.
+	Disruption *Disruption
+}
+
+// Disruption is a two-state (up/down) outage overlay: while down, every
+// segment is lost regardless of LossRate. Durations are exponentially
+// distributed around the means.
+type Disruption struct {
+	MeanUpMs   float64
+	MeanDownMs float64
+}
+
+// ThreeG returns the 3G profile used by Figure 3.
+func ThreeG() Profile {
+	return Profile{
+		Name:            "3G",
+		RTTMs:           220,
+		BandwidthKbps:   1000,
+		LossRate:        0,
+		FastRetransmitP: 0.5,
+		RTOMs:           1300,
+	}
+}
+
+// ThreeGLossy returns the 3G profile with the given packet loss rate.
+func ThreeGLossy(loss float64) Profile {
+	p := ThreeG()
+	p.Name = fmt.Sprintf("3G loss=%.0f%%", loss*100)
+	p.LossRate = loss
+	return p
+}
+
+// WiFi returns a fast low-loss profile, useful as a contrast in examples.
+func WiFi() Profile {
+	return Profile{
+		Name:            "WiFi",
+		RTTMs:           30,
+		BandwidthKbps:   20000,
+		LossRate:        0.001,
+		FastRetransmitP: 0.9,
+		RTOMs:           600,
+	}
+}
+
+// WithDisruption overlays outage episodes on a copy of the profile.
+func (p Profile) WithDisruption(meanUpMs, meanDownMs float64) Profile {
+	p.Disruption = &Disruption{MeanUpMs: meanUpMs, MeanDownMs: meanDownMs}
+	p.Name = p.Name + "+disruptions"
+	return p
+}
+
+// Client models an HTTP client's reliability parameters.
+type Client struct {
+	// TimeoutMs is the read/connect timeout: the request fails when no
+	// segment arrives within this window. 0 means no timeout (a blocking
+	// native connect — it waits out any stall).
+	TimeoutMs float64
+	// MaxRetries is the number of automatic retry attempts after a
+	// failure.
+	MaxRetries int
+	// BackoffMult scales the timeout on each retry (Volley's backoff
+	// multiplier; 1 = constant).
+	BackoffMult float64
+}
+
+// DefaultVolley returns the Volley default parameters the paper's
+// Figure 3 measures: 2500 ms timeout, one retry, no backoff.
+func DefaultVolley() Client {
+	return Client{TimeoutMs: 2500, MaxRetries: 1, BackoffMult: 1}
+}
+
+// Result describes one download.
+type Result struct {
+	Success   bool
+	ElapsedMs float64
+	Attempts  int
+}
+
+// linkState tracks the disruption overlay during one simulation.
+type linkState struct {
+	d        *Disruption
+	up       bool
+	nextFlip float64
+}
+
+func newLinkState(p Profile, rng *rand.Rand) *linkState {
+	if p.Disruption == nil {
+		return nil
+	}
+	return &linkState{d: p.Disruption, up: true,
+		nextFlip: expDur(rng, p.Disruption.MeanUpMs)}
+}
+
+func expDur(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// isDown advances the overlay to time t and reports whether the link is
+// in an outage.
+func (ls *linkState) isDown(t float64, rng *rand.Rand) bool {
+	if ls == nil {
+		return false
+	}
+	for t >= ls.nextFlip {
+		if ls.up {
+			ls.up = false
+			ls.nextFlip += expDur(rng, ls.d.MeanDownMs)
+		} else {
+			ls.up = true
+			ls.nextFlip += expDur(rng, ls.d.MeanUpMs)
+		}
+	}
+	return !ls.up
+}
+
+// Download simulates one request (with the client's automatic retries)
+// transferring size bytes over the profile.
+func (c Client) Download(p Profile, size int, rng *rand.Rand) Result {
+	var elapsed float64
+	timeout := c.TimeoutMs
+	attempts := 0
+	for try := 0; try <= c.MaxRetries; try++ {
+		attempts++
+		ok, dur := c.attempt(p, size, timeout, rng)
+		elapsed += dur
+		if ok {
+			return Result{Success: true, ElapsedMs: elapsed, Attempts: attempts}
+		}
+		if c.BackoffMult > 0 && timeout > 0 {
+			timeout *= c.BackoffMult
+		}
+	}
+	return Result{Success: false, ElapsedMs: elapsed, Attempts: attempts}
+}
+
+// attempt simulates one transfer attempt: handshake plus data segments.
+// It returns success and the attempt's duration.
+func (c Client) attempt(p Profile, size int, timeoutMs float64, rng *rand.Rand) (bool, float64) {
+	ls := newLinkState(p, rng)
+	clock := 0.0
+	// Per-segment serialization delay at the bottleneck.
+	segTxMs := float64(MSS*8) / p.BandwidthKbps
+
+	deliver := func(segMs float64) (float64, bool) {
+		// Returns the gap until this segment is delivered, or false if
+		// the gap exceeded the timeout (stall → client aborts).
+		gap := 0.0
+		rto := p.RTOMs
+		for {
+			lost := rng.Float64() < p.LossRate || ls.isDown(clock+gap, rng)
+			if !lost {
+				gap += segMs
+				if timeoutMs > 0 && gap > timeoutMs {
+					return gap, false
+				}
+				return gap, true
+			}
+			// Loss: fast retransmit costs one RTT; an RTO stalls longer
+			// and doubles on repeated losses.
+			if rng.Float64() < p.FastRetransmitP {
+				gap += p.RTTMs
+			} else {
+				gap += rto
+				rto *= 2
+			}
+			if timeoutMs > 0 && gap > timeoutMs {
+				return gap, false
+			}
+		}
+	}
+
+	// Connect handshake: one RTT's worth of SYN/ACK, lossy like data.
+	gap, ok := deliver(p.RTTMs)
+	clock += gap
+	if !ok {
+		return false, clock
+	}
+	segs := (size + MSS - 1) / MSS
+	perSeg := segTxMs + p.RTTMs/float64(max(segs, 1))
+	for i := 0; i < segs; i++ {
+		gap, ok := deliver(perSeg)
+		clock += gap
+		if !ok {
+			return false, clock
+		}
+	}
+	return true, clock
+}
+
+// SuccessRate runs trials downloads and returns the fraction that
+// succeeded. Deterministic for a given seed.
+func (c Client) SuccessRate(p Profile, size, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ok := 0
+	for i := 0; i < trials; i++ {
+		if c.Download(p, size, rng).Success {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+// FileSizes returns Figure 3's x-axis: 2 KB to 2 MB in powers of two.
+func FileSizes() []int {
+	sizes := make([]int, 0, 11)
+	for s := 2 * 1024; s <= 2*1024*1024; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// SizeLabel formats a size the way the paper's axis does (2K … 2M).
+func SizeLabel(size int) string {
+	if size >= 1024*1024 {
+		return fmt.Sprintf("%dM", size/(1024*1024))
+	}
+	return fmt.Sprintf("%dK", size/1024)
+}

@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileSizes(t *testing.T) {
+	sizes := FileSizes()
+	if len(sizes) != 11 {
+		t.Fatalf("sizes: %v", sizes)
+	}
+	if sizes[0] != 2*1024 || sizes[len(sizes)-1] != 2*1024*1024 {
+		t.Errorf("range wrong: %v", sizes)
+	}
+	if SizeLabel(2*1024) != "2K" || SizeLabel(2*1024*1024) != "2M" || SizeLabel(512*1024) != "512K" {
+		t.Error("SizeLabel wrong")
+	}
+}
+
+func TestNoLossMostlySucceeds(t *testing.T) {
+	c := DefaultVolley()
+	p := ThreeG() // zero loss
+	for _, size := range FileSizes() {
+		rate := c.SuccessRate(p, size, 200, 1)
+		if rate < 0.99 {
+			t.Errorf("size %s: success %.2f under no loss, want ≈1", SizeLabel(size), rate)
+		}
+	}
+}
+
+func TestLossDegradesWithSize(t *testing.T) {
+	c := DefaultVolley()
+	p := ThreeGLossy(0.10)
+	small := c.SuccessRate(p, 2*1024, 400, 1)
+	medium := c.SuccessRate(p, 128*1024, 400, 1)
+	large := c.SuccessRate(p, 2*1024*1024, 400, 1)
+	if !(small > medium && medium > large) {
+		t.Errorf("success should fall with size: 2K=%.2f 128K=%.2f 2M=%.2f", small, medium, large)
+	}
+	if small < 0.85 {
+		t.Errorf("small file success %.2f too low at 10%% loss", small)
+	}
+	if large > 0.45 {
+		t.Errorf("2M success %.2f too high at 10%% loss (paper shows near-total failure)", large)
+	}
+}
+
+func TestHigherLossIsWorse(t *testing.T) {
+	c := DefaultVolley()
+	size := 256 * 1024
+	r0 := c.SuccessRate(ThreeGLossy(0.0), size, 300, 1)
+	r5 := c.SuccessRate(ThreeGLossy(0.05), size, 300, 1)
+	r10 := c.SuccessRate(ThreeGLossy(0.10), size, 300, 1)
+	if !(r0 >= r5 && r5 >= r10) {
+		t.Errorf("loss ordering violated: 0%%=%.2f 5%%=%.2f 10%%=%.2f", r0, r5, r10)
+	}
+}
+
+func TestRetriesHelp(t *testing.T) {
+	p := ThreeGLossy(0.10)
+	size := 64 * 1024
+	noRetry := Client{TimeoutMs: 2500, MaxRetries: 0, BackoffMult: 1}
+	withRetry := Client{TimeoutMs: 2500, MaxRetries: 3, BackoffMult: 1}
+	r0 := noRetry.SuccessRate(p, size, 400, 9)
+	r3 := withRetry.SuccessRate(p, size, 400, 9)
+	if r3 < r0 {
+		t.Errorf("retries should not hurt: 0 retries %.2f vs 3 retries %.2f", r0, r3)
+	}
+}
+
+func TestLongerTimeoutHelps(t *testing.T) {
+	p := ThreeGLossy(0.10)
+	size := 512 * 1024
+	tight := Client{TimeoutMs: 2500, MaxRetries: 1, BackoffMult: 1}
+	loose := Client{TimeoutMs: 10000, MaxRetries: 1, BackoffMult: 1}
+	rt := tight.SuccessRate(p, size, 300, 5)
+	rl := loose.SuccessRate(p, size, 300, 5)
+	if rl <= rt {
+		t.Errorf("longer timeout should help under loss: 2.5s %.2f vs 10s %.2f", rt, rl)
+	}
+}
+
+func TestNoTimeoutNeverAborts(t *testing.T) {
+	// A blocking client (timeout 0) always completes absent disruptions —
+	// the flip side is unbounded waiting, which is Cause 3.1.
+	c := Client{TimeoutMs: 0, MaxRetries: 0}
+	p := ThreeGLossy(0.2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		res := c.Download(p, 64*1024, rng)
+		if !res.Success {
+			t.Fatal("blocking client aborted despite having no timeout")
+		}
+	}
+}
+
+func TestDisruptionsCauseFailures(t *testing.T) {
+	c := DefaultVolley()
+	stable := ThreeG()
+	flaky := ThreeG().WithDisruption(4000, 4000)
+	size := 256 * 1024
+	rs := c.SuccessRate(stable, size, 200, 11)
+	rf := c.SuccessRate(flaky, size, 200, 11)
+	if rf >= rs {
+		t.Errorf("disruptions should reduce success: stable %.2f vs flaky %.2f", rs, rf)
+	}
+	if rf > 0.9 {
+		t.Errorf("50%%-downtime link succeeding %.2f of the time is implausible", rf)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	c := DefaultVolley()
+	p := ThreeGLossy(0.1)
+	a := c.SuccessRate(p, 128*1024, 100, 77)
+	b := c.SuccessRate(p, 128*1024, 100, 77)
+	if a != b {
+		t.Errorf("SuccessRate not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestElapsedAndAttemptsAccounting(t *testing.T) {
+	c := Client{TimeoutMs: 2500, MaxRetries: 2, BackoffMult: 2}
+	p := ThreeGLossy(0.3)
+	rng := rand.New(rand.NewSource(1))
+	sawRetry := false
+	for i := 0; i < 200; i++ {
+		res := c.Download(p, 512*1024, rng)
+		if res.ElapsedMs <= 0 {
+			t.Fatal("non-positive elapsed time")
+		}
+		if res.Attempts < 1 || res.Attempts > 3 {
+			t.Fatalf("attempts out of range: %d", res.Attempts)
+		}
+		if res.Attempts > 1 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Error("30% loss on a large file never triggered a retry — suspicious")
+	}
+}
+
+// Property: success rate is monotonically non-increasing in loss rate
+// (checked pairwise on random loss pairs with a shared seed).
+func TestQuickMonotoneInLoss(t *testing.T) {
+	c := DefaultVolley()
+	f := func(a, b uint8) bool {
+		la := float64(a%30) / 100
+		lb := float64(b%30) / 100
+		if la > lb {
+			la, lb = lb, la
+		}
+		ra := c.SuccessRate(ThreeGLossy(la), 128*1024, 150, 13)
+		rb := c.SuccessRate(ThreeGLossy(lb), 128*1024, 150, 13)
+		// Allow small sampling slack.
+		return ra+0.08 >= rb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

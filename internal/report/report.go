@@ -1,0 +1,219 @@
+// Package report defines NChecker's warning reports. A report carries the
+// five items §4.6 of the paper prescribes — NPD information (message +
+// code location), NPD impact, request context, request call stack, and a
+// fix suggestion — rendered either as human-readable text (Figure 7's
+// layout) or as JSON for tooling.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/jimple"
+)
+
+// Cause enumerates the NPD causes NChecker detects (paper Tables 5 and 6).
+type Cause string
+
+const (
+	// CauseNoConnectivityCheck — no connectivity check before a request.
+	CauseNoConnectivityCheck Cause = "no-connectivity-check"
+	// CauseNoTimeout — no timeout config API invoked for a request.
+	CauseNoTimeout Cause = "no-timeout"
+	// CauseNoRetryConfig — no retry config API invoked for a request made
+	// with a retry-capable library.
+	CauseNoRetryConfig Cause = "no-retry-config"
+	// CauseNoRetryTimeSensitive — a user-initiated (time-sensitive)
+	// request with retries disabled (Cause 2.1).
+	CauseNoRetryTimeSensitive Cause = "no-retry-time-sensitive"
+	// CauseOverRetryService — retries enabled for a background-service
+	// request (Cause 2.2a).
+	CauseOverRetryService Cause = "over-retry-service"
+	// CauseOverRetryPost — retries enabled for a non-idempotent POST
+	// request (Cause 2.2b).
+	CauseOverRetryPost Cause = "over-retry-post"
+	// CauseNoFailureNotification — no user-visible error message in the
+	// request callback of a user-initiated request (Pattern 3).
+	CauseNoFailureNotification Cause = "no-failure-notification"
+	// CauseNoErrorTypeCheck — the error callback ignores the error object's
+	// type (Pattern 3, Volley only).
+	CauseNoErrorTypeCheck Cause = "no-error-type-check"
+	// CauseNoResponseCheck — a response object used without a validity
+	// check (Pattern 4).
+	CauseNoResponseCheck Cause = "no-response-check"
+	// CauseAggressiveRetryLoop — a customized retry loop without backoff
+	// (the Telegram case, Figure 2).
+	CauseAggressiveRetryLoop Cause = "aggressive-retry-loop"
+)
+
+// AllCauses lists every cause in report order.
+func AllCauses() []Cause {
+	return []Cause{
+		CauseNoConnectivityCheck, CauseNoTimeout, CauseNoRetryConfig,
+		CauseNoRetryTimeSensitive, CauseOverRetryService, CauseOverRetryPost,
+		CauseNoFailureNotification, CauseNoErrorTypeCheck,
+		CauseNoResponseCheck, CauseAggressiveRetryLoop,
+	}
+}
+
+// Impact describes the user-experience damage a cause leads to (paper §2.2).
+type Impact string
+
+const (
+	ImpactDysfunction  Impact = "Dysfunction"
+	ImpactUnfriendlyUI Impact = "Unfriendly UI"
+	ImpactCrashFreeze  Impact = "Crash/Freeze"
+	ImpactBatteryDrain Impact = "Battery drain"
+)
+
+// impactOf maps each cause to its dominant UX impacts.
+var impactOf = map[Cause][]Impact{
+	CauseNoConnectivityCheck:   {ImpactUnfriendlyUI, ImpactBatteryDrain},
+	CauseNoTimeout:             {ImpactDysfunction, ImpactUnfriendlyUI},
+	CauseNoRetryConfig:         {ImpactDysfunction},
+	CauseNoRetryTimeSensitive:  {ImpactDysfunction},
+	CauseOverRetryService:      {ImpactBatteryDrain},
+	CauseOverRetryPost:         {ImpactDysfunction, ImpactBatteryDrain},
+	CauseNoFailureNotification: {ImpactUnfriendlyUI},
+	CauseNoErrorTypeCheck:      {ImpactUnfriendlyUI},
+	CauseNoResponseCheck:       {ImpactCrashFreeze},
+	CauseAggressiveRetryLoop:   {ImpactBatteryDrain},
+}
+
+// Impacts returns the UX impacts of a cause.
+func Impacts(c Cause) []Impact { return impactOf[c] }
+
+// Loc is a code location: a method and a statement index within it.
+type Loc struct {
+	Method jimple.Sig `json:"method"`
+	Stmt   int        `json:"stmt"`
+}
+
+func (l Loc) String() string {
+	return fmt.Sprintf("%s, stmt %d", l.Method.Key(), l.Stmt)
+}
+
+// Frame mirrors callgraph.Frame without importing it (keeps report free of
+// the analysis packages).
+type Frame struct {
+	Method string `json:"method"`
+	Site   int    `json:"site"`
+}
+
+// Context describes who initiates the request (paper item 3 of §4.6).
+type Context struct {
+	Component     string                `json:"component"`
+	Kind          android.ComponentKind `json:"-"`
+	KindName      string                `json:"kind"`
+	UserInitiated bool                  `json:"userInitiated"`
+	HTTPMethod    string                `json:"httpMethod,omitempty"`
+}
+
+// Report is one NPD warning.
+type Report struct {
+	Cause         Cause           `json:"cause"`
+	Lib           apimodel.LibKey `json:"library,omitempty"`
+	Message       string          `json:"message"`
+	Location      Loc             `json:"location"`
+	Impacts       []Impact        `json:"impacts"`
+	Context       Context         `json:"context"`
+	CallStack     []Frame         `json:"callStack,omitempty"`
+	FixSuggestion string          `json:"fixSuggestion"`
+	// DefaultCaused marks NPDs manifested purely by library default
+	// behaviour (the developer never invoked the relevant API) — the
+	// Table 8 "default behavior" column.
+	DefaultCaused bool `json:"defaultCaused,omitempty"`
+}
+
+// Render formats the report in the layout of the paper's Figure 7.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NPD Information\n  %s! at %s\n", r.Message, r.Location)
+	imps := make([]string, len(r.Impacts))
+	for i, im := range r.Impacts {
+		imps[i] = string(im)
+	}
+	fmt.Fprintf(&b, "NPD impact\n  %s\n", strings.Join(imps, ", "))
+	who := "background service"
+	note := "No user waiting; conserve energy and mobile data."
+	if r.Context.UserInitiated {
+		who = "user"
+		note = "Need to notify users if the operation fails."
+	}
+	fmt.Fprintf(&b, "Network request context\n  Request made by %s (%s). %s\n",
+		who, r.Context.Component, note)
+	if len(r.CallStack) > 0 {
+		b.WriteString("Network request call stack\n")
+		for i, f := range r.CallStack {
+			indent := strings.Repeat("-", i)
+			if f.Site >= 0 {
+				fmt.Fprintf(&b, "  %s> (%s: %d)\n", indent, f.Method, f.Site)
+			} else {
+				fmt.Fprintf(&b, "  %s> (%s)\n", indent, f.Method)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "Fix Suggestion\n  %s\n", r.FixSuggestion)
+	return b.String()
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	r.Context.KindName = r.Context.Kind.String()
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Suggest builds the fix suggestion for a cause in context, following the
+// paper's per-type, context-aware suggestions (§4.6).
+func Suggest(c Cause, ctx Context, lib *apimodel.Library) string {
+	libName := "the network library"
+	if lib != nil {
+		libName = lib.Name
+	}
+	switch c {
+	case CauseNoConnectivityCheck:
+		s := "Use ConnectivityManager.getActiveNetworkInfo() to check connectivity before the request."
+		if ctx.UserInitiated {
+			return s + " Show an error message if no connection."
+		}
+		return s + " Cache and defer the operation if no connection to save energy and mobile data."
+	case CauseNoTimeout:
+		return fmt.Sprintf("Call %s's timeout config API to set an explicit timeout; the default can block for minutes under a dead connection.", libName)
+	case CauseNoRetryConfig:
+		return fmt.Sprintf("Call %s's retry config API to set a retry policy appropriate for this request instead of trusting the default.", libName)
+	case CauseNoRetryTimeSensitive:
+		return "This request is user-initiated: enable a bounded retry so transient errors do not surface to the user."
+	case CauseOverRetryService:
+		return "This request runs in a background service: disable retries (set retry count to 0) to save energy and mobile data."
+	case CauseOverRetryPost:
+		return "HTTP/1.1 forbids automatic retry of non-idempotent methods: disable retries for this POST request."
+	case CauseNoFailureNotification:
+		return "Add an error message (e.g. Toast.show) in the request's error callback so the user can tell a network failure from missing content."
+	case CauseNoErrorTypeCheck:
+		return "Inspect the error object's type in the error callback (e.g. NoConnectionError vs. ClientError) and handle each case accordingly."
+	case CauseNoResponseCheck:
+		return "Check the response's validity (null check / isSuccessful()) before reading its body; responses can be invalid under network disruptions."
+	case CauseAggressiveRetryLoop:
+		return "Back off between retry attempts (exponential backoff) instead of reconnecting in a tight loop; tight loops burn CPU and battery under poor signal."
+	}
+	return "Review the network error handling at this location."
+}
+
+// Summary aggregates reports for quick printing.
+type Summary struct {
+	Total   int           `json:"total"`
+	ByCause map[Cause]int `json:"byCause"`
+}
+
+// Summarize counts reports per cause.
+func Summarize(reports []Report) Summary {
+	s := Summary{ByCause: make(map[Cause]int)}
+	for i := range reports {
+		s.Total++
+		s.ByCause[reports[i].Cause]++
+	}
+	return s
+}

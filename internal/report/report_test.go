@@ -1,0 +1,111 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/apimodel"
+	"repro/internal/jimple"
+)
+
+func sampleReport() Report {
+	ctx := Context{Component: "com.app.Main", UserInitiated: true, HTTPMethod: "GET"}
+	return Report{
+		Cause:    CauseNoConnectivityCheck,
+		Lib:      apimodel.LibBasic,
+		Message:  "Missing network connectivity check before BasicHttpClient.get()",
+		Location: Loc{Method: jimple.Sig{Class: "com.app.Main", Name: "onCreate", Params: []string{"android.os.Bundle"}, Ret: "void"}, Stmt: 4},
+		Impacts:  Impacts(CauseNoConnectivityCheck),
+		Context:  ctx,
+		CallStack: []Frame{
+			{Method: "com.app.Main.onCreate(android.os.Bundle)void", Site: 2},
+			{Method: "com.app.Net.fetch()void", Site: -1},
+		},
+		FixSuggestion: Suggest(CauseNoConnectivityCheck, ctx, nil),
+	}
+}
+
+func TestRenderContainsAllFigure7Items(t *testing.T) {
+	r := sampleReport()
+	out := r.Render()
+	for _, want := range []string{
+		"NPD Information", "NPD impact", "Network request context",
+		"Network request call stack", "Fix Suggestion",
+		"Missing network connectivity check",
+		"Request made by user",
+		"onCreate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderBackgroundContext(t *testing.T) {
+	r := sampleReport()
+	r.Context.UserInitiated = false
+	out := r.Render()
+	if !strings.Contains(out, "background service") {
+		t.Errorf("background context not rendered:\n%s", out)
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	r := sampleReport()
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded["cause"] != string(CauseNoConnectivityCheck) {
+		t.Errorf("cause lost: %v", decoded["cause"])
+	}
+	if decoded["fixSuggestion"] == "" {
+		t.Error("fix suggestion lost")
+	}
+}
+
+func TestEveryCauseHasImpactAndSuggestion(t *testing.T) {
+	for _, c := range AllCauses() {
+		if len(Impacts(c)) == 0 {
+			t.Errorf("cause %s has no impacts", c)
+		}
+		userCtx := Context{UserInitiated: true}
+		bgCtx := Context{UserInitiated: false}
+		if Suggest(c, userCtx, nil) == "" || Suggest(c, bgCtx, nil) == "" {
+			t.Errorf("cause %s has no suggestion", c)
+		}
+	}
+	// Context-sensitivity: the connectivity suggestion differs for user
+	// vs. background requests (§4.6).
+	u := Suggest(CauseNoConnectivityCheck, Context{UserInitiated: true}, nil)
+	b := Suggest(CauseNoConnectivityCheck, Context{UserInitiated: false}, nil)
+	if u == b {
+		t.Error("connectivity suggestion should be context-aware")
+	}
+}
+
+func TestSuggestNamesLibrary(t *testing.T) {
+	reg := apimodel.NewRegistry()
+	lib := reg.Library(apimodel.LibVolley)
+	s := Suggest(CauseNoTimeout, Context{}, lib)
+	if !strings.Contains(s, lib.Name) {
+		t.Errorf("suggestion should name the library: %q", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rs := []Report{
+		{Cause: CauseNoTimeout},
+		{Cause: CauseNoTimeout},
+		{Cause: CauseOverRetryPost},
+	}
+	s := Summarize(rs)
+	if s.Total != 3 || s.ByCause[CauseNoTimeout] != 2 || s.ByCause[CauseOverRetryPost] != 1 {
+		t.Errorf("Summarize: %+v", s)
+	}
+}

@@ -1,0 +1,175 @@
+package robustlib
+
+// Client is the robust library: every Table 11 guideline is a default
+// behaviour rather than an API the developer must remember to call.
+type Client struct {
+	dev *Device
+	// TimeoutMs is always set; the zero value is replaced by a sane
+	// default at construction (guideline: no blocking connects).
+	TimeoutMs float64
+	// UserRetries bounds automatic retries for user-initiated GETs.
+	UserRetries int
+	// BackoffMult grows the timeout between retries.
+	BackoffMult float64
+	deferred    []deferredReq
+}
+
+type deferredReq struct {
+	req Request
+	h   Handler
+}
+
+// New returns a robust client over the device with the guideline
+// defaults: an explicit timeout, bounded context-aware retries, and
+// exponential backoff.
+func New(dev *Device) *Client {
+	return &Client{dev: dev, TimeoutMs: 5000, UserRetries: 2, BackoffMult: 2}
+}
+
+// retriesFor implements "set default retries considering the request
+// context": POSTs are never retried (non-idempotent), background work is
+// never retried (no one is waiting; energy matters), user GETs retry a
+// bounded number of times.
+func (c *Client) retriesFor(req Request) int {
+	if req.Method == "POST" || req.Ctx == Background {
+		return 0
+	}
+	return c.UserRetries
+}
+
+// Do runs a request with every guideline applied and returns the
+// accounting of what happened.
+func (c *Client) Do(req Request, h Handler) Outcome {
+	var out Outcome
+	// Guideline 1: automatic connectivity check before every request.
+	if !c.dev.Online() {
+		if req.Ctx == Background {
+			// Cache and stop: defer to the reconnect flush (the §2
+			// Cause 4.2 guideline — automatic failure recovery).
+			c.deferred = append(c.deferred, deferredReq{req: req, h: h})
+			out.Deferred = true
+			out.ErrKind = ErrNoConnection
+			return out
+		}
+		// User request: fail fast with a typed error and a predefined
+		// user-visible message — never a silent failure.
+		out.ErrKind = ErrNoConnection
+		out.NotifiedUser = true
+		c.fail(h, &out, ErrNoConnection)
+		return out
+	}
+	before := c.dev.PostsSeen(req.URL)
+	timeout := c.TimeoutMs
+	retries := c.retriesFor(req)
+	for attempt := 0; attempt <= retries; attempt++ {
+		out.Attempts++
+		ok, elapsed, invalid := c.dev.transmit(req, timeout)
+		out.ElapsedMs += elapsed
+		if ok {
+			if invalid {
+				// Guideline 5: invalid responses go to the error
+				// callback; OnSuccess only ever sees valid responses.
+				out.ErrKind = ErrInvalidResponse
+				out.NotifiedUser = req.Ctx == User
+				c.fail(h, &out, ErrInvalidResponse)
+				out.DuplicatePosts = c.dev.PostsSeen(req.URL) - before - 1
+				if out.DuplicatePosts < 0 {
+					out.DuplicatePosts = 0
+				}
+				return out
+			}
+			out.Success = true
+			if h.OnSuccess != nil {
+				h.OnSuccess(Response{Status: 200, Size: req.Size, Valid: true})
+			}
+			out.DuplicatePosts = c.dev.PostsSeen(req.URL) - before - 1
+			if out.DuplicatePosts < 0 {
+				out.DuplicatePosts = 0
+			}
+			return out
+		}
+		// Guideline 2: automatic retry on transient errors — with
+		// backoff, and only when the context allows it.
+		timeout *= c.BackoffMult
+	}
+	out.ErrKind = ErrTimeout
+	out.NotifiedUser = req.Ctx == User
+	c.fail(h, &out, ErrTimeout)
+	if posts := c.dev.PostsSeen(req.URL) - before; posts > 1 {
+		out.DuplicatePosts = posts - 1
+	}
+	return out
+}
+
+// fail invokes the error callback with the typed error; when the app
+// supplied none, the library's predefined message stands in (guideline 4:
+// failures are never silent for user requests).
+func (c *Client) fail(h Handler, out *Outcome, kind ErrorKind) {
+	err := &Error{Kind: kind, Message: defaultMessages[kind]}
+	if h.OnError != nil {
+		h.OnError(err)
+	}
+	_ = out
+}
+
+// FlushDeferred transmits the requests deferred while offline; call it
+// when connectivity returns (the library's reconnect hook). It returns
+// the outcomes in original order.
+func (c *Client) FlushDeferred() []Outcome {
+	pending := c.deferred
+	c.deferred = nil
+	outs := make([]Outcome, 0, len(pending))
+	for _, d := range pending {
+		outs = append(outs, c.Do(d.req, d.h))
+	}
+	return outs
+}
+
+// DeferredCount reports the queued request count.
+func (c *Client) DeferredCount() int { return len(c.deferred) }
+
+// NaiveClient reproduces the misuse-prone behaviour the corpus exhibits:
+// no connectivity check, no explicit timeout (blocking connects), the
+// studied libraries' default retries applied to every request kind
+// (including POSTs and background work), no failure notification, and
+// raw unvalidated responses handed to a single callback.
+type NaiveClient struct {
+	dev *Device
+	// DefaultRetries mirrors e.g. Android Async HTTP's 5 automatic
+	// retries for all requests.
+	DefaultRetries int
+	// TimeoutMs is 0 — no timeout set — unless the developer remembered.
+	TimeoutMs float64
+}
+
+// NewNaive returns the baseline client.
+func NewNaive(dev *Device) *NaiveClient {
+	return &NaiveClient{dev: dev, DefaultRetries: 5, TimeoutMs: 2500}
+}
+
+// Do runs a request the naive way. The single callback receives the
+// response whether or not it is valid (cb may be nil — silent failure).
+func (n *NaiveClient) Do(req Request, cb func(Response)) Outcome {
+	var out Outcome
+	before := n.dev.PostsSeen(req.URL)
+	for attempt := 0; attempt <= n.DefaultRetries; attempt++ {
+		out.Attempts++
+		ok, elapsed, invalid := n.dev.transmit(req, n.TimeoutMs)
+		out.ElapsedMs += elapsed
+		if ok {
+			out.Success = true
+			if cb != nil {
+				cb(Response{Status: 200, Size: req.Size, Valid: !invalid})
+			}
+			break
+		}
+	}
+	if posts := n.dev.PostsSeen(req.URL) - before; posts > 1 {
+		out.DuplicatePosts = posts - 1
+	}
+	if !out.Success {
+		out.ErrKind = ErrTransient
+		// No notification: the naive client fails silently.
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package robustlib is a reference implementation of the paper's §6
+// design guidelines (Table 11) for a user-friendly, robust mobile network
+// library — the "prevention" half of the paper's contribution, which the
+// authors derive from NChecker's findings but leave as design guidance.
+// Implemented here and run against the network simulator, it makes each
+// guideline an executable, testable behaviour:
+//
+//	observation (from §5)                       → guideline (Table 11)
+//	43% of apps never check connectivity        → check automatically before each request
+//	70% ignore retry APIs                       → retry transient errors automatically
+//	76–98% of over-retries are library defaults → pick retry defaults from the request context
+//	57% never show failure notifications        → predefine an error message on failure
+//	75% of responses never validity-checked     → route invalid responses to the error callback
+//	explicit callbacks notified 30% vs 12%      → separate success and error callbacks
+//	93% never check error types                 → expose typed errors
+//
+// A deliberately misuse-prone Naive client with the studied libraries'
+// default behaviour is included as the comparison baseline; the package's
+// tests are the paper's NPD causes restated as invariants the robust
+// client cannot violate.
+package robustlib
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netsim"
+)
+
+// ErrorKind is the typed error surface Table 11 demands ("expose
+// important error types in addition to error callbacks").
+type ErrorKind uint8
+
+const (
+	// ErrNone means no error.
+	ErrNone ErrorKind = iota
+	// ErrNoConnection: the device is offline; nothing was transmitted.
+	ErrNoConnection
+	// ErrTimeout: the request exceeded its deadline.
+	ErrTimeout
+	// ErrTransient: a retriable failure that persisted through retries.
+	ErrTransient
+	// ErrInvalidResponse: the server answered with an unusable response.
+	ErrInvalidResponse
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrNoConnection:
+		return "NoConnectionError"
+	case ErrTimeout:
+		return "TimeoutError"
+	case ErrTransient:
+		return "TransientError"
+	case ErrInvalidResponse:
+		return "InvalidResponseError"
+	}
+	return "OK"
+}
+
+// Error is a typed request failure with the library's predefined
+// user-facing message.
+type Error struct {
+	Kind    ErrorKind
+	Message string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Kind, e.Message) }
+
+// predefined user-facing messages (the "predefine error message on
+// network failure" guideline).
+var defaultMessages = map[ErrorKind]string{
+	ErrNoConnection:    "No network connection. Your request will be retried when you are back online.",
+	ErrTimeout:         "The server is taking too long to respond. Please try again.",
+	ErrTransient:       "A network error interrupted the request. Please try again.",
+	ErrInvalidResponse: "The server returned an unexpected response.",
+}
+
+// Context distinguishes user-initiated (time-sensitive) requests from
+// background work — the axis the paper's Checker 2 judges retries on.
+type Context uint8
+
+const (
+	// User marks a request a person is waiting on.
+	User Context = iota
+	// Background marks a request no one is waiting on.
+	Background
+)
+
+// Request is one network operation.
+type Request struct {
+	Method string // "GET", "POST", …
+	URL    string
+	Size   int // bytes to transfer
+	Ctx    Context
+}
+
+// Response is a validated server response: the success callback is only
+// ever invoked with Valid == true (the "automatically put invalid
+// responses into error callbacks" guideline makes Valid an invariant
+// rather than something to check).
+type Response struct {
+	Status int
+	Size   int
+	Valid  bool
+}
+
+// Handler carries the explicit, separate success/error callbacks.
+type Handler struct {
+	OnSuccess func(Response)
+	OnError   func(*Error)
+}
+
+// Outcome records what the library did for one request — the accounting
+// the Table 11 comparison experiment aggregates.
+type Outcome struct {
+	Success bool
+	// Attempts counts transmissions (each wakes the radio: the energy
+	// proxy).
+	Attempts int
+	// Deferred: the request was queued for automatic resend on
+	// reconnect instead of being transmitted.
+	Deferred bool
+	// NotifiedUser: a user-visible message was shown on failure (by the
+	// app's error callback or the library's predefined default).
+	NotifiedUser bool
+	// ErrKind is the typed error on failure.
+	ErrKind ErrorKind
+	// DuplicatePosts counts POST bodies the server observed beyond the
+	// first — the non-idempotent-retry hazard.
+	DuplicatePosts int
+	ElapsedMs      float64
+}
+
+// Device is the simulated phone: its network profile, its connectivity
+// state (what ConnectivityManager would report), and a server-side
+// counter of received POSTs for duplicate detection.
+type Device struct {
+	Net    netsim.Profile
+	online bool
+	rng    *rand.Rand
+	// InvalidResponseP is the probability a completed transfer carries an
+	// invalid (e.g. truncated or error-page) response.
+	InvalidResponseP float64
+	postsSeen        map[string]int
+}
+
+// NewDevice creates an online device with the given profile and seed.
+func NewDevice(p netsim.Profile, seed int64) *Device {
+	return &Device{
+		Net:       p,
+		online:    true,
+		rng:       rand.New(rand.NewSource(seed)),
+		postsSeen: make(map[string]int),
+	}
+}
+
+// SetOnline flips the connectivity state (a network switch / airplane
+// mode event).
+func (d *Device) SetOnline(v bool) { d.online = v }
+
+// Online reports the connectivity state.
+func (d *Device) Online() bool { return d.online }
+
+// PostsSeen reports how many times the server received the POST with the
+// given URL.
+func (d *Device) PostsSeen(url string) int { return d.postsSeen[url] }
+
+// transmit performs one attempt on the wire. Offline attempts always
+// fail after a connect timeout's worth of waiting.
+func (d *Device) transmit(req Request, timeoutMs float64) (ok bool, elapsed float64, invalid bool) {
+	if !d.online {
+		wait := timeoutMs
+		if wait <= 0 {
+			wait = 20000 // a blocking connect stalls until TCP gives up
+		}
+		return false, wait, false
+	}
+	c := netsim.Client{TimeoutMs: timeoutMs, MaxRetries: 0}
+	res := c.Download(d.Net, req.Size, d.rng)
+	if req.Method == "POST" {
+		// The non-idempotency hazard: on a client-side failure the body
+		// may still have reached the server (the loss can be on the
+		// response path) — which is exactly why HTTP/1.1 forbids
+		// automatic retry of non-idempotent methods.
+		if res.Success || d.rng.Float64() < 0.5 {
+			d.postsSeen[req.URL]++
+		}
+	}
+	if !res.Success {
+		return false, res.ElapsedMs, false
+	}
+	return true, res.ElapsedMs, d.rng.Float64() < d.InvalidResponseP
+}

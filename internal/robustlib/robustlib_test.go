@@ -1,0 +1,215 @@
+package robustlib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+)
+
+func onlineDevice(seed int64) *Device {
+	return NewDevice(netsim.WiFi(), seed)
+}
+
+func TestSuccessCallbackOnlySeesValidResponses(t *testing.T) {
+	dev := onlineDevice(1)
+	dev.InvalidResponseP = 0.5
+	c := New(dev)
+	for i := 0; i < 200; i++ {
+		c.Do(Request{Method: "GET", URL: "/a", Size: 4096, Ctx: User}, Handler{
+			OnSuccess: func(r Response) {
+				if !r.Valid {
+					t.Fatal("OnSuccess received an invalid response")
+				}
+			},
+			OnError: func(e *Error) {
+				if e.Kind != ErrInvalidResponse && e.Kind != ErrTimeout && e.Kind != ErrTransient {
+					t.Fatalf("unexpected error kind %s", e.Kind)
+				}
+				if e.Message == "" {
+					t.Fatal("error without a predefined message")
+				}
+			},
+		})
+	}
+}
+
+func TestPostNeverRetried(t *testing.T) {
+	dev := NewDevice(netsim.ThreeGLossy(0.4), 2)
+	c := New(dev)
+	for i := 0; i < 100; i++ {
+		out := c.Do(Request{Method: "POST", URL: "/submit", Size: 64 * 1024, Ctx: User}, Handler{})
+		if out.Attempts > 1 {
+			t.Fatalf("POST transmitted %d times", out.Attempts)
+		}
+		if out.DuplicatePosts != 0 {
+			t.Fatalf("server saw %d duplicate POST bodies", out.DuplicatePosts)
+		}
+	}
+}
+
+func TestBackgroundNeverRetried(t *testing.T) {
+	dev := NewDevice(netsim.ThreeGLossy(0.4), 3)
+	c := New(dev)
+	for i := 0; i < 100; i++ {
+		out := c.Do(Request{Method: "GET", URL: "/sync", Size: 128 * 1024, Ctx: Background}, Handler{})
+		if out.Attempts > 1 {
+			t.Fatalf("background request retried: %d attempts", out.Attempts)
+		}
+	}
+}
+
+func TestUserGetRetriesWithBackoff(t *testing.T) {
+	dev := NewDevice(netsim.ThreeGLossy(0.35), 4)
+	c := New(dev)
+	sawRetry := false
+	for i := 0; i < 200; i++ {
+		out := c.Do(Request{Method: "GET", URL: "/page", Size: 256 * 1024, Ctx: User}, Handler{})
+		if out.Attempts > 1+c.UserRetries {
+			t.Fatalf("too many attempts: %d", out.Attempts)
+		}
+		if out.Attempts > 1 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Error("user GETs never retried under 35% loss — retry logic inert")
+	}
+}
+
+func TestOfflineUserRequestFailsFastWithNotification(t *testing.T) {
+	dev := onlineDevice(5)
+	dev.SetOnline(false)
+	c := New(dev)
+	notified := false
+	out := c.Do(Request{Method: "GET", URL: "/now", Size: 1024, Ctx: User}, Handler{
+		OnError: func(e *Error) {
+			if e.Kind != ErrNoConnection {
+				t.Fatalf("kind %s, want NoConnectionError", e.Kind)
+			}
+			notified = true
+		},
+	})
+	if out.Attempts != 0 {
+		t.Errorf("offline request transmitted %d times; should not touch the radio", out.Attempts)
+	}
+	if !notified || !out.NotifiedUser {
+		t.Error("offline user failure must be surfaced")
+	}
+	if out.ElapsedMs > 1 {
+		t.Errorf("offline failure should be immediate, took %.0f ms", out.ElapsedMs)
+	}
+}
+
+func TestOfflineBackgroundRequestDeferredAndRecovered(t *testing.T) {
+	dev := onlineDevice(6)
+	dev.SetOnline(false)
+	c := New(dev)
+	delivered := 0
+	for i := 0; i < 5; i++ {
+		out := c.Do(Request{Method: "GET", URL: "/sync", Size: 2048, Ctx: Background}, Handler{
+			OnSuccess: func(Response) { delivered++ },
+		})
+		if !out.Deferred || out.Attempts != 0 {
+			t.Fatalf("offline background request not deferred: %+v", out)
+		}
+	}
+	if c.DeferredCount() != 5 {
+		t.Fatalf("deferred queue: %d", c.DeferredCount())
+	}
+	// Reconnect: automatic failure recovery resends everything.
+	dev.SetOnline(true)
+	outs := c.FlushDeferred()
+	if len(outs) != 5 || c.DeferredCount() != 0 {
+		t.Fatalf("flush returned %d, queue %d", len(outs), c.DeferredCount())
+	}
+	if delivered != 5 {
+		t.Errorf("recovered deliveries: %d of 5", delivered)
+	}
+}
+
+func TestTimeoutAlwaysSet(t *testing.T) {
+	dev := onlineDevice(7)
+	c := New(dev)
+	if c.TimeoutMs <= 0 {
+		t.Fatal("robust client constructed without a timeout")
+	}
+}
+
+func TestNaiveClientExhibitsTheNPDs(t *testing.T) {
+	// The baseline must actually misbehave, otherwise the comparison is
+	// vacuous: duplicate POSTs under loss, radio use while offline,
+	// silent failures, invalid responses in the success path.
+	dev := NewDevice(netsim.ThreeGLossy(0.25), 8)
+	dev.InvalidResponseP = 0.3
+	n := NewNaive(dev)
+	dupes, invalidSeen := 0, 0
+	for i := 0; i < 200; i++ {
+		out := n.Do(Request{Method: "POST", URL: "/pay", Size: 64 * 1024, Ctx: User}, func(r Response) {
+			if !r.Valid {
+				invalidSeen++
+			}
+		})
+		dupes += out.DuplicatePosts
+	}
+	if dupes == 0 {
+		t.Error("naive client never duplicated a POST under 50% loss — baseline too kind")
+	}
+	if invalidSeen == 0 {
+		t.Error("naive client never surfaced an invalid response to the success callback")
+	}
+	dev.SetOnline(false)
+	out := n.Do(Request{Method: "GET", URL: "/x", Size: 1024, Ctx: Background}, nil)
+	if out.Attempts == 0 {
+		t.Error("naive client should burn attempts while offline (no connectivity check)")
+	}
+	if out.NotifiedUser {
+		t.Error("naive client should fail silently")
+	}
+}
+
+func TestErrorKindStrings(t *testing.T) {
+	for _, k := range []ErrorKind{ErrNone, ErrNoConnection, ErrTimeout, ErrTransient, ErrInvalidResponse} {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	e := &Error{Kind: ErrTimeout, Message: "m"}
+	if e.Error() == "" {
+		t.Error("Error() empty")
+	}
+}
+
+// Property: across random request mixes, the robust client never
+// transmits a POST more than once and never touches the radio offline.
+func TestQuickRobustInvariants(t *testing.T) {
+	f := func(seed int64, sizeRaw uint16, post, background, offline bool) bool {
+		dev := NewDevice(netsim.ThreeGLossy(0.3), seed)
+		dev.SetOnline(!offline)
+		c := New(dev)
+		req := Request{Method: "GET", URL: "/q", Size: int(sizeRaw) + 1, Ctx: User}
+		if post {
+			req.Method = "POST"
+		}
+		if background {
+			req.Ctx = Background
+		}
+		out := c.Do(req, Handler{})
+		if offline && out.Attempts != 0 {
+			return false
+		}
+		if post && out.Attempts > 1 {
+			return false
+		}
+		if background && out.Attempts > 1 {
+			return false
+		}
+		if out.DuplicatePosts != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

