@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build test race bench fmt vet
+
+check: ## gofmt + vet + build + race-enabled tests (the CI gate)
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	gofmt -w cmd internal examples bench_test.go
+
+vet:
+	$(GO) vet ./...

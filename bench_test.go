@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/android"
@@ -252,6 +253,46 @@ func BenchmarkAblation_NoRetrySlicing(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nc.ScanApp(app)
+	}
+}
+
+// --- scan-pipeline parallelism ------------------------------------------------
+
+// benchCorpus caches the generated corpus so the ScanApp benchmarks time
+// only the scanning, not corpus generation.
+func benchCorpus(b *testing.B) []*corpus.CorpusApp {
+	b.Helper()
+	apps, err := corpus.GenerateCorpus(experiments.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return apps
+}
+
+// BenchmarkScanApp is the sequential baseline for the acceptance
+// criterion: the Table 6 corpus scanned with a single worker.
+func BenchmarkScanApp(b *testing.B) {
+	apps := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := experiments.ScanApps(apps, core.Options{Workers: 1})
+		if cs.TotalWarnings() == 0 {
+			b.Fatal("no warnings")
+		}
+	}
+}
+
+// BenchmarkScanAppParallel is the same corpus scan with the worker pool
+// sized to the machine; compare ns/op against BenchmarkScanApp.
+func BenchmarkScanAppParallel(b *testing.B) {
+	apps := benchCorpus(b)
+	workers := runtime.NumCPU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := experiments.ScanApps(apps, core.Options{Workers: workers})
+		if cs.TotalWarnings() == 0 {
+			b.Fatal("no warnings")
+		}
 	}
 }
 

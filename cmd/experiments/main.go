@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-only fig3|fig4|fig8|fig9|fig10|t1|t2|t3|t4|t5|t6|t7|t8|t9|t10]
+//	experiments [-only fig3|fig4|fig8|fig9|fig10|t1|t2|t3|t4|t5|t6|t7|t8|t9|t10] [-timings]
+//
+// -timings appends the corpus scan's aggregate per-stage pipeline timing
+// and analysis-cache rows (default output is unchanged without it).
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (fig3, t6, …)")
 	trials := flag.Int("trials", 200, "netsim trials per point (fig3)")
+	timings := flag.Bool("timings", false, "print corpus-scan per-stage timing rows")
 	flag.Parse()
 
 	type exp struct {
@@ -83,7 +87,7 @@ func main() {
 	}
 
 	var cs *experiments.CorpusScan
-	needScan := false
+	needScan := *timings
 	for _, e := range exps {
 		if (*only == "" || *only == e.key) && e.needs {
 			needScan = true
@@ -112,8 +116,11 @@ func main() {
 		fmt.Println(out)
 		ran++
 	}
-	if ran == 0 {
+	if ran == 0 && *only != "" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *only)
 		os.Exit(2)
+	}
+	if *timings {
+		fmt.Println(cs.TimingRows())
 	}
 }

@@ -8,9 +8,18 @@
 //
 // Flags:
 //
-//	-json     emit reports as a JSON array instead of text
-//	-stats    print per-app request statistics after the reports
-//	-summary  print only the per-cause summary per app
+//	-json      emit reports as a JSON array instead of text
+//	-stats     print per-app request statistics after the reports
+//	-summary   print only the per-cause summary per app
+//	-icc       enable the inter-component analysis
+//	-guard     require connectivity checks to govern a branch
+//	-workers   worker-pool size for the scan pipeline and for scanning
+//	           multiple files concurrently (0 = NumCPU)
+//	-timings   print per-stage pipeline timings and cache statistics
+//
+// Exit codes: 0 when every file scanned clean, 1 when at least one
+// warning was found, 2 on a usage error or when any file failed to read
+// or parse (an error always wins over warnings).
 package main
 
 import (
@@ -18,10 +27,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/report"
+)
+
+const (
+	exitClean    = 0
+	exitWarnings = 1
+	exitError    = 2
 )
 
 func main() {
@@ -30,6 +48,8 @@ func main() {
 	summary := flag.Bool("summary", false, "print only per-cause summaries")
 	icc := flag.Bool("icc", false, "enable the inter-component analysis (removes launcher/broadcast FPs)")
 	guard := flag.Bool("guard", false, "require connectivity checks to govern a branch (removes unused-check FNs)")
+	workers := flag.Int("workers", 0, "worker-pool size for the scan pipeline (0 = NumCPU)")
+	timings := flag.Bool("timings", false, "print per-stage pipeline timings and cache statistics")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nchecker [flags] app.apk [more.apk ...]\n")
 		flag.PrintDefaults()
@@ -37,51 +57,106 @@ func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitError)
 	}
-	nc := core.NewWithOptions(core.Options{
+	opts := core.Options{
 		EnableICC:               *icc,
 		GuardSensitiveConnCheck: *guard,
-	})
-	exit := 0
-	for _, path := range flag.Args() {
-		res, err := nc.ScanFile(path)
+		Workers:                 *workers,
+	}
+	nc := core.NewWithOptions(opts)
+
+	type outcome struct {
+		out      strings.Builder // buffered stdout for this file
+		errs     strings.Builder // buffered stderr for this file
+		warnings bool
+		failed   bool
+	}
+	paths := flag.Args()
+	outcomes := make([]outcome, len(paths))
+	scanOne := func(i int) {
+		o := &outcomes[i]
+		res, err := nc.ScanFile(paths[i])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nchecker: %v\n", err)
-			exit = 1
-			continue
+			fmt.Fprintf(&o.errs, "nchecker: %v\n", err)
+			o.failed = true
+			return
 		}
-		fmt.Printf("== %s: %d requests, %d warnings ==\n", path, res.Stats.Requests, len(res.Reports))
+		fmt.Fprintf(&o.out, "== %s: %d requests, %d warnings ==\n", paths[i], res.Stats.Requests, len(res.Reports))
 		switch {
 		case *jsonOut:
-			if err := printJSON(res.Reports); err != nil {
-				fmt.Fprintf(os.Stderr, "nchecker: %v\n", err)
-				exit = 1
+			if err := printJSON(&o.out, res.Reports); err != nil {
+				fmt.Fprintf(&o.errs, "nchecker: %v\n", err)
+				o.failed = true
 			}
 		case *summary:
-			printSummary(res.Reports)
+			printSummary(&o.out, res.Reports)
 		default:
 			for i := range res.Reports {
-				fmt.Println(res.Reports[i].Render())
+				fmt.Fprintln(&o.out, res.Reports[i].Render())
 			}
 		}
 		if *stats {
-			fmt.Printf("stats: %+v\n", res.Stats)
+			fmt.Fprintf(&o.out, "stats: %+v\n", res.Stats)
+		}
+		if *timings {
+			o.out.WriteString(res.Diagnostics.Render())
 		}
 		if len(res.Reports) > 0 {
-			exit = 1
+			o.warnings = true
+		}
+	}
+
+	// Scan files concurrently (the Checker is goroutine-safe); output is
+	// buffered per file and printed in argument order.
+	if n := poolSize(opts.Workers); n > 1 && len(paths) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, n)
+		for i := range paths {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				scanOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range paths {
+			scanOne(i)
+		}
+	}
+
+	exit := exitClean
+	for i := range outcomes {
+		os.Stdout.WriteString(outcomes[i].out.String())
+		os.Stderr.WriteString(outcomes[i].errs.String())
+		if outcomes[i].warnings && exit == exitClean {
+			exit = exitWarnings
+		}
+		if outcomes[i].failed {
+			exit = exitError
 		}
 	}
 	os.Exit(exit)
 }
 
-func printJSON(reports []report.Report) error {
-	enc := json.NewEncoder(os.Stdout)
+// poolSize resolves the -workers value like the pipeline does.
+func poolSize(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+func printJSON(w *strings.Builder, reports []report.Report) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(reports)
 }
 
-func printSummary(reports []report.Report) {
+func printSummary(w *strings.Builder, reports []report.Report) {
 	s := report.Summarize(reports)
 	causes := make([]string, 0, len(s.ByCause))
 	for c := range s.ByCause {
@@ -89,6 +164,6 @@ func printSummary(reports []report.Report) {
 	}
 	sort.Strings(causes)
 	for _, c := range causes {
-		fmt.Printf("  %-28s %d\n", c, s.ByCause[report.Cause(c)])
+		fmt.Fprintf(w, "  %-28s %d\n", c, s.ByCause[report.Cause(c)])
 	}
 }

@@ -259,7 +259,13 @@ func (l *Loop) ExitEdges(g *Graph) [][2]int {
 // dominates t). Loops sharing a header are merged, matching the classical
 // definition.
 func (g *Graph) NaturalLoops() []*Loop {
-	idom := g.Dominators()
+	return g.NaturalLoopsWith(g.Dominators())
+}
+
+// NaturalLoopsWith is NaturalLoops reusing a precomputed Dominators
+// result, so callers that cache idom (e.g. a per-scan analysis context)
+// do not recompute the dominator tree per query.
+func (g *Graph) NaturalLoopsWith(idom []int) []*Loop {
 	byHead := make(map[int]*Loop)
 	n := g.NumNodes()
 	for t := 0; t < n; t++ {

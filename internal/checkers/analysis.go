@@ -11,18 +11,24 @@
 //  4. response-validity checks — taint the response object and require a
 //     validity check on every def→use path.
 //
-// The entry point is Analyze, which produces warning reports and the
-// per-request statistics the paper's evaluation aggregates.
+// The entry point is Analyze, which runs a staged pass pipeline (see
+// pipeline.go): request-site discovery, the four checkers, and retry-loop
+// identification are named stages fanned out over a bounded worker pool,
+// sharing per-method analysis artifacts through an AnalysisContext
+// (context.go) and reporting per-stage wall time and cache statistics
+// through Diagnostics (diagnostics.go). Reports are deterministic
+// regardless of Options.Workers.
 package checkers
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/android"
 	"repro/internal/apimodel"
 	"repro/internal/apk"
 	"repro/internal/callgraph"
-	"repro/internal/cfg"
 	"repro/internal/dataflow"
 	"repro/internal/hierarchy"
 	"repro/internal/jimple"
@@ -53,6 +59,19 @@ type Options struct {
 	// check is invoked but its result ignored. Off by default to match
 	// the published tool's path-insensitive behaviour.
 	GuardSensitiveConnCheck bool
+	// Workers bounds the pipeline's fan-out inside one scan, and the
+	// per-app concurrency of batch scans (cmd/nchecker, the corpus
+	// harness). 0 means runtime.NumCPU(). Reports and stats are
+	// deterministic regardless of the value.
+	Workers int
+}
+
+// workerCount resolves Workers to a concrete pool size.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
 }
 
 // Stats aggregates per-request findings for one app; the evaluation
@@ -91,10 +110,62 @@ type Stats struct {
 	LibsUsed []apimodel.LibKey
 }
 
-// Result bundles an app's warnings and statistics.
+// add accumulates another unit's counters into s (every stage touches a
+// disjoint field set, so summation reproduces the sequential totals).
+// LibsUsed is app-level and set once by the pipeline, never summed.
+func (s *Stats) add(o *Stats) {
+	s.Requests += o.Requests
+	s.UserRequests += o.UserRequests
+	s.RetryEvalRequests += o.RetryEvalRequests
+	s.MissConnCheck += o.MissConnCheck
+	s.MissTimeout += o.MissTimeout
+	s.MissRetryConfig += o.MissRetryConfig
+	s.UserRequestsNoNotif += o.UserRequestsNoNotif
+	s.ExplicitCallbackReqs += o.ExplicitCallbackReqs
+	s.ExplicitCallbackNotified += o.ExplicitCallbackNotified
+	s.ImplicitCallbackReqs += o.ImplicitCallbackReqs
+	s.ImplicitCallbackNotified += o.ImplicitCallbackNotified
+	s.ErrorCallbacks += o.ErrorCallbacks
+	s.ErrorTypeChecked += o.ErrorTypeChecked
+	s.NoRetryTimeSensitive += o.NoRetryTimeSensitive
+	s.OverRetryService += o.OverRetryService
+	s.OverRetryServiceDefault += o.OverRetryServiceDefault
+	s.OverRetryPost += o.OverRetryPost
+	s.OverRetryPostDefault += o.OverRetryPostDefault
+	s.RespRequests += o.RespRequests
+	s.RespMissCheck += o.RespMissCheck
+	s.RetryLoops += o.RetryLoops
+	s.AggressiveRetryLoops += o.AggressiveRetryLoops
+}
+
+// Result bundles an app's warnings, statistics, and scan diagnostics.
 type Result struct {
-	Reports []report.Report
-	Stats   Stats
+	Reports     []report.Report
+	Stats       Stats
+	Diagnostics Diagnostics
+}
+
+// findings collects one unit of pipeline work (a site, a method, a whole
+// stage): its warnings and stat deltas. Units are merged in a fixed
+// deterministic order at each stage's barrier, so the assembled report
+// stream is identical to the historical sequential analyzer's.
+type findings struct {
+	reports []report.Report
+	stats   Stats
+}
+
+func (f *findings) report(r report.Report) {
+	f.reports = append(f.reports, r)
+}
+
+// mergeFindings concatenates units in index order and sums their stats.
+func mergeFindings(units []findings) findings {
+	var out findings
+	for i := range units {
+		out.reports = append(out.reports, units[i].reports...)
+		out.stats.add(&units[i].stats)
+	}
+	return out
 }
 
 // requestSite is one network-request call site with everything the
@@ -121,84 +192,51 @@ type requestSite struct {
 	entrySig   jimple.Sig
 }
 
-// analysis carries the shared state of one app scan.
+// analysis carries the shared read-only state of one app scan. After the
+// discovery stage runs, methods and sites are frozen; the checker stages
+// only read them and write into per-unit findings.
 type analysis struct {
 	app  *apk.App
 	reg  *apimodel.Registry
 	h    *hierarchy.Hierarchy
 	cg   *callgraph.Graph
 	opts Options
+	ctx  *AnalysisContext
 
-	cfgs map[string]*cfg.Graph
-	rds  map[string]*dataflow.ReachDefs
+	// sem bounds concurrent per-item work across all stages (the shared
+	// worker pool); nil or capacity 1 means sequential execution.
+	sem chan struct{}
 
+	methods []*jimple.Method // app's body-bearing methods, sorted by key
 	sites   []*requestSite
-	reports []report.Report
-	stats   Stats
 }
 
-// Analyze runs all checkers over the app using the registry's annotations.
-func Analyze(app *apk.App, reg *apimodel.Registry, opts Options) *Result {
-	prog := jimple.NewProgram()
-	prog.Merge(app.Program)
-	prog.Merge(android.Framework())
-	prog.Merge(apimodel.Stubs())
-	h := hierarchy.New(prog)
-	cg := callgraph.BuildWith(h, app.Manifest, callgraph.Options{
-		DeclaredDispatchOnly: opts.DeclaredDispatchOnly,
-		EnableICC:            opts.EnableICC,
-	})
-	a := &analysis{
-		app:  app,
-		reg:  reg,
-		h:    h,
-		cg:   cg,
-		opts: opts,
-		cfgs: make(map[string]*cfg.Graph),
-		rds:  make(map[string]*dataflow.ReachDefs),
-	}
-	a.stats.LibsUsed = reg.LibsUsedBy(app.Program)
-	a.discoverSites()
-	a.checkRequestSettings()
-	a.checkParameters()
-	a.checkNotifications()
-	a.checkResponses()
-	a.checkRetryLoops()
-	sort.SliceStable(a.reports, func(i, j int) bool {
-		ri, rj := &a.reports[i], &a.reports[j]
-		if ri.Location.Method.Key() != rj.Location.Method.Key() {
-			return ri.Location.Method.Key() < rj.Location.Method.Key()
+// parallelFor runs fn(0..n-1) over the bounded worker pool and waits for
+// completion. Each index must write only to its own output slot, which
+// makes the stage's merged result independent of scheduling.
+func (a *analysis) parallelFor(n int, fn func(int)) {
+	if n <= 1 || a.sem == nil || cap(a.sem) <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		if ri.Location.Stmt != rj.Location.Stmt {
-			return ri.Location.Stmt < rj.Location.Stmt
-		}
-		return ri.Cause < rj.Cause
-	})
-	return &Result{Reports: a.reports, Stats: a.stats}
-}
-
-func (a *analysis) cfgOf(m *jimple.Method) *cfg.Graph {
-	k := m.Sig.Key()
-	if g, ok := a.cfgs[k]; ok {
-		return g
+		return
 	}
-	g := cfg.New(m)
-	a.cfgs[k] = g
-	return g
-}
-
-func (a *analysis) rdOf(m *jimple.Method) *dataflow.ReachDefs {
-	k := m.Sig.Key()
-	if rd, ok := a.rds[k]; ok {
-		return rd
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		a.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-a.sem }()
+			fn(i)
+		}(i)
 	}
-	rd := dataflow.NewReachDefs(a.cfgOf(m))
-	a.rds[k] = rd
-	return rd
+	wg.Wait()
 }
 
-// appMethods returns the app's own body-bearing methods, sorted by key.
-func (a *analysis) appMethods() []*jimple.Method {
+// collectAppMethods returns the app's own body-bearing methods, sorted by
+// key.
+func (a *analysis) collectAppMethods() []*jimple.Method {
 	var out []*jimple.Method
 	for _, c := range a.app.Program.Classes() {
 		for _, m := range c.Methods {
@@ -209,169 +247,6 @@ func (a *analysis) appMethods() []*jimple.Method {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Sig.Key() < out[j].Sig.Key() })
 	return out
-}
-
-// discoverSites performs the reachability analysis of §4.4: it finds every
-// target-API call site, determines which entry points reach it, and
-// resolves its context (user vs. background, HTTP method) and config-API
-// call set.
-func (a *analysis) discoverSites() {
-	for _, m := range a.appMethods() {
-		mKey := m.Sig.Key()
-		entries := a.cg.EntriesReaching(mKey)
-		for i, s := range m.Body {
-			inv, ok := jimple.InvokeOf(s)
-			if !ok {
-				continue
-			}
-			lib, target, isTarget := a.reg.TargetOf(inv.Callee)
-			if !isTarget {
-				continue
-			}
-			if len(entries) == 0 {
-				// Dead code: the paper's tool only reports requests
-				// reachable from an entry point.
-				continue
-			}
-			site := &requestSite{
-				method: m, stmt: i, inv: inv, lib: lib, target: target,
-			}
-			a.resolveContext(site, entries)
-			a.resolveConfig(site)
-			a.sites = append(a.sites, site)
-			a.stats.Requests++
-			if site.userInitiated {
-				a.stats.UserRequests++
-			}
-			if lib.HasRetryAPIs {
-				a.stats.RetryEvalRequests++
-			}
-		}
-	}
-}
-
-// resolveContext decides user vs. background per §4.4.2: entry points in
-// Activity classes are user-initiated; Service entries are background.
-// A request reachable from both is treated as user-initiated (the stricter
-// notification obligations apply).
-func (a *analysis) resolveContext(site *requestSite, entries []callgraph.Entry) {
-	site.kind = android.KindOther
-	for _, e := range entries {
-		switch e.Kind {
-		case android.KindActivity:
-			site.userInitiated = true
-			site.kind = android.KindActivity
-			site.component = e.Component
-			site.entrySig = e.Method.Sig
-		case android.KindService:
-			if !site.userInitiated {
-				site.kind = android.KindService
-				site.component = e.Component
-				site.entrySig = e.Method.Sig
-			}
-		default:
-			if site.component == "" {
-				site.kind = e.Kind
-				site.component = e.Component
-				site.entrySig = e.Method.Sig
-			}
-		}
-	}
-	site.httpMethod = site.target.HTTPMethod
-	if site.lib.Key == apimodel.LibVolley {
-		site.httpMethod = a.resolveVolleyMethod(site)
-	}
-}
-
-// resolveVolleyMethod recovers the HTTP method of a Volley request from
-// the Request constructor's first argument (Method.GET = 0, POST = 1).
-func (a *analysis) resolveVolleyMethod(site *requestSite) string {
-	reqLocal, ok := argLocal(site.inv, 0)
-	if !ok {
-		return ""
-	}
-	m := site.method
-	rd := a.rdOf(m)
-	cp := dataflow.NewConstProp(rd)
-	for _, alloc := range dataflow.AllocSitesOf(rd, site.stmt, reqLocal) {
-		local := rd.DefOfStmt(alloc)
-		// Find the constructor invocation on the allocated local.
-		for j := alloc + 1; j < len(m.Body); j++ {
-			inv, ok := jimple.InvokeOf(m.Body[j])
-			if !ok || inv.Kind != jimple.InvokeSpecial || inv.Base != local || inv.Callee.Name != "<init>" {
-				continue
-			}
-			if len(inv.Args) == 0 {
-				break
-			}
-			if v, ok := cp.ArgInt(j, inv, 0); ok {
-				if v == apimodel.VolleyMethodPost {
-					return "POST"
-				}
-				return "GET"
-			}
-			break
-		}
-	}
-	return ""
-}
-
-// resolveConfig runs the taint step of §4.4.1: locate the config object
-// (client or request), collect every call on its aliases, and record which
-// timeout/retry config APIs were used with what arguments.
-func (a *analysis) resolveConfig(site *requestSite) {
-	m := site.method
-	g := a.cfgOf(m)
-	rd := a.rdOf(m)
-	if a.opts.DisableTaintConfigDiscovery {
-		// Ablation: accept any config call anywhere in the method.
-		for i, s := range m.Body {
-			if inv, ok := jimple.InvokeOf(s); ok {
-				if _, _, isCfg := a.reg.ConfigOf(inv.Callee); isCfg {
-					site.configCalls = append(site.configCalls, dataflow.ObjectCall{Stmt: i, Callee: inv.Callee})
-				}
-			}
-		}
-	} else {
-		var obj string
-		if site.target.ConfigObjArg < 0 {
-			obj = site.inv.Base
-		} else if l, ok := argLocal(site.inv, site.target.ConfigObjArg); ok {
-			obj = l
-		}
-		site.configObj = obj
-		if obj != "" {
-			site.configCalls = dataflow.CallsOnObject(g, rd, site.stmt, obj)
-		}
-	}
-	cp := dataflow.NewConstProp(rd)
-	defaults := site.lib.Defaults
-	site.retryCount, site.retryKnown = defaults.Retries, true
-	for _, oc := range site.configCalls {
-		_, cfgAPI, ok := a.reg.ConfigOf(oc.Callee)
-		if !ok {
-			continue
-		}
-		switch cfgAPI.Kind {
-		case apimodel.ConfigTimeout:
-			site.timeoutSet = true
-		case apimodel.ConfigRetry:
-			site.retrySet = true
-			if cfgAPI.CountArg >= 0 {
-				if inv, okInv := jimple.InvokeOf(m.Body[oc.Stmt]); okInv {
-					if v, okV := cp.ArgInt(oc.Stmt, inv, cfgAPI.CountArg); okV {
-						site.retryCount, site.retryKnown = int(v), true
-						continue
-					}
-				}
-				site.retryKnown = false
-			} else {
-				// A policy-object API: retries configured but the count
-				// is opaque.
-				site.retryKnown = false
-			}
-		}
-	}
 }
 
 func argLocal(inv jimple.InvokeExpr, i int) (string, bool) {

@@ -13,7 +13,10 @@ import (
 // request site it verifies (a) a connectivity-check API is invoked on
 // every path from every entry point to the request, and (b) the request's
 // config object had its timeout and retry config APIs invoked.
-func (a *analysis) checkRequestSettings() {
+//
+// The interprocedural must-precede analysis is built once per stage (it
+// shares the scan's cached CFGs); sites are then checked in parallel.
+func (a *analysis) checkRequestSettings() findings {
 	isCheck := func(_ *jimple.Method, _ int, inv jimple.InvokeExpr) bool {
 		return android.IsConnectivityCheck(inv.Callee)
 	}
@@ -23,27 +26,35 @@ func (a *analysis) checkRequestSettings() {
 			return android.IsConnectivityCheck(inv.Callee) && guarding[m.Sig.Key()][stmt]
 		}
 	}
-	mp := dataflow.NewMustPrecede(a.cg, isCheck)
-	for _, site := range a.sites {
-		mKey := site.method.Sig.Key()
-		if !mp.FactBefore(mKey, site.stmt) {
-			a.stats.MissConnCheck++
-			a.reports = append(a.reports, a.newReport(site, report.CauseNoConnectivityCheck,
-				fmt.Sprintf("Missing network connectivity check before %s.%s()",
-					jimple.SimpleName(site.inv.Callee.Class), site.inv.Callee.Name)))
-		}
-		if site.lib.HasTimeoutAPIs() && !site.timeoutSet {
-			a.stats.MissTimeout++
-			a.reports = append(a.reports, a.newReport(site, report.CauseNoTimeout,
-				fmt.Sprintf("No timeout config API invoked for %s request (library default: %s)",
-					site.lib.Name, describeTimeout(site.lib.Defaults.TimeoutMs))))
-		}
-		if site.lib.HasRetryAPIs && !site.retrySet {
-			a.stats.MissRetryConfig++
-			a.reports = append(a.reports, a.newReport(site, report.CauseNoRetryConfig,
-				fmt.Sprintf("No retry config API invoked for %s request (library default: %d retries)",
-					site.lib.Name, site.lib.Defaults.Retries)))
-		}
+	mp := dataflow.NewMustPrecedeWith(a.cg, isCheck, a.ctx.CFG)
+	units := make([]findings, len(a.sites))
+	a.parallelFor(len(a.sites), func(i int) {
+		a.checkSiteSettings(mp, a.sites[i], &units[i])
+	})
+	return mergeFindings(units)
+}
+
+// checkSiteSettings emits one site's setting warnings in the fixed order
+// conn-check, timeout, retry-config.
+func (a *analysis) checkSiteSettings(mp *dataflow.MustPrecede, site *requestSite, f *findings) {
+	mKey := site.method.Sig.Key()
+	if !mp.FactBefore(mKey, site.stmt) {
+		f.stats.MissConnCheck++
+		f.report(a.newReport(site, report.CauseNoConnectivityCheck,
+			fmt.Sprintf("Missing network connectivity check before %s.%s()",
+				jimple.SimpleName(site.inv.Callee.Class), site.inv.Callee.Name)))
+	}
+	if site.lib.HasTimeoutAPIs() && !site.timeoutSet {
+		f.stats.MissTimeout++
+		f.report(a.newReport(site, report.CauseNoTimeout,
+			fmt.Sprintf("No timeout config API invoked for %s request (library default: %s)",
+				site.lib.Name, describeTimeout(site.lib.Defaults.TimeoutMs))))
+	}
+	if site.lib.HasRetryAPIs && !site.retrySet {
+		f.stats.MissRetryConfig++
+		f.report(a.newReport(site, report.CauseNoRetryConfig,
+			fmt.Sprintf("No retry config API invoked for %s request (library default: %d retries)",
+				site.lib.Name, site.lib.Defaults.Retries)))
 	}
 }
 
@@ -51,12 +62,14 @@ func (a *analysis) checkRequestSettings() {
 // sites whose result flows into a branch condition — the "check actually
 // guards something" refinement of GuardSensitiveConnCheck. The check's
 // result local is tainted forward; any if statement whose condition reads
-// a tainted local marks the check as guarding.
+// a tainted local marks the check as guarding. Methods are scanned in
+// parallel; each writes only its own slot.
 func (a *analysis) guardingCheckSites() map[string]map[int]bool {
-	out := make(map[string]map[int]bool)
-	for _, m := range a.appMethods() {
+	perMethod := make([]map[int]bool, len(a.methods))
+	a.parallelFor(len(a.methods), func(mi int) {
+		m := a.methods[mi]
 		var sites map[int]bool
-		g := a.cfgOf(m)
+		g := a.ctx.CFG(m)
 		for i, s := range m.Body {
 			inv, ok := jimple.InvokeOf(s)
 			if !ok || !android.IsConnectivityCheck(inv.Callee) {
@@ -89,8 +102,12 @@ func (a *analysis) guardingCheckSites() map[string]map[int]bool {
 				}
 			}
 		}
+		perMethod[mi] = sites
+	})
+	out := make(map[string]map[int]bool)
+	for mi, sites := range perMethod {
 		if sites != nil {
-			out[m.Sig.Key()] = sites
+			out[a.methods[mi].Sig.Key()] = sites
 		}
 	}
 	return out

@@ -13,57 +13,63 @@ import (
 // from constant propagation over the retry config APIs, falling back to
 // the library default when the developer never invoked one (which is what
 // makes the majority of over-retries "default-caused", Table 8).
-func (a *analysis) checkParameters() {
-	for _, site := range a.sites {
-		if !site.lib.HasRetryAPIs {
-			continue
-		}
-		defaults := site.lib.Defaults
-		defaultCaused := !site.retrySet
-		retries := site.retryCount
-		if !site.retryKnown {
-			// An opaque retry policy (e.g. setRetryPolicy(policy)): assume
-			// the developer chose deliberately; only flag defaults.
-			continue
-		}
+func (a *analysis) checkParameters() findings {
+	units := make([]findings, len(a.sites))
+	a.parallelFor(len(a.sites), func(i int) {
+		a.checkSiteParameters(a.sites[i], &units[i])
+	})
+	return mergeFindings(units)
+}
 
-		// Cause 2.2b: retry on non-idempotent POST requests.
-		if site.httpMethod == "POST" && retries > 0 {
-			if !defaultCaused || defaults.RetriesApplyToPost {
-				a.stats.OverRetryPost++
-				if defaultCaused {
-					a.stats.OverRetryPostDefault++
-				}
-				r := a.newReport(site, report.CauseOverRetryPost,
-					fmt.Sprintf("POST request retried %d times (HTTP/1.1 forbids automatic retry of non-idempotent methods)", retries))
-				r.DefaultCaused = defaultCaused
-				a.reports = append(a.reports, r)
-				continue
-			}
-		}
+func (a *analysis) checkSiteParameters(site *requestSite, f *findings) {
+	if !site.lib.HasRetryAPIs {
+		return
+	}
+	defaults := site.lib.Defaults
+	defaultCaused := !site.retrySet
+	retries := site.retryCount
+	if !site.retryKnown {
+		// An opaque retry policy (e.g. setRetryPolicy(policy)): assume
+		// the developer chose deliberately; only flag defaults.
+		return
+	}
 
-		// Cause 2.2a: retry in background services.
-		if !site.userInitiated && site.kind.String() == "Service" && retries > 0 {
-			a.stats.OverRetryService++
+	// Cause 2.2b: retry on non-idempotent POST requests.
+	if site.httpMethod == "POST" && retries > 0 {
+		if !defaultCaused || defaults.RetriesApplyToPost {
+			f.stats.OverRetryPost++
 			if defaultCaused {
-				a.stats.OverRetryServiceDefault++
+				f.stats.OverRetryPostDefault++
 			}
-			r := a.newReport(site, report.CauseOverRetryService,
-				fmt.Sprintf("Background-service request retried %d times; retries waste energy with no user waiting", retries))
+			r := a.newReport(site, report.CauseOverRetryPost,
+				fmt.Sprintf("POST request retried %d times (HTTP/1.1 forbids automatic retry of non-idempotent methods)", retries))
 			r.DefaultCaused = defaultCaused
-			a.reports = append(a.reports, r)
-			continue
+			f.report(r)
+			return
 		}
+	}
 
-		// Cause 2.1: no retry for time-sensitive (user-initiated) requests.
-		// POSTs are exempt: HTTP/1.1 forbids retrying them, so zero is
-		// the correct setting there.
-		if site.userInitiated && retries == 0 && site.httpMethod != "POST" {
-			r := a.newReport(site, report.CauseNoRetryTimeSensitive,
-				"User-initiated request performs no retry; a transient error surfaces directly to the user")
-			r.DefaultCaused = defaultCaused
-			a.stats.NoRetryTimeSensitive++
-			a.reports = append(a.reports, r)
+	// Cause 2.2a: retry in background services.
+	if !site.userInitiated && site.kind.String() == "Service" && retries > 0 {
+		f.stats.OverRetryService++
+		if defaultCaused {
+			f.stats.OverRetryServiceDefault++
 		}
+		r := a.newReport(site, report.CauseOverRetryService,
+			fmt.Sprintf("Background-service request retried %d times; retries waste energy with no user waiting", retries))
+		r.DefaultCaused = defaultCaused
+		f.report(r)
+		return
+	}
+
+	// Cause 2.1: no retry for time-sensitive (user-initiated) requests.
+	// POSTs are exempt: HTTP/1.1 forbids retrying them, so zero is
+	// the correct setting there.
+	if site.userInitiated && retries == 0 && site.httpMethod != "POST" {
+		r := a.newReport(site, report.CauseNoRetryTimeSensitive,
+			"User-initiated request performs no retry; a transient error surfaces directly to the user")
+		r.DefaultCaused = defaultCaused
+		f.stats.NoRetryTimeSensitive++
+		f.report(r)
 	}
 }

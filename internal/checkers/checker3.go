@@ -20,55 +20,61 @@ const notifScanDepth = 2
 // AsyncTask's onPostExecute, or — failing those — the requesting method
 // itself), then scans that scope for calls on the five Android UI-alert
 // classes. For Volley it additionally checks that the error callback
-// inspects the typed error object.
-func (a *analysis) checkNotifications() {
-	for _, site := range a.sites {
-		if !site.userInitiated {
-			continue
+// inspects the typed error object. Sites are checked in parallel.
+func (a *analysis) checkNotifications() findings {
+	units := make([]findings, len(a.sites))
+	a.parallelFor(len(a.sites), func(i int) {
+		a.checkSiteNotifications(a.sites[i], &units[i])
+	})
+	return mergeFindings(units)
+}
+
+func (a *analysis) checkSiteNotifications(site *requestSite, f *findings) {
+	if !site.userInitiated {
+		return
+	}
+	cbMethod, cbSpec, explicit := a.resolveErrorCallback(site)
+	var scope []*jimple.Method
+	if explicit {
+		scope = a.scopeFrom(cbMethod)
+		f.stats.ExplicitCallbackReqs++
+	} else {
+		scope = a.scopeFrom(site.method)
+		if sibling := a.asyncTaskSibling(site.method); sibling != nil {
+			scope = append(scope, a.scopeFrom(sibling)...)
 		}
-		cbMethod, cbSpec, explicit := a.resolveErrorCallback(site)
-		var scope []*jimple.Method
+		f.stats.ImplicitCallbackReqs++
+	}
+	notified := scanForUIAlert(scope)
+	if notified {
 		if explicit {
-			scope = a.scopeFrom(cbMethod)
-			a.stats.ExplicitCallbackReqs++
+			f.stats.ExplicitCallbackNotified++
 		} else {
-			scope = a.scopeFrom(site.method)
-			if sibling := a.asyncTaskSibling(site.method); sibling != nil {
-				scope = append(scope, a.scopeFrom(sibling)...)
-			}
-			a.stats.ImplicitCallbackReqs++
+			f.stats.ImplicitCallbackNotified++
 		}
-		notified := scanForUIAlert(scope)
-		if notified {
-			if explicit {
-				a.stats.ExplicitCallbackNotified++
-			} else {
-				a.stats.ImplicitCallbackNotified++
-			}
+	} else {
+		f.stats.UserRequestsNoNotif++
+		loc := site.method
+		stmt := site.stmt
+		if explicit {
+			loc, stmt = cbMethod, 0
+		}
+		r := a.newReport(site, report.CauseNoFailureNotification,
+			fmt.Sprintf("No failure notification for user-initiated %s request", site.lib.Name))
+		r.Location = report.Loc{Method: loc.Sig, Stmt: stmt}
+		f.report(r)
+	}
+	// Error-type usage: only callbacks that expose typed errors
+	// (Volley) are checked, matching the paper.
+	if explicit && cbSpec != nil && cbSpec.ExposesErrorTypes {
+		f.stats.ErrorCallbacks++
+		if errorObjectInspected(cbMethod, cbSpec.ErrorArg) {
+			f.stats.ErrorTypeChecked++
 		} else {
-			a.stats.UserRequestsNoNotif++
-			loc := site.method
-			stmt := site.stmt
-			if explicit {
-				loc, stmt = cbMethod, 0
-			}
-			r := a.newReport(site, report.CauseNoFailureNotification,
-				fmt.Sprintf("No failure notification for user-initiated %s request", site.lib.Name))
-			r.Location = report.Loc{Method: loc.Sig, Stmt: stmt}
-			a.reports = append(a.reports, r)
-		}
-		// Error-type usage: only callbacks that expose typed errors
-		// (Volley) are checked, matching the paper.
-		if explicit && cbSpec != nil && cbSpec.ExposesErrorTypes {
-			a.stats.ErrorCallbacks++
-			if errorObjectInspected(cbMethod, cbSpec.ErrorArg) {
-				a.stats.ErrorTypeChecked++
-			} else {
-				r := a.newReport(site, report.CauseNoErrorTypeCheck,
-					"Error callback ignores the error object's type; different errors need different handling")
-				r.Location = report.Loc{Method: cbMethod.Sig, Stmt: 0}
-				a.reports = append(a.reports, r)
-			}
+			r := a.newReport(site, report.CauseNoErrorTypeCheck,
+				"Error callback ignores the error object's type; different errors need different handling")
+			r.Location = report.Loc{Method: cbMethod.Sig, Stmt: 0}
+			f.report(r)
 		}
 	}
 }
@@ -126,7 +132,7 @@ func (a *analysis) volleyErrorListener(site *requestSite) (*jimple.Method, *apim
 		return nil, nil
 	}
 	m := site.method
-	rd := a.rdOf(m)
+	rd := a.ctx.ReachDefs(m)
 	for _, alloc := range dataflow.AllocSitesOf(rd, site.stmt, reqLocal) {
 		local := rd.DefOfStmt(alloc)
 		for j := alloc + 1; j < len(m.Body); j++ {

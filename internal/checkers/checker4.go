@@ -16,38 +16,55 @@ import (
 // exists from the definition to a use with no validity check on it. A
 // validity check is either a response-checking API call (isSuccessful /
 // isSuccess) or an explicit null test on an alias of the response.
-func (a *analysis) checkResponses() {
+func (a *analysis) checkResponses() findings {
 	// Synchronous targets: response = LHS at the request site.
-	for _, site := range a.sites {
-		if !site.lib.HasRespCheckAPIs() || !site.target.ReturnsResponse {
-			continue
-		}
-		a.stats.RespRequests++
-		asg, ok := site.method.Body[site.stmt].(*jimple.AssignStmt)
-		if !ok {
-			continue // response discarded: nothing to use, nothing to check
-		}
-		respLocal, ok := asg.LHS.(jimple.Local)
-		if !ok {
-			continue
-		}
-		if useStmt, missing := a.findUncheckedUse(site.method, site.stmt, respLocal.Name); missing {
-			a.stats.RespMissCheck++
-			r := a.newReport(site, report.CauseNoResponseCheck,
-				fmt.Sprintf("Response of %s.%s() used without a validity check",
-					jimple.SimpleName(site.inv.Callee.Class), site.inv.Callee.Name))
-			r.Location = report.Loc{Method: site.method.Sig, Stmt: useStmt}
-			a.reports = append(a.reports, r)
-		}
-	}
+	siteUnits := make([]findings, len(a.sites))
+	a.parallelFor(len(a.sites), func(i int) {
+		a.checkSiteResponse(a.sites[i], &siteUnits[i])
+	})
 	// Asynchronous success callbacks: the response arrives as a parameter.
-	a.checkCallbackResponses()
+	cbUnits := a.checkCallbackResponses()
+	f := mergeFindings(siteUnits)
+	cb := mergeFindings(cbUnits)
+	f.reports = append(f.reports, cb.reports...)
+	f.stats.add(&cb.stats)
+	return f
+}
+
+func (a *analysis) checkSiteResponse(site *requestSite, f *findings) {
+	if !site.lib.HasRespCheckAPIs() || !site.target.ReturnsResponse {
+		return
+	}
+	f.stats.RespRequests++
+	asg, ok := site.method.Body[site.stmt].(*jimple.AssignStmt)
+	if !ok {
+		return // response discarded: nothing to use, nothing to check
+	}
+	respLocal, ok := asg.LHS.(jimple.Local)
+	if !ok {
+		return
+	}
+	if useStmt, missing := a.findUncheckedUse(site.method, site.stmt, respLocal.Name); missing {
+		f.stats.RespMissCheck++
+		r := a.newReport(site, report.CauseNoResponseCheck,
+			fmt.Sprintf("Response of %s.%s() used without a validity check",
+				jimple.SimpleName(site.inv.Callee.Class), site.inv.Callee.Name))
+		r.Location = report.Loc{Method: site.method.Sig, Stmt: useStmt}
+		f.report(r)
+	}
 }
 
 // checkCallbackResponses scans app classes implementing a library success
 // callback whose parameter type has response-check APIs (OkHttp's
-// Callback.onResponse).
-func (a *analysis) checkCallbackResponses() {
+// Callback.onResponse). The (library, callback, class) work list is built
+// sequentially so unit order matches the historical scan order, then the
+// method bodies are analyzed in parallel.
+func (a *analysis) checkCallbackResponses() []findings {
+	type cbWork struct {
+		m   *jimple.Method
+		lib *apimodel.Library
+	}
+	var work []cbWork
 	for _, lib := range a.reg.Libraries() {
 		if !lib.HasRespCheckAPIs() {
 			continue
@@ -66,13 +83,18 @@ func (a *analysis) checkCallbackResponses() {
 				if m == nil || !m.HasBody() {
 					continue
 				}
-				a.checkCallbackResponseBody(m, lib)
+				work = append(work, cbWork{m: m, lib: lib})
 			}
 		}
 	}
+	units := make([]findings, len(work))
+	a.parallelFor(len(work), func(i int) {
+		a.checkCallbackResponseBody(work[i].m, work[i].lib, &units[i])
+	})
+	return units
 }
 
-func (a *analysis) checkCallbackResponseBody(m *jimple.Method, lib *apimodel.Library) {
+func (a *analysis) checkCallbackResponseBody(m *jimple.Method, lib *apimodel.Library, f *findings) {
 	// Find the identity assignment binding the response parameter.
 	for i, s := range m.Body {
 		asg, ok := s.(*jimple.AssignStmt)
@@ -87,9 +109,9 @@ func (a *analysis) checkCallbackResponseBody(m *jimple.Method, lib *apimodel.Lib
 		if !isLocal {
 			continue
 		}
-		a.stats.RespRequests++
+		f.stats.RespRequests++
 		if useStmt, missing := a.findUncheckedUse(m, i, respLocal.Name); missing {
-			a.stats.RespMissCheck++
+			f.stats.RespMissCheck++
 			ctx := report.Context{Component: jimple.OuterClass(m.Sig.Class), UserInitiated: true}
 			r := report.Report{
 				Cause:         report.CauseNoResponseCheck,
@@ -100,7 +122,7 @@ func (a *analysis) checkCallbackResponseBody(m *jimple.Method, lib *apimodel.Lib
 				Context:       ctx,
 				FixSuggestion: report.Suggest(report.CauseNoResponseCheck, ctx, lib),
 			}
-			a.reports = append(a.reports, r)
+			f.report(r)
 		}
 		return
 	}
@@ -120,7 +142,7 @@ func isResponseType(t string, lib *apimodel.Library) bool {
 // the "validated" must-fact is still false on some path. It returns the
 // offending use statement.
 func (a *analysis) findUncheckedUse(m *jimple.Method, defStmt int, local string) (int, bool) {
-	g := a.cfgOf(m)
+	g := a.ctx.CFG(m)
 	taint := dataflow.ForwardTaint(g, map[int][]string{defStmt: {local}}, dataflow.DefaultTaintOptions())
 	aliasAt := func(stmt int, name string) bool {
 		return name == local && stmt == defStmt || taint.TaintedAt(stmt, name)

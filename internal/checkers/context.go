@@ -1,0 +1,188 @@
+package checkers
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/callgraph"
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/jimple"
+)
+
+// AnalysisContext is the per-scan memoization layer shared by every
+// pipeline stage: it lazily computes and caches the per-method analysis
+// artifacts (CFG, dominators, natural loops, reaching definitions,
+// constant propagation, slicer) plus the per-entry reachability sets
+// behind one accessor API. All accessors are safe for concurrent use, and
+// each artifact is computed at most once per method per scan — the cache
+// counters in Diagnostics prove it.
+type AnalysisContext struct {
+	cg *callgraph.Graph
+
+	mu      sync.Mutex
+	methods map[string]*methodArtifacts
+
+	entriesOnce sync.Once
+	entryReach  []map[string]bool // parallel to cg.Entries()
+
+	cfgRequests, cfgComputed       atomic.Int64
+	rdRequests, rdComputed         atomic.Int64
+	cpRequests, cpComputed         atomic.Int64
+	domRequests, domComputed       atomic.Int64
+	loopRequests, loopComputed     atomic.Int64
+	slicerRequests, slicerComputed atomic.Int64
+}
+
+// methodArtifacts holds one method's lazily-built artifacts. Each field
+// is guarded by its own sync.Once so concurrent stages requesting the
+// same artifact block on a single computation.
+type methodArtifacts struct {
+	m *jimple.Method
+
+	cfgOnce sync.Once
+	cfg     *cfg.Graph
+
+	rdOnce sync.Once
+	rd     *dataflow.ReachDefs
+
+	cpOnce sync.Once
+	cp     *dataflow.ConstProp
+
+	domOnce sync.Once
+	dom     []int
+
+	loopsOnce sync.Once
+	loops     []*cfg.Loop
+
+	slicerOnce sync.Once
+	slicer     *dataflow.Slicer
+}
+
+// newAnalysisContext prepares an empty context over the scan's call graph.
+func newAnalysisContext(cg *callgraph.Graph) *AnalysisContext {
+	return &AnalysisContext{cg: cg, methods: make(map[string]*methodArtifacts)}
+}
+
+func (c *AnalysisContext) arts(m *jimple.Method) *methodArtifacts {
+	k := m.Sig.Key()
+	c.mu.Lock()
+	a := c.methods[k]
+	if a == nil {
+		a = &methodArtifacts{m: m}
+		c.methods[k] = a
+	}
+	c.mu.Unlock()
+	return a
+}
+
+// CFG returns the memoized control-flow graph of m.
+func (c *AnalysisContext) CFG(m *jimple.Method) *cfg.Graph {
+	a := c.arts(m)
+	c.cfgRequests.Add(1)
+	a.cfgOnce.Do(func() {
+		c.cfgComputed.Add(1)
+		a.cfg = cfg.New(m)
+	})
+	return a.cfg
+}
+
+// ReachDefs returns the memoized reaching-definitions result of m.
+func (c *AnalysisContext) ReachDefs(m *jimple.Method) *dataflow.ReachDefs {
+	a := c.arts(m)
+	c.rdRequests.Add(1)
+	a.rdOnce.Do(func() {
+		c.rdComputed.Add(1)
+		a.rd = dataflow.NewReachDefs(c.CFG(m))
+	})
+	return a.rd
+}
+
+// ConstProp returns the memoized constant-propagation engine of m.
+func (c *AnalysisContext) ConstProp(m *jimple.Method) *dataflow.ConstProp {
+	a := c.arts(m)
+	c.cpRequests.Add(1)
+	a.cpOnce.Do(func() {
+		c.cpComputed.Add(1)
+		a.cp = dataflow.NewConstProp(c.ReachDefs(m))
+	})
+	return a.cp
+}
+
+// Dominators returns the memoized immediate-dominator array of m's CFG.
+func (c *AnalysisContext) Dominators(m *jimple.Method) []int {
+	a := c.arts(m)
+	c.domRequests.Add(1)
+	a.domOnce.Do(func() {
+		c.domComputed.Add(1)
+		a.dom = c.CFG(m).Dominators()
+	})
+	return a.dom
+}
+
+// Loops returns the memoized natural loops of m, built from the cached
+// dominator tree.
+func (c *AnalysisContext) Loops(m *jimple.Method) []*cfg.Loop {
+	a := c.arts(m)
+	c.loopRequests.Add(1)
+	a.loopsOnce.Do(func() {
+		c.loopComputed.Add(1)
+		a.loops = c.CFG(m).NaturalLoopsWith(c.Dominators(m))
+	})
+	return a.loops
+}
+
+// Slicer returns the memoized backward slicer of m (shares the cached CFG
+// and reaching-defs result).
+func (c *AnalysisContext) Slicer(m *jimple.Method) *dataflow.Slicer {
+	a := c.arts(m)
+	c.slicerRequests.Add(1)
+	a.slicerOnce.Do(func() {
+		c.slicerComputed.Add(1)
+		a.slicer = dataflow.NewSlicer(c.CFG(m), c.ReachDefs(m))
+	})
+	return a.slicer
+}
+
+// EntriesReaching returns the entry points from which the method with the
+// given signature key is reachable — same result as
+// callgraph.Graph.EntriesReaching, but the per-entry reachability sets are
+// computed once per scan instead of once per query.
+func (c *AnalysisContext) EntriesReaching(targetKey string) []callgraph.Entry {
+	c.entriesOnce.Do(func() {
+		entries := c.cg.Entries()
+		c.entryReach = make([]map[string]bool, len(entries))
+		for i, e := range entries {
+			c.entryReach[i] = c.cg.ReachableFrom(e.Method.Sig)
+		}
+	})
+	var out []callgraph.Entry
+	for i, e := range c.cg.Entries() {
+		if c.entryReach[i][targetKey] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// cacheStats snapshots the context's counters for Diagnostics.
+func (c *AnalysisContext) cacheStats() CacheStats {
+	c.mu.Lock()
+	methods := len(c.methods)
+	c.mu.Unlock()
+	return CacheStats{
+		Methods:            methods,
+		CFGComputed:        int(c.cfgComputed.Load()),
+		CFGRequests:        int(c.cfgRequests.Load()),
+		ReachDefsComputed:  int(c.rdComputed.Load()),
+		ReachDefsRequests:  int(c.rdRequests.Load()),
+		ConstPropComputed:  int(c.cpComputed.Load()),
+		ConstPropRequests:  int(c.cpRequests.Load()),
+		DominatorsComputed: int(c.domComputed.Load()),
+		DominatorsRequests: int(c.domRequests.Load()),
+		LoopsComputed:      int(c.loopComputed.Load()),
+		LoopsRequests:      int(c.loopRequests.Load()),
+		SlicersComputed:    int(c.slicerComputed.Load()),
+		SlicerRequests:     int(c.slicerRequests.Load()),
+	}
+}

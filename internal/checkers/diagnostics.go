@@ -1,0 +1,113 @@
+package checkers
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// StageTiming records one pipeline stage's wall time and work volume.
+// Stages overlap when Options.Workers > 1, so durations do not sum to
+// Diagnostics.Total.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+	Items    int // work units examined: request sites, or methods
+	Reports  int // warnings the stage emitted
+}
+
+// CacheStats counts AnalysisContext artifact computations vs. requests.
+// Hits are Requests − Computed; Computed never exceeds the number of
+// distinct methods, proving each artifact is built at most once per
+// method per scan.
+type CacheStats struct {
+	Methods int // distinct methods with at least one cached artifact
+
+	CFGComputed, CFGRequests               int
+	ReachDefsComputed, ReachDefsRequests   int
+	ConstPropComputed, ConstPropRequests   int
+	DominatorsComputed, DominatorsRequests int
+	LoopsComputed, LoopsRequests           int
+	SlicersComputed, SlicerRequests        int
+}
+
+// CFGHits returns the number of CFG requests served from the cache.
+func (c CacheStats) CFGHits() int { return c.CFGRequests - c.CFGComputed }
+
+// ReachDefsHits returns the reaching-defs requests served from the cache.
+func (c CacheStats) ReachDefsHits() int { return c.ReachDefsRequests - c.ReachDefsComputed }
+
+// Diagnostics is the per-scan observability record: where the time went,
+// how much was analyzed, and how well the shared analysis cache worked.
+// It is populated by every Analyze call and threaded through core.Result
+// to cmd/nchecker (-timings) and the experiment harness.
+type Diagnostics struct {
+	Total      time.Duration
+	Workers    int // resolved worker count the scan ran with
+	AppMethods int // body-bearing app methods scanned
+	Sites      int // request sites discovered
+	Stages     []StageTiming
+	Cache      CacheStats
+}
+
+// Stage returns the timing record of the named stage, or nil.
+func (d *Diagnostics) Stage(name string) *StageTiming {
+	for i := range d.Stages {
+		if d.Stages[i].Name == name {
+			return &d.Stages[i]
+		}
+	}
+	return nil
+}
+
+// add appends a stage record.
+func (d *Diagnostics) add(name string, dur time.Duration, items, reports int) {
+	d.Stages = append(d.Stages, StageTiming{Name: name, Duration: dur, Items: items, Reports: reports})
+}
+
+// merge accumulates another scan's diagnostics into d (stage-wise and
+// cache-wise), for corpus-level aggregation. Workers is kept from d.
+func (d *Diagnostics) Merge(o Diagnostics) {
+	d.Total += o.Total
+	d.AppMethods += o.AppMethods
+	d.Sites += o.Sites
+	for _, s := range o.Stages {
+		if have := d.Stage(s.Name); have != nil {
+			have.Duration += s.Duration
+			have.Items += s.Items
+			have.Reports += s.Reports
+		} else {
+			d.Stages = append(d.Stages, s)
+		}
+	}
+	d.Cache.Methods += o.Cache.Methods
+	d.Cache.CFGComputed += o.Cache.CFGComputed
+	d.Cache.CFGRequests += o.Cache.CFGRequests
+	d.Cache.ReachDefsComputed += o.Cache.ReachDefsComputed
+	d.Cache.ReachDefsRequests += o.Cache.ReachDefsRequests
+	d.Cache.ConstPropComputed += o.Cache.ConstPropComputed
+	d.Cache.ConstPropRequests += o.Cache.ConstPropRequests
+	d.Cache.DominatorsComputed += o.Cache.DominatorsComputed
+	d.Cache.DominatorsRequests += o.Cache.DominatorsRequests
+	d.Cache.LoopsComputed += o.Cache.LoopsComputed
+	d.Cache.LoopsRequests += o.Cache.LoopsRequests
+	d.Cache.SlicersComputed += o.Cache.SlicersComputed
+	d.Cache.SlicerRequests += o.Cache.SlicerRequests
+}
+
+// Render formats the diagnostics for the -timings flag.
+func (d Diagnostics) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline: %v total, %d workers, %d app methods, %d request sites\n",
+		d.Total.Round(time.Microsecond), d.Workers, d.AppMethods, d.Sites)
+	for _, s := range d.Stages {
+		fmt.Fprintf(&b, "  stage %-14s %12v  items=%-5d reports=%d\n",
+			s.Name, s.Duration.Round(time.Microsecond), s.Items, s.Reports)
+	}
+	c := d.Cache
+	fmt.Fprintf(&b, "  cache (computed/requests over %d methods): cfg %d/%d  reachdefs %d/%d  constprop %d/%d  dominators %d/%d  loops %d/%d  slicer %d/%d\n",
+		c.Methods, c.CFGComputed, c.CFGRequests, c.ReachDefsComputed, c.ReachDefsRequests,
+		c.ConstPropComputed, c.ConstPropRequests, c.DominatorsComputed, c.DominatorsRequests,
+		c.LoopsComputed, c.LoopsRequests, c.SlicersComputed, c.SlicerRequests)
+	return b.String()
+}

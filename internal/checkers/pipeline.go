@@ -1,0 +1,133 @@
+package checkers
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/apimodel"
+	"repro/internal/apk"
+	"repro/internal/callgraph"
+	"repro/internal/hierarchy"
+	"repro/internal/jimple"
+)
+
+// Analyze runs all checkers over the app using the registry's annotations.
+//
+// The scan is a staged pass pipeline:
+//
+//	build      — merge the app with the framework model, build the class
+//	             hierarchy and the call graph
+//	discover   — find and resolve every request site (§4.4), fanned out
+//	             per method
+//	settings | parameters | notifications | responses | retryloops
+//	           — the four checkers (§4.4.1–4.4.4) and the retry-loop
+//	             identification (§4.5), run concurrently as stages, each
+//	             fanning out per site (or per method) over the shared
+//	             bounded worker pool
+//
+// All stages share one AnalysisContext, so each per-method artifact (CFG,
+// reaching defs, …) is computed at most once per scan. Every work unit
+// writes findings into its own slot and stages are merged in a fixed
+// order, so reports and stats are byte-identical to a sequential scan
+// regardless of Options.Workers.
+func Analyze(app *apk.App, reg *apimodel.Registry, opts Options) *Result {
+	start := time.Now()
+	workers := opts.workerCount()
+	var diag Diagnostics
+	diag.Workers = workers
+
+	buildStart := time.Now()
+	prog := jimple.NewProgram()
+	prog.Merge(app.Program)
+	prog.Merge(android.Framework())
+	prog.Merge(apimodel.Stubs())
+	h := hierarchy.New(prog)
+	cg := callgraph.BuildWith(h, app.Manifest, callgraph.Options{
+		DeclaredDispatchOnly: opts.DeclaredDispatchOnly,
+		EnableICC:            opts.EnableICC,
+	})
+	a := &analysis{
+		app:  app,
+		reg:  reg,
+		h:    h,
+		cg:   cg,
+		opts: opts,
+		ctx:  newAnalysisContext(cg),
+	}
+	if workers > 1 {
+		a.sem = make(chan struct{}, workers)
+	}
+	a.methods = a.collectAppMethods()
+	diag.add("build", time.Since(buildStart), len(a.methods), 0)
+
+	// Discovery must complete before the checkers: they all consume the
+	// frozen site list.
+	discoverStart := time.Now()
+	discovered := a.discoverSites()
+	diag.add("discover", time.Since(discoverStart), len(a.methods), 0)
+
+	stages := []struct {
+		name  string
+		items int
+		run   func() findings
+	}{
+		{"settings", len(a.sites), a.checkRequestSettings},
+		{"parameters", len(a.sites), a.checkParameters},
+		{"notifications", len(a.sites), a.checkNotifications},
+		{"responses", len(a.sites), a.checkResponses},
+		{"retryloops", len(a.methods), a.checkRetryLoops},
+	}
+	outs := make([]findings, len(stages))
+	durs := make([]time.Duration, len(stages))
+	runStage := func(i int) {
+		t0 := time.Now()
+		outs[i] = stages[i].run()
+		durs[i] = time.Since(t0)
+	}
+	if workers > 1 {
+		// The stage goroutines only coordinate; the per-item fan-out inside
+		// each stage goes through the shared pool (analysis.parallelFor).
+		var wg sync.WaitGroup
+		for i := range stages {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runStage(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range stages {
+			runStage(i)
+		}
+	}
+
+	// Merge barrier: discovery stats first, then each stage's findings in
+	// the fixed stage order (the historical sequential append order).
+	res := &Result{}
+	res.Stats.LibsUsed = reg.LibsUsedBy(app.Program)
+	res.Stats.add(&discovered.stats)
+	for i := range stages {
+		res.Reports = append(res.Reports, outs[i].reports...)
+		res.Stats.add(&outs[i].stats)
+		diag.add(stages[i].name, durs[i], stages[i].items, len(outs[i].reports))
+	}
+	sort.SliceStable(res.Reports, func(i, j int) bool {
+		ri, rj := &res.Reports[i], &res.Reports[j]
+		if ri.Location.Method.Key() != rj.Location.Method.Key() {
+			return ri.Location.Method.Key() < rj.Location.Method.Key()
+		}
+		if ri.Location.Stmt != rj.Location.Stmt {
+			return ri.Location.Stmt < rj.Location.Stmt
+		}
+		return ri.Cause < rj.Cause
+	})
+	diag.AppMethods = len(a.methods)
+	diag.Sites = len(a.sites)
+	diag.Cache = a.ctx.cacheStats()
+	diag.Total = time.Since(start)
+	res.Diagnostics = diag
+	return res
+}

@@ -3,7 +3,6 @@ package checkers
 import (
 	"repro/internal/android"
 	"repro/internal/cfg"
-	"repro/internal/dataflow"
 	"repro/internal/jimple"
 	"repro/internal/report"
 )
@@ -11,7 +10,9 @@ import (
 // checkRetryLoops implements §4.5: it identifies customized retry logic —
 // natural loops whose exit depends on the success of a network request —
 // and flags the aggressive ones (no backoff between attempts, the
-// Telegram pattern of Figure 2).
+// Telegram pattern of Figure 2). Methods are analyzed in parallel over
+// the shared worker pool, reusing the scan's cached CFGs, loop sets, and
+// slicers.
 //
 // A loop is a retry loop when it (transitively) performs a network request
 // and either:
@@ -22,30 +23,33 @@ import (
 //	(b) a conditional exit's condition is data/control dependent on
 //	    statements of a catch block (Figure 6(c)/(d)), established by
 //	    backward slicing.
-func (a *analysis) checkRetryLoops() {
-	for _, m := range a.appMethods() {
-		g := a.cfgOf(m)
-		loops := g.NaturalLoops()
-		if len(loops) == 0 {
+func (a *analysis) checkRetryLoops() findings {
+	units := make([]findings, len(a.methods))
+	a.parallelFor(len(a.methods), func(i int) {
+		a.checkMethodRetryLoops(a.methods[i], &units[i])
+	})
+	return mergeFindings(units)
+}
+
+func (a *analysis) checkMethodRetryLoops(m *jimple.Method, f *findings) {
+	loops := a.ctx.Loops(m)
+	if len(loops) == 0 {
+		return
+	}
+	g := a.ctx.CFG(m)
+	for _, loop := range loops {
+		if !a.loopPerformsRequest(m, loop) {
 			continue
 		}
-		rd := a.rdOf(m)
-		slicer := dataflow.NewSlicer(g, rd)
-		for _, loop := range loops {
-			if !a.loopPerformsRequest(m, loop) {
-				continue
-			}
-			if !a.opts.DisableRetrySlicing && !a.isRetryLoop(m, g, loop, slicer) {
-				continue
-			}
-			a.stats.RetryLoops++
-			if !a.loopHasBackoff(m, loop) {
-				a.stats.AggressiveRetryLoops++
-				site := a.syntheticLoopSite(m, loop)
-				r := a.newReport(site, report.CauseAggressiveRetryLoop,
-					"Customized retry loop reconnects without backing off; repeated failures burn CPU and battery")
-				a.reports = append(a.reports, r)
-			}
+		if !a.opts.DisableRetrySlicing && !a.isRetryLoop(m, g, loop) {
+			continue
+		}
+		f.stats.RetryLoops++
+		if !a.loopHasBackoff(m, loop) {
+			f.stats.AggressiveRetryLoops++
+			site := a.syntheticLoopSite(m, loop)
+			f.report(a.newReport(site, report.CauseAggressiveRetryLoop,
+				"Customized retry loop reconnects without backing off; repeated failures burn CPU and battery"))
 		}
 	}
 }
@@ -94,8 +98,7 @@ func (a *analysis) methodHasRequest(m *jimple.Method) bool {
 // catchStmtsInLoop returns the statements of catch blocks whose handler
 // lies inside the loop: the handler statement plus everything it
 // dominates within the loop.
-func catchStmtsInLoop(m *jimple.Method, g *cfg.Graph, loop *cfg.Loop) map[int]bool {
-	idom := g.Dominators()
+func catchStmtsInLoop(m *jimple.Method, idom []int, loop *cfg.Loop) map[int]bool {
 	out := make(map[int]bool)
 	for _, t := range m.Traps {
 		if !loop.Contains(t.Handler) {
@@ -111,8 +114,8 @@ func catchStmtsInLoop(m *jimple.Method, g *cfg.Graph, loop *cfg.Loop) map[int]bo
 }
 
 // isRetryLoop applies the two §4.5 exit-condition criteria.
-func (a *analysis) isRetryLoop(m *jimple.Method, g *cfg.Graph, loop *cfg.Loop, slicer *dataflow.Slicer) bool {
-	catch := catchStmtsInLoop(m, g, loop)
+func (a *analysis) isRetryLoop(m *jimple.Method, g *cfg.Graph, loop *cfg.Loop) bool {
+	catch := catchStmtsInLoop(m, a.ctx.Dominators(m), loop)
 	if len(catch) == 0 {
 		return false
 	}
@@ -135,7 +138,7 @@ func (a *analysis) isRetryLoop(m *jimple.Method, g *cfg.Graph, loop *cfg.Loop, s
 			if !loop.Contains(s.Target) || (i+1 < g.NumNodes() && !loop.Contains(i+1)) {
 				exits = true
 			}
-			if exits && slicer.DependsOnAny(i, catch) {
+			if exits && a.ctx.Slicer(m).DependsOnAny(i, catch) {
 				return true
 			}
 		}
@@ -230,7 +233,7 @@ func (a *analysis) syntheticLoopSite(m *jimple.Method, loop *cfg.Loop) *requestS
 	if site.target == nil && len(site.lib.Targets) > 0 {
 		site.target = &site.lib.Targets[0]
 	}
-	entries := a.cg.EntriesReaching(m.Sig.Key())
+	entries := a.ctx.EntriesReaching(m.Sig.Key())
 	if len(entries) > 0 {
 		a.resolveContext(site, entries)
 	} else {

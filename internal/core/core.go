@@ -28,12 +28,19 @@ import (
 	"repro/internal/report"
 )
 
-// Result is an app scan outcome: the warning reports plus the per-request
-// statistics the evaluation harness aggregates.
+// Result is an app scan outcome: the warning reports, the per-request
+// statistics the evaluation harness aggregates, and the scan's pipeline
+// diagnostics.
 type Result = checkers.Result
 
-// Options re-exports the analysis options (ablation switches).
+// Options re-exports the analysis options: the ablation switches plus
+// Workers, the scan pipeline's worker-pool bound (0 = NumCPU). Reports
+// are deterministic regardless of Workers.
 type Options = checkers.Options
+
+// Diagnostics re-exports the per-scan pipeline observability record:
+// per-stage wall time, work volumes, and analysis-cache hit counters.
+type Diagnostics = checkers.Diagnostics
 
 // Checker is a reusable NPD scanner. It is safe to use from multiple
 // goroutines: all per-scan state lives in the scan.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/android"
@@ -104,8 +105,11 @@ func TestScanDeterministic(t *testing.T) {
 
 // TestConcurrentScans: the Checker is safe for concurrent use — parallel
 // scans of the same app produce identical results (run under -race in CI).
+// The checker itself runs with a parallel internal pipeline, so this also
+// exercises nested concurrency: goroutines sharing one Checker whose
+// scans each fan out over their own worker pool.
 func TestConcurrentScans(t *testing.T) {
-	nc := New()
+	nc := NewWithOptions(Options{Workers: 4})
 	app := buggyApp(t)
 	baseline := nc.ScanApp(app)
 	const workers = 8
@@ -124,5 +128,31 @@ func TestConcurrentScans(t *testing.T) {
 		if len(res.Reports) != len(baseline.Reports) {
 			t.Errorf("worker %d: %d reports vs baseline %d", w, len(res.Reports), len(baseline.Reports))
 		}
+	}
+}
+
+// TestWorkersDeterminism: the same app scanned with Workers=1 and
+// Workers=8 must produce byte-identical rendered reports and identical
+// stats — the pipeline's merge barrier guarantees it.
+func TestWorkersDeterminism(t *testing.T) {
+	app := buggyApp(t)
+	render := func(res *Result) string {
+		var b []byte
+		for i := range res.Reports {
+			b = append(b, res.Reports[i].Render()...)
+			b = append(b, '\n')
+		}
+		return string(b)
+	}
+	seq := NewWithOptions(Options{Workers: 1}).ScanApp(app)
+	par := NewWithOptions(Options{Workers: 8}).ScanApp(app)
+	if got, want := render(par), render(seq); got != want {
+		t.Errorf("Workers=8 reports differ from Workers=1:\n--- 1 ---\n%s--- 8 ---\n%s", want, got)
+	}
+	if !reflect.DeepEqual(seq.Stats, par.Stats) {
+		t.Errorf("stats differ: %+v vs %+v", seq.Stats, par.Stats)
+	}
+	if seq.Diagnostics.Workers != 1 || par.Diagnostics.Workers != 8 {
+		t.Errorf("diagnostics workers: %d and %d", seq.Diagnostics.Workers, par.Diagnostics.Workers)
 	}
 }

@@ -23,14 +23,31 @@ type GenFunc func(m *jimple.Method, stmt int, inv jimple.InvokeExpr) bool
 // be invoked, not to govern the branch — which reproduces the false
 // negatives §5.3 reports.
 type MustPrecede struct {
-	cg   *callgraph.Graph
-	gen  GenFunc
-	fact map[string][]bool // method key -> per-statement "definitely established before stmt"
+	cg    *callgraph.Graph
+	gen   GenFunc
+	cfgOf CFGProvider
+	fact  map[string][]bool // method key -> per-statement "definitely established before stmt"
 }
 
-// NewMustPrecede runs the analysis over all entry points of cg.
+// CFGProvider supplies the control-flow graph of a method. Passing a
+// memoizing provider lets the analysis share CFGs with other passes of
+// the same scan instead of rebuilding them.
+type CFGProvider func(*jimple.Method) *cfg.Graph
+
+// NewMustPrecede runs the analysis over all entry points of cg, building
+// a fresh CFG per reachable method.
 func NewMustPrecede(cg *callgraph.Graph, gen GenFunc) *MustPrecede {
-	mp := &MustPrecede{cg: cg, gen: gen, fact: make(map[string][]bool)}
+	return NewMustPrecedeWith(cg, gen, nil)
+}
+
+// NewMustPrecedeWith is NewMustPrecede with an explicit CFG provider
+// (nil falls back to cfg.New). The provider must be safe for use from
+// this goroutine; results are identical to NewMustPrecede.
+func NewMustPrecedeWith(cg *callgraph.Graph, gen GenFunc, cfgOf CFGProvider) *MustPrecede {
+	if cfgOf == nil {
+		cfgOf = cfg.New
+	}
+	mp := &MustPrecede{cg: cg, gen: gen, cfgOf: cfgOf, fact: make(map[string][]bool)}
 	mp.solve()
 	return mp
 }
@@ -73,7 +90,7 @@ func (mp *MustPrecede) solve() {
 		if m == nil {
 			continue
 		}
-		g := cfg.New(m)
+		g := mp.cfgOf(m)
 		st := &mpMethodState{
 			m:       m,
 			g:       g,

@@ -31,6 +31,7 @@ type AppResult struct {
 	Spec    corpus.AppSpec
 	Stats   checkers.Stats
 	Reports []report.Report
+	Diag    checkers.Diagnostics
 }
 
 // CorpusScan holds the full corpus scan, the input to Tables 6–8 and
@@ -40,21 +41,41 @@ type CorpusScan struct {
 	Apps []AppResult
 }
 
-// ScanCorpus generates the corpus for the seed and scans every app.
-// Scans are independent, so they run on a worker pool (the Checker is
-// stateless across scans); results keep the corpus order, so output is
-// deterministic regardless of scheduling.
+// ScanCorpus generates the corpus for the seed and scans every app with
+// default options.
 func ScanCorpus(seed int64) (*CorpusScan, error) {
+	return ScanCorpusWith(seed, core.Options{})
+}
+
+// ScanCorpusWith generates the corpus for the seed and scans every app
+// with the given analysis options.
+func ScanCorpusWith(seed int64, opts core.Options) (*CorpusScan, error) {
 	apps, err := corpus.GenerateCorpus(seed)
 	if err != nil {
 		return nil, err
 	}
-	nc := core.New()
-	out := &CorpusScan{Seed: seed, Apps: make([]AppResult, len(apps))}
-	workers := runtime.GOMAXPROCS(0)
+	cs := ScanApps(apps, opts)
+	cs.Seed = seed
+	return cs, nil
+}
+
+// ScanApps scans the given corpus apps. Opts.Workers (0 = GOMAXPROCS)
+// bounds the app-level pool: whole apps are scanned concurrently while
+// each scan's internal pipeline runs single-threaded, which avoids
+// oversubscribing the pool for this many small apps. Results keep the
+// corpus order, so output is deterministic regardless of scheduling.
+func ScanApps(apps []*corpus.CorpusApp, opts core.Options) *CorpusScan {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(apps) {
 		workers = len(apps)
 	}
+	scanOpts := opts
+	scanOpts.Workers = 1
+	nc := core.NewWithOptions(scanOpts)
+	out := &CorpusScan{Apps: make([]AppResult, len(apps))}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -66,7 +87,7 @@ func ScanCorpus(seed int64) (*CorpusScan, error) {
 				res := nc.ScanApp(a.App)
 				out.Apps[i] = AppResult{
 					Name: a.Name, Golden: a.Golden, Spec: a.Spec,
-					Stats: res.Stats, Reports: res.Reports,
+					Stats: res.Stats, Reports: res.Reports, Diag: res.Diagnostics,
 				}
 			}
 		}()
@@ -76,7 +97,7 @@ func ScanCorpus(seed int64) (*CorpusScan, error) {
 	}
 	close(next)
 	wg.Wait()
-	return out, nil
+	return out
 }
 
 var (
@@ -112,6 +133,29 @@ func (cs *CorpusScan) BuggyApps() int {
 		}
 	}
 	return n
+}
+
+// Diagnostics aggregates every app's scan diagnostics (stage-wise sums of
+// wall time, work volumes, and cache counters).
+func (cs *CorpusScan) Diagnostics() checkers.Diagnostics {
+	var agg checkers.Diagnostics
+	for i := range cs.Apps {
+		d := cs.Apps[i].Diag
+		if i == 0 {
+			agg.Workers = d.Workers
+		}
+		agg.Merge(d)
+	}
+	return agg
+}
+
+// TimingRows renders the corpus scan's aggregate per-stage timing table —
+// the observability companion to Tables 6–8.
+func (cs *CorpusScan) TimingRows() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Corpus-scan timing (%d apps, seed %d):\n", len(cs.Apps), cs.Seed)
+	b.WriteString(cs.Diagnostics().Render())
+	return b.String()
 }
 
 // usesRetryLib reports whether the app references a retry-capable library.

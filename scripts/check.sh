@@ -1,0 +1,27 @@
+#!/bin/sh
+# check.sh — the repository's CI gate: formatting, vet, build, and the
+# full test suite under the race detector. Run from the repo root:
+#
+#   ./scripts/check.sh        (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l cmd internal examples bench_test.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check: all green"
