@@ -102,6 +102,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
+		// Degraded app scans never abort the corpus; they are recorded
+		// per app and flagged here so the tables are read with care.
+		if n := cs.IncompleteApps(); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: warning: %d of %d app scans degraded:\n", n, len(cs.Apps))
+			for _, line := range cs.FailedAppNames() {
+				fmt.Fprintf(os.Stderr, "experiments:   %s\n", line)
+			}
+		}
 	}
 	ran := 0
 	for _, e := range exps {

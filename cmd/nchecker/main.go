@@ -15,14 +15,25 @@
 //	-guard     require connectivity checks to govern a branch
 //	-workers   worker-pool size for the scan pipeline and for scanning
 //	           multiple files concurrently (0 = NumCPU)
+//	-timeout   per-file scan deadline (e.g. 30s; 0 = none)
 //	-timings   print per-stage pipeline timings and cache statistics
+//
+// With multiple files the worker budget goes to the file-level pool and
+// each scan's internal pipeline runs single-threaded (the same division
+// the corpus harness uses), so batch mode never multiplies the two pools
+// into N×M goroutines; a single file gets the full budget inside its
+// pipeline.
 //
 // Exit codes: 0 when every file scanned clean, 1 when at least one
 // warning was found, 2 on a usage error or when any file failed to read
-// or parse (an error always wins over warnings).
+// or parse, or any scan was degraded (a pipeline stage panicked or the
+// -timeout deadline expired). A degraded scan still prints the surviving
+// stages' reports — partial results are real findings — but the exit
+// code reports the failure: an error always wins over warnings.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +60,7 @@ func main() {
 	icc := flag.Bool("icc", false, "enable the inter-component analysis (removes launcher/broadcast FPs)")
 	guard := flag.Bool("guard", false, "require connectivity checks to govern a branch (removes unused-check FNs)")
 	workers := flag.Int("workers", 0, "worker-pool size for the scan pipeline (0 = NumCPU)")
+	timeout := flag.Duration("timeout", 0, "per-file scan deadline (0 = none); an expired deadline yields a degraded scan and exit code 2")
 	timings := flag.Bool("timings", false, "print per-stage pipeline timings and cache statistics")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nchecker [flags] app.apk [more.apk ...]\n")
@@ -63,6 +75,21 @@ func main() {
 		EnableICC:               *icc,
 		GuardSensitiveConnCheck: *guard,
 		Workers:                 *workers,
+		Timeout:                 *timeout,
+	}
+	paths := flag.Args()
+
+	// Divide the CPU budget between the file-level pool and the per-scan
+	// pipeline the way internal/experiments.ScanApps does: in batch mode
+	// the files fan out across the pool and each scan runs
+	// single-threaded; a single file keeps the whole budget inside its
+	// pipeline. Without this the two pools multiply (N×M goroutines).
+	filePool := poolSize(opts.Workers)
+	if filePool > len(paths) {
+		filePool = len(paths)
+	}
+	if len(paths) > 1 && filePool > 1 {
+		opts.Workers = 1
 	}
 	nc := core.NewWithOptions(opts)
 
@@ -72,7 +99,6 @@ func main() {
 		warnings bool
 		failed   bool
 	}
-	paths := flag.Args()
 	outcomes := make([]outcome, len(paths))
 	scanOne := func(i int) {
 		o := &outcomes[i]
@@ -82,7 +108,19 @@ func main() {
 			o.failed = true
 			return
 		}
-		fmt.Fprintf(&o.out, "== %s: %d requests, %d warnings ==\n", paths[i], res.Stats.Requests, len(res.Reports))
+		if res.Incomplete {
+			// Partial results follow below; the notice and the exit code
+			// record that the scan is missing stages.
+			fmt.Fprintf(&o.errs, "nchecker: %s: degraded scan (partial results): %v\n", paths[i], res.Err())
+			o.failed = true
+		}
+		// In JSON mode the banner goes to stderr so stdout carries only
+		// the JSON documents.
+		header := &o.out
+		if *jsonOut {
+			header = &o.errs
+		}
+		fmt.Fprintf(header, "== %s: %d requests, %d warnings ==\n", paths[i], res.Stats.Requests, len(res.Reports))
 		switch {
 		case *jsonOut:
 			if err := printJSON(&o.out, res.Reports); err != nil {
@@ -109,9 +147,9 @@ func main() {
 
 	// Scan files concurrently (the Checker is goroutine-safe); output is
 	// buffered per file and printed in argument order.
-	if n := poolSize(opts.Workers); n > 1 && len(paths) > 1 {
+	if filePool > 1 {
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, n)
+		sem := make(chan struct{}, filePool)
 		for i := range paths {
 			sem <- struct{}{}
 			wg.Add(1)
@@ -150,10 +188,18 @@ func poolSize(n int) int {
 	return runtime.NumCPU()
 }
 
+// printJSON buffers the whole encoded document and commits it to w only
+// on success, so a mid-encode failure emits the error alone instead of a
+// corrupt partial JSON document followed by the error.
 func printJSON(w *strings.Builder, reports []report.Report) error {
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	return enc.Encode(reports)
+	if err := enc.Encode(reports); err != nil {
+		return err
+	}
+	w.Write(buf.Bytes())
+	return nil
 }
 
 func printSummary(w *strings.Builder, reports []report.Report) {

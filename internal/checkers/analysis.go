@@ -21,9 +21,14 @@
 package checkers
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/android"
 	"repro/internal/apimodel"
@@ -64,6 +69,16 @@ type Options struct {
 	// harness). 0 means runtime.NumCPU(). Reports and stats are
 	// deterministic regardless of the value.
 	Workers int
+	// Timeout bounds one scan's wall time; 0 means no deadline. An
+	// expired deadline never aborts the process: the scan stops
+	// dispatching work, keeps every completed stage's findings, and marks
+	// the Result Incomplete with an ErrDeadline in Diagnostics.Errors.
+	Timeout time.Duration
+
+	// unitHook, when set, runs at the start of every pipeline work unit
+	// with the stage name and unit index. Tests use it to inject panics
+	// and cancellations at precise points; it is never set in production.
+	unitHook func(stage string, unit int)
 }
 
 // workerCount resolves Workers to a concrete pool size.
@@ -139,9 +154,14 @@ func (s *Stats) add(o *Stats) {
 }
 
 // Result bundles an app's warnings, statistics, and scan diagnostics.
+// A degraded scan (a stage panicked, the deadline expired, the context
+// was canceled) sets Incomplete: Reports and Stats then hold everything
+// the surviving stages produced — still deterministically ordered — and
+// Diagnostics.Errors records what was lost.
 type Result struct {
 	Reports     []report.Report
 	Stats       Stats
+	Incomplete  bool
 	Diagnostics Diagnostics
 }
 
@@ -203,35 +223,115 @@ type analysis struct {
 	opts Options
 	ctx  *AnalysisContext
 
+	// scanCtx carries the scan's deadline and cancellation; every stage
+	// and work-unit dispatch checks it cooperatively.
+	scanCtx context.Context
+
 	// sem bounds concurrent per-item work across all stages (the shared
 	// worker pool); nil or capacity 1 means sequential execution.
 	sem chan struct{}
+
+	// errMu guards errs, the scan's accumulated failure records. Sorted
+	// deterministically at the merge barrier into Diagnostics.Errors.
+	errMu sync.Mutex
+	errs  []ScanError
 
 	methods []*jimple.Method // app's body-bearing methods, sorted by key
 	sites   []*requestSite
 }
 
+// fail records one survivable scan failure.
+func (a *analysis) fail(e ScanError) {
+	a.errMu.Lock()
+	a.errs = append(a.errs, e)
+	a.errMu.Unlock()
+}
+
+// failCancel records the scan context's termination as an ErrDeadline or
+// ErrCanceled for the given stage.
+func (a *analysis) failCancel(stage string, err error) {
+	kind := ErrCanceled
+	if errors.Is(err, context.DeadlineExceeded) {
+		kind = ErrDeadline
+	}
+	a.fail(ScanError{Kind: kind, Stage: stage, Unit: -1, Msg: err.Error()})
+}
+
+// runUnit executes one work unit with panic isolation: a panic is
+// converted into an ErrStagePanic record (message + stack) and only that
+// unit's findings are lost.
+func (a *analysis) runUnit(stage string, i int, fn func(int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.fail(ScanError{
+				Kind: ErrStagePanic, Stage: stage, Unit: i,
+				Msg: fmt.Sprint(r), Stack: string(debug.Stack()),
+			})
+		}
+	}()
+	if h := a.opts.unitHook; h != nil {
+		h(stage, i)
+	}
+	fn(i)
+}
+
+// guard runs one stage body with cancellation and panic isolation: a
+// canceled context skips the stage (recording why), and a panic anywhere
+// in the stage — including its sequential pre/post work outside
+// parallelFor — becomes a stage-level ErrStagePanic instead of crashing
+// the scan.
+func (a *analysis) guard(stage string, fn func()) {
+	if err := a.scanCtx.Err(); err != nil {
+		a.failCancel(stage, err)
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			a.fail(ScanError{
+				Kind: ErrStagePanic, Stage: stage, Unit: -1,
+				Msg: fmt.Sprint(r), Stack: string(debug.Stack()),
+			})
+		}
+	}()
+	fn()
+}
+
 // parallelFor runs fn(0..n-1) over the bounded worker pool and waits for
 // completion. Each index must write only to its own output slot, which
-// makes the stage's merged result independent of scheduling.
-func (a *analysis) parallelFor(n int, fn func(int)) {
+// makes the stage's merged result independent of scheduling. Cancellation
+// is checked before every dispatch (work-unit granularity) and a panicked
+// unit is isolated by runUnit; either way the units that did complete
+// keep their slots, so partial results stay deterministic.
+func (a *analysis) parallelFor(stage string, n int, fn func(int)) {
 	if n <= 1 || a.sem == nil || cap(a.sem) <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := a.scanCtx.Err(); err != nil {
+				a.failCancel(stage, err)
+				return
+			}
+			a.runUnit(stage, i, fn)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		a.sem <- struct{}{}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-a.sem }()
-			fn(i)
-		}(i)
+	canceled := false
+	for i := 0; i < n && !canceled; i++ {
+		select {
+		case <-a.scanCtx.Done():
+			canceled = true
+		case a.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-a.sem }()
+				a.runUnit(stage, i, fn)
+			}(i)
+		}
 	}
 	wg.Wait()
+	if canceled {
+		a.failCancel(stage, a.scanCtx.Err())
+	}
 }
 
 // collectAppMethods returns the app's own body-bearing methods, sorted by

@@ -28,7 +28,7 @@ func (a *analysis) checkRequestSettings() findings {
 	}
 	mp := dataflow.NewMustPrecedeWith(a.cg, isCheck, a.ctx.CFG)
 	units := make([]findings, len(a.sites))
-	a.parallelFor(len(a.sites), func(i int) {
+	a.parallelFor("settings", len(a.sites), func(i int) {
 		a.checkSiteSettings(mp, a.sites[i], &units[i])
 	})
 	return mergeFindings(units)
@@ -66,7 +66,7 @@ func (a *analysis) checkSiteSettings(mp *dataflow.MustPrecede, site *requestSite
 // parallel; each writes only its own slot.
 func (a *analysis) guardingCheckSites() map[string]map[int]bool {
 	perMethod := make([]map[int]bool, len(a.methods))
-	a.parallelFor(len(a.methods), func(mi int) {
+	a.parallelFor("settings", len(a.methods), func(mi int) {
 		m := a.methods[mi]
 		var sites map[int]bool
 		g := a.ctx.CFG(m)

@@ -15,7 +15,7 @@ import (
 // makes the majority of over-retries "default-caused", Table 8).
 func (a *analysis) checkParameters() findings {
 	units := make([]findings, len(a.sites))
-	a.parallelFor(len(a.sites), func(i int) {
+	a.parallelFor("parameters", len(a.sites), func(i int) {
 		a.checkSiteParameters(a.sites[i], &units[i])
 	})
 	return mergeFindings(units)

@@ -23,7 +23,7 @@ const notifScanDepth = 2
 // inspects the typed error object. Sites are checked in parallel.
 func (a *analysis) checkNotifications() findings {
 	units := make([]findings, len(a.sites))
-	a.parallelFor(len(a.sites), func(i int) {
+	a.parallelFor("notifications", len(a.sites), func(i int) {
 		a.checkSiteNotifications(a.sites[i], &units[i])
 	})
 	return mergeFindings(units)

@@ -19,7 +19,7 @@ import (
 func (a *analysis) checkResponses() findings {
 	// Synchronous targets: response = LHS at the request site.
 	siteUnits := make([]findings, len(a.sites))
-	a.parallelFor(len(a.sites), func(i int) {
+	a.parallelFor("responses", len(a.sites), func(i int) {
 		a.checkSiteResponse(a.sites[i], &siteUnits[i])
 	})
 	// Asynchronous success callbacks: the response arrives as a parameter.
@@ -88,7 +88,7 @@ func (a *analysis) checkCallbackResponses() []findings {
 		}
 	}
 	units := make([]findings, len(work))
-	a.parallelFor(len(work), func(i int) {
+	a.parallelFor("responses", len(work), func(i int) {
 		a.checkCallbackResponseBody(work[i].m, work[i].lib, &units[i])
 	})
 	return units

@@ -48,6 +48,10 @@ type Diagnostics struct {
 	Sites      int // request sites discovered
 	Stages     []StageTiming
 	Cache      CacheStats
+	// Errors lists the scan's survivable failures (stage panics, expired
+	// deadlines, cancellations), sorted by stage order then unit index.
+	// Non-empty exactly when the Result is Incomplete.
+	Errors []ScanError
 }
 
 // Stage returns the timing record of the named stage, or nil.
@@ -93,6 +97,7 @@ func (d *Diagnostics) Merge(o Diagnostics) {
 	d.Cache.LoopsRequests += o.Cache.LoopsRequests
 	d.Cache.SlicersComputed += o.Cache.SlicersComputed
 	d.Cache.SlicerRequests += o.Cache.SlicerRequests
+	d.Errors = append(d.Errors, o.Errors...)
 }
 
 // Render formats the diagnostics for the -timings flag.
@@ -109,5 +114,8 @@ func (d Diagnostics) Render() string {
 		c.Methods, c.CFGComputed, c.CFGRequests, c.ReachDefsComputed, c.ReachDefsRequests,
 		c.ConstPropComputed, c.ConstPropRequests, c.DominatorsComputed, c.DominatorsRequests,
 		c.LoopsComputed, c.LoopsRequests, c.SlicersComputed, c.SlicerRequests)
+	for i := range d.Errors {
+		fmt.Fprintf(&b, "  error: %v\n", &d.Errors[i])
+	}
 	return b.String()
 }

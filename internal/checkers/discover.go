@@ -15,7 +15,7 @@ import (
 // sorted-key order, matching the sequential scan.
 func (a *analysis) discoverSites() findings {
 	perMethod := make([][]*requestSite, len(a.methods))
-	a.parallelFor(len(a.methods), func(i int) {
+	a.parallelFor("discover", len(a.methods), func(i int) {
 		perMethod[i] = a.discoverMethodSites(a.methods[i])
 	})
 	var f findings

@@ -1,6 +1,7 @@
 package checkers
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -32,40 +33,80 @@ import (
 // writes findings into its own slot and stages are merged in a fixed
 // order, so reports and stats are byte-identical to a sequential scan
 // regardless of Options.Workers.
+//
+// Analyze runs with background context; AnalyzeContext adds deadlines and
+// cancellation.
 func Analyze(app *apk.App, reg *apimodel.Registry, opts Options) *Result {
+	return AnalyzeContext(context.Background(), app, reg, opts)
+}
+
+// AnalyzeContext is Analyze under a caller context. The scan is
+// fault-isolated end to end: a panic in any stage or work unit, an
+// expired Options.Timeout, or cancellation of ctx never crashes or wedges
+// the scan. Instead the failed stage/unit is dropped, every stage that
+// completed contributes its findings through the same deterministic merge
+// barrier, and the Result comes back Incomplete with the failures
+// recorded in Diagnostics.Errors as a sorted ScanError list.
+func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, opts Options) *Result {
 	start := time.Now()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	workers := opts.workerCount()
 	var diag Diagnostics
 	diag.Workers = workers
 
-	buildStart := time.Now()
-	prog := jimple.NewProgram()
-	prog.Merge(app.Program)
-	prog.Merge(android.Framework())
-	prog.Merge(apimodel.Stubs())
-	h := hierarchy.New(prog)
-	cg := callgraph.BuildWith(h, app.Manifest, callgraph.Options{
-		DeclaredDispatchOnly: opts.DeclaredDispatchOnly,
-		EnableICC:            opts.EnableICC,
-	})
 	a := &analysis{
-		app:  app,
-		reg:  reg,
-		h:    h,
-		cg:   cg,
-		opts: opts,
-		ctx:  newAnalysisContext(cg),
+		app:     app,
+		reg:     reg,
+		opts:    opts,
+		scanCtx: ctx,
 	}
 	if workers > 1 {
 		a.sem = make(chan struct{}, workers)
 	}
-	a.methods = a.collectAppMethods()
+
+	finish := func(res *Result) *Result {
+		sortScanErrors(a.errs)
+		diag.Errors = a.errs
+		res.Incomplete = len(a.errs) > 0
+		if a.ctx != nil {
+			diag.Cache = a.ctx.cacheStats()
+		}
+		diag.Total = time.Since(start)
+		res.Diagnostics = diag
+		return res
+	}
+
+	buildStart := time.Now()
+	a.guard("build", func() {
+		prog := jimple.NewProgram()
+		prog.Merge(app.Program)
+		prog.Merge(android.Framework())
+		prog.Merge(apimodel.Stubs())
+		a.h = hierarchy.New(prog)
+		a.cg = callgraph.BuildWith(a.h, app.Manifest, callgraph.Options{
+			DeclaredDispatchOnly: opts.DeclaredDispatchOnly,
+			EnableICC:            opts.EnableICC,
+		})
+		a.ctx = newAnalysisContext(a.cg)
+		a.methods = a.collectAppMethods()
+	})
 	diag.add("build", time.Since(buildStart), len(a.methods), 0)
+	if a.ctx == nil {
+		// The build stage died (panic or pre-expired deadline): nothing
+		// downstream can run without the call graph. Return the degraded
+		// empty result instead of crashing the scan.
+		return finish(&Result{})
+	}
 
 	// Discovery must complete before the checkers: they all consume the
 	// frozen site list.
 	discoverStart := time.Now()
-	discovered := a.discoverSites()
+	var discovered findings
+	a.guard("discover", func() { discovered = a.discoverSites() })
 	diag.add("discover", time.Since(discoverStart), len(a.methods), 0)
 
 	stages := []struct {
@@ -83,7 +124,7 @@ func Analyze(app *apk.App, reg *apimodel.Registry, opts Options) *Result {
 	durs := make([]time.Duration, len(stages))
 	runStage := func(i int) {
 		t0 := time.Now()
-		outs[i] = stages[i].run()
+		a.guard(stages[i].name, func() { outs[i] = stages[i].run() })
 		durs[i] = time.Since(t0)
 	}
 	if workers > 1 {
@@ -105,7 +146,9 @@ func Analyze(app *apk.App, reg *apimodel.Registry, opts Options) *Result {
 	}
 
 	// Merge barrier: discovery stats first, then each stage's findings in
-	// the fixed stage order (the historical sequential append order).
+	// the fixed stage order (the historical sequential append order). A
+	// degraded stage simply contributes fewer (or zero) units here; the
+	// surviving stages' reports are byte-identical to a clean scan's.
 	res := &Result{}
 	res.Stats.LibsUsed = reg.LibsUsedBy(app.Program)
 	res.Stats.add(&discovered.stats)
@@ -126,8 +169,5 @@ func Analyze(app *apk.App, reg *apimodel.Registry, opts Options) *Result {
 	})
 	diag.AppMethods = len(a.methods)
 	diag.Sites = len(a.sites)
-	diag.Cache = a.ctx.cacheStats()
-	diag.Total = time.Since(start)
-	res.Diagnostics = diag
-	return res
+	return finish(res)
 }

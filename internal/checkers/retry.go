@@ -25,7 +25,7 @@ import (
 //	    backward slicing.
 func (a *analysis) checkRetryLoops() findings {
 	units := make([]findings, len(a.methods))
-	a.parallelFor(len(a.methods), func(i int) {
+	a.parallelFor("retryloops", len(a.methods), func(i int) {
 		a.checkMethodRetryLoops(a.methods[i], &units[i])
 	})
 	return mergeFindings(units)

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apimodel"
@@ -30,17 +31,40 @@ import (
 
 // Result is an app scan outcome: the warning reports, the per-request
 // statistics the evaluation harness aggregates, and the scan's pipeline
-// diagnostics.
+// diagnostics. Result.Incomplete marks a degraded scan — one where a
+// stage panicked, the deadline expired, or the context was canceled; the
+// partial findings are still valid and deterministic, and Result.Err()
+// explains what was lost.
 type Result = checkers.Result
 
 // Options re-exports the analysis options: the ablation switches plus
-// Workers, the scan pipeline's worker-pool bound (0 = NumCPU). Reports
-// are deterministic regardless of Workers.
+// Workers, the scan pipeline's worker-pool bound (0 = NumCPU), and
+// Timeout, the per-scan deadline (0 = none). Reports are deterministic
+// regardless of Workers.
 type Options = checkers.Options
 
 // Diagnostics re-exports the per-scan pipeline observability record:
-// per-stage wall time, work volumes, and analysis-cache hit counters.
+// per-stage wall time, work volumes, analysis-cache hit counters, and
+// the scan's ScanError list when degraded.
 type Diagnostics = checkers.Diagnostics
+
+// ScanError is the structured record of one survivable scan failure; its
+// Kind is one of the taxonomy sentinels below and matches errors.Is.
+type ScanError = checkers.ScanError
+
+// The scan-failure taxonomy, re-exported from the pipeline so callers can
+// classify failures without importing internal/checkers:
+//
+//	ErrDecode     — malformed APK container or dex payload
+//	ErrStagePanic — a pipeline stage or work unit panicked (recovered)
+//	ErrDeadline   — Options.Timeout (or the parent context's deadline) expired
+//	ErrCanceled   — the scan's context was canceled
+var (
+	ErrDecode     = checkers.ErrDecode
+	ErrStagePanic = checkers.ErrStagePanic
+	ErrDeadline   = checkers.ErrDeadline
+	ErrCanceled   = checkers.ErrCanceled
+)
 
 // Checker is a reusable NPD scanner. It is safe to use from multiple
 // goroutines: all per-scan state lives in the scan.
@@ -65,25 +89,50 @@ func (c *Checker) Registry() *apimodel.Registry { return c.reg }
 
 // ScanApp analyzes an already-parsed app.
 func (c *Checker) ScanApp(app *apk.App) *Result {
-	return checkers.Analyze(app, c.reg, c.opts)
+	return c.ScanAppContext(context.Background(), app)
+}
+
+// ScanAppContext analyzes an already-parsed app under ctx. Cancellation
+// and deadlines (including Options.Timeout) degrade the scan instead of
+// aborting it: the Result keeps every completed stage's findings and is
+// marked Incomplete.
+func (c *Checker) ScanAppContext(ctx context.Context, app *apk.App) *Result {
+	return checkers.AnalyzeContext(ctx, app, c.reg, c.opts)
 }
 
 // ScanBytes parses an APK container from bytes and analyzes it.
 func (c *Checker) ScanBytes(data []byte) (*Result, error) {
+	return c.ScanBytesContext(context.Background(), data)
+}
+
+// ScanBytesContext is ScanBytes under a caller context. A malformed
+// container yields an error matching ErrDecode.
+func (c *Checker) ScanBytesContext(ctx context.Context, data []byte) (*Result, error) {
 	app, err := apk.Decode(data)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, fmt.Errorf("core: %w", decodeErr(err))
 	}
-	return c.ScanApp(app), nil
+	return c.ScanAppContext(ctx, app), nil
 }
 
 // ScanFile parses the APK container at path and analyzes it.
 func (c *Checker) ScanFile(path string) (*Result, error) {
+	return c.ScanFileContext(context.Background(), path)
+}
+
+// ScanFileContext is ScanFile under a caller context. An unreadable or
+// malformed file yields an error matching ErrDecode.
+func (c *Checker) ScanFileContext(ctx context.Context, path string) (*Result, error) {
 	app, err := apk.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, fmt.Errorf("core: %w", decodeErr(err))
 	}
-	return c.ScanApp(app), nil
+	return c.ScanAppContext(ctx, app), nil
+}
+
+// decodeErr files a read/parse failure under ErrDecode in the taxonomy.
+func decodeErr(err error) error {
+	return &ScanError{Kind: ErrDecode, Unit: -1, Msg: err.Error()}
 }
 
 // Summarize aggregates a result's reports per cause.

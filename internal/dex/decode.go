@@ -237,6 +237,12 @@ func (d *decoder) method() (*jimple.Method, error) {
 		}
 		return m, nil
 	}
+	if m.Abstract {
+		// The encoder never emits both flags: an abstract method carrying
+		// a body is malformed input, not a representable program
+		// (fuzz-found canonicality break).
+		return nil, fmt.Errorf("method %s: abstract flag with body", m.Sig.Key())
+	}
 	nl, err := d.count("local")
 	if err != nil {
 		return nil, err
@@ -286,6 +292,14 @@ func (d *decoder) method() (*jimple.Method, error) {
 		}
 		t.Begin, t.End, t.Handler, t.Exception = int(b), int(e), int(h), exc
 		m.Traps = append(m.Traps, t)
+	}
+	if m.Body == nil {
+		// A has-body method with zero statements decodes to the same
+		// program state as an abstract stub; normalize it like the
+		// jimple parser does so re-encoding is canonical.
+		m.Abstract = true
+		m.Locals = nil
+		m.Traps = nil
 	}
 	return m, nil
 }

@@ -128,6 +128,12 @@ func (c *collector) class(cl *jimple.Class) {
 	}
 	for _, m := range cl.Methods {
 		c.sig(m.Sig)
+		if !m.HasBody() {
+			// Mirror encoder.method: bodyless methods emit no locals,
+			// statements, or traps, so their strings must not inflate the
+			// pool (keeps the encoding canonical for any input program).
+			continue
+		}
 		for _, l := range m.Locals {
 			c.add(l.Name, l.Type)
 		}

@@ -24,14 +24,19 @@ import (
 // Seed is the canonical evaluation seed.
 const Seed = 2016
 
-// AppResult is one scanned corpus app.
+// AppResult is one scanned corpus app. Incomplete marks a degraded scan
+// (a stage panicked or the per-scan deadline expired); its partial stats
+// and reports are kept and Err summarizes what failed, so one pathological
+// app never aborts a corpus run.
 type AppResult struct {
-	Name    string
-	Golden  bool
-	Spec    corpus.AppSpec
-	Stats   checkers.Stats
-	Reports []report.Report
-	Diag    checkers.Diagnostics
+	Name       string
+	Golden     bool
+	Spec       corpus.AppSpec
+	Stats      checkers.Stats
+	Reports    []report.Report
+	Incomplete bool
+	Err        string
+	Diag       checkers.Diagnostics
 }
 
 // CorpusScan holds the full corpus scan, the input to Tables 6–8 and
@@ -85,10 +90,17 @@ func ScanApps(apps []*corpus.CorpusApp, opts core.Options) *CorpusScan {
 			for i := range next {
 				a := apps[i]
 				res := nc.ScanApp(a.App)
-				out.Apps[i] = AppResult{
+				r := AppResult{
 					Name: a.Name, Golden: a.Golden, Spec: a.Spec,
 					Stats: res.Stats, Reports: res.Reports, Diag: res.Diagnostics,
 				}
+				// A degraded scan (stage panic, expired deadline) is
+				// recorded per app — the corpus run keeps going.
+				if err := res.Err(); err != nil {
+					r.Incomplete = true
+					r.Err = err.Error()
+				}
+				out.Apps[i] = r
 			}
 		}()
 	}
@@ -124,6 +136,29 @@ func (cs *CorpusScan) TotalWarnings() int {
 	return n
 }
 
+// IncompleteApps counts apps whose scan was degraded (partial results).
+func (cs *CorpusScan) IncompleteApps() int {
+	n := 0
+	for i := range cs.Apps {
+		if cs.Apps[i].Incomplete {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedAppNames lists the degraded apps with their failure summaries, in
+// corpus order.
+func (cs *CorpusScan) FailedAppNames() []string {
+	var out []string
+	for i := range cs.Apps {
+		if cs.Apps[i].Incomplete {
+			out = append(out, fmt.Sprintf("%s: %s", cs.Apps[i].Name, cs.Apps[i].Err))
+		}
+	}
+	return out
+}
+
 // BuggyApps counts apps with at least one warning.
 func (cs *CorpusScan) BuggyApps() int {
 	n := 0
@@ -154,6 +189,12 @@ func (cs *CorpusScan) Diagnostics() checkers.Diagnostics {
 func (cs *CorpusScan) TimingRows() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Corpus-scan timing (%d apps, seed %d):\n", len(cs.Apps), cs.Seed)
+	if n := cs.IncompleteApps(); n > 0 {
+		fmt.Fprintf(&b, "  DEGRADED: %d of %d app scans incomplete\n", n, len(cs.Apps))
+		for _, line := range cs.FailedAppNames() {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
 	b.WriteString(cs.Diagnostics().Render())
 	return b.String()
 }

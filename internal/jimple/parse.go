@@ -271,6 +271,15 @@ func (p *parser) parseBody(m *Method) error {
 		switch {
 		case head == "}":
 			p.pos++
+			if m.Body == nil {
+				// A concrete method with zero statements is normalized to
+				// an abstract stub, matching the signature-only form: the
+				// printer emits both without a body block, so the print →
+				// parse round trip stays a fixpoint (fuzz-found asymmetry).
+				m.Abstract = true
+				m.Locals = nil
+				return nil
+			}
 			return p.finishBody(m, labels, branches, traps)
 		case head == "local":
 			if len(toks) != 3 {

@@ -22,6 +22,15 @@ echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+# -timeout turns a hung test (e.g. a scan that stopped honoring its
+# deadline) into a gate failure instead of a stalled CI job.
+go test -race -timeout 10m ./...
+
+echo "== fuzz smoke =="
+# Short fuzz bursts over the untrusted-input parsers: new panics or
+# round-trip breaks fail the gate; found inputs land in testdata/fuzz as
+# regression cases.
+go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s -timeout 5m ./internal/dex
+go test -run='^$' -fuzz=FuzzParse -fuzztime=10s -timeout 5m ./internal/jimple
 
 echo "check: all green"
