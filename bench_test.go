@@ -13,8 +13,10 @@ import (
 	"repro/internal/apimodel"
 	"repro/internal/apk"
 	"repro/internal/callgraph"
+	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dataflow"
 	"repro/internal/dex"
 	"repro/internal/experiments"
 	"repro/internal/fixer"
@@ -292,6 +294,80 @@ func BenchmarkScanAppParallel(b *testing.B) {
 		cs := experiments.ScanApps(apps, core.Options{Workers: workers})
 		if cs.TotalWarnings() == 0 {
 			b.Fatal("no warnings")
+		}
+	}
+}
+
+// BenchmarkScanAppIntra is BenchmarkScanApp under the interprocedural
+// ablation: no taint summaries, no feasibility pruning. The delta against
+// BenchmarkScanApp is the whole-pipeline cost of the summary engine.
+func BenchmarkScanAppIntra(b *testing.B) {
+	apps := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := experiments.ScanApps(apps, core.Options{Workers: 1, Intraprocedural: true})
+		if cs.TotalWarnings() == 0 {
+			b.Fatal("no warnings")
+		}
+	}
+}
+
+// summaryBenchInput assembles the call graph and app methods of the
+// micro-benchmark app for the engine-only benchmarks.
+func summaryBenchInput(b *testing.B) (*callgraph.Graph, []*jimple.Method) {
+	b.Helper()
+	app := benchApp(b)
+	h := hierarchy.New(app.Program)
+	cg := callgraph.Build(h, app.Manifest)
+	var methods []*jimple.Method
+	for _, c := range app.Program.Classes() {
+		for _, m := range c.Methods {
+			if m.HasBody() {
+				methods = append(methods, m)
+			}
+		}
+	}
+	return cg, methods
+}
+
+// BenchmarkSummariesCold times the summary engine with nothing cached:
+// every iteration rebuilds CFGs, reaching definitions, and constant
+// propagation before the bottom-up fixpoint.
+func BenchmarkSummariesCold(b *testing.B) {
+	cg, methods := summaryBenchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := dataflow.ComputeSummaries(cg, methods, dataflow.SummaryConfig{})
+		if err != nil || set.Stats().Methods == 0 {
+			b.Fatal("no summaries")
+		}
+	}
+}
+
+// BenchmarkSummariesWarm times the summary fixpoint alone: the per-method
+// CFG/reach-defs/const-prop artifacts come from a pre-warmed cache, the
+// way AnalysisContext serves them on the second and later consults.
+func BenchmarkSummariesWarm(b *testing.B) {
+	cg, methods := summaryBenchInput(b)
+	cfgs := make(map[*jimple.Method]*cfg.Graph, len(methods))
+	rds := make(map[*jimple.Method]*dataflow.ReachDefs, len(methods))
+	cps := make(map[*jimple.Method]*dataflow.ConstProp, len(methods))
+	for _, m := range methods {
+		g := cfg.New(m)
+		cfgs[m] = g
+		rds[m] = dataflow.NewReachDefs(g)
+		cps[m] = dataflow.NewConstProp(rds[m])
+	}
+	conf := dataflow.SummaryConfig{
+		CFG:       func(m *jimple.Method) *cfg.Graph { return cfgs[m] },
+		ReachDefs: func(m *jimple.Method) *dataflow.ReachDefs { return rds[m] },
+		ConstProp: func(m *jimple.Method) *dataflow.ConstProp { return cps[m] },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := dataflow.ComputeSummaries(cg, methods, conf)
+		if err != nil || set.Stats().Methods == 0 {
+			b.Fatal("no summaries")
 		}
 	}
 }

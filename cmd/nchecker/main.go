@@ -13,6 +13,8 @@
 //	-summary   print only the per-cause summary per app
 //	-icc       enable the inter-component analysis
 //	-guard     require connectivity checks to govern a branch
+//	-intra     disable the interprocedural summary engine and
+//	           path-feasibility pruning (ablation baseline)
 //	-workers   worker-pool size for the scan pipeline and for scanning
 //	           multiple files concurrently (0 = NumCPU)
 //	-timeout   per-file scan deadline (e.g. 30s; 0 = none)
@@ -59,6 +61,7 @@ func main() {
 	summary := flag.Bool("summary", false, "print only per-cause summaries")
 	icc := flag.Bool("icc", false, "enable the inter-component analysis (removes launcher/broadcast FPs)")
 	guard := flag.Bool("guard", false, "require connectivity checks to govern a branch (removes unused-check FNs)")
+	intra := flag.Bool("intra", false, "intraprocedural ablation: no taint summaries, no path-feasibility pruning")
 	workers := flag.Int("workers", 0, "worker-pool size for the scan pipeline (0 = NumCPU)")
 	timeout := flag.Duration("timeout", 0, "per-file scan deadline (0 = none); an expired deadline yields a degraded scan and exit code 2")
 	timings := flag.Bool("timings", false, "print per-stage pipeline timings and cache statistics")
@@ -74,6 +77,7 @@ func main() {
 	opts := core.Options{
 		EnableICC:               *icc,
 		GuardSensitiveConnCheck: *guard,
+		Intraprocedural:         *intra,
 		Workers:                 *workers,
 		Timeout:                 *timeout,
 	}

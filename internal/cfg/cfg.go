@@ -85,6 +85,40 @@ func inAnyTrap(m *jimple.Method, i int, addEdge func(int, int, bool)) bool {
 	return covered
 }
 
+// WithoutEdges returns a copy of g lacking the given (from, to) edges.
+// Node indexing is unchanged, so statement-indexed dataflow results over
+// the pruned graph compose with the original body; nodes left without
+// incoming edges simply become unreachable from the entry. Edges not
+// present in g are ignored.
+func (g *Graph) WithoutEdges(drop [][2]int) *Graph {
+	if len(drop) == 0 {
+		return g
+	}
+	dropSet := make(map[[2]int]bool, len(drop))
+	for _, e := range drop {
+		dropSet[e] = true
+	}
+	ng := &Graph{
+		Method:          g.Method,
+		succs:           make([][]int, len(g.succs)),
+		preds:           make([][]int, len(g.preds)),
+		exceptionalEdge: make(map[[2]int]bool),
+	}
+	for from, ss := range g.succs {
+		for _, to := range ss {
+			if dropSet[[2]int{from, to}] {
+				continue
+			}
+			ng.succs[from] = append(ng.succs[from], to)
+			ng.preds[to] = append(ng.preds[to], from)
+			if g.exceptionalEdge[[2]int{from, to}] {
+				ng.exceptionalEdge[[2]int{from, to}] = true
+			}
+		}
+	}
+	return ng
+}
+
 // NumNodes returns the node count including the synthetic exit node.
 func (g *Graph) NumNodes() int { return len(g.succs) }
 

@@ -34,6 +34,7 @@ import (
 	"repro/internal/apimodel"
 	"repro/internal/apk"
 	"repro/internal/callgraph"
+	"repro/internal/cfg"
 	"repro/internal/dataflow"
 	"repro/internal/hierarchy"
 	"repro/internal/jimple"
@@ -57,6 +58,12 @@ type Options struct {
 	// positives caused by connectivity checks in a launching activity and
 	// by failure notifications routed through broadcasts.
 	EnableICC bool
+	// Intraprocedural disables the summary-based interprocedural taint
+	// engine and path-feasibility pruning (ablation baseline): checkers
+	// 1/3/4 stop at method boundaries as the pre-summary analyzer did.
+	// The precision/recall delta against the default interprocedural mode
+	// is what internal/experiments measures on the examples corpus.
+	Intraprocedural bool
 	// GuardSensitiveConnCheck tightens Checker 1: a connectivity check
 	// only satisfies the analysis when its result actually governs a
 	// branch (tracked by forward taint from the check's result to an if
@@ -347,6 +354,67 @@ func (a *analysis) collectAppMethods() []*jimple.Method {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Sig.Key() < out[j].Sig.Key() })
 	return out
+}
+
+// configureSummaries installs the interprocedural summary producer on the
+// analysis context. The computation itself runs on first consult — the
+// pipeline does that eagerly under the "summaries" stage guard, so a panic
+// inside the engine is isolated there, and a deadline hit mid-pass aborts
+// cooperatively (the Cancel hook) and is recorded here; either way the
+// scan survives with every consumer degraded to intraprocedural facts.
+func (a *analysis) configureSummaries() {
+	a.ctx.configureSummaries(func() (*dataflow.SummarySet, error) {
+		set, err := dataflow.ComputeSummaries(a.cg, a.methods, dataflow.SummaryConfig{
+			IsValidityCheck: a.reg.IsRespCheck,
+			CFG:             a.ctx.CFG,
+			ReachDefs:       a.ctx.ReachDefs,
+			ConstProp:       a.ctx.ConstProp,
+			Cancel:          a.scanCtx.Err,
+		})
+		if err != nil {
+			a.failCancel("summaries", err)
+			return nil, err
+		}
+		return set, nil
+	})
+}
+
+// summaryResolver returns the call-site → callee-summaries resolver for m,
+// or nil when the scan is intraprocedural (or summaries are unavailable
+// after a degraded computation). Only EdgeCall edges resolve: async
+// boundaries (executor posts, callback registrations) are not synchronous
+// transfer and keep their dedicated modeling.
+func (a *analysis) summaryResolver(m *jimple.Method) dataflow.SummaryResolver {
+	if a.opts.Intraprocedural {
+		return nil
+	}
+	set := a.ctx.Summaries()
+	if set == nil {
+		return nil
+	}
+	edges := a.cg.OutEdges(m.Sig.Key())
+	return func(site int) []*dataflow.TaintSummary {
+		a.ctx.sumRequests.Add(1)
+		var out []*dataflow.TaintSummary
+		for _, e := range edges {
+			if e.Site != site || e.Kind != callgraph.EdgeCall {
+				continue
+			}
+			if sum := set.Of(e.Callee.Key()); sum != nil {
+				out = append(out, sum)
+			}
+		}
+		return out
+	}
+}
+
+// checkGraph returns the CFG the checkers should analyze m over: the
+// feasibility-pruned graph by default, the raw graph under -intra.
+func (a *analysis) checkGraph(m *jimple.Method) *cfg.Graph {
+	if a.opts.Intraprocedural {
+		return a.ctx.CFG(m)
+	}
+	return a.ctx.FeasibleCFG(m)
 }
 
 func argLocal(inv jimple.InvokeExpr, i int) (string, bool) {

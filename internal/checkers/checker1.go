@@ -26,7 +26,11 @@ func (a *analysis) checkRequestSettings() findings {
 			return android.IsConnectivityCheck(inv.Callee) && guarding[m.Sig.Key()][stmt]
 		}
 	}
-	mp := dataflow.NewMustPrecedeWith(a.cg, isCheck, a.ctx.CFG)
+	// The must-precede analysis runs over the feasibility-pruned CFGs (see
+	// AnalysisContext.FeasibleCFG): a connectivity check reachable only
+	// through a statically-false branch no longer blocks the fact, and a
+	// request only reachable through one no longer demands it.
+	mp := dataflow.NewMustPrecedeWith(a.cg, isCheck, a.checkGraph)
 	units := make([]findings, len(a.sites))
 	a.parallelFor("settings", len(a.sites), func(i int) {
 		a.checkSiteSettings(mp, a.sites[i], &units[i])

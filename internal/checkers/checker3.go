@@ -68,7 +68,7 @@ func (a *analysis) checkSiteNotifications(site *requestSite, f *findings) {
 	// (Volley) are checked, matching the paper.
 	if explicit && cbSpec != nil && cbSpec.ExposesErrorTypes {
 		f.stats.ErrorCallbacks++
-		if errorObjectInspected(cbMethod, cbSpec.ErrorArg) {
+		if a.errorObjectInspected(cbMethod, cbSpec.ErrorArg) {
 			f.stats.ErrorTypeChecked++
 		} else {
 			r := a.newReport(site, report.CauseNoErrorTypeCheck,
@@ -225,8 +225,14 @@ func scanForUIAlert(scope []*jimple.Method) bool {
 
 // errorObjectInspected reports whether the error callback actually
 // consults its error parameter: calling a method on it, testing its type,
-// or passing it along — a bare null comparison does not count.
-func errorObjectInspected(cb *jimple.Method, errorArg int) bool {
+// or passing it into code that does — a bare null comparison does not
+// count. Passing the error along used to count unconditionally; with
+// summaries available, a hand-off to the app's own code counts only when
+// some callee's summary says the bound parameter is consulted, so a
+// helper that merely logs "request failed" and drops the error no longer
+// masks the missing type check. Unsummarized (framework) callees keep the
+// conservative answer.
+func (a *analysis) errorObjectInspected(cb *jimple.Method, errorArg int) bool {
 	// Find the local bound to the error parameter (identity assignment).
 	var errLocal string
 	for _, s := range cb.Body {
@@ -241,15 +247,33 @@ func errorObjectInspected(cb *jimple.Method, errorArg int) bool {
 	if errLocal == "" {
 		return false
 	}
-	for _, s := range cb.Body {
+	resolve := a.summaryResolver(cb)
+	for i, s := range cb.Body {
 		inv, isInv := jimple.InvokeOf(s)
 		if isInv {
 			if inv.Base == errLocal {
 				return true
 			}
+			passed := false
 			for _, arg := range inv.Args {
 				if l, isLocal := arg.(jimple.Local); isLocal && l.Name == errLocal {
-					return true
+					passed = true
+				}
+			}
+			if passed {
+				var sums []*dataflow.TaintSummary
+				if resolve != nil {
+					sums = resolve(i)
+				}
+				if len(sums) == 0 {
+					return true // unknown code may consult the error
+				}
+				for _, sum := range sums {
+					for _, t := range dataflow.BoundTokens(inv, sum, func(name string) bool { return name == errLocal }) {
+						if sum.UsesToken(t) {
+							return true
+						}
+					}
 				}
 			}
 		}

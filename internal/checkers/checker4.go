@@ -141,37 +141,61 @@ func isResponseType(t string, lib *apimodel.Library) bool {
 // looks for the first statement that reads the response's payload while
 // the "validated" must-fact is still false on some path. It returns the
 // offending use statement.
+//
+// In interprocedural mode the analysis runs over the feasibility-pruned
+// CFG (uses witnessed only on statically-false branches vanish), the
+// taint flows through callee summaries, a call into a helper that
+// validates the response on all its paths establishes the check, and a
+// helper that reads the payload without checking (UncheckedUse on the
+// bound parameter) counts as the use — §4.4.4's helper-method flows.
 func (a *analysis) findUncheckedUse(m *jimple.Method, defStmt int, local string) (int, bool) {
-	g := a.ctx.CFG(m)
-	taint := dataflow.ForwardTaint(g, map[int][]string{defStmt: {local}}, dataflow.DefaultTaintOptions())
+	g := a.checkGraph(m)
+	resolve := a.summaryResolver(m)
+	opts := dataflow.DefaultTaintOptions()
+	opts.CalleeSummaries = resolve
+	taint := dataflow.ForwardTaint(g, map[int][]string{defStmt: {local}}, opts)
 	aliasAt := func(stmt int, name string) bool {
 		return name == local && stmt == defStmt || taint.TaintedAt(stmt, name)
 	}
-	checked := a.mustCheckedFacts(g, m, aliasAt)
+	checked := a.mustCheckedFacts(g, m, aliasAt, resolve)
 	for i, s := range m.Body {
 		if i <= defStmt {
 			continue
 		}
 		inv, ok := jimple.InvokeOf(s)
-		if !ok || inv.Base == "" || !aliasAt(i, inv.Base) {
+		if !ok || checked[i] {
 			continue
 		}
-		if a.reg.IsRespCheck(inv.Callee) {
-			continue
+		var sums []*dataflow.TaintSummary
+		if resolve != nil {
+			sums = resolve(i)
 		}
-		// Any other call on the response (getBody, getEntity, read, …)
-		// reads the payload and counts as a use.
-		if !checked[i] {
-			return i, true
+		if inv.Base != "" && aliasAt(i, inv.Base) && !a.reg.IsRespCheck(inv.Callee) {
+			if len(sums) == 0 {
+				// Any unsummarized call on the response (getBody,
+				// getEntity, read, …) reads the payload and counts as a
+				// use.
+				return i, true
+			}
+			// A summarized (app) callee is judged by its summary below:
+			// a helper that never touches the payload is not a use.
+		}
+		for _, sum := range sums {
+			for _, t := range dataflow.BoundTokens(inv, sum, func(name string) bool { return aliasAt(i, name) }) {
+				if sum.UncheckedUse&(1<<uint(t)) != 0 {
+					return i, true
+				}
+			}
 		}
 	}
 	return 0, false
 }
 
-// mustCheckedFacts runs an intraprocedural forward must-analysis: fact[i]
-// is true when every path reaching statement i has validated the response
-// (null test or response-check API on an alias).
-func (a *analysis) mustCheckedFacts(g *cfg.Graph, m *jimple.Method, aliasAt func(int, string) bool) []bool {
+// mustCheckedFacts runs a forward must-analysis: fact[i] is true when
+// every path reaching statement i has validated the response (null test
+// or response-check API on an alias — or, with summaries, a call into a
+// helper whose summary validates the bound response on all its paths).
+func (a *analysis) mustCheckedFacts(g *cfg.Graph, m *jimple.Method, aliasAt func(int, string) bool, resolve dataflow.SummaryResolver) []bool {
 	n := g.NumNodes()
 	// Optimistic initialization: a must-analysis starts at TOP (true) and
 	// lowers to the greatest fixpoint; starting at false would be sticky
@@ -187,8 +211,34 @@ func (a *analysis) mustCheckedFacts(g *cfg.Graph, m *jimple.Method, aliasAt func
 			return false
 		}
 		s := m.Body[i]
-		if inv, ok := jimple.InvokeOf(s); ok && inv.Base != "" && aliasAt(i, inv.Base) && a.reg.IsRespCheck(inv.Callee) {
-			return true
+		if inv, ok := jimple.InvokeOf(s); ok {
+			if inv.Base != "" && aliasAt(i, inv.Base) && a.reg.IsRespCheck(inv.Callee) {
+				return true
+			}
+			if resolve != nil {
+				// A call validating through every summarized callee (each
+				// checks some bound alias token on all its paths)
+				// establishes the fact here too.
+				if sums := resolve(i); len(sums) > 0 {
+					all := true
+					for _, sum := range sums {
+						validated := false
+						for _, t := range dataflow.BoundTokens(inv, sum, func(name string) bool { return aliasAt(i, name) }) {
+							if sum.ValidatedAllPaths&(1<<uint(t)) != 0 {
+								validated = true
+								break
+							}
+						}
+						if !validated {
+							all = false
+							break
+						}
+					}
+					if all {
+						return true
+					}
+				}
+			}
 		}
 		if iff, ok := s.(*jimple.IfStmt); ok {
 			if isNullTestOnAlias(iff.Cond, i, aliasAt) {

@@ -26,12 +26,23 @@ type AnalysisContext struct {
 	entriesOnce sync.Once
 	entryReach  []map[string]bool // parallel to cg.Entries()
 
+	// summarize is installed by the pipeline's build stage (nil when the
+	// scan is intraprocedural); the SummarySet is then computed at most
+	// once, on first consult, behind sumOnce. A failed computation leaves
+	// sumSet nil and every consumer degrades to intraprocedural behavior.
+	summarize func() (*dataflow.SummarySet, error)
+	sumOnce   sync.Once
+	sumSet    *dataflow.SummarySet
+
 	cfgRequests, cfgComputed       atomic.Int64
 	rdRequests, rdComputed         atomic.Int64
 	cpRequests, cpComputed         atomic.Int64
 	domRequests, domComputed       atomic.Int64
 	loopRequests, loopComputed     atomic.Int64
 	slicerRequests, slicerComputed atomic.Int64
+	sumRequests                    atomic.Int64
+	feasRequests, feasComputed     atomic.Int64
+	prunedEdges                    atomic.Int64
 }
 
 // methodArtifacts holds one method's lazily-built artifacts. Each field
@@ -57,6 +68,9 @@ type methodArtifacts struct {
 
 	slicerOnce sync.Once
 	slicer     *dataflow.Slicer
+
+	feasOnce sync.Once
+	feas     *cfg.Graph
 }
 
 // newAnalysisContext prepares an empty context over the scan's call graph.
@@ -144,6 +158,55 @@ func (c *AnalysisContext) Slicer(m *jimple.Method) *dataflow.Slicer {
 	return a.slicer
 }
 
+// FeasibleCFG returns m's CFG with statically-infeasible branch edges
+// removed (path-feasibility pruning): constant propagation evaluates each
+// if condition, and the untaken outcome's edge of a constant condition is
+// dropped. Nodes only reachable through dead edges become unreachable —
+// vacuously satisfied in must-analyses and untainted in may-analyses, so
+// warnings whose only witness paths were statically false disappear. The
+// pruned graph shares node indexing with CFG(m) and is memoized.
+func (c *AnalysisContext) FeasibleCFG(m *jimple.Method) *cfg.Graph {
+	a := c.arts(m)
+	c.feasRequests.Add(1)
+	a.feasOnce.Do(func() {
+		c.feasComputed.Add(1)
+		g := c.CFG(m)
+		dead := dataflow.InfeasibleEdges(g, c.ConstProp(m))
+		c.prunedEdges.Add(int64(len(dead)))
+		a.feas = g.WithoutEdges(dead)
+	})
+	return a.feas
+}
+
+// configureSummaries installs the interprocedural summary producer; the
+// pipeline's build stage calls it exactly once, before any stage runs.
+func (c *AnalysisContext) configureSummaries(f func() (*dataflow.SummarySet, error)) {
+	c.summarize = f
+}
+
+// Summaries returns the scan's interprocedural summary set, computing it
+// on first use, or nil when the scan is intraprocedural or the
+// computation failed (consumers then degrade to intraprocedural facts).
+func (c *AnalysisContext) Summaries() *dataflow.SummarySet {
+	c.sumOnce.Do(func() {
+		if c.summarize == nil {
+			return
+		}
+		set, err := c.summarize()
+		if err == nil {
+			c.sumSet = set
+		}
+	})
+	return c.sumSet
+}
+
+// SummaryOf returns the taint summary of the method with the given
+// signature key, or nil when unavailable.
+func (c *AnalysisContext) SummaryOf(key string) *dataflow.TaintSummary {
+	c.sumRequests.Add(1)
+	return c.Summaries().Of(key)
+}
+
 // EntriesReaching returns the entry points from which the method with the
 // given signature key is reachable — same result as
 // callgraph.Graph.EntriesReaching, but the per-entry reachability sets are
@@ -170,19 +233,30 @@ func (c *AnalysisContext) cacheStats() CacheStats {
 	c.mu.Lock()
 	methods := len(c.methods)
 	c.mu.Unlock()
-	return CacheStats{
-		Methods:            methods,
-		CFGComputed:        int(c.cfgComputed.Load()),
-		CFGRequests:        int(c.cfgRequests.Load()),
-		ReachDefsComputed:  int(c.rdComputed.Load()),
-		ReachDefsRequests:  int(c.rdRequests.Load()),
-		ConstPropComputed:  int(c.cpComputed.Load()),
-		ConstPropRequests:  int(c.cpRequests.Load()),
-		DominatorsComputed: int(c.domComputed.Load()),
-		DominatorsRequests: int(c.domRequests.Load()),
-		LoopsComputed:      int(c.loopComputed.Load()),
-		LoopsRequests:      int(c.loopRequests.Load()),
-		SlicersComputed:    int(c.slicerComputed.Load()),
-		SlicerRequests:     int(c.slicerRequests.Load()),
+	stats := CacheStats{
+		Methods:             methods,
+		CFGComputed:         int(c.cfgComputed.Load()),
+		CFGRequests:         int(c.cfgRequests.Load()),
+		ReachDefsComputed:   int(c.rdComputed.Load()),
+		ReachDefsRequests:   int(c.rdRequests.Load()),
+		ConstPropComputed:   int(c.cpComputed.Load()),
+		ConstPropRequests:   int(c.cpRequests.Load()),
+		DominatorsComputed:  int(c.domComputed.Load()),
+		DominatorsRequests:  int(c.domRequests.Load()),
+		LoopsComputed:       int(c.loopComputed.Load()),
+		LoopsRequests:       int(c.loopRequests.Load()),
+		SlicersComputed:     int(c.slicerComputed.Load()),
+		SlicerRequests:      int(c.slicerRequests.Load()),
+		SummaryRequests:     int(c.sumRequests.Load()),
+		FeasibleCFGComputed: int(c.feasComputed.Load()),
+		FeasibleCFGRequests: int(c.feasRequests.Load()),
+		PrunedEdges:         int(c.prunedEdges.Load()),
 	}
+	if set := c.sumSet; set != nil {
+		ss := set.Stats()
+		stats.SummariesComputed = ss.Methods
+		stats.SummarySCCs = ss.SCCs
+		stats.SummaryFixpointIters = ss.FixpointIterations
+	}
+	return stats
 }

@@ -29,6 +29,18 @@ type CacheStats struct {
 	DominatorsComputed, DominatorsRequests int
 	LoopsComputed, LoopsRequests           int
 	SlicersComputed, SlicerRequests        int
+
+	// Interprocedural summary engine: the summary set is built once per
+	// scan (SummariesComputed = methods summarized, over SummarySCCs
+	// condensation components, spending SummaryFixpointIters extra passes
+	// on recursive cycles); every later consult is a cache hit
+	// (SummaryRequests − SummariesComputed).
+	SummariesComputed, SummaryRequests int
+	SummarySCCs, SummaryFixpointIters  int
+	// Path-feasibility pruning: pruned per-method CFGs built vs. requested,
+	// and the total statically-dead edges removed.
+	FeasibleCFGComputed, FeasibleCFGRequests int
+	PrunedEdges                              int
 }
 
 // CFGHits returns the number of CFG requests served from the cache.
@@ -97,6 +109,13 @@ func (d *Diagnostics) Merge(o Diagnostics) {
 	d.Cache.LoopsRequests += o.Cache.LoopsRequests
 	d.Cache.SlicersComputed += o.Cache.SlicersComputed
 	d.Cache.SlicerRequests += o.Cache.SlicerRequests
+	d.Cache.SummariesComputed += o.Cache.SummariesComputed
+	d.Cache.SummaryRequests += o.Cache.SummaryRequests
+	d.Cache.SummarySCCs += o.Cache.SummarySCCs
+	d.Cache.SummaryFixpointIters += o.Cache.SummaryFixpointIters
+	d.Cache.FeasibleCFGComputed += o.Cache.FeasibleCFGComputed
+	d.Cache.FeasibleCFGRequests += o.Cache.FeasibleCFGRequests
+	d.Cache.PrunedEdges += o.Cache.PrunedEdges
 	d.Errors = append(d.Errors, o.Errors...)
 }
 
@@ -114,6 +133,9 @@ func (d Diagnostics) Render() string {
 		c.Methods, c.CFGComputed, c.CFGRequests, c.ReachDefsComputed, c.ReachDefsRequests,
 		c.ConstPropComputed, c.ConstPropRequests, c.DominatorsComputed, c.DominatorsRequests,
 		c.LoopsComputed, c.LoopsRequests, c.SlicersComputed, c.SlicerRequests)
+	fmt.Fprintf(&b, "  summaries: %d methods over %d SCCs (%d fixpoint iters), %d consults; feasibility: %d/%d pruned CFGs, %d dead edges\n",
+		c.SummariesComputed, c.SummarySCCs, c.SummaryFixpointIters, c.SummaryRequests,
+		c.FeasibleCFGComputed, c.FeasibleCFGRequests, c.PrunedEdges)
 	for i := range d.Errors {
 		fmt.Fprintf(&b, "  error: %v\n", &d.Errors[i])
 	}

@@ -159,7 +159,11 @@ func (a *analysis) resolveConfig(site *requestSite) {
 		}
 		site.configObj = obj
 		if obj != "" {
-			site.configCalls = dataflow.CallsOnObject(g, rd, site.stmt, obj)
+			// Interprocedural mode also sees config calls the object's
+			// aliases receive inside helper methods (the client configured
+			// in a helper, or built by a factory) — §4.4.1's cross-method
+			// alias tracking via the callee summaries.
+			site.configCalls = dataflow.CallsOnObjectInter(g, rd, site.stmt, obj, a.summaryResolver(m))
 		}
 	}
 	cp := a.ctx.ConstProp(m)
@@ -176,6 +180,16 @@ func (a *analysis) resolveConfig(site *requestSite) {
 		case apimodel.ConfigRetry:
 			site.retrySet = true
 			if cfgAPI.CountArg >= 0 {
+				if oc.Args != nil {
+					// A summary-discovered call: the count was folded in
+					// the helper's own constant-propagation context.
+					if cfgAPI.CountArg < len(oc.Args) && oc.Args[cfgAPI.CountArg].Known {
+						site.retryCount, site.retryKnown = int(oc.Args[cfgAPI.CountArg].V), true
+						continue
+					}
+					site.retryKnown = false
+					continue
+				}
 				if inv, okInv := jimple.InvokeOf(m.Body[oc.Stmt]); okInv {
 					if v, okV := cp.ArgInt(oc.Stmt, inv, cfgAPI.CountArg); okV {
 						site.retryCount, site.retryKnown = int(v), true

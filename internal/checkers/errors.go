@@ -77,8 +77,8 @@ func (r *Result) Err() error {
 // stageRank fixes the deterministic order of Diagnostics.Errors: pipeline
 // stage order first, unknown stages last.
 var stageRank = map[string]int{
-	"": 0, "build": 1, "discover": 2, "settings": 3,
-	"parameters": 4, "notifications": 5, "responses": 6, "retryloops": 7,
+	"": 0, "build": 1, "summaries": 2, "discover": 3, "settings": 4,
+	"parameters": 5, "notifications": 6, "responses": 7, "retryloops": 8,
 }
 
 // sortScanErrors orders errors by (stage, unit, message) so a degraded

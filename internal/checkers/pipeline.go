@@ -93,6 +93,9 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 		})
 		a.ctx = newAnalysisContext(a.cg)
 		a.methods = a.collectAppMethods()
+		if !opts.Intraprocedural {
+			a.configureSummaries()
+		}
 	})
 	diag.add("build", time.Since(buildStart), len(a.methods), 0)
 	if a.ctx == nil {
@@ -100,6 +103,17 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 		// downstream can run without the call graph. Return the degraded
 		// empty result instead of crashing the scan.
 		return finish(&Result{})
+	}
+
+	// Interprocedural summaries are built eagerly under their own stage
+	// guard so -timings attributes the cost distinctly and a failure (or a
+	// deadline hit inside the bottom-up pass) degrades every consumer to
+	// intraprocedural facts instead of crashing the scan. The sync.Once in
+	// AnalysisContext still protects any stray lazy first-consult.
+	if !opts.Intraprocedural {
+		sumStart := time.Now()
+		a.guard("summaries", func() { a.ctx.Summaries() })
+		diag.add("summaries", time.Since(sumStart), len(a.methods), 0)
 	}
 
 	// Discovery must complete before the checkers: they all consume the

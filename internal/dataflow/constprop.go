@@ -73,6 +73,15 @@ func (c *ConstProp) evalValue(at int, v jimple.Value, depth int) (int64, bool) {
 			return 0, false
 		}
 		return foldBin(v.Op, l, r)
+	case jimple.NegExpr:
+		b, ok := c.evalValue(at, v.V, depth)
+		if !ok {
+			return 0, false
+		}
+		if b == 0 {
+			return 1, true
+		}
+		return 0, true
 	default:
 		return 0, false
 	}
@@ -122,6 +131,35 @@ func foldBin(op jimple.BinOp, l, r int64) (int64, bool) {
 		return b2i(l >= r), true
 	}
 	return 0, false
+}
+
+// ValueAt evaluates an arbitrary expression as if it appeared at stmt,
+// folding constants through copy chains, casts, binary comparisons and
+// arithmetic, and logical negation. ok is false when any operand may hold
+// more than one value or is not statically constant.
+func (c *ConstProp) ValueAt(stmt int, v jimple.Value) (int64, bool) {
+	return c.evalValue(stmt, v, 0)
+}
+
+// BranchTaken evaluates the condition of the if statement at stmt. known
+// is false when stmt is not an if statement or its condition does not fold
+// to a constant; otherwise taken reports whether the branch is always
+// taken (condition non-zero) or never taken. Feasibility pruning uses this
+// to find statically-dead CFG edges.
+func (c *ConstProp) BranchTaken(stmt int) (taken, known bool) {
+	body := c.rd.g.Method.Body
+	if stmt < 0 || stmt >= len(body) {
+		return false, false
+	}
+	iff, ok := body[stmt].(*jimple.IfStmt)
+	if !ok {
+		return false, false
+	}
+	v, ok := c.evalValue(stmt, iff.Cond, 0)
+	if !ok {
+		return false, false
+	}
+	return v != 0, true
 }
 
 // ArgInt evaluates the i'th argument of the invocation at stmt as an

@@ -1,0 +1,37 @@
+package dataflow
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/jimple"
+)
+
+// InfeasibleEdges returns the CFG edges of g that constant propagation
+// proves can never be taken: for every if statement whose condition folds
+// to a constant, the edge of the untaken outcome is statically dead. This
+// is the path-feasibility pruning pass — analyses run over
+// g.WithoutEdges(InfeasibleEdges(g, cp)) never witness a warning whose
+// only paths traverse a statically-false branch (the paper's main
+// false-positive class).
+//
+// An if whose branch target is its own fall-through successor is skipped:
+// both outcomes are the same edge, so nothing is dead. The result is in
+// statement order.
+func InfeasibleEdges(g *cfg.Graph, cp *ConstProp) [][2]int {
+	var out [][2]int
+	for i, s := range g.Method.Body {
+		iff, ok := s.(*jimple.IfStmt)
+		if !ok || iff.Target == i+1 {
+			continue
+		}
+		taken, known := cp.BranchTaken(i)
+		if !known {
+			continue
+		}
+		if taken {
+			out = append(out, [2]int{i, i + 1})
+		} else {
+			out = append(out, [2]int{i, iff.Target})
+		}
+	}
+	return out
+}

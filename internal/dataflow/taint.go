@@ -19,6 +19,12 @@ type TaintOptions struct {
 	// TaintStoredInto taints the base object of a field store whose
 	// stored value is tainted (object-level field insensitivity).
 	TaintStoredInto bool
+	// CalleeSummaries, when non-nil, resolves a call site to its callees'
+	// taint summaries, making the propagation interprocedural: call
+	// results derive taint through the callee's RetFrom relation instead
+	// of the receiver heuristic, and callee state effects (StateFrom)
+	// taint the bound caller locals.
+	CalleeSummaries SummaryResolver
 }
 
 // DefaultTaintOptions matches NChecker's object-taint behaviour.
@@ -93,7 +99,7 @@ func ForwardTaint(g *cfg.Graph, sources map[int][]string, opts TaintOptions) *Ta
 			no[l] = true
 		}
 		if u < len(body) {
-			applyTaintTransfer(body[u], no, opts)
+			applyTaintTransfer(body[u], u, no, opts)
 			for _, l := range sources[u] {
 				no[l] = true
 			}
@@ -108,53 +114,104 @@ func ForwardTaint(g *cfg.Graph, sources map[int][]string, opts TaintOptions) *Ta
 	return &TaintResult{in: in}
 }
 
-func applyTaintTransfer(s jimple.Stmt, taint map[string]bool, opts TaintOptions) {
+func applyTaintTransfer(s jimple.Stmt, at int, taint map[string]bool, opts TaintOptions) {
+	// Interprocedural state effects: a callee that stores one input into
+	// another's object state taints the bound caller local.
+	if opts.CalleeSummaries != nil {
+		if inv, ok := jimple.InvokeOf(s); ok {
+			applyTaintStateEffects(inv, opts.CalleeSummaries(at), taint)
+		}
+	}
 	a, ok := s.(*jimple.AssignStmt)
 	if !ok {
 		return
 	}
 	// Field store: x.f = v may taint x.
 	if f, isField := a.LHS.(jimple.FieldRef); isField {
-		if opts.TaintStoredInto && f.Base != "" && valueTainted(a.RHS, taint, opts) {
+		if opts.TaintStoredInto && f.Base != "" && valueTainted(a.RHS, at, taint, opts) {
 			taint[f.Base] = true
 		}
 		return
 	}
 	dst := a.LHS.(jimple.Local).Name
-	if valueTainted(a.RHS, taint, opts) {
+	if valueTainted(a.RHS, at, taint, opts) {
 		taint[dst] = true
 	} else {
 		delete(taint, dst) // strong update: overwritten with untainted value
 	}
 }
 
-func valueTainted(v jimple.Value, taint map[string]bool, opts TaintOptions) bool {
+func applyTaintStateEffects(inv jimple.InvokeExpr, sums []*TaintSummary, taint map[string]bool) {
+	for _, sum := range sums {
+		if sum == nil {
+			continue
+		}
+		for tOut := 0; tOut < sum.Inputs; tOut++ {
+			if sum.StateFrom[tOut] == 0 {
+				continue
+			}
+			outLocal := tokenLocal(inv, tOut)
+			if outLocal == "" || taint[outLocal] {
+				continue
+			}
+			for tIn := 0; tIn < sum.Inputs; tIn++ {
+				if sum.StateFrom[tOut]&bit(tIn) != 0 {
+					if l := tokenLocal(inv, tIn); l != "" && taint[l] {
+						taint[outLocal] = true
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func valueTainted(v jimple.Value, at int, taint map[string]bool, opts TaintOptions) bool {
 	switch v := v.(type) {
 	case jimple.Local:
 		return taint[v.Name]
 	case jimple.CastExpr:
-		return valueTainted(v.V, taint, opts)
+		return valueTainted(v.V, at, taint, opts)
 	case jimple.FieldRef:
 		// Field load from a tainted object yields taint.
 		return v.Base != "" && taint[v.Base]
 	case jimple.InvokeExpr:
+		if opts.CalleeSummaries != nil {
+			if sums := opts.CalleeSummaries(at); len(sums) > 0 {
+				// Summarized callees: the result is tainted exactly when
+				// the callee derives its return from a tainted binding.
+				for _, sum := range sums {
+					if sum == nil {
+						continue
+					}
+					for t := 0; t < sum.Inputs; t++ {
+						if sum.RetFrom&bit(t) != 0 {
+							if l := tokenLocal(v, t); l != "" && taint[l] {
+								return true
+							}
+						}
+					}
+				}
+				return false
+			}
+		}
 		if opts.TaintThroughReceiver && v.Base != "" && taint[v.Base] {
 			return true
 		}
 		if opts.TaintThroughArgs {
 			for _, a := range v.Args {
-				if valueTainted(a, taint, opts) {
+				if valueTainted(a, at, taint, opts) {
 					return true
 				}
 			}
 		}
 		return false
 	case jimple.BinExpr:
-		return valueTainted(v.L, taint, opts) || valueTainted(v.R, taint, opts)
+		return valueTainted(v.L, at, taint, opts) || valueTainted(v.R, at, taint, opts)
 	case jimple.NegExpr:
-		return valueTainted(v.V, taint, opts)
+		return valueTainted(v.V, at, taint, opts)
 	case jimple.InstanceOfExpr:
-		return valueTainted(v.V, taint, opts)
+		return valueTainted(v.V, at, taint, opts)
 	default:
 		return false
 	}
@@ -225,6 +282,11 @@ func AllocSitesOf(rd *ReachDefs, stmt int, local string) []int {
 type ObjectCall struct {
 	Stmt   int
 	Callee jimple.Sig
+	// Args carries pre-evaluated constant arguments when the call was
+	// discovered through a callee's summary — the caller's ConstProp
+	// cannot see into another method's body. nil for calls found in the
+	// analyzed method itself (callers evaluate those locally).
+	Args []SummaryArg
 }
 
 // CallsOnObject returns all calls whose receiver aliases the object that
@@ -255,6 +317,114 @@ func CallsOnObject(g *cfg.Graph, rd *ReachDefs, stmt int, local string) []Object
 		if taint.TaintedAt(i, inv.Base) || sourcesContain(sources, i, inv.Base) {
 			out = append(out, ObjectCall{Stmt: i, Callee: inv.Callee})
 		}
+	}
+	return out
+}
+
+// CallsOnObjectInter is CallsOnObject with interprocedural vision: calls
+// the object's aliases receive inside summarized callees — passed as
+// receiver or argument (CallsOn), or made on the object inside the
+// factory that produced it (CallsOnRet) — are reported at the caller-side
+// site, with the callee-context constant arguments attached. A nil
+// resolver degrades to CallsOnObject.
+func CallsOnObjectInter(g *cfg.Graph, rd *ReachDefs, stmt int, local string, resolve SummaryResolver) []ObjectCall {
+	if resolve == nil {
+		return CallsOnObject(g, rd, stmt, local)
+	}
+	allocs := AllocSitesOf(rd, stmt, local)
+	sources := make(map[int][]string)
+	for _, d := range allocs {
+		if def := rd.DefOfStmt(d); def != "" {
+			sources[d] = append(sources[d], def)
+		}
+	}
+	if len(sources) == 0 {
+		sources[0] = []string{local}
+	}
+	opts := DefaultTaintOptions()
+	opts.CalleeSummaries = resolve
+	taint := ForwardTaint(g, sources, opts)
+	isAlias := func(i int, name string) bool {
+		return taint.TaintedAt(i, name) || sourcesContain(sources, i, name)
+	}
+	var out []ObjectCall
+	for i, s := range g.Method.Body {
+		inv, ok := jimple.InvokeOf(s)
+		if !ok {
+			continue
+		}
+		if inv.Base != "" && isAlias(i, inv.Base) {
+			out = append(out, ObjectCall{Stmt: i, Callee: inv.Callee})
+		}
+		for _, sum := range resolve(i) {
+			if sum == nil {
+				continue
+			}
+			for _, t := range BoundTokens(inv, sum, func(name string) bool { return isAlias(i, name) }) {
+				for _, sc := range sum.CallsOn[t] {
+					out = append(out, ObjectCall{Stmt: i, Callee: sc.Callee, Args: sc.Args})
+				}
+			}
+		}
+	}
+	// Factory allocations: calls made inside a summarized producer on the
+	// object it returned.
+	for _, d := range allocs {
+		inv, ok := jimple.InvokeOf(g.Method.Body[d])
+		if !ok {
+			continue
+		}
+		for _, sum := range resolve(d) {
+			if sum == nil {
+				continue
+			}
+			for _, sc := range sum.CallsOnRet {
+				out = append(out, ObjectCall{Stmt: d, Callee: sc.Callee, Args: sc.Args})
+			}
+			for t := 0; t < sum.Inputs; t++ {
+				if sum.RetFrom&bit(t) != 0 && tokenLocal(inv, t) != "" {
+					for _, sc := range sum.CallsOn[t] {
+						out = append(out, ObjectCall{Stmt: d, Callee: sc.Callee, Args: sc.Args})
+					}
+				}
+			}
+		}
+	}
+	return dedupeObjectCalls(out)
+}
+
+// dedupeObjectCalls sorts by (statement, callee key, args) and removes
+// duplicates, keeping caller-side entries (nil Args) distinct from
+// summary-mapped ones.
+func dedupeObjectCalls(calls []ObjectCall) []ObjectCall {
+	if len(calls) == 0 {
+		return nil
+	}
+	less := func(a, b *ObjectCall) bool {
+		if a.Stmt != b.Stmt {
+			return a.Stmt < b.Stmt
+		}
+		ak, bk := a.Callee.Key(), b.Callee.Key()
+		if ak != bk {
+			return ak < bk
+		}
+		sa := SummaryCall{Callee: a.Callee, Args: a.Args}
+		sb := SummaryCall{Callee: b.Callee, Args: b.Args}
+		if len(a.Args) != len(b.Args) {
+			return len(a.Args) < len(b.Args)
+		}
+		return callLess(&sa, &sb)
+	}
+	sort.SliceStable(calls, func(i, j int) bool { return less(&calls[i], &calls[j]) })
+	out := calls[:1]
+	for i := 1; i < len(calls); i++ {
+		prev := &out[len(out)-1]
+		cur := &calls[i]
+		if prev.Stmt == cur.Stmt && prev.Callee.Key() == cur.Callee.Key() &&
+			len(prev.Args) == len(cur.Args) && equalCall(&SummaryCall{Callee: prev.Callee, Args: prev.Args}, &SummaryCall{Callee: cur.Callee, Args: cur.Args}) {
+			continue
+		}
+		out = append(out, *cur)
 	}
 	return out
 }

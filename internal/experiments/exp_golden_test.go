@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden report snapshots")
+
+// goldenReportText scans the 16 golden apps with the default (fully
+// interprocedural) configuration and renders every warning in a fixed
+// layout: one header per app followed by its reports in scan order.
+func goldenReportText(t *testing.T) string {
+	t.Helper()
+	apps, err := corpus.BuildGoldens()
+	if err != nil {
+		t.Fatalf("BuildGoldens: %v", err)
+	}
+	specs := corpus.GoldenSpecs()
+	nc := core.NewWithOptions(core.Options{Workers: 1})
+	var b strings.Builder
+	for i, app := range apps {
+		res := nc.ScanApp(app)
+		if err := res.Err(); err != nil {
+			t.Fatalf("golden %s: degraded scan: %v", specs[i].Name, err)
+		}
+		fmt.Fprintf(&b, "== golden-%s: %d requests, %d warnings ==\n",
+			specs[i].Name, res.Stats.Requests, len(res.Reports))
+		for j := range res.Reports {
+			b.WriteString(res.Reports[j].Render())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenReportsRegression locks the rendered warning output of the
+// golden-app corpus against a committed snapshot: any change to checker
+// behavior — intended or not — shows up as a diff here. Refresh with
+//
+//	go test ./internal/experiments -run TestGoldenReportsRegression -update-golden
+func TestGoldenReportsRegression(t *testing.T) {
+	got := goldenReportText(t)
+	path := filepath.Join("testdata", "golden_reports.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing snapshot (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden reports changed; run with -update-golden if intended.\n%s",
+			firstDiff(string(want), got))
+	}
+}
+
+// firstDiff renders the first differing line of two snapshots.
+func firstDiff(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n-%s\n+%s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("length differs: want %d lines, got %d", len(w), len(g))
+}

@@ -18,6 +18,22 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# Deeper linters run when installed; CI images without them still get the
+# vet gate above, so the script works offline and in the minimal container.
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping"
+fi
+
+echo "== govulncheck =="
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+else
+    echo "govulncheck not installed; skipping"
+fi
+
 echo "== go build =="
 go build ./...
 
