@@ -6,7 +6,10 @@
 package repro_test
 
 import (
+	"encoding/json"
+	"os"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/android"
@@ -370,6 +373,106 @@ func BenchmarkSummariesWarm(b *testing.B) {
 			b.Fatal("no summaries")
 		}
 	}
+}
+
+// --- persistent scan cache (DESIGN.md §7) -------------------------------------
+
+// cacheBench collects the cold/warm full-corpus timings; whichever
+// benchmark finishes second writes BENCH_cache.json, so one
+//
+//	go test -bench='ScanCorpusCold|ScanCorpusWarm' .
+//
+// run commits both numbers and the speedup.
+var cacheBench struct {
+	sync.Mutex
+	coldNs, warmNs int64
+}
+
+func recordCacheBench(b *testing.B, cold bool, nsPerOp int64) {
+	b.Helper()
+	cacheBench.Lock()
+	defer cacheBench.Unlock()
+	if cold {
+		cacheBench.coldNs = nsPerOp
+	} else {
+		cacheBench.warmNs = nsPerOp
+	}
+	if cacheBench.coldNs == 0 || cacheBench.warmNs == 0 {
+		return
+	}
+	out := struct {
+		Benchmark   string  `json:"benchmark"`
+		Apps        int     `json:"apps"`
+		ColdNsPerOp int64   `json:"cold_ns_per_op"`
+		WarmNsPerOp int64   `json:"warm_ns_per_op"`
+		Speedup     float64 `json:"speedup"`
+		GoVersion   string  `json:"go_version"`
+		GOOS        string  `json:"goos"`
+		GOARCH      string  `json:"goarch"`
+		CPUs        int     `json:"cpus"`
+	}{
+		Benchmark:   "BenchmarkScanCorpusCold/BenchmarkScanCorpusWarm",
+		Apps:        corpus.CorpusSize,
+		ColdNsPerOp: cacheBench.coldNs,
+		WarmNsPerOp: cacheBench.warmNs,
+		Speedup:     float64(cacheBench.coldNs) / float64(cacheBench.warmNs),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_cache.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScanCorpusCold scans the pre-generated 285-app corpus into a
+// fresh cache directory every iteration: the cost of a first-ever run
+// with -cache on (all misses, plus entry encoding and commits). Each
+// iteration needs its own directory because cachestore.Shared memoizes
+// stores per path — reusing one would silently measure the warm path.
+func BenchmarkScanCorpusCold(b *testing.B) {
+	apps := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		cs := experiments.ScanApps(apps, core.Options{CacheDir: dir, CacheMode: core.CacheRW})
+		if cs.TotalWarnings() == 0 {
+			b.Fatal("no warnings")
+		}
+		if n := cs.IncompleteApps(); n > 0 {
+			b.Fatalf("%d apps degraded", n)
+		}
+	}
+	recordCacheBench(b, true, b.Elapsed().Nanoseconds()/int64(b.N))
+}
+
+// BenchmarkScanCorpusWarm rescans the same corpus against a cache filled
+// once before the timer: every app is answered by a result-entry hit.
+// Compare ns/op against BenchmarkScanCorpusCold; BENCH_cache.json records
+// the ratio.
+func BenchmarkScanCorpusWarm(b *testing.B) {
+	apps := benchCorpus(b)
+	dir := b.TempDir()
+	opts := core.Options{CacheDir: dir, CacheMode: core.CacheRW}
+	fill := experiments.ScanApps(apps, opts)
+	if n := fill.IncompleteApps(); n > 0 {
+		b.Fatalf("cache fill degraded %d apps", n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := experiments.ScanApps(apps, opts)
+		if cs.TotalWarnings() == 0 {
+			b.Fatal("no warnings")
+		}
+	}
+	recordCacheBench(b, false, b.Elapsed().Nanoseconds()/int64(b.N))
 }
 
 // --- pipeline micro-benchmarks ------------------------------------------------

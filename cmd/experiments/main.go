@@ -7,6 +7,10 @@
 //
 // -timings appends the corpus scan's aggregate per-stage pipeline timing
 // and analysis-cache rows (default output is unchanged without it).
+// -cache DIR runs the corpus scan through the persistent scan cache
+// (-cache-mode off|ro|rw, default rw), so a repeated invocation rescans
+// the unchanged corpus from cache; the rendered tables are identical
+// either way.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -21,7 +26,14 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (fig3, t6, …)")
 	trials := flag.Int("trials", 200, "netsim trials per point (fig3)")
 	timings := flag.Bool("timings", false, "print corpus-scan per-stage timing rows")
+	cacheDir := flag.String("cache", "", "persistent scan-cache directory for the corpus scan (empty = no cache)")
+	cacheMode := flag.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
 	flag.Parse()
+	mode, err := core.ParseCacheMode(*cacheMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	type exp struct {
 		key    string
@@ -97,7 +109,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: scanning the %d-app corpus (seed %d)...\n",
 			285, experiments.Seed)
 		var err error
-		cs, err = experiments.DefaultScan()
+		if *cacheDir != "" {
+			cs, err = experiments.ScanCorpusWith(experiments.Seed, core.Options{
+				CacheDir: *cacheDir, CacheMode: mode,
+			})
+		} else {
+			cs, err = experiments.DefaultScan()
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)

@@ -19,6 +19,10 @@
 //	           multiple files concurrently (0 = NumCPU)
 //	-timeout   per-file scan deadline (e.g. 30s; 0 = none)
 //	-timings   print per-stage pipeline timings and cache statistics
+//	-cache     persistent scan-cache directory; unchanged files rescan
+//	           from cache, changed files reuse per-class taint summaries
+//	-cache-mode off|ro|rw (default rw): how -cache is used; ro probes
+//	           and restores without writing
 //
 // With multiple files the worker budget goes to the file-level pool and
 // each scan's internal pipeline runs single-threaded (the same division
@@ -65,6 +69,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for the scan pipeline (0 = NumCPU)")
 	timeout := flag.Duration("timeout", 0, "per-file scan deadline (0 = none); an expired deadline yields a degraded scan and exit code 2")
 	timings := flag.Bool("timings", false, "print per-stage pipeline timings and cache statistics")
+	cacheDir := flag.String("cache", "", "persistent scan-cache directory (empty = no cache)")
+	cacheMode := flag.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nchecker [flags] app.apk [more.apk ...]\n")
 		flag.PrintDefaults()
@@ -74,12 +80,19 @@ func main() {
 		flag.Usage()
 		os.Exit(exitError)
 	}
+	mode, err := core.ParseCacheMode(*cacheMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nchecker: %v\n", err)
+		os.Exit(exitError)
+	}
 	opts := core.Options{
 		EnableICC:               *icc,
 		GuardSensitiveConnCheck: *guard,
 		Intraprocedural:         *intra,
 		Workers:                 *workers,
 		Timeout:                 *timeout,
+		CacheDir:                *cacheDir,
+		CacheMode:               mode,
 	}
 	paths := flag.Args()
 

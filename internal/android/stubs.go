@@ -1,7 +1,14 @@
 package android
 
 import (
+	"sync"
+
 	"repro/internal/jimple"
+)
+
+var (
+	frameworkOnce sync.Once
+	frameworkProg *jimple.Program
 )
 
 // Framework returns a program containing stub definitions of the framework
@@ -10,7 +17,16 @@ import (
 // Merge it under an app's program before building a hierarchy:
 //
 //	prog.Merge(android.Framework())
+//
+// The program is built once per process and shared; it is read-only after
+// construction (Program.Merge copies class pointers without mutating the
+// source).
 func Framework() *jimple.Program {
+	frameworkOnce.Do(func() { frameworkProg = buildFramework() })
+	return frameworkProg
+}
+
+func buildFramework() *jimple.Program {
 	p := jimple.NewProgram()
 
 	cls := func(name, super string, ifaces ...string) *jimple.Class {

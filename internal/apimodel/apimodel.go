@@ -17,7 +17,11 @@
 package apimodel
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/jimple"
 )
@@ -167,6 +171,9 @@ type Registry struct {
 	configBySig map[string]configRef
 	checkBySig  map[string]LibKey
 	classToLib  map[string]LibKey
+
+	fpOnce sync.Once
+	fp     [sha256.Size]byte
 }
 
 type targetRef struct {
@@ -179,12 +186,22 @@ type configRef struct {
 	c   *Config
 }
 
+// registryBuilds counts Registry constructions process-wide. Batch scans
+// must build exactly one registry (one per core.Checker plus the memoized
+// stub program's); the regression test for the per-app-rebuild bug pins
+// the count.
+var registryBuilds atomic.Int64
+
+// RegistryBuilds returns how many registries this process has built.
+func RegistryBuilds() int64 { return registryBuilds.Load() }
+
 // NewRegistry builds the registry over the standard six libraries.
 func NewRegistry() *Registry {
 	return newRegistryOf(StandardLibraries())
 }
 
 func newRegistryOf(libs []*Library) *Registry {
+	registryBuilds.Add(1)
 	r := &Registry{
 		libs:        libs,
 		byKey:       make(map[LibKey]*Library),
@@ -290,4 +307,32 @@ func (r *Registry) Totals() (targets, configs, respChecks int) {
 		respChecks += len(l.RespChecks)
 	}
 	return
+}
+
+// Fingerprint returns the SHA-256 identity of the registry's entire
+// annotation surface — every library's classes, targets, configs,
+// response checks, callbacks, and defaults, plus the package-level
+// ResponseUseSigs set. It is the registry component of the persistent
+// scan cache's keys: editing any annotation changes the fingerprint, so
+// results computed under the old model can never be served for the new
+// one. Computed once per Registry.
+func (r *Registry) Fingerprint() []byte {
+	r.fpOnce.Do(func() {
+		h := sha256.New()
+		for _, l := range r.libs {
+			// Library is maps-free (scalars and slices only), so the %+v
+			// rendering is deterministic.
+			fmt.Fprintf(h, "%+v\n", *l)
+		}
+		uses := make([]string, 0, len(ResponseUseSigs))
+		for k := range ResponseUseSigs {
+			uses = append(uses, k)
+		}
+		sort.Strings(uses)
+		for _, k := range uses {
+			fmt.Fprintf(h, "use %s\n", k)
+		}
+		h.Sum(r.fp[:0])
+	})
+	return r.fp[:]
 }

@@ -1,6 +1,8 @@
 package apimodel
 
 import (
+	"sync"
+
 	"repro/internal/jimple"
 )
 
@@ -17,10 +19,26 @@ var ResponseUseSigs = map[string]bool{
 	"java.io.InputStream.read()int":                                             true,
 }
 
+var (
+	stubsOnce sync.Once
+	stubsProg *jimple.Program
+)
+
 // Stubs returns hierarchy/signature stubs for every annotated library
 // class, generated from the registry so the stubs can never drift from the
 // annotations. Merge into an app program alongside android.Framework().
+//
+// The program is built once per process and shared: it is read-only after
+// construction (Program.Merge copies class pointers without mutating the
+// source), and rebuilding it per scan also rebuilt the registry per scan
+// — the batch-mode per-app registry-construction bug the RegistryBuilds
+// regression test pins.
 func Stubs() *jimple.Program {
+	stubsOnce.Do(func() { stubsProg = buildStubs() })
+	return stubsProg
+}
+
+func buildStubs() *jimple.Program {
 	p := jimple.NewProgram()
 	reg := NewRegistry()
 

@@ -7,11 +7,13 @@
 package apk
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/android"
 	"repro/internal/dex"
@@ -30,10 +32,37 @@ const (
 // maxSectionSize bounds a single section (defensive parsing).
 const maxSectionSize = 1 << 30
 
-// App is a parsed application: its manifest plus its code.
+// App is a parsed application: its manifest plus its code. Apps are
+// always handled by pointer; the embedded digest memoization must not be
+// copied.
 type App struct {
 	Manifest *android.Manifest
 	Program  *jimple.Program
+
+	// digest memoizes Digest(): apps decoded from container bytes carry
+	// the hash of those bytes, in-memory apps hash their canonical
+	// encoding on first use.
+	digestOnce sync.Once
+	digest     [sha256.Size]byte
+	digestErr  error
+}
+
+// Digest returns the SHA-256 content identity of the app — the hash of
+// its container bytes — computed once per App. It is the app component of
+// the persistent scan cache's keys (internal/cachestore): any change to
+// the manifest or the dex payload changes the digest. For an app parsed
+// by Decode the digest covers the bytes as read; for an app built in
+// memory it covers the canonical Encode output.
+func (a *App) Digest() ([sha256.Size]byte, error) {
+	a.digestOnce.Do(func() {
+		data, err := Encode(a)
+		if err != nil {
+			a.digestErr = err
+			return
+		}
+		a.digest = sha256.Sum256(data)
+	})
+	return a.digest, a.digestErr
 }
 
 // Encode serializes the app to container bytes.
@@ -104,7 +133,11 @@ func Decode(data []byte) (*App, error) {
 	if err != nil {
 		return nil, fmt.Errorf("apk: %w", err)
 	}
-	return &App{Manifest: man, Program: prog}, nil
+	app := &App{Manifest: man, Program: prog}
+	// Seed the content digest from the bytes actually read, so scanning
+	// from disk never pays a re-encode to key the cache.
+	app.digestOnce.Do(func() { app.digest = sha256.Sum256(data) })
+	return app, nil
 }
 
 func readSection(data []byte, pos int) (name string, content []byte, next int, err error) {

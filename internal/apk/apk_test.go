@@ -145,3 +145,50 @@ func TestQuickCorruptionDetected(t *testing.T) {
 		t.Error("no corruption was ever detected — CRC seems inert")
 	}
 }
+
+// TestDigestStableAndDiscriminating: Digest is the app component of the
+// persistent scan cache's result key. A decoded app's digest must equal
+// the digest of the bytes it was decoded from (decode does not re-encode),
+// an in-memory app's digest must be reproducible, and different apps must
+// digest differently.
+func TestDigestStableAndDiscriminating(t *testing.T) {
+	app := sampleApp(t)
+	d1, err := app.Digest()
+	if err != nil {
+		t.Fatalf("Digest: %v", err)
+	}
+	d2, err := app.Digest()
+	if err != nil {
+		t.Fatalf("Digest (memoized): %v", err)
+	}
+	if d1 != d2 {
+		t.Fatalf("Digest not stable across calls")
+	}
+
+	data, err := Encode(app)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	dd, err := decoded.Digest()
+	if err != nil {
+		t.Fatalf("decoded Digest: %v", err)
+	}
+	if dd != d1 {
+		t.Fatalf("decoded app digest differs from in-memory digest")
+	}
+
+	other := sampleApp(t)
+	other.Manifest.Package = "com.y"
+	other.Manifest.Normalize()
+	od, err := other.Digest()
+	if err != nil {
+		t.Fatalf("other Digest: %v", err)
+	}
+	if od == d1 {
+		t.Fatalf("distinct apps share a digest")
+	}
+}

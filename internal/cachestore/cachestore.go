@@ -1,0 +1,310 @@
+// Package cachestore is NChecker's persistent, content-addressed scan
+// cache: an on-disk store of serialized scan results and per-class taint
+// summaries, keyed by SHA-256 over the inputs that determine them (the
+// app's container bytes, the apimodel registry fingerprint, the engine
+// version, and the analysis options — see internal/checkers/cache.go for
+// the key anatomy and DESIGN.md §7 for the invalidation rules).
+//
+// The store is crash-safe and self-healing by construction:
+//
+//   - commits are atomic write-then-rename, so a crashed writer leaves at
+//     worst an orphaned temp file, never a half-written entry;
+//   - every entry is a checksummed envelope (codec.go); a truncated or
+//     bit-flipped entry decodes as corrupt, is deleted, and reads as a
+//     miss — the caller falls back to a cold scan and rewrites it;
+//   - the total size is LRU-bounded: Put evicts least-recently-used
+//     entries (hits refresh recency via mtime) until under MaxBytes.
+//
+// Get/Put never return errors the caller must abort on: cache trouble
+// degrades to a cold scan, it does not fail the scan.
+package cachestore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Entry kinds: the first byte of a Key and of the entry envelope. A key's
+// kind is part of its filename, so result and summary entries can never
+// shadow each other even under a hash collision across kinds.
+const (
+	// KindResult is a whole-app scan result (ResultEntry).
+	KindResult byte = 'r'
+	// KindSummary is one app class's taint summaries (SummaryEntry).
+	KindSummary byte = 's'
+)
+
+// DefaultMaxBytes is the default LRU size bound (256 MiB).
+const DefaultMaxBytes int64 = 256 << 20
+
+// entryExt suffixes committed entries; temp files never carry it, so a
+// crashed writer's leftovers are invisible to Get and to the LRU scan.
+const entryExt = ".nce"
+
+// Key addresses one cache entry: an entry kind plus a SHA-256 over the
+// entry's identity parts.
+type Key struct {
+	Kind byte
+	Sum  [sha256.Size]byte
+}
+
+// NewKey hashes the parts (length-prefixed, so part boundaries are
+// unambiguous) into a key of the given kind. Flipping any single part —
+// app bytes, registry fingerprint, engine version, options — yields a
+// different key, which is the store's entire invalidation story.
+func NewKey(kind byte, parts ...[]byte) Key {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	k := Key{Kind: kind}
+	h.Sum(k.Sum[:0])
+	return k
+}
+
+// Filename is the entry's on-disk name within the store directory.
+func (k Key) Filename() string {
+	return fmt.Sprintf("%c-%x%s", k.Kind, k.Sum, entryExt)
+}
+
+// GetStatus classifies a Get outcome.
+type GetStatus uint8
+
+const (
+	// StatusMiss: no entry under the key.
+	StatusMiss GetStatus = iota
+	// StatusHit: the entry decoded and checksummed clean.
+	StatusHit
+	// StatusCorrupt: an entry existed but failed envelope validation
+	// (truncated writer crash, bit rot, kind mismatch). The file has been
+	// removed; the caller should treat it as a miss and rescan cold.
+	StatusCorrupt
+)
+
+// Options tunes a Store.
+type Options struct {
+	// MaxBytes bounds the total committed-entry size; Put evicts the
+	// least-recently-used entries to stay under it. <= 0 means
+	// DefaultMaxBytes.
+	MaxBytes int64
+}
+
+// Store is one cache directory. All methods are safe for concurrent use
+// by multiple goroutines; concurrent processes sharing the directory are
+// safe too (atomic renames), though their LRU scans may race benignly.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	// evictMu serializes eviction scans so concurrent Puts don't double-
+	// delete; commits themselves need no lock (rename is atomic).
+	evictMu sync.Mutex
+
+	// used approximates the committed-entry total so Put can stay O(1):
+	// initialized from one directory scan on the first Put, then bumped
+	// per commit. The approximation only ever errs high (overwrites and
+	// concurrent removals aren't subtracted), which at worst triggers an
+	// eviction scan early — the scan itself recomputes the true total.
+	usedInit sync.Once
+	used     atomic.Int64
+}
+
+// Open opens (creating if needed) the cache directory.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("cachestore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	max := opts.MaxBytes
+	if max <= 0 {
+		max = DefaultMaxBytes
+	}
+	return &Store{dir: dir, maxBytes: max}, nil
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   = make(map[string]*Store)
+)
+
+// Shared returns the process-wide Store for the directory, opening it on
+// first use. Batch scans hitting the same -cache directory share one
+// Store (one eviction lock) instead of opening it per app. The first
+// opener's Options win.
+func Shared(dir string, opts Options) (*Store, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if s, ok := shared[abs]; ok {
+		return s, nil
+	}
+	s, err := Open(abs, opts)
+	if err != nil {
+		return nil, err
+	}
+	shared[abs] = s
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get looks the key up. On a hit it returns the entry payload and bumps
+// the entry's recency (mtime). A corrupt entry is deleted and reported as
+// StatusCorrupt; unreadable files read as misses.
+func (s *Store) Get(key Key) ([]byte, GetStatus) {
+	path := filepath.Join(s.dir, key.Filename())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, StatusMiss
+	}
+	kind, payload, err := DecodeEntry(data)
+	if err != nil || kind != key.Kind {
+		// Corruption detection: a truncated or damaged entry must never
+		// surface as a result. Remove it so the next Put heals the slot.
+		os.Remove(path)
+		return nil, StatusCorrupt
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) // LRU recency; best-effort
+	return payload, StatusHit
+}
+
+// Put commits the payload under the key with write-then-rename atomicity,
+// then evicts LRU entries until the store is under its size bound. It
+// returns how many entries were evicted. A payload that alone exceeds the
+// bound is skipped (not an error): caching it would immediately evict
+// everything else.
+func (s *Store) Put(key Key, payload []byte) (evicted int, err error) {
+	data := EncodeEntry(key.Kind, payload)
+	if int64(len(data)) > s.maxBytes {
+		return 0, nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("cachestore: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("cachestore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("cachestore: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, key.Filename())); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("cachestore: %w", err)
+	}
+	// The first commit pays for one directory scan (pre-existing entries
+	// plus crashed writers' stale temp files); after that Put is O(1) and
+	// the full LRU scan only runs when the running total crosses the
+	// bound.
+	s.usedInit.Do(func() { s.evict() })
+	if s.used.Add(int64(len(data))) > s.maxBytes {
+		return s.evict(), nil
+	}
+	return 0, nil
+}
+
+// Remove deletes the entry under the key, if present.
+func (s *Store) Remove(key Key) {
+	os.Remove(filepath.Join(s.dir, key.Filename()))
+}
+
+// Len returns the number of committed entries.
+func (s *Store) Len() int {
+	n := 0
+	ents, _ := os.ReadDir(s.dir)
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), entryExt) {
+			n++
+		}
+	}
+	return n
+}
+
+// evict removes oldest-mtime entries until the committed total is within
+// maxBytes, and sweeps stale temp files from crashed writers. It leaves
+// s.used holding the post-eviction true total. Returns the number of
+// entries removed.
+func (s *Store) evict() int {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	staleCutoff := time.Now().Add(-time.Hour)
+	for _, de := range dirents {
+		if de.IsDir() {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		if !strings.HasSuffix(de.Name(), entryExt) {
+			// A crashed writer's temp file: sweep it once it is clearly
+			// abandoned (an active writer renames within moments).
+			if strings.HasPrefix(de.Name(), "put-") && info.ModTime().Before(staleCutoff) {
+				os.Remove(filepath.Join(s.dir, de.Name()))
+			}
+			continue
+		}
+		entries = append(entries, entry{name: de.Name(), size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	if total <= s.maxBytes {
+		s.used.Store(total)
+		return 0
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].name < entries[j].name
+	})
+	evicted := 0
+	for _, e := range entries {
+		if total <= s.maxBytes {
+			break
+		}
+		err := os.Remove(filepath.Join(s.dir, e.name))
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		total -= e.size
+		evicted++
+	}
+	s.used.Store(total)
+	return evicted
+}

@@ -1,0 +1,294 @@
+package cachestore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", dir, err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := NewKey(KindResult, []byte("app"), []byte("reg"), []byte("v1"))
+	payload := []byte("hello cached world")
+
+	if _, status := s.Get(key); status != StatusMiss {
+		t.Fatalf("Get on empty store = %v, want miss", status)
+	}
+	if _, err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, status := s.Get(key)
+	if status != StatusHit {
+		t.Fatalf("Get after Put = %v, want hit", status)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get payload = %q, want %q", got, payload)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	s.Remove(key)
+	if _, status := s.Get(key); status != StatusMiss {
+		t.Fatalf("Get after Remove = %v, want miss", status)
+	}
+}
+
+// TestKeyInvalidation is the invalidation contract: flipping any single
+// component of the cache key — the app digest, the registry fingerprint,
+// the engine version, or the options fingerprint — must produce a
+// distinct key, so a Put under the original key can never answer a probe
+// for the changed configuration.
+func TestKeyInvalidation(t *testing.T) {
+	base := [4][]byte{
+		[]byte("dex-digest-AAAA"),
+		[]byte("registry-fingerprint"),
+		[]byte("nchecker-engine/4"),
+		[]byte("icc=false intra=false"),
+	}
+	cases := []struct {
+		name string
+		flip int
+		with []byte
+	}{
+		{"app digest changed", 0, []byte("dex-digest-BBBB")},
+		{"registry fingerprint changed", 1, []byte("registry-fingerprint'")},
+		{"engine version bumped", 2, []byte("nchecker-engine/5")},
+		{"options changed", 3, []byte("icc=true intra=false")},
+	}
+
+	s := mustOpen(t, t.TempDir(), Options{})
+	baseKey := NewKey(KindResult, base[0], base[1], base[2], base[3])
+	if _, err := s.Put(baseKey, []byte("cached result")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			parts := base
+			parts[tc.flip] = tc.with
+			k := NewKey(KindResult, parts[0], parts[1], parts[2], parts[3])
+			if k == baseKey {
+				t.Fatalf("flipped key equals base key")
+			}
+			if _, status := s.Get(k); status != StatusMiss {
+				t.Fatalf("Get with flipped component = %v, want miss", status)
+			}
+		})
+	}
+	// The kind byte partitions the keyspace too.
+	if k := NewKey(KindSummary, base[0], base[1], base[2], base[3]); k == baseKey {
+		t.Fatalf("summary key equals result key for identical parts")
+	}
+}
+
+// TestKeyPartBoundaries: the length-prefixed part hashing must keep
+// ("ab","c") distinct from ("a","bc") — concatenation alone would not.
+func TestKeyPartBoundaries(t *testing.T) {
+	k1 := NewKey(KindResult, []byte("ab"), []byte("c"))
+	k2 := NewKey(KindResult, []byte("a"), []byte("bc"))
+	if k1 == k2 {
+		t.Fatalf("part boundaries not keyed: (ab,c) and (a,bc) collide")
+	}
+}
+
+func TestCorruptEntryDetectedAndHealed(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := NewKey(KindResult, []byte("app"))
+	if _, err := s.Put(key, []byte("some serialized result")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	path := filepath.Join(dir, key.Filename())
+
+	corruptions := []struct {
+		name   string
+		mangle func(t *testing.T, data []byte)
+	}{
+		{"truncated mid-payload", func(t *testing.T, data []byte) {
+			writeRaw(t, path, data[:len(data)-5])
+		}},
+		{"payload bit flipped", func(t *testing.T, data []byte) {
+			data[len(data)-1] ^= 0x40
+			writeRaw(t, path, data)
+		}},
+		{"bad magic", func(t *testing.T, data []byte) {
+			data[0] = 'X'
+			writeRaw(t, path, data)
+		}},
+		{"trailing garbage", func(t *testing.T, data []byte) {
+			writeRaw(t, path, append(data, 0xFF))
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := s.Put(key, []byte("some serialized result")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read entry: %v", err)
+			}
+			tc.mangle(t, data)
+			if _, status := s.Get(key); status != StatusCorrupt {
+				t.Fatalf("Get on mangled entry = %v, want corrupt", status)
+			}
+			// Corruption heals: the entry is deleted, later probes miss.
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not removed (stat err=%v)", err)
+			}
+			if _, status := s.Get(key); status != StatusMiss {
+				t.Fatalf("Get after heal = %v, want miss", status)
+			}
+		})
+	}
+}
+
+func writeRaw(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+// TestKindMismatchIsCorrupt: an entry stored under a result key but
+// carrying a summary envelope (or vice versa) is corruption.
+func TestKindMismatchIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := NewKey(KindResult, []byte("app"))
+	// Forge a valid summary-kind envelope at the result key's path.
+	writeRaw(t, filepath.Join(dir, key.Filename()), EncodeEntry(KindSummary, []byte("payload")))
+	if _, status := s.Get(key); status != StatusCorrupt {
+		t.Fatalf("Get on kind-mismatched entry = %v, want corrupt", status)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 1000)
+	entrySize := int64(len(EncodeEntry(KindResult, payload)))
+	// Room for 3 entries, not 4.
+	s := mustOpen(t, dir, Options{MaxBytes: 3*entrySize + entrySize/2})
+
+	keys := make([]Key, 4)
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 3; i++ {
+		keys[i] = NewKey(KindResult, []byte{byte('a' + i)})
+		if _, err := s.Put(keys[i], payload); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		// Pin distinct mtimes so LRU order is deterministic: key 0 oldest.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, keys[i].Filename()), mt, mt); err != nil {
+			t.Fatalf("chtimes: %v", err)
+		}
+	}
+	// Touch key 0: a Get bumps recency, so key 1 becomes the LRU victim.
+	if _, status := s.Get(keys[0]); status != StatusHit {
+		t.Fatalf("Get keys[0] = %v, want hit", status)
+	}
+
+	keys[3] = NewKey(KindResult, []byte{'d'})
+	evicted, err := s.Put(keys[3], payload)
+	if err != nil {
+		t.Fatalf("Put over budget: %v", err)
+	}
+	if evicted == 0 {
+		t.Fatalf("Put over budget evicted nothing")
+	}
+	if _, status := s.Get(keys[1]); status != StatusMiss {
+		t.Fatalf("LRU victim keys[1] = %v, want miss (evicted)", status)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, status := s.Get(keys[i]); status != StatusHit {
+			t.Fatalf("keys[%d] = %v, want hit (recently used / fresh)", i, status)
+		}
+	}
+}
+
+// TestOversizedPayloadSkipped: an entry larger than the whole budget is
+// not written (writing it would immediately evict everything including
+// itself).
+func TestOversizedPayloadSkipped(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{MaxBytes: 128})
+	key := NewKey(KindResult, []byte("big"))
+	if _, err := s.Put(key, bytes.Repeat([]byte("x"), 4096)); err != nil {
+		t.Fatalf("Put oversized: %v", err)
+	}
+	if _, status := s.Get(key); status != StatusMiss {
+		t.Fatalf("oversized entry = %v, want miss (skipped)", status)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("Len = %d, want 0", n)
+	}
+}
+
+// TestSharedIdentity: Shared returns one Store per directory, so
+// concurrent scans in one process coordinate eviction.
+func TestSharedIdentity(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Shared(dir, Options{})
+	if err != nil {
+		t.Fatalf("Shared: %v", err)
+	}
+	s2, err := Shared(dir+string(filepath.Separator)+".", Options{}) // same dir, different spelling
+	if err != nil {
+		t.Fatalf("Shared: %v", err)
+	}
+	if s1 != s2 {
+		t.Fatalf("Shared returned distinct stores for one directory")
+	}
+	other, err := Shared(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("Shared: %v", err)
+	}
+	if other == s1 {
+		t.Fatalf("Shared returned one store for distinct directories")
+	}
+}
+
+// TestStaleTempSweep: crashed writers leave put-*.tmp files; eviction
+// sweeps old ones but leaves fresh ones (a concurrent writer mid-commit).
+func TestStaleTempSweep(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxBytes: 1 << 20})
+	stale := filepath.Join(dir, "put-stale.tmp")
+	fresh := filepath.Join(dir, "put-fresh.tmp")
+	writeRaw(t, stale, []byte("crashed writer leftovers"))
+	writeRaw(t, fresh, []byte("in-flight write"))
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatalf("chtimes: %v", err)
+	}
+	if _, err := s.Put(NewKey(KindResult, []byte("k")), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file not swept (err=%v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file swept: %v", err)
+	}
+}
+
+func TestFilenameShape(t *testing.T) {
+	k := NewKey(KindSummary, []byte("x"))
+	name := k.Filename()
+	if filepath.Base(name) != name {
+		t.Fatalf("Filename %q contains path separators", name)
+	}
+	if want := 1 + 1 + 2*sha256.Size + len(".nce"); len(name) != want {
+		t.Fatalf("Filename %q length = %d, want %d", name, len(name), want)
+	}
+}

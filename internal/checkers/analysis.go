@@ -22,6 +22,7 @@ package checkers
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"runtime"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/android"
 	"repro/internal/apimodel"
 	"repro/internal/apk"
+	"repro/internal/cachestore"
 	"repro/internal/callgraph"
 	"repro/internal/cfg"
 	"repro/internal/dataflow"
@@ -81,6 +83,20 @@ type Options struct {
 	// dispatching work, keeps every completed stage's findings, and marks
 	// the Result Incomplete with an ErrDeadline in Diagnostics.Errors.
 	Timeout time.Duration
+
+	// CacheDir, when non-empty and CacheMode is not CacheOff, enables the
+	// persistent content-addressed scan cache (internal/cachestore) rooted
+	// at that directory. Unchanged apps are answered from cache without
+	// analysis; changed apps reuse per-class taint summaries whose call
+	// closures didn't change. See cache.go for key anatomy and fault
+	// semantics — cache trouble degrades to a cold scan, never to a failed
+	// one.
+	CacheDir string
+	// CacheMode selects off / read-only / read-write use of CacheDir.
+	CacheMode CacheMode
+	// CacheMaxBytes bounds the on-disk cache size (LRU eviction);
+	// 0 means cachestore.DefaultMaxBytes.
+	CacheMaxBytes int64
 
 	// unitHook, when set, runs at the start of every pipeline work unit
 	// with the stage name and unit index. Tests use it to inject panics
@@ -245,6 +261,26 @@ type analysis struct {
 
 	methods []*jimple.Method // app's body-bearing methods, sorted by key
 	sites   []*requestSite
+
+	// Persistent-cache state (cache.go). The cache stages run at
+	// sequential points of the pipeline — probe before build, seed before
+	// summaries, write after merge — so none of this needs locking.
+	store          *cachestore.Store
+	resultKey      cachestore.Key
+	haveResultKey  bool
+	manifestHash   [sha256.Size]byte
+	seeds          map[string]*dataflow.TaintSummary
+	seededClasses  map[string]bool
+	classOfMethod  map[string]string
+	methodsOfClass map[string][]string
+	cacheClasses   []string
+	classHashes    map[string][sha256.Size]byte
+	closureMemo    map[string][sha256.Size]byte
+	sstats         storeStats
+	// hitAppMethods/hitSites carry the cached per-app diagnostics counts
+	// on a full result hit (the scan skips discovery, so a.methods and
+	// a.sites stay empty).
+	hitAppMethods, hitSites int
 }
 
 // fail records one survivable scan failure.
@@ -370,6 +406,10 @@ func (a *analysis) configureSummaries() {
 			ReachDefs:       a.ctx.ReachDefs,
 			ConstProp:       a.ctx.ConstProp,
 			Cancel:          a.scanCtx.Err,
+			// Seeds is read here, at producer-invocation time: the cacheseed
+			// stage has populated a.seeds by the time the summaries stage
+			// forces the computation.
+			Seeds: a.seeds,
 		})
 		if err != nil {
 			a.failCancel("summaries", err)

@@ -1,0 +1,463 @@
+package checkers
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"repro/internal/apimodel"
+	"repro/internal/cachestore"
+	"repro/internal/callgraph"
+	"repro/internal/dataflow"
+	"repro/internal/jimple"
+)
+
+// This file wires the persistent scan cache (internal/cachestore) into
+// the pipeline: the cache-probe stage that short-circuits unchanged apps,
+// the summary-seeding stage that restores per-class taint summaries on
+// partial hits, and the post-merge write stage. DESIGN.md §7 documents
+// the key anatomy and fault semantics; the differential harness in
+// internal/experiments proves cold and warm reports byte-identical.
+//
+// Key anatomy. A result entry is keyed by
+//
+//	H(app container digest, registry fingerprint, engine version,
+//	  options fingerprint)
+//
+// so any change to the app bytes, the API annotations, the engine, or a
+// report-affecting option forces a miss. Workers and Timeout are
+// deliberately excluded: reports are deterministic regardless of Workers,
+// and degraded (deadline-hit) scans are never written, so neither can
+// change what a cached entry would contain.
+//
+// A summary entry holds one app class's converged taint summaries and is
+// keyed by
+//
+//	H(class name, closure digest, registry fingerprint, engine version,
+//	  options fingerprint)
+//
+// where the closure digest hashes the manifest plus the transitive
+// EdgeCall closure of the class's methods: every app class reached
+// contributes its name and the hash of its printed body, every reached
+// framework/library method contributes its signature key. Under CHA
+// dispatch any body-bearing override that could be invoked is an edge
+// target and therefore inside the closure, so two scans agreeing on a
+// class's closure digest compute identical summaries for it — changed
+// apps reuse summaries for the classes whose closures didn't change.
+//
+// Fault semantics: cache trouble of any kind — unopenable directory,
+// corrupt or truncated entries, decode failures, even a panic inside the
+// cache code itself — degrades to a cold scan and a diagnostics counter,
+// never to a failed or Incomplete scan. On the write side, a scan with
+// any ScanError (panic, deadline, cancellation) commits nothing:
+// incomplete results must never poison the cache.
+
+// EngineVersion names the analysis engine revision for cache keying. Bump
+// it whenever checker behavior changes in a way the other key components
+// do not capture; old entries then read as misses and age out via LRU.
+const EngineVersion = "nchecker-engine/4"
+
+// CacheMode selects how a scan uses the persistent cache.
+type CacheMode uint8
+
+const (
+	// CacheOff (the zero value) disables the persistent cache.
+	CacheOff CacheMode = iota
+	// CacheRO probes and restores but never writes — safe for scans that
+	// must not mutate a shared cache directory.
+	CacheRO
+	// CacheRW probes, restores, and writes back clean scan results.
+	CacheRW
+)
+
+// String renders the mode as its flag spelling (off, ro, rw).
+func (m CacheMode) String() string {
+	switch m {
+	case CacheRO:
+		return "ro"
+	case CacheRW:
+		return "rw"
+	}
+	return "off"
+}
+
+// ParseCacheMode parses the -cache-mode flag values off, ro, and rw.
+func ParseCacheMode(s string) (CacheMode, error) {
+	switch s {
+	case "off":
+		return CacheOff, nil
+	case "ro":
+		return CacheRO, nil
+	case "rw":
+		return CacheRW, nil
+	}
+	return CacheOff, fmt.Errorf("invalid cache mode %q (want off, ro, or rw)", s)
+}
+
+// cacheEnabled reports whether the scan should touch the persistent
+// cache at all.
+func (o Options) cacheEnabled() bool {
+	return o.CacheDir != "" && o.CacheMode != CacheOff
+}
+
+// cacheFingerprint renders the report-affecting options into the cache
+// key. Workers and Timeout are excluded by design (see the file comment).
+func (o Options) cacheFingerprint() []byte {
+	return []byte(fmt.Sprintf("taintcfg=%t retryslice=%t declared=%t icc=%t intra=%t guard=%t",
+		o.DisableTaintConfigDiscovery, o.DisableRetrySlicing, o.DeclaredDispatchOnly,
+		o.EnableICC, o.Intraprocedural, o.GuardSensitiveConnCheck))
+}
+
+// resultCacheKey addresses the whole-app result entry.
+func resultCacheKey(digest [sha256.Size]byte, reg *apimodel.Registry, opts Options) cachestore.Key {
+	return cachestore.NewKey(cachestore.KindResult,
+		digest[:], reg.Fingerprint(), []byte(EngineVersion), opts.cacheFingerprint())
+}
+
+// summaryCacheKey addresses one app class's summary entry.
+func summaryCacheKey(class string, closure [sha256.Size]byte, reg *apimodel.Registry, opts Options) cachestore.Key {
+	return cachestore.NewKey(cachestore.KindSummary,
+		[]byte(class), closure[:], reg.Fingerprint(), []byte(EngineVersion), opts.cacheFingerprint())
+}
+
+// storeStats counts this scan's persistent-cache traffic. The cache
+// stages run at sequential points of the pipeline, so plain ints suffice.
+type storeStats struct {
+	probes, hits, misses, corrupt  int
+	seeded, puts, putErrs, evicted int
+}
+
+func (s *storeStats) fill(c *CacheStats) {
+	c.StoreProbes = s.probes
+	c.StoreHits = s.hits
+	c.StoreMisses = s.misses
+	c.StoreCorrupt = s.corrupt
+	c.SummariesSeeded = s.seeded
+	c.StorePuts = s.puts
+	c.StorePutErrors = s.putErrs
+	c.StoreEvicted = s.evicted
+}
+
+// cacheGuard isolates the cache stages: a panic inside cache code is
+// corruption by definition — it is counted and the scan continues cold,
+// without a ScanError and without marking the Result Incomplete (cache
+// trouble must never degrade a scan that can complete without it).
+func (a *analysis) cacheGuard(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.sstats.corrupt++
+		}
+	}()
+	fn()
+}
+
+// openStore opens (or reuses) the process-shared store for the scan's
+// cache directory. An unopenable directory silently disables the cache
+// for this scan: every counter stays zero, which -timings surfaces.
+func (a *analysis) openStore() {
+	if !a.opts.cacheEnabled() {
+		return
+	}
+	st, err := cachestore.Shared(a.opts.CacheDir, cachestore.Options{MaxBytes: a.opts.CacheMaxBytes})
+	if err != nil {
+		return
+	}
+	a.store = st
+}
+
+// probeCache looks the whole app up. On a full hit it returns the
+// restored Result — the pipeline then skips straight to report emission.
+func (a *analysis) probeCache() *Result {
+	a.openStore()
+	if a.store == nil {
+		return nil
+	}
+	digest, err := a.app.Digest()
+	if err != nil {
+		return nil
+	}
+	a.resultKey = resultCacheKey(digest, a.reg, a.opts)
+	a.haveResultKey = true
+	a.sstats.probes++
+	payload, status := a.store.Get(a.resultKey)
+	switch status {
+	case cachestore.StatusMiss:
+		a.sstats.misses++
+		return nil
+	case cachestore.StatusCorrupt:
+		a.sstats.corrupt++
+		return nil
+	}
+	e, err := cachestore.DecodeResultEntry(payload)
+	if err != nil {
+		a.sstats.corrupt++
+		a.store.Remove(a.resultKey)
+		return nil
+	}
+	stats, ok := statsFromCounters(e.Counters, e.Libs)
+	if !ok {
+		// The Stats shape changed without an EngineVersion bump; treat the
+		// stale entry as corrupt and rescan.
+		a.sstats.corrupt++
+		a.store.Remove(a.resultKey)
+		return nil
+	}
+	a.sstats.hits++
+	a.hitAppMethods, a.hitSites = e.AppMethods, e.Sites
+	return &Result{Reports: e.Reports, Stats: stats}
+}
+
+// ensureClassIndex builds the per-class method index the summary cache
+// works in terms of: which sorted classes have body-bearing methods,
+// which class owns which method key, and the manifest hash. Derived
+// deterministically from the frozen a.methods list.
+func (a *analysis) ensureClassIndex() {
+	if a.classOfMethod != nil {
+		return
+	}
+	a.classOfMethod = make(map[string]string, len(a.methods))
+	a.methodsOfClass = make(map[string][]string)
+	for _, m := range a.methods {
+		k := m.Sig.Key()
+		a.classOfMethod[k] = m.Sig.Class
+		// a.methods is sorted by key, so each class's list is too.
+		a.methodsOfClass[m.Sig.Class] = append(a.methodsOfClass[m.Sig.Class], k)
+	}
+	a.cacheClasses = make([]string, 0, len(a.methodsOfClass))
+	for cls := range a.methodsOfClass {
+		a.cacheClasses = append(a.cacheClasses, cls)
+	}
+	sort.Strings(a.cacheClasses)
+	a.manifestHash = sha256.Sum256([]byte(a.app.Manifest.Encode()))
+	a.classHashes = make(map[string][sha256.Size]byte)
+	a.closureMemo = make(map[string][sha256.Size]byte)
+}
+
+// classHash hashes one app class's printed body (memoized per scan).
+func (a *analysis) classHash(cls string) [sha256.Size]byte {
+	if h, ok := a.classHashes[cls]; ok {
+		return h
+	}
+	var h [sha256.Size]byte
+	if c := a.app.Program.Class(cls); c != nil {
+		h = sha256.Sum256([]byte(jimple.PrintClass(c)))
+	}
+	a.classHashes[cls] = h
+	return h
+}
+
+// closureDigest hashes everything a class's summaries can depend on: the
+// manifest, plus the transitive EdgeCall closure of the class's methods —
+// reached app classes by content, reached external (framework/library)
+// methods by signature key. Memoized per scan.
+func (a *analysis) closureDigest(cls string) [sha256.Size]byte {
+	if d, ok := a.closureMemo[cls]; ok {
+		return d
+	}
+	visited := make(map[string]bool)
+	reachedClasses := map[string]bool{cls: true}
+	extKeys := make(map[string]bool)
+	stack := append([]string(nil), a.methodsOfClass[cls]...)
+	for _, k := range stack {
+		visited[k] = true
+	}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a.cg.OutEdges(k) {
+			if e.Kind != callgraph.EdgeCall {
+				continue
+			}
+			ck := e.Callee.Key()
+			if owner, inApp := a.classOfMethod[ck]; inApp {
+				reachedClasses[owner] = true
+				if !visited[ck] {
+					visited[ck] = true
+					stack = append(stack, ck)
+				}
+			} else {
+				extKeys[ck] = true
+			}
+		}
+	}
+	h := sha256.New()
+	h.Write(a.manifestHash[:])
+	for _, c := range sortedKeys(reachedClasses) {
+		ch := a.classHash(c)
+		fmt.Fprintf(h, "app %s %x\n", c, ch)
+	}
+	for _, k := range sortedKeys(extKeys) {
+		fmt.Fprintf(h, "ext %s\n", k)
+	}
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	a.closureMemo[cls] = d
+	return d
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seedSummaries probes the per-class summary entries and collects the
+// hits into a.seeds, which the summaries stage feeds to
+// dataflow.ComputeSummaries — the partial-hit path: a changed app reuses
+// the converged summaries of every class whose closure didn't change.
+func (a *analysis) seedSummaries() {
+	if a.store == nil || a.opts.Intraprocedural {
+		return
+	}
+	a.ensureClassIndex()
+	a.seeds = make(map[string]*dataflow.TaintSummary)
+	a.seededClasses = make(map[string]bool)
+	for _, cls := range a.cacheClasses {
+		key := summaryCacheKey(cls, a.closureDigest(cls), a.reg, a.opts)
+		a.sstats.probes++
+		payload, status := a.store.Get(key)
+		switch status {
+		case cachestore.StatusMiss:
+			a.sstats.misses++
+			continue
+		case cachestore.StatusCorrupt:
+			a.sstats.corrupt++
+			continue
+		}
+		e, err := cachestore.DecodeSummaryEntry(payload)
+		if err != nil || !a.summaryEntryCurrent(cls, e) {
+			a.sstats.corrupt++
+			a.store.Remove(key)
+			continue
+		}
+		a.sstats.hits++
+		for i := range e.Methods {
+			a.seeds[e.Methods[i].Key] = e.Methods[i].Summary
+		}
+		a.seededClasses[cls] = true
+		a.sstats.seeded += len(e.Methods)
+	}
+}
+
+// summaryEntryCurrent checks a decoded summary entry against the current
+// class: same class name and every method key still owned by it. A
+// mismatch under a matching content-addressed key cannot happen without
+// corruption (or a hash collision), so it reads as corrupt.
+func (a *analysis) summaryEntryCurrent(cls string, e *cachestore.SummaryEntry) bool {
+	if e.Class != cls {
+		return false
+	}
+	for i := range e.Methods {
+		if e.Methods[i].Summary == nil || a.classOfMethod[e.Methods[i].Key] != cls {
+			return false
+		}
+	}
+	return true
+}
+
+// writeCache commits the clean scan: the whole-app result entry plus one
+// summary entry per class that wasn't already seeded from the cache.
+// Callers gate on CacheRW and on len(a.errs) == 0 — an Incomplete scan
+// commits nothing.
+func (a *analysis) writeCache(res *Result) {
+	if a.store == nil || !a.haveResultKey {
+		return
+	}
+	e := &cachestore.ResultEntry{
+		AppMethods: len(a.methods),
+		Sites:      len(a.sites),
+		Reports:    res.Reports,
+		Counters:   statsCounters(&res.Stats),
+		Libs:       libsToStrings(res.Stats.LibsUsed),
+	}
+	a.putEntry(a.resultKey, cachestore.EncodeResultEntry(e))
+
+	if a.opts.Intraprocedural {
+		return
+	}
+	set := a.ctx.Summaries()
+	if set == nil {
+		return
+	}
+	a.ensureClassIndex()
+	for _, cls := range a.cacheClasses {
+		if a.seededClasses[cls] {
+			continue // identical content is already committed
+		}
+		entry := cachestore.SummaryEntry{Class: cls}
+		for _, mk := range a.methodsOfClass[cls] {
+			if sum := set.Of(mk); sum != nil {
+				entry.Methods = append(entry.Methods, cachestore.MethodSummary{Key: mk, Summary: sum})
+			}
+		}
+		if len(entry.Methods) == 0 {
+			continue
+		}
+		key := summaryCacheKey(cls, a.closureDigest(cls), a.reg, a.opts)
+		a.putEntry(key, cachestore.EncodeSummaryEntry(&entry))
+	}
+}
+
+func (a *analysis) putEntry(key cachestore.Key, payload []byte) {
+	evicted, err := a.store.Put(key, payload)
+	if err != nil {
+		a.sstats.putErrs++
+		return
+	}
+	a.sstats.puts++
+	a.sstats.evicted += evicted
+}
+
+// statsCounters flattens Stats to the cached counter vector. The field
+// order is the codec contract: statsFromCounters reads it back in the
+// same order, and a length mismatch (a Stats shape change) invalidates
+// old entries.
+func statsCounters(s *Stats) []int64 {
+	return []int64{
+		int64(s.Requests), int64(s.UserRequests), int64(s.RetryEvalRequests),
+		int64(s.MissConnCheck), int64(s.MissTimeout), int64(s.MissRetryConfig),
+		int64(s.UserRequestsNoNotif), int64(s.ExplicitCallbackReqs), int64(s.ExplicitCallbackNotified),
+		int64(s.ImplicitCallbackReqs), int64(s.ImplicitCallbackNotified),
+		int64(s.ErrorCallbacks), int64(s.ErrorTypeChecked),
+		int64(s.NoRetryTimeSensitive), int64(s.OverRetryService), int64(s.OverRetryServiceDefault),
+		int64(s.OverRetryPost), int64(s.OverRetryPostDefault),
+		int64(s.RespRequests), int64(s.RespMissCheck),
+		int64(s.RetryLoops), int64(s.AggressiveRetryLoops),
+	}
+}
+
+// statsFromCounters is the inverse of statsCounters; ok is false on a
+// counter-vector length mismatch.
+func statsFromCounters(cs []int64, libs []string) (Stats, bool) {
+	var s Stats
+	if len(cs) != len(statsCounters(&s)) {
+		return s, false
+	}
+	s.Requests, s.UserRequests, s.RetryEvalRequests = int(cs[0]), int(cs[1]), int(cs[2])
+	s.MissConnCheck, s.MissTimeout, s.MissRetryConfig = int(cs[3]), int(cs[4]), int(cs[5])
+	s.UserRequestsNoNotif, s.ExplicitCallbackReqs, s.ExplicitCallbackNotified = int(cs[6]), int(cs[7]), int(cs[8])
+	s.ImplicitCallbackReqs, s.ImplicitCallbackNotified = int(cs[9]), int(cs[10])
+	s.ErrorCallbacks, s.ErrorTypeChecked = int(cs[11]), int(cs[12])
+	s.NoRetryTimeSensitive, s.OverRetryService, s.OverRetryServiceDefault = int(cs[13]), int(cs[14]), int(cs[15])
+	s.OverRetryPost, s.OverRetryPostDefault = int(cs[16]), int(cs[17])
+	s.RespRequests, s.RespMissCheck = int(cs[18]), int(cs[19])
+	s.RetryLoops, s.AggressiveRetryLoops = int(cs[20]), int(cs[21])
+	for _, l := range libs {
+		s.LibsUsed = append(s.LibsUsed, apimodel.LibKey(l))
+	}
+	return s, true
+}
+
+func libsToStrings(libs []apimodel.LibKey) []string {
+	if len(libs) == 0 {
+		return nil
+	}
+	out := make([]string, len(libs))
+	for i, l := range libs {
+		out[i] = string(l)
+	}
+	return out
+}

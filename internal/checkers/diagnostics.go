@@ -41,6 +41,15 @@ type CacheStats struct {
 	// and the total statically-dead edges removed.
 	FeasibleCFGComputed, FeasibleCFGRequests int
 	PrunedEdges                              int
+
+	// Persistent store (Options.CacheDir) traffic: entry probes and their
+	// outcomes, taint summaries seeded from summary-entry hits, and the
+	// write side. StoreCorrupt counts corrupt/truncated entries and
+	// in-cache panics, all of which degrade to cold computation. All zero
+	// when the persistent cache is off.
+	StoreProbes, StoreHits, StoreMisses, StoreCorrupt int
+	SummariesSeeded                                   int
+	StorePuts, StorePutErrors, StoreEvicted           int
 }
 
 // CFGHits returns the number of CFG requests served from the cache.
@@ -116,6 +125,14 @@ func (d *Diagnostics) Merge(o Diagnostics) {
 	d.Cache.FeasibleCFGComputed += o.Cache.FeasibleCFGComputed
 	d.Cache.FeasibleCFGRequests += o.Cache.FeasibleCFGRequests
 	d.Cache.PrunedEdges += o.Cache.PrunedEdges
+	d.Cache.StoreProbes += o.Cache.StoreProbes
+	d.Cache.StoreHits += o.Cache.StoreHits
+	d.Cache.StoreMisses += o.Cache.StoreMisses
+	d.Cache.StoreCorrupt += o.Cache.StoreCorrupt
+	d.Cache.SummariesSeeded += o.Cache.SummariesSeeded
+	d.Cache.StorePuts += o.Cache.StorePuts
+	d.Cache.StorePutErrors += o.Cache.StorePutErrors
+	d.Cache.StoreEvicted += o.Cache.StoreEvicted
 	d.Errors = append(d.Errors, o.Errors...)
 }
 
@@ -136,6 +153,11 @@ func (d Diagnostics) Render() string {
 	fmt.Fprintf(&b, "  summaries: %d methods over %d SCCs (%d fixpoint iters), %d consults; feasibility: %d/%d pruned CFGs, %d dead edges\n",
 		c.SummariesComputed, c.SummarySCCs, c.SummaryFixpointIters, c.SummaryRequests,
 		c.FeasibleCFGComputed, c.FeasibleCFGRequests, c.PrunedEdges)
+	if c.StoreProbes > 0 || c.StorePuts > 0 || c.StorePutErrors > 0 {
+		fmt.Fprintf(&b, "  store: %d probes (%d hits, %d misses, %d corrupt), %d summaries seeded; %d puts (%d errors), %d evicted\n",
+			c.StoreProbes, c.StoreHits, c.StoreMisses, c.StoreCorrupt,
+			c.SummariesSeeded, c.StorePuts, c.StorePutErrors, c.StoreEvicted)
+	}
 	for i := range d.Errors {
 		fmt.Fprintf(&b, "  error: %v\n", &d.Errors[i])
 	}

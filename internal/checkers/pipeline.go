@@ -75,9 +75,26 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 		if a.ctx != nil {
 			diag.Cache = a.ctx.cacheStats()
 		}
+		a.sstats.fill(&diag.Cache)
 		diag.Total = time.Since(start)
 		res.Diagnostics = diag
 		return res
+	}
+
+	// Cache probe: an unchanged app (same bytes, registry, engine, and
+	// options) is answered straight from the persistent store. The probe
+	// runs under cacheGuard, not guard — cache trouble of any kind reads
+	// as a miss plus a corrupt counter, never as a scan failure.
+	if opts.cacheEnabled() {
+		probeStart := time.Now()
+		var hit *Result
+		a.cacheGuard(func() { hit = a.probeCache() })
+		diag.add("cacheprobe", time.Since(probeStart), 1, 0)
+		if hit != nil {
+			diag.AppMethods = a.hitAppMethods
+			diag.Sites = a.hitSites
+			return finish(hit)
+		}
 	}
 
 	buildStart := time.Now()
@@ -103,6 +120,17 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 		// downstream can run without the call graph. Return the degraded
 		// empty result instead of crashing the scan.
 		return finish(&Result{})
+	}
+
+	// Summary seeding: before the summaries stage forces the bottom-up
+	// pass, restore the converged summaries of every app class whose call
+	// closure is unchanged since a prior clean scan. Seeded methods are
+	// skipped by dataflow.ComputeSummaries — the partial-hit path for
+	// changed apps.
+	if a.store != nil && !opts.Intraprocedural {
+		seedStart := time.Now()
+		a.cacheGuard(func() { a.seedSummaries() })
+		diag.add("cacheseed", time.Since(seedStart), len(a.cacheClasses), 0)
 	}
 
 	// Interprocedural summaries are built eagerly under their own stage
@@ -181,6 +209,15 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 		}
 		return ri.Cause < rj.Cause
 	})
+	// Cache write: only a clean scan commits. Any ScanError — a stage
+	// panic, an expired deadline, a cancellation — means the result may be
+	// partial, and an incomplete result must never poison the cache.
+	if a.store != nil && opts.CacheMode == CacheRW && len(a.errs) == 0 {
+		writeStart := time.Now()
+		a.cacheGuard(func() { a.writeCache(res) })
+		diag.add("cachewrite", time.Since(writeStart), a.sstats.puts, 0)
+	}
+
 	diag.AppMethods = len(a.methods)
 	diag.Sites = len(a.sites)
 	return finish(res)

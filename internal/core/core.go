@@ -38,10 +38,28 @@ import (
 type Result = checkers.Result
 
 // Options re-exports the analysis options: the ablation switches plus
-// Workers, the scan pipeline's worker-pool bound (0 = NumCPU), and
-// Timeout, the per-scan deadline (0 = none). Reports are deterministic
-// regardless of Workers.
+// Workers, the scan pipeline's worker-pool bound (0 = NumCPU), Timeout,
+// the per-scan deadline (0 = none), and the persistent scan cache
+// (CacheDir / CacheMode / CacheMaxBytes). Reports are deterministic
+// regardless of Workers, and identical with the cache off, cold, or warm.
 type Options = checkers.Options
+
+// CacheMode selects how a scan uses the persistent content-addressed
+// cache rooted at Options.CacheDir: CacheOff disables it, CacheRO probes
+// and restores without writing, CacheRW also commits clean scan results.
+type CacheMode = checkers.CacheMode
+
+// The cache modes, re-exported for callers configuring Options.
+const (
+	CacheOff = checkers.CacheOff
+	CacheRO  = checkers.CacheRO
+	CacheRW  = checkers.CacheRW
+)
+
+// ParseCacheMode parses the -cache-mode flag spellings off, ro, and rw.
+func ParseCacheMode(s string) (CacheMode, error) {
+	return checkers.ParseCacheMode(s)
+}
 
 // Diagnostics re-exports the per-scan pipeline observability record:
 // per-stage wall time, work volumes, analysis-cache hit counters, and

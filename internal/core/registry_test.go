@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apimodel"
+)
+
+// TestBatchScansBuildOneRegistry pins the fix for the batch-mode
+// per-app registry-construction bug: the pipeline's build stage merged
+// apimodel.Stubs() per scan, and Stubs() used to construct a fresh
+// registry (and stub program) on every call — so scanning N files
+// rebuilt the registry N times. Stubs() and android.Framework() are now
+// memoized process-wide; after a warm-up scan, scanning more apps on the
+// same Checker must construct zero additional registries.
+func TestBatchScansBuildOneRegistry(t *testing.T) {
+	nc := New()
+	// Warm up: the first scan may lazily build the memoized stub program
+	// (which constructs its one generator registry).
+	if res := nc.ScanApp(buggyApp(t)); res.Incomplete {
+		t.Fatalf("warm-up scan incomplete: %v", res.Err())
+	}
+
+	before := apimodel.RegistryBuilds()
+	for i := 0; i < 3; i++ {
+		if res := nc.ScanApp(buggyApp(t)); res.Incomplete {
+			t.Fatalf("batch scan %d incomplete: %v", i, res.Err())
+		}
+	}
+	if after := apimodel.RegistryBuilds(); after != before {
+		t.Fatalf("batch scans built %d extra registries; the registry must be constructed once per Checker, not per app", after-before)
+	}
+}

@@ -19,12 +19,20 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden re
 // layout: one header per app followed by its reports in scan order.
 func goldenReportText(t *testing.T) string {
 	t.Helper()
+	return goldenReportTextWith(t, core.Options{Workers: 1})
+}
+
+// goldenReportTextWith is goldenReportText under explicit scan options —
+// the differential cache harness renders the same corpus with the cache
+// off, cold, warm, and read-only and requires byte-identical text.
+func goldenReportTextWith(t *testing.T, opts core.Options) string {
+	t.Helper()
 	apps, err := corpus.BuildGoldens()
 	if err != nil {
 		t.Fatalf("BuildGoldens: %v", err)
 	}
 	specs := corpus.GoldenSpecs()
-	nc := core.NewWithOptions(core.Options{Workers: 1})
+	nc := core.NewWithOptions(opts)
 	var b strings.Builder
 	for i, app := range apps {
 		res := nc.ScanApp(app)

@@ -42,11 +42,21 @@ echo "== go test -race =="
 # deadline) into a gate failure instead of a stalled CI job.
 go test -race -timeout 10m ./...
 
+echo "== go test -race (persistent cache on) =="
+# The differential cache harness normally runs against throwaway temp
+# dirs; NCHECKER_TEST_CACHEDIR points it at one shared on-disk store so
+# the cache-sensitive packages also pass with a real, reused directory.
+cachedir=$(mktemp -d)
+trap 'rm -rf "$cachedir"' EXIT
+NCHECKER_TEST_CACHEDIR="$cachedir" go test -race -timeout 10m \
+    ./internal/cachestore ./internal/checkers ./internal/experiments
+
 echo "== fuzz smoke =="
 # Short fuzz bursts over the untrusted-input parsers: new panics or
 # round-trip breaks fail the gate; found inputs land in testdata/fuzz as
 # regression cases.
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s -timeout 5m ./internal/dex
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s -timeout 5m ./internal/jimple
+go test -run='^$' -fuzz=FuzzCacheEntry -fuzztime=10s -timeout 5m ./internal/cachestore
 
 echo "check: all green"
