@@ -5,8 +5,9 @@
 // Usage:
 //
 //	nchecker [flags] app.apk [more.apk ...]
+//	nchecker serve [flags]
 //
-// Flags:
+// Scan flags:
 //
 //	-json      emit reports as a JSON array instead of text
 //	-stats     print per-app request statistics after the reports
@@ -24,18 +25,27 @@
 //	-cache-mode off|ro|rw (default rw): how -cache is used; ro probes
 //	           and restores without writing
 //
+// The serve subcommand runs the long-running scan service
+// (internal/server): POST /scan an app container, GET /scan/{id} for the
+// report, plus /metrics (Prometheus text), /healthz, and /debug/pprof/.
+// See `nchecker serve -h` and DESIGN.md §8.
+//
 // With multiple files the worker budget goes to the file-level pool and
 // each scan's internal pipeline runs single-threaded (the same division
 // the corpus harness uses), so batch mode never multiplies the two pools
 // into N×M goroutines; a single file gets the full budget inside its
 // pipeline.
 //
+// In -json mode stdout carries only the JSON documents: the per-file
+// banner, degraded-scan notices, -stats, and -timings all go to stderr.
+//
 // Exit codes: 0 when every file scanned clean, 1 when at least one
 // warning was found, 2 on a usage error or when any file failed to read
 // or parse, or any scan was degraded (a pipeline stage panicked or the
 // -timeout deadline expired). A degraded scan still prints the surviving
 // stages' reports — partial results are real findings — but the exit
-// code reports the failure: an error always wins over warnings.
+// code reports the failure: an error always wins over warnings,
+// regardless of the order the files were named in.
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -60,110 +71,84 @@ const (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit reports as JSON")
-	stats := flag.Bool("stats", false, "print per-app request statistics")
-	summary := flag.Bool("summary", false, "print only per-cause summaries")
-	icc := flag.Bool("icc", false, "enable the inter-component analysis (removes launcher/broadcast FPs)")
-	guard := flag.Bool("guard", false, "require connectivity checks to govern a branch (removes unused-check FNs)")
-	intra := flag.Bool("intra", false, "intraprocedural ablation: no taint summaries, no path-feasibility pruning")
-	workers := flag.Int("workers", 0, "worker-pool size for the scan pipeline (0 = NumCPU)")
-	timeout := flag.Duration("timeout", 0, "per-file scan deadline (0 = none); an expired deadline yields a degraded scan and exit code 2")
-	timings := flag.Bool("timings", false, "print per-stage pipeline timings and cache statistics")
-	cacheDir := flag.String("cache", "", "persistent scan-cache directory (empty = no cache)")
-	cacheMode := flag.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: nchecker [flags] app.apk [more.apk ...]\n")
-		flag.PrintDefaults()
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		os.Exit(runServe(args[1:], os.Stderr))
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(exitError)
+	os.Exit(runScan(args, os.Stdout, os.Stderr))
+}
+
+// scanConfig carries the parsed scan-mode flags.
+type scanConfig struct {
+	jsonOut bool
+	stats   bool
+	summary bool
+	timings bool
+	opts    core.Options
+}
+
+// outcome buffers one file's output so concurrent batch scans print in
+// argument order.
+type outcome struct {
+	out      strings.Builder // buffered stdout for this file
+	errs     strings.Builder // buffered stderr for this file
+	warnings bool
+	failed   bool
+}
+
+// runScan is the scan-mode entry point, factored from main so the exit
+// fold and output routing are testable.
+func runScan(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nchecker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg scanConfig
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit reports as JSON")
+	fs.BoolVar(&cfg.stats, "stats", false, "print per-app request statistics")
+	fs.BoolVar(&cfg.summary, "summary", false, "print only per-cause summaries")
+	fs.BoolVar(&cfg.opts.EnableICC, "icc", false, "enable the inter-component analysis (removes launcher/broadcast FPs)")
+	fs.BoolVar(&cfg.opts.GuardSensitiveConnCheck, "guard", false, "require connectivity checks to govern a branch (removes unused-check FNs)")
+	fs.BoolVar(&cfg.opts.Intraprocedural, "intra", false, "intraprocedural ablation: no taint summaries, no path-feasibility pruning")
+	fs.IntVar(&cfg.opts.Workers, "workers", 0, "worker-pool size for the scan pipeline (0 = NumCPU)")
+	fs.DurationVar(&cfg.opts.Timeout, "timeout", 0, "per-file scan deadline (0 = none); an expired deadline yields a degraded scan and exit code 2")
+	fs.BoolVar(&cfg.timings, "timings", false, "print per-stage pipeline timings and cache statistics")
+	fs.StringVar(&cfg.opts.CacheDir, "cache", "", "persistent scan-cache directory (empty = no cache)")
+	cacheMode := fs.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: nchecker [flags] app.apk [more.apk ...]\n       nchecker serve [flags]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return exitError
 	}
 	mode, err := core.ParseCacheMode(*cacheMode)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nchecker: %v\n", err)
-		os.Exit(exitError)
+		fmt.Fprintf(stderr, "nchecker: %v\n", err)
+		return exitError
 	}
-	opts := core.Options{
-		EnableICC:               *icc,
-		GuardSensitiveConnCheck: *guard,
-		Intraprocedural:         *intra,
-		Workers:                 *workers,
-		Timeout:                 *timeout,
-		CacheDir:                *cacheDir,
-		CacheMode:               mode,
-	}
-	paths := flag.Args()
+	cfg.opts.CacheMode = mode
+	paths := fs.Args()
 
 	// Divide the CPU budget between the file-level pool and the per-scan
 	// pipeline the way internal/experiments.ScanApps does: in batch mode
 	// the files fan out across the pool and each scan runs
 	// single-threaded; a single file keeps the whole budget inside its
 	// pipeline. Without this the two pools multiply (N×M goroutines).
-	filePool := poolSize(opts.Workers)
+	filePool := poolSize(cfg.opts.Workers)
 	if filePool > len(paths) {
 		filePool = len(paths)
 	}
 	if len(paths) > 1 && filePool > 1 {
-		opts.Workers = 1
+		cfg.opts.Workers = 1
 	}
-	nc := core.NewWithOptions(opts)
-
-	type outcome struct {
-		out      strings.Builder // buffered stdout for this file
-		errs     strings.Builder // buffered stderr for this file
-		warnings bool
-		failed   bool
-	}
-	outcomes := make([]outcome, len(paths))
-	scanOne := func(i int) {
-		o := &outcomes[i]
-		res, err := nc.ScanFile(paths[i])
-		if err != nil {
-			fmt.Fprintf(&o.errs, "nchecker: %v\n", err)
-			o.failed = true
-			return
-		}
-		if res.Incomplete {
-			// Partial results follow below; the notice and the exit code
-			// record that the scan is missing stages.
-			fmt.Fprintf(&o.errs, "nchecker: %s: degraded scan (partial results): %v\n", paths[i], res.Err())
-			o.failed = true
-		}
-		// In JSON mode the banner goes to stderr so stdout carries only
-		// the JSON documents.
-		header := &o.out
-		if *jsonOut {
-			header = &o.errs
-		}
-		fmt.Fprintf(header, "== %s: %d requests, %d warnings ==\n", paths[i], res.Stats.Requests, len(res.Reports))
-		switch {
-		case *jsonOut:
-			if err := printJSON(&o.out, res.Reports); err != nil {
-				fmt.Fprintf(&o.errs, "nchecker: %v\n", err)
-				o.failed = true
-			}
-		case *summary:
-			printSummary(&o.out, res.Reports)
-		default:
-			for i := range res.Reports {
-				fmt.Fprintln(&o.out, res.Reports[i].Render())
-			}
-		}
-		if *stats {
-			fmt.Fprintf(&o.out, "stats: %+v\n", res.Stats)
-		}
-		if *timings {
-			o.out.WriteString(res.Diagnostics.Render())
-		}
-		if len(res.Reports) > 0 {
-			o.warnings = true
-		}
-	}
+	nc := core.NewWithOptions(cfg.opts)
 
 	// Scan files concurrently (the Checker is goroutine-safe); output is
 	// buffered per file and printed in argument order.
+	outcomes := make([]outcome, len(paths))
 	if filePool > 1 {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, filePool)
@@ -173,28 +158,83 @@ func main() {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				scanOne(i)
+				scanOne(nc, paths[i], cfg, &outcomes[i])
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := range paths {
-			scanOne(i)
+			scanOne(nc, paths[i], cfg, &outcomes[i])
 		}
 	}
+	return foldOutcomes(outcomes, stdout, stderr)
+}
 
+// scanOne scans a single file into its outcome slot.
+func scanOne(nc *core.Checker, path string, cfg scanConfig, o *outcome) {
+	res, err := nc.ScanFile(path)
+	if err != nil {
+		fmt.Fprintf(&o.errs, "nchecker: %v\n", err)
+		o.failed = true
+		return
+	}
+	if res.Incomplete {
+		// Partial results follow below; the notice (exactly one per file,
+		// always on stderr) and the exit code record that the scan is
+		// missing stages.
+		fmt.Fprintf(&o.errs, "nchecker: %s: degraded scan (partial results): %v\n", path, res.Err())
+		o.failed = true
+	}
+	// In JSON mode stdout must carry only the JSON documents: the banner,
+	// -stats, and -timings are diagnostics and belong on stderr there.
+	diag := &o.out
+	if cfg.jsonOut {
+		diag = &o.errs
+	}
+	fmt.Fprintf(diag, "== %s: %d requests, %d warnings ==\n", path, res.Stats.Requests, len(res.Reports))
+	switch {
+	case cfg.jsonOut:
+		if err := printJSON(&o.out, res.Reports); err != nil {
+			fmt.Fprintf(&o.errs, "nchecker: %v\n", err)
+			o.failed = true
+		}
+	case cfg.summary:
+		printSummary(&o.out, res.Reports)
+	default:
+		o.out.WriteString(report.RenderAll(res.Reports))
+	}
+	if cfg.stats {
+		fmt.Fprintf(diag, "stats: %+v\n", res.Stats)
+	}
+	if cfg.timings {
+		diag.WriteString(res.Diagnostics.Render())
+	}
+	if len(res.Reports) > 0 {
+		o.warnings = true
+	}
+}
+
+// foldOutcomes flushes the buffered per-file output in argument order and
+// folds the per-file outcomes into the process exit code. The fold is a
+// maximum over per-file codes — error(2) > warnings(1) > clean(0) — so the
+// result is independent of the order the files were named in.
+func foldOutcomes(outcomes []outcome, stdout, stderr io.Writer) int {
 	exit := exitClean
 	for i := range outcomes {
-		os.Stdout.WriteString(outcomes[i].out.String())
-		os.Stderr.WriteString(outcomes[i].errs.String())
-		if outcomes[i].warnings && exit == exitClean {
-			exit = exitWarnings
+		io.WriteString(stdout, outcomes[i].out.String())
+		io.WriteString(stderr, outcomes[i].errs.String())
+		code := exitClean
+		switch {
+		case outcomes[i].failed:
+			code = exitError
+		case outcomes[i].warnings:
+			code = exitWarnings
 		}
-		if outcomes[i].failed {
-			exit = exitError
+		if code > exit {
+			exit = code
 		}
 	}
-	os.Exit(exit)
+	return exit
 }
 
 // poolSize resolves the -workers value like the pipeline does.

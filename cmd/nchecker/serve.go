@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// runServe runs `nchecker serve`: the long-running HTTP scan service
+// (internal/server). Structured logs go to stderr as JSON lines; SIGINT
+// and SIGTERM drain the server gracefully.
+func runServe(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nchecker serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	readyFile := fs.String("ready-file", "", "write the bound listen address to this file once serving (for scripts using -addr ...:0)")
+	jobs := fs.Int("jobs", 1, "concurrent scan jobs (1 = serialize scans, each with full pipeline parallelism)")
+	queueLen := fs.Int("queue", server.DefaultQueue, "admission queue bound; a POST /scan beyond it gets 429")
+	jobTimeout := fs.Duration("job-timeout", 2*time.Minute, "per-job scan deadline (0 = none); an expired deadline yields a degraded report, not an error")
+	retain := fs.Int("retain", server.DefaultRetain, "finished jobs kept for GET /scan/{id}")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBody, "largest accepted app container in bytes")
+
+	var opts core.Options
+	fs.BoolVar(&opts.EnableICC, "icc", false, "enable the inter-component analysis")
+	fs.BoolVar(&opts.GuardSensitiveConnCheck, "guard", false, "require connectivity checks to govern a branch")
+	fs.BoolVar(&opts.Intraprocedural, "intra", false, "intraprocedural ablation")
+	fs.IntVar(&opts.Workers, "workers", 0, "per-scan pipeline workers (0 = auto: NumCPU divided across -jobs)")
+	fs.StringVar(&opts.CacheDir, "cache", "", "persistent scan-cache directory shared by all jobs (empty = no cache)")
+	cacheMode := fs.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: nchecker serve [flags]\n\nEndpoints: POST /scan, GET /scan/{id}, GET /scans, GET /metrics, GET /healthz, /debug/pprof/\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return exitError
+	}
+	mode, err := core.ParseCacheMode(*cacheMode)
+	if err != nil {
+		fmt.Fprintf(stderr, "nchecker serve: %v\n", err)
+		return exitError
+	}
+	opts.CacheMode = mode
+
+	logger := slog.New(slog.NewJSONHandler(stderr, nil))
+	srv := server.New(server.Config{
+		Scan:         opts,
+		Jobs:         *jobs,
+		Queue:        *queueLen,
+		JobTimeout:   *jobTimeout,
+		MaxBodyBytes: *maxBody,
+		Retain:       *retain,
+		Logger:       logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "nchecker serve: %v\n", err)
+		return exitError
+	}
+	bound := ln.Addr().String()
+	logger.Info("serving",
+		"addr", bound, "jobs", *jobs, "queue", *queueLen,
+		"job_timeout", (*jobTimeout).String(), "cache", opts.CacheDir, "cache_mode", opts.CacheMode.String())
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "nchecker serve: write -ready-file: %v\n", err)
+			ln.Close()
+			return exitError
+		}
+	}
+
+	srv.Start()
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		logger.Error("server error", "error", err.Error())
+		return exitError
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		logger.Info("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			logger.Error("http shutdown", "error", err.Error())
+		}
+		if err := srv.Shutdown(shutCtx); err != nil {
+			logger.Error("drain", "error", err.Error())
+			return exitError
+		}
+		logger.Info("shutdown complete")
+		return exitClean
+	}
+}

@@ -13,7 +13,10 @@
 //     bit-flipped entry decodes as corrupt, is deleted, and reads as a
 //     miss — the caller falls back to a cold scan and rewrites it;
 //   - the total size is LRU-bounded: Put evicts least-recently-used
-//     entries (hits refresh recency via mtime) until under MaxBytes.
+//     entries until under MaxBytes. Hits refresh recency twice: via mtime
+//     (durable, visible to other processes) and via an in-memory overlay
+//     (nanosecond-precise), so hot entries stay hot even on filesystems
+//     with coarse mtime granularity or when Chtimes fails.
 //
 // Get/Put never return errors the caller must abort on: cache trouble
 // degrades to a cold scan, it does not fail the scan.
@@ -120,6 +123,27 @@ type Store struct {
 	// eviction scan early — the scan itself recomputes the true total.
 	usedInit sync.Once
 	used     atomic.Int64
+
+	// recency overlays the on-disk mtimes with the last time this process
+	// touched each entry (Get hit or Put commit). mtime alone is not a
+	// reliable LRU clock: coarse-granularity filesystems collapse a burst
+	// of hits into one tick, and Chtimes is best-effort — either way hot
+	// entries sort equal-or-older than cold ones and get evicted first.
+	// evict merges the overlay (taking the newer of overlay and mtime), so
+	// in-process recency always wins; entries touched only by other
+	// processes still order by their mtimes.
+	recMu   sync.Mutex
+	recency map[string]time.Time
+}
+
+// touch records an in-process recency observation for the entry filename.
+func (s *Store) touch(name string, t time.Time) {
+	s.recMu.Lock()
+	if s.recency == nil {
+		s.recency = make(map[string]time.Time)
+	}
+	s.recency[name] = t
+	s.recMu.Unlock()
 }
 
 // Open opens (creating if needed) the cache directory.
@@ -184,7 +208,8 @@ func (s *Store) Get(key Key) ([]byte, GetStatus) {
 		return nil, StatusCorrupt
 	}
 	now := time.Now()
-	os.Chtimes(path, now, now) // LRU recency; best-effort
+	os.Chtimes(path, now, now) // durable LRU recency; best-effort
+	s.touch(key.Filename(), now)
 	return payload, StatusHit
 }
 
@@ -216,6 +241,7 @@ func (s *Store) Put(key Key, payload []byte) (evicted int, err error) {
 		os.Remove(tmpName)
 		return 0, fmt.Errorf("cachestore: %w", err)
 	}
+	s.touch(key.Filename(), time.Now())
 	// The first commit pays for one directory scan (pre-existing entries
 	// plus crashed writers' stale temp files); after that Put is O(1) and
 	// the full LRU scan only runs when the running total crosses the
@@ -230,6 +256,9 @@ func (s *Store) Put(key Key, payload []byte) (evicted int, err error) {
 // Remove deletes the entry under the key, if present.
 func (s *Store) Remove(key Key) {
 	os.Remove(filepath.Join(s.dir, key.Filename()))
+	s.recMu.Lock()
+	delete(s.recency, key.Filename())
+	s.recMu.Unlock()
 }
 
 // Len returns the number of committed entries.
@@ -244,10 +273,13 @@ func (s *Store) Len() int {
 	return n
 }
 
-// evict removes oldest-mtime entries until the committed total is within
-// maxBytes, and sweeps stale temp files from crashed writers. It leaves
-// s.used holding the post-eviction true total. Returns the number of
-// entries removed.
+// evict removes least-recently-used entries until the committed total is
+// within maxBytes, and sweeps stale temp files from crashed writers. An
+// entry's recency is the newer of its mtime and this process's in-memory
+// overlay, so a burst of hits inside one coarse mtime tick (or with
+// Chtimes failing) still protects the hot entry; ties break
+// deterministically by filename. evict leaves s.used holding the
+// post-eviction true total. Returns the number of entries removed.
 func (s *Store) evict() int {
 	s.evictMu.Lock()
 	defer s.evictMu.Unlock()
@@ -283,6 +315,22 @@ func (s *Store) evict() int {
 		entries = append(entries, entry{name: de.Name(), size: info.Size(), mtime: info.ModTime()})
 		total += info.Size()
 	}
+	// Merge the in-memory recency overlay (newer wins) and prune overlay
+	// records for entries no other process left on disk.
+	s.recMu.Lock()
+	present := make(map[string]bool, len(entries))
+	for i := range entries {
+		present[entries[i].name] = true
+		if t, ok := s.recency[entries[i].name]; ok && t.After(entries[i].mtime) {
+			entries[i].mtime = t
+		}
+	}
+	for name := range s.recency {
+		if !present[name] {
+			delete(s.recency, name)
+		}
+	}
+	s.recMu.Unlock()
 	if total <= s.maxBytes {
 		s.used.Store(total)
 		return 0
@@ -302,6 +350,9 @@ func (s *Store) evict() int {
 		if err != nil && !errors.Is(err, fs.ErrNotExist) {
 			continue
 		}
+		s.recMu.Lock()
+		delete(s.recency, e.name)
+		s.recMu.Unlock()
 		total -= e.size
 		evicted++
 	}

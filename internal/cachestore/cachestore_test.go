@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 )
@@ -279,6 +280,112 @@ func TestStaleTempSweep(t *testing.T) {
 	}
 	if _, err := os.Stat(fresh); err != nil {
 		t.Fatalf("fresh temp file swept: %v", err)
+	}
+}
+
+// TestHotEntrySurvivesCoarseMtimeEviction is the regression test for the
+// mtime-only LRU clock: on a coarse-granularity filesystem (or when
+// Chtimes fails) a burst of hits leaves the hot entry's mtime equal to —
+// or older than — the cold entries', and the filename tie-break then
+// evicts the hot entry first. The in-memory recency overlay must keep it
+// alive. The test simulates the coarse clock by collapsing every entry's
+// mtime to one shared tick after the hits happened.
+func TestHotEntrySurvivesCoarseMtimeEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 1000)
+	entrySize := int64(len(EncodeEntry(KindResult, payload)))
+	s := mustOpen(t, dir, Options{MaxBytes: 3*entrySize + entrySize/2})
+
+	// Three keys, Put in lexical filename order so the hot entry (the
+	// lexically smallest) is both the tie-break victim and the oldest
+	// write — the worst case for any recency tracking weaker than
+	// touch-on-Get.
+	keys := make([]Key, 3)
+	for i := range keys {
+		keys[i] = NewKey(KindResult, []byte{byte('a' + i)})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Filename() < keys[j].Filename() })
+	for i, k := range keys {
+		if _, err := s.Put(k, payload); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	hot := keys[0]
+
+	// Hammer hits on the hot entry — all within what a coarse-mtime
+	// filesystem would record as a single tick.
+	for i := 0; i < 5; i++ {
+		if _, status := s.Get(hot); status != StatusHit {
+			t.Fatalf("Get hot = %v, want hit", status)
+		}
+	}
+	// Collapse every entry's mtime to one shared past tick, wiping out
+	// whatever recency Chtimes recorded.
+	tick := time.Now().Add(-time.Hour).Truncate(time.Second)
+	for _, k := range keys {
+		if err := os.Chtimes(filepath.Join(dir, k.Filename()), tick, tick); err != nil {
+			t.Fatalf("chtimes: %v", err)
+		}
+	}
+
+	// A fourth Put overflows the budget and must evict a cold entry, not
+	// the hot one.
+	if _, err := s.Put(NewKey(KindResult, []byte("fresh")), payload); err != nil {
+		t.Fatalf("Put over budget: %v", err)
+	}
+	if _, status := s.Get(hot); status != StatusHit {
+		t.Fatalf("hot entry = %v, want hit (evicted despite being hottest)", status)
+	}
+	misses := 0
+	for _, k := range keys[1:] {
+		if _, status := s.Get(k); status == StatusMiss {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Fatalf("no cold entry was evicted")
+	}
+}
+
+// TestEvictionTieBreakDeterministic: entries this process never touched
+// (written by another process, say) with identical mtimes must be evicted
+// in a deterministic order — lexical filename order.
+func TestEvictionTieBreakDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("y"), 1000)
+	raw := EncodeEntry(KindResult, payload)
+	entrySize := int64(len(raw))
+
+	// Three committed entries written behind the store's back: no overlay
+	// recency, identical mtimes.
+	keys := make([]Key, 3)
+	for i := range keys {
+		keys[i] = NewKey(KindResult, []byte{byte('p' + i)})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Filename() < keys[j].Filename() })
+	tick := time.Now().Add(-time.Hour).Truncate(time.Second)
+	for _, k := range keys {
+		path := filepath.Join(dir, k.Filename())
+		writeRaw(t, path, raw)
+		if err := os.Chtimes(path, tick, tick); err != nil {
+			t.Fatalf("chtimes: %v", err)
+		}
+	}
+
+	// Budget for two old entries plus the new one: the eviction triggered
+	// by the first Put must remove exactly the lexically-smallest old
+	// entry.
+	s := mustOpen(t, dir, Options{MaxBytes: 3*entrySize + entrySize/2})
+	if _, err := s.Put(NewKey(KindResult, []byte("new")), payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, status := s.Get(keys[0]); status != StatusMiss {
+		t.Fatalf("keys[0] = %v, want miss (deterministic tie-break victim)", status)
+	}
+	for _, i := range []int{1, 2} {
+		if _, status := s.Get(keys[i]); status != StatusHit {
+			t.Fatalf("keys[%d] = %v, want hit", i, status)
+		}
 	}
 }
 

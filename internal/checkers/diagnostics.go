@@ -136,6 +136,86 @@ func (d *Diagnostics) Merge(o Diagnostics) {
 	d.Errors = append(d.Errors, o.Errors...)
 }
 
+// CounterMap flattens every CacheStats counter into a stable snake_case
+// name → value map, the shape metric exporters (nchecker serve's /metrics)
+// consume. TestCacheStatsCounterMapComplete pins the contract: every
+// CacheStats field appears here, so a new counter cannot be added without
+// also being exported.
+func (c CacheStats) CounterMap() map[string]int64 {
+	return map[string]int64{
+		"methods":                int64(c.Methods),
+		"cfg_computed":           int64(c.CFGComputed),
+		"cfg_requests":           int64(c.CFGRequests),
+		"reachdefs_computed":     int64(c.ReachDefsComputed),
+		"reachdefs_requests":     int64(c.ReachDefsRequests),
+		"constprop_computed":     int64(c.ConstPropComputed),
+		"constprop_requests":     int64(c.ConstPropRequests),
+		"dominators_computed":    int64(c.DominatorsComputed),
+		"dominators_requests":    int64(c.DominatorsRequests),
+		"loops_computed":         int64(c.LoopsComputed),
+		"loops_requests":         int64(c.LoopsRequests),
+		"slicers_computed":       int64(c.SlicersComputed),
+		"slicer_requests":        int64(c.SlicerRequests),
+		"summaries_computed":     int64(c.SummariesComputed),
+		"summary_requests":       int64(c.SummaryRequests),
+		"summary_sccs":           int64(c.SummarySCCs),
+		"summary_fixpoint_iters": int64(c.SummaryFixpointIters),
+		"feasible_cfg_computed":  int64(c.FeasibleCFGComputed),
+		"feasible_cfg_requests":  int64(c.FeasibleCFGRequests),
+		"pruned_edges":           int64(c.PrunedEdges),
+		"store_probes":           int64(c.StoreProbes),
+		"store_hits":             int64(c.StoreHits),
+		"store_misses":           int64(c.StoreMisses),
+		"store_corrupt":          int64(c.StoreCorrupt),
+		"summaries_seeded":       int64(c.SummariesSeeded),
+		"store_puts":             int64(c.StorePuts),
+		"store_put_errors":       int64(c.StorePutErrors),
+		"store_evicted":          int64(c.StoreEvicted),
+	}
+}
+
+// StageMetric is one pipeline stage's timing flattened for metric export.
+type StageMetric struct {
+	Name    string
+	Seconds float64
+	Items   int64
+	Reports int64
+}
+
+// MetricsSnapshot is the metric-exporter view of one scan's Diagnostics:
+// plain numbers under stable names, ready to be folded into cumulative
+// counters and histograms (see internal/server).
+type MetricsSnapshot struct {
+	TotalSeconds float64
+	AppMethods   int64
+	Sites        int64
+	Reports      int64 // warnings across all stages
+	ScanErrors   int64 // recorded survivable failures (non-zero ⇒ degraded)
+	Stages       []StageMetric
+	Counters     map[string]int64 // CacheStats.CounterMap
+}
+
+// MetricsSnapshot flattens the diagnostics for metric export.
+func (d *Diagnostics) MetricsSnapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		TotalSeconds: d.Total.Seconds(),
+		AppMethods:   int64(d.AppMethods),
+		Sites:        int64(d.Sites),
+		ScanErrors:   int64(len(d.Errors)),
+		Counters:     d.Cache.CounterMap(),
+	}
+	for _, s := range d.Stages {
+		snap.Reports += int64(s.Reports)
+		snap.Stages = append(snap.Stages, StageMetric{
+			Name:    s.Name,
+			Seconds: s.Duration.Seconds(),
+			Items:   int64(s.Items),
+			Reports: int64(s.Reports),
+		})
+	}
+	return snap
+}
+
 // Render formats the diagnostics for the -timings flag.
 func (d Diagnostics) Render() string {
 	var b strings.Builder

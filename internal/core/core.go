@@ -105,6 +105,10 @@ func NewWithOptions(opts Options) *Checker {
 // Registry exposes the library annotations in use.
 func (c *Checker) Registry() *apimodel.Registry { return c.reg }
 
+// Options returns the analysis options the Checker scans with. Long-lived
+// callers (nchecker serve) use it to report the effective configuration.
+func (c *Checker) Options() Options { return c.opts }
+
 // ScanApp analyzes an already-parsed app.
 func (c *Checker) ScanApp(app *apk.App) *Result {
 	return c.ScanAppContext(context.Background(), app)

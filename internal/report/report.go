@@ -202,6 +202,20 @@ func Suggest(c Cause, ctx Context, lib *apimodel.Library) string {
 	return "Review the network error handling at this location."
 }
 
+// RenderAll renders a scan's reports exactly as cmd/nchecker's default
+// text mode prints them: each report's Figure-7 layout followed by a
+// blank-line separator. It is the single definition of "the CLI's report
+// text", shared by the CLI and by nchecker serve so an HTTP scan's report
+// body is byte-identical to the command-line scan of the same app.
+func RenderAll(reports []Report) string {
+	var b strings.Builder
+	for i := range reports {
+		b.WriteString(reports[i].Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // Summary aggregates reports for quick printing.
 type Summary struct {
 	Total   int           `json:"total"`

@@ -1,0 +1,447 @@
+// Package server is nchecker's long-running scan service: the HTTP layer
+// that turns the one-shot core.Checker pipeline into an observable daemon
+// (the deployment shape the ROADMAP's production-scale scanner needs, and
+// the layer future sharding/remote-worker PRs build on).
+//
+// Architecture (DESIGN.md §8):
+//
+//	POST /scan ──► admission queue (bounded; full ⇒ 429) ──► worker pool
+//	                                                          │ per-job deadline
+//	GET /scan/{id} ◄── in-memory job store ◄──────────────────┘ (ctx cancellation)
+//
+// One process-wide core.Checker serves every job, so the API-model
+// registry and framework stub program are built once, and all jobs share
+// one cachestore.Shared store when Options.CacheDir is set. A job whose
+// deadline expires mid-scan finishes as a degraded result (HTTP 200,
+// status "done", degraded=true) — partial findings are real findings; only
+// undecodable inputs fail a job. The server never 500s a scan.
+//
+// Observability: GET /metrics exports Prometheus-text counters and
+// histograms folded from each scan's core.Diagnostics (per-stage timings,
+// analysis/persistent-cache counters, queue depth, jobs in flight,
+// degraded-scan count — see metrics.go for the catalog), GET /healthz is
+// the liveness probe, net/http/pprof is mounted under /debug/pprof/, and
+// every job lifecycle event is logged structurally via log/slog.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Scan is the per-job analysis configuration (ablation switches,
+	// cache). With Jobs > 1 and Scan.Workers == 0 the CPU budget is divided
+	// between the job pool and each scan's pipeline, mirroring the CLI's
+	// batch-mode division, so concurrent jobs never multiply into N×M
+	// goroutines.
+	Scan core.Options
+	// Jobs is the number of concurrent scan workers. 0 means 1: scans
+	// serialize and each gets the machine's full pipeline parallelism.
+	Jobs int
+	// Queue bounds the admission queue; a POST /scan arriving with the
+	// queue full is rejected with 429. 0 means DefaultQueue.
+	Queue int
+	// JobTimeout caps one job's scan wall time (0 = none). An expired
+	// deadline yields a degraded result, not an error. A request may lower
+	// it per job via POST /scan?timeout=30s, never raise it.
+	JobTimeout time.Duration
+	// MaxBodyBytes caps an uploaded app container; larger uploads get 413.
+	// 0 means DefaultMaxBody.
+	MaxBodyBytes int64
+	// Retain bounds the finished jobs kept for GET /scan/{id}; the oldest
+	// finished jobs are dropped beyond it. Queued and running jobs are
+	// never dropped. 0 means DefaultRetain.
+	Retain int
+	// Logger receives structured job-lifecycle logs; nil means slog.Default.
+	Logger *slog.Logger
+}
+
+// Defaults for the Config zero values.
+const (
+	DefaultQueue   = 64
+	DefaultMaxBody = 64 << 20
+	DefaultRetain  = 256
+)
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	// StatusDone covers degraded scans too: partial findings are findings.
+	StatusDone JobStatus = "done"
+	// StatusFailed means the scan produced nothing (undecodable container).
+	StatusFailed JobStatus = "failed"
+)
+
+// Job is one scan job's record, marshaled by GET /scan/{id}.
+type Job struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name,omitempty"` // client-supplied app name
+	Status    JobStatus `json:"status"`
+	BodyBytes int64     `json:"bodyBytes"`
+
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+
+	// Scan outcome, present once Status is done.
+	Requests   int             `json:"requests,omitempty"`
+	Warnings   int             `json:"warnings,omitempty"`
+	Degraded   bool            `json:"degraded,omitempty"`
+	ReportText string          `json:"reportText,omitempty"` // byte-identical to the CLI's text mode
+	Reports    []report.Report `json:"reports,omitempty"`
+	// Error carries the decode failure (failed) or what a degraded scan
+	// lost (done + degraded).
+	Error string `json:"error,omitempty"`
+
+	seq      int64         // numeric ID, for newest-first listings
+	deadline time.Duration // resolved per-job scan deadline (0 = none)
+	data     []byte        // app container bytes; released when the scan finishes
+}
+
+// Server is the scan service. Construct with New, wire Handler into an
+// http.Server, call Start to launch the workers, Shutdown to drain.
+type Server struct {
+	cfg     Config
+	checker *core.Checker
+	log     *slog.Logger
+	metrics *metrics
+
+	queue  chan *Job
+	mu     sync.Mutex // guards jobs, done, nextID, and per-Job mutation
+	jobs   map[string]*Job
+	done   []string // finished job IDs in completion order (retention FIFO)
+	nextID int64
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New builds a Server from cfg. The underlying Checker — hence the
+// registry, the framework stubs, and the shared cache store — is
+// constructed once here and reused by every job.
+func New(cfg Config) *Server {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 1
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultQueue
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBody
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = DefaultRetain
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Jobs > 1 && cfg.Scan.Workers == 0 {
+		// The CLI's batch-mode budget division: the job pool gets the
+		// concurrency, each scan's internal pipeline gets the remainder.
+		w := runtime.NumCPU() / cfg.Jobs
+		if w < 1 {
+			w = 1
+		}
+		cfg.Scan.Workers = w
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		checker: core.NewWithOptions(cfg.Scan),
+		log:     cfg.Logger,
+		metrics: newMetrics(),
+		queue:   make(chan *Job, cfg.Queue),
+		jobs:    make(map[string]*Job),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+}
+
+// Start launches the worker pool. It is idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Jobs; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown stops accepting queued work and waits (up to ctx) for running
+// jobs to finish. Jobs still queued are abandoned in status "queued".
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	doneCh := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /scan", s.handleSubmit)
+	mux.HandleFunc("GET /scan/{id}", s.handleGet)
+	mux.HandleFunc("GET /scans", s.handleList)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// pprof must be mounted explicitly on a non-default mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleSubmit admits a scan job: read the container bytes, try the
+// bounded queue, 429 when full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("app container exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return
+	}
+	if len(body) == 0 {
+		httpError(w, http.StatusBadRequest, "empty request body: POST the app container bytes")
+		return
+	}
+	timeout, err := jobTimeout(r.URL.Query().Get("timeout"), s.cfg.JobTimeout)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Name:      r.URL.Query().Get("name"),
+		Status:    StatusQueued,
+		BodyBytes: int64(len(body)),
+		Submitted: time.Now(),
+		seq:       s.nextID,
+		deadline:  timeout,
+		data:      body,
+	}
+	// Register before enqueueing: a worker may finish the job (and hit the
+	// retention path) before this handler runs again.
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.mu.Unlock()
+		s.metrics.jobRejected()
+		s.log.Warn("job rejected: queue full",
+			"name", job.Name, "bytes", job.BodyBytes, "queue", cap(s.queue))
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("admission queue full (%d jobs waiting)", cap(s.queue)))
+		return
+	}
+	s.metrics.jobSubmitted()
+	s.log.Info("job submitted",
+		"id", job.ID, "name", job.Name, "bytes", job.BodyBytes, "queue_depth", len(s.queue))
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": job.ID, "status": string(StatusQueued)})
+}
+
+// jobTimeout resolves a per-request timeout override against the server
+// bound: requests may tighten the deadline, never loosen it.
+func jobTimeout(param string, serverMax time.Duration) (time.Duration, error) {
+	if param == "" {
+		return serverMax, nil
+	}
+	d, err := time.ParseDuration(param)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("invalid timeout %q (want a positive Go duration, e.g. 30s)", param)
+	}
+	if serverMax > 0 && d > serverMax {
+		return serverMax, nil
+	}
+	return d, nil
+}
+
+// handleGet serves one job's record.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var snapshot Job
+	if ok {
+		snapshot = *job
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job (finished jobs are retained up to the -retain bound)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&snapshot)
+}
+
+// handleList serves a compact all-jobs summary, newest first.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		ID       string    `json:"id"`
+		Name     string    `json:"name,omitempty"`
+		Status   JobStatus `json:"status"`
+		Warnings int       `json:"warnings"`
+		Degraded bool      `json:"degraded,omitempty"`
+	}
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq > jobs[k].seq })
+	rows := make([]row, 0, len(jobs))
+	for _, j := range jobs {
+		rows = append(rows, row{ID: j.ID, Name: j.Name, Status: j.Status, Warnings: j.Warnings, Degraded: j.Degraded})
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rows)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.metrics.render(len(s.queue), cap(s.queue)))
+}
+
+// worker drains the admission queue until Shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case job := <-s.queue:
+			s.run(job)
+		}
+	}
+}
+
+// run executes one job through the shared Checker under its deadline.
+func (s *Server) run(job *Job) {
+	start := time.Now()
+	s.mu.Lock()
+	job.Status = StatusRunning
+	job.Started = &start
+	data, deadline := job.data, job.deadline
+	s.mu.Unlock()
+	s.metrics.scanStarted()
+
+	ctx := s.baseCtx
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	res, err := s.checker.ScanBytesContext(ctx, data)
+	finished := time.Now()
+
+	s.mu.Lock()
+	job.Finished = &finished
+	job.data = nil // the container bytes are dead weight once scanned
+	if err != nil {
+		job.Status = StatusFailed
+		job.Error = err.Error()
+	} else {
+		job.Status = StatusDone
+		job.Requests = res.Stats.Requests
+		job.Warnings = len(res.Reports)
+		job.Degraded = res.Incomplete
+		job.ReportText = report.RenderAll(res.Reports)
+		job.Reports = res.Reports
+		if resErr := res.Err(); resErr != nil {
+			job.Error = resErr.Error()
+		}
+	}
+	s.retainLocked(job.ID)
+	s.mu.Unlock()
+
+	dur := finished.Sub(start)
+	queueWait := start.Sub(job.Submitted)
+	if err != nil {
+		s.metrics.jobFailed()
+		s.log.Error("job failed",
+			"id", job.ID, "name", job.Name, "bytes", job.BodyBytes,
+			"duration", dur, "queue_wait", queueWait, "error", err.Error())
+		return
+	}
+	s.metrics.jobDone(res.Diagnostics.MetricsSnapshot(), res.Incomplete)
+	s.log.Info("job done",
+		"id", job.ID, "name", job.Name, "bytes", job.BodyBytes,
+		"duration", dur, "queue_wait", queueWait,
+		"requests", res.Stats.Requests, "warnings", len(res.Reports),
+		"degraded", res.Incomplete)
+}
+
+// retainLocked records a finished job and prunes the oldest finished jobs
+// beyond the retention bound. Caller holds s.mu.
+func (s *Server) retainLocked(id string) {
+	s.done = append(s.done, id)
+	for len(s.done) > s.cfg.Retain {
+		delete(s.jobs, s.done[0])
+		s.done = s.done[1:]
+	}
+}
+
+// httpError writes a JSON error body with the status code.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg, "status": strconv.Itoa(code)})
+}

@@ -8,7 +8,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "== gofmt =="
-unformatted=$(gofmt -l cmd internal examples bench_test.go)
+unformatted=$(gofmt -l cmd internal examples scripts bench_test.go)
 if [ -n "$unformatted" ]; then
     echo "gofmt: the following files need formatting:" >&2
     echo "$unformatted" >&2
@@ -50,6 +50,30 @@ cachedir=$(mktemp -d)
 trap 'rm -rf "$cachedir"' EXIT
 NCHECKER_TEST_CACHEDIR="$cachedir" go test -race -timeout 10m \
     ./internal/cachestore ./internal/checkers ./internal/experiments
+
+echo "== serve smoke =="
+# End-to-end over a real socket: start `nchecker serve` on an ephemeral
+# port, have scripts/servesmoke POST a fixture app, poll the report, and
+# assert /healthz and the /metrics scan counters; then a clean SIGTERM
+# drain must exit 0.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$cachedir" "$smokedir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+go build -o "$smokedir/nchecker" ./cmd/nchecker
+"$smokedir/nchecker" serve -addr 127.0.0.1:0 -ready-file "$smokedir/ready" \
+    -cache "$smokedir/cache" 2>"$smokedir/serve.log" &
+serve_pid=$!
+if ! go run ./scripts/servesmoke -ready-file "$smokedir/ready"; then
+    echo "serve smoke failed; server log:" >&2
+    cat "$smokedir/serve.log" >&2
+    exit 1
+fi
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "serve did not shut down cleanly; server log:" >&2
+    cat "$smokedir/serve.log" >&2
+    exit 1
+fi
+serve_pid=
 
 echo "== fuzz smoke =="
 # Short fuzz bursts over the untrusted-input parsers: new panics or

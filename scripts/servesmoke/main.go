@@ -1,0 +1,186 @@
+// Command servesmoke is the CI smoke client for `nchecker serve`
+// (scripts/check.sh drives it; no curl required in the container). It
+// waits for the server's -ready-file, then exercises the service end to
+// end: /healthz must answer 200, a POSTed fixture app must scan to a
+// finished job with warnings and report text, and /metrics must expose
+// the scan counters. Exit 0 on success, 1 with a message on any failure.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/jimple"
+)
+
+func main() {
+	readyFile := flag.String("ready-file", "", "file the server writes its bound address to")
+	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline")
+	flag.Parse()
+	if *readyFile == "" {
+		fail("usage: servesmoke -ready-file PATH")
+	}
+	deadline := time.Now().Add(*timeout)
+
+	addr := waitAddr(*readyFile, deadline)
+	base := "http://" + addr
+	fmt.Printf("servesmoke: server at %s\n", base)
+
+	// Liveness first.
+	if code := getStatus(base + "/healthz"); code != http.StatusOK {
+		fail("GET /healthz = %d, want 200", code)
+	}
+
+	// Submit the fixture app (a buggy request with no connectivity check,
+	// no timeout, no error handling — it must produce warnings).
+	app, err := fixtureApp()
+	if err != nil {
+		fail("build fixture app: %v", err)
+	}
+	resp, err := http.Post(base+"/scan?name=smoke.apk", "application/octet-stream", bytes.NewReader(app))
+	if err != nil {
+		fail("POST /scan: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		fail("POST /scan = %d: %s", resp.StatusCode, body)
+	}
+	var job struct {
+		ID         string `json:"id"`
+		Status     string `json:"status"`
+		Warnings   int    `json:"warnings"`
+		Degraded   bool   `json:"degraded"`
+		ReportText string `json:"reportText"`
+		Error      string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &job); err != nil {
+		fail("POST /scan response: %v: %s", err, body)
+	}
+	if job.ID == "" {
+		fail("POST /scan response has no job id: %s", body)
+	}
+	fmt.Printf("servesmoke: submitted %s\n", job.ID)
+
+	// Poll the report until the job reaches a terminal status.
+	for {
+		resp, err := http.Get(base + "/scan/" + job.ID)
+		if err != nil {
+			fail("GET /scan/%s: %v", job.ID, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("GET /scan/%s = %d: %s", job.ID, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			fail("GET /scan/%s response: %v", job.ID, err)
+		}
+		if job.Status == "done" || job.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("job %s still %q at deadline", job.ID, job.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	switch {
+	case job.Status != "done":
+		fail("job %s finished %q (%s), want done", job.ID, job.Status, job.Error)
+	case job.Degraded:
+		fail("job %s degraded: %s", job.ID, job.Error)
+	case job.Warnings == 0:
+		fail("job %s found no warnings in the buggy fixture", job.ID)
+	case !strings.Contains(job.ReportText, "NPD Information"):
+		fail("job %s report text missing the Figure 7 layout:\n%s", job.ID, job.ReportText)
+	}
+	fmt.Printf("servesmoke: job done, %d warnings\n", job.Warnings)
+
+	// The scan must be visible on /metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		fail("GET /metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("GET /metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"nchecker_jobs_submitted_total 1",
+		`nchecker_jobs_total{status="done"} 1`,
+		"nchecker_scan_seconds_count 1",
+		`nchecker_stage_seconds_total{stage="build"}`,
+		"nchecker_queue_depth 0",
+		"nchecker_degraded_scans_total 0",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			fail("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// waitAddr polls for the server's -ready-file and returns the bound
+// address written there.
+func waitAddr(path string, deadline time.Time) string {
+	for {
+		if b, err := os.ReadFile(path); err == nil {
+			if addr := strings.TrimSpace(string(b)); addr != "" {
+				return addr
+			}
+		}
+		if time.Now().After(deadline) {
+			fail("server never wrote %s", path)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func getStatus(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// fixtureApp encodes the canonical buggy app: an Activity firing a
+// BasicHttpClient request with no connectivity check, no timeout
+// configuration, and no response handling.
+func fixtureApp() ([]byte, error) {
+	prog, err := jimple.Parse(`class demo.Main extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local c com.turbomanage.httpclient.BasicHttpClient
+    local r com.turbomanage.httpclient.HttpResponse
+    local b java.lang.String
+    c = new com.turbomanage.httpclient.BasicHttpClient
+    specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://example.com"
+    b = virtualinvoke r com.turbomanage.httpclient.HttpResponse.getBodyAsString()java.lang.String
+    return
+  }
+}`)
+	if err != nil {
+		return nil, err
+	}
+	man := &android.Manifest{Package: "demo", Activities: []string{"demo.Main"}}
+	man.Normalize()
+	return apk.Encode(&apk.App{Manifest: man, Program: prog})
+}
