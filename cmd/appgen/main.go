@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	appgen -out corpus/ [-seed 2016] [-n 285]
+//	appgen -out corpus/ [-seed 2016] [-n 285] [-pad 0]
+//
+// -pad N appends N inert padding classes to every app — classes provably
+// outside the targeted engine's demand-driven closure — for the
+// class-count-scaling benchmarks (BENCH_targeted.json). Reports are
+// identical at any padding level.
 package main
 
 import (
@@ -21,6 +26,7 @@ func main() {
 	out := flag.String("out", "corpus", "output directory")
 	seed := flag.Int64("seed", 2016, "corpus generation seed")
 	n := flag.Int("n", corpus.CorpusSize, "number of apps to write (goldens first)")
+	pad := flag.Int("pad", 0, "inert padding classes appended to every app (class-count scaling)")
 	flag.Parse()
 
 	apps, err := corpus.GenerateCorpus(*seed)
@@ -30,6 +36,9 @@ func main() {
 	}
 	if *n < len(apps) {
 		apps = apps[:*n]
+	}
+	for _, a := range apps {
+		corpus.AddPadding(a.App, *pad)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "appgen: %v\n", err)

@@ -11,6 +11,8 @@
 // (-cache-mode off|ro|rw, default rw), so a repeated invocation rescans
 // the unchanged corpus from cache; the rendered tables are identical
 // either way.
+// -mode targeted runs the corpus scan through the demand-driven engine
+// (DESIGN.md §9); the rendered tables are identical to full mode.
 package main
 
 import (
@@ -28,8 +30,14 @@ func main() {
 	timings := flag.Bool("timings", false, "print corpus-scan per-stage timing rows")
 	cacheDir := flag.String("cache", "", "persistent scan-cache directory for the corpus scan (empty = no cache)")
 	cacheMode := flag.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
+	engineMode := flag.String("mode", "full", "engine mode for the corpus scan: full or targeted (identical tables)")
 	flag.Parse()
 	mode, err := core.ParseCacheMode(*cacheMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	emode, err := core.ParseEngineMode(*engineMode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
@@ -109,9 +117,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: scanning the %d-app corpus (seed %d)...\n",
 			285, experiments.Seed)
 		var err error
-		if *cacheDir != "" {
+		if *cacheDir != "" || emode != core.ModeFull {
+			// The memoized DefaultScan is full-mode; any non-default option
+			// set goes through an explicit corpus scan.
 			cs, err = experiments.ScanCorpusWith(experiments.Seed, core.Options{
-				CacheDir: *cacheDir, CacheMode: mode,
+				CacheDir: *cacheDir, CacheMode: mode, Mode: emode,
 			})
 		} else {
 			cs, err = experiments.DefaultScan()

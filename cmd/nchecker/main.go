@@ -16,6 +16,9 @@
 //	-guard     require connectivity checks to govern a branch
 //	-intra     disable the interprocedural summary engine and
 //	           path-feasibility pruning (ablation baseline)
+//	-mode      full|targeted (default full): engine traversal; targeted
+//	           lazily decodes and analyzes only the demand-driven closure
+//	           of the network-API sites, with identical reports
 //	-workers   worker-pool size for the scan pipeline and for scanning
 //	           multiple files concurrently (0 = NumCPU)
 //	-timeout   per-file scan deadline (e.g. 30s; 0 = none)
@@ -113,6 +116,7 @@ func runScan(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&cfg.timings, "timings", false, "print per-stage pipeline timings and cache statistics")
 	fs.StringVar(&cfg.opts.CacheDir, "cache", "", "persistent scan-cache directory (empty = no cache)")
 	cacheMode := fs.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
+	engineMode := fs.String("mode", "full", "engine mode: full or targeted (demand-driven, identical reports)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: nchecker [flags] app.apk [more.apk ...]\n       nchecker serve [flags]\n")
 		fs.PrintDefaults()
@@ -130,6 +134,12 @@ func runScan(args []string, stdout, stderr io.Writer) int {
 		return exitError
 	}
 	cfg.opts.CacheMode = mode
+	emode, err := core.ParseEngineMode(*engineMode)
+	if err != nil {
+		fmt.Fprintf(stderr, "nchecker: %v\n", err)
+		return exitError
+	}
+	cfg.opts.Mode = emode
 	paths := fs.Args()
 
 	// Divide the CPU budget between the file-level pool and the per-scan

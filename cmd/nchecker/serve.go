@@ -38,6 +38,7 @@ func runServe(args []string, stderr io.Writer) int {
 	fs.IntVar(&opts.Workers, "workers", 0, "per-scan pipeline workers (0 = auto: NumCPU divided across -jobs)")
 	fs.StringVar(&opts.CacheDir, "cache", "", "persistent scan-cache directory shared by all jobs (empty = no cache)")
 	cacheMode := fs.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
+	engineMode := fs.String("mode", "full", "default engine mode: full or targeted (per-job override via ?mode=)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: nchecker serve [flags]\n\nEndpoints: POST /scan, GET /scan/{id}, GET /scans, GET /metrics, GET /healthz, /debug/pprof/\n")
 		fs.PrintDefaults()
@@ -55,6 +56,12 @@ func runServe(args []string, stderr io.Writer) int {
 		return exitError
 	}
 	opts.CacheMode = mode
+	emode, err := core.ParseEngineMode(*engineMode)
+	if err != nil {
+		fmt.Fprintf(stderr, "nchecker serve: %v\n", err)
+		return exitError
+	}
+	opts.Mode = emode
 
 	logger := slog.New(slog.NewJSONHandler(stderr, nil))
 	srv := server.New(server.Config{
@@ -75,7 +82,8 @@ func runServe(args []string, stderr io.Writer) int {
 	bound := ln.Addr().String()
 	logger.Info("serving",
 		"addr", bound, "jobs", *jobs, "queue", *queueLen,
-		"job_timeout", (*jobTimeout).String(), "cache", opts.CacheDir, "cache_mode", opts.CacheMode.String())
+		"job_timeout", (*jobTimeout).String(), "cache", opts.CacheDir, "cache_mode", opts.CacheMode.String(),
+		"mode", opts.Mode.String())
 	if *readyFile != "" {
 		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
 			fmt.Fprintf(stderr, "nchecker serve: write -ready-file: %v\n", err)

@@ -290,6 +290,24 @@ func (r *Registry) LibsUsedBy(p *jimple.Program) []LibKey {
 			}
 		}
 	}
+	return sortedLibKeys(used)
+}
+
+// LibsUsedByClasses is LibsUsedBy over a pre-collected referenced-class
+// set (supertypes, interfaces, invoked classes, local types): the lazy
+// decode path gathers those names during its skim — dex.Lazy.RefClasses —
+// so library usage resolves without any retained method bodies.
+func (r *Registry) LibsUsedByClasses(classes []string) []LibKey {
+	used := make(map[LibKey]bool)
+	for _, cls := range classes {
+		if k, ok := r.classToLib[cls]; ok {
+			used[k] = true
+		}
+	}
+	return sortedLibKeys(used)
+}
+
+func sortedLibKeys(used map[LibKey]bool) []LibKey {
 	out := make([]LibKey, 0, len(used))
 	for k := range used {
 		out = append(out, k)

@@ -39,6 +39,13 @@ type App struct {
 	Manifest *android.Manifest
 	Program  *jimple.Program
 
+	// Lazy is non-nil for apps opened by DecodeLazy: the dex payload has
+	// been skimmed (headers, method refs, body spans) but no method bodies
+	// are decoded yet. Program aliases Lazy.Program(); the targeted engine
+	// materializes demanded classes, and the full engine materializes
+	// everything before building.
+	Lazy *dex.Lazy
+
 	// digest memoizes Digest(): apps decoded from container bytes carry
 	// the hash of those bytes, in-memory apps hash their canonical
 	// encoding on first use.
@@ -93,41 +100,9 @@ func appendSection(buf []byte, name string, content []byte) []byte {
 
 // Decode parses container bytes, verifying section checksums.
 func Decode(data []byte) (*App, error) {
-	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
-		return nil, fmt.Errorf("apk: bad magic")
-	}
-	pos := len(magic)
-	nsec, n := binary.Uvarint(data[pos:])
-	if n <= 0 || nsec > 16 {
-		return nil, fmt.Errorf("apk: bad section count")
-	}
-	pos += n
-	sections := make(map[string][]byte, nsec)
-	for i := uint64(0); i < nsec; i++ {
-		name, content, next, err := readSection(data, pos)
-		if err != nil {
-			return nil, err
-		}
-		if _, dup := sections[name]; dup {
-			return nil, fmt.Errorf("apk: duplicate section %q", name)
-		}
-		sections[name] = content
-		pos = next
-	}
-	if pos != len(data) {
-		return nil, fmt.Errorf("apk: %d trailing bytes", len(data)-pos)
-	}
-	manBytes, ok := sections[sectionManifest]
-	if !ok {
-		return nil, fmt.Errorf("apk: missing %s section", sectionManifest)
-	}
-	dexBytes, ok := sections[sectionDex]
-	if !ok {
-		return nil, fmt.Errorf("apk: missing %s section", sectionDex)
-	}
-	man, err := android.DecodeManifest(string(manBytes))
+	man, dexBytes, err := decodeSections(data)
 	if err != nil {
-		return nil, fmt.Errorf("apk: %w", err)
+		return nil, err
 	}
 	prog, err := dex.Decode(dexBytes)
 	if err != nil {
@@ -138,6 +113,68 @@ func Decode(data []byte) (*App, error) {
 	// from disk never pays a re-encode to key the cache.
 	app.digestOnce.Do(func() { app.digest = sha256.Sum256(data) })
 	return app, nil
+}
+
+// DecodeLazy parses container bytes like Decode but defers the dex method
+// bodies: the returned App carries a skeleton Program plus the Lazy handle
+// that materializes classes on demand. It accepts and rejects exactly the
+// inputs Decode does, and the seeded digest is identical, so the two open
+// paths share cache entries.
+func DecodeLazy(data []byte) (*App, error) {
+	man, dexBytes, err := decodeSections(data)
+	if err != nil {
+		return nil, err
+	}
+	l, err := dex.DecodeLazy(dexBytes)
+	if err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	app := &App{Manifest: man, Program: l.Program(), Lazy: l}
+	app.digestOnce.Do(func() { app.digest = sha256.Sum256(data) })
+	return app, nil
+}
+
+// decodeSections validates the container framing and returns the decoded
+// manifest and the raw dex payload — everything Decode and DecodeLazy
+// share before they diverge on body decoding.
+func decodeSections(data []byte) (*android.Manifest, []byte, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		return nil, nil, fmt.Errorf("apk: bad magic")
+	}
+	pos := len(magic)
+	nsec, n := binary.Uvarint(data[pos:])
+	if n <= 0 || nsec > 16 {
+		return nil, nil, fmt.Errorf("apk: bad section count")
+	}
+	pos += n
+	sections := make(map[string][]byte, nsec)
+	for i := uint64(0); i < nsec; i++ {
+		name, content, next, err := readSection(data, pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := sections[name]; dup {
+			return nil, nil, fmt.Errorf("apk: duplicate section %q", name)
+		}
+		sections[name] = content
+		pos = next
+	}
+	if pos != len(data) {
+		return nil, nil, fmt.Errorf("apk: %d trailing bytes", len(data)-pos)
+	}
+	manBytes, ok := sections[sectionManifest]
+	if !ok {
+		return nil, nil, fmt.Errorf("apk: missing %s section", sectionManifest)
+	}
+	dexBytes, ok := sections[sectionDex]
+	if !ok {
+		return nil, nil, fmt.Errorf("apk: missing %s section", sectionDex)
+	}
+	man, err := android.DecodeManifest(string(manBytes))
+	if err != nil {
+		return nil, nil, fmt.Errorf("apk: %w", err)
+	}
+	return man, dexBytes, nil
 }
 
 func readSection(data []byte, pos int) (name string, content []byte, next int, err error) {
@@ -206,4 +243,14 @@ func ReadFile(path string) (*App, error) {
 		return nil, fmt.Errorf("apk: %w", err)
 	}
 	return Decode(data)
+}
+
+// ReadFileLazy parses the app at path without decoding method bodies; see
+// DecodeLazy.
+func ReadFileLazy(path string) (*App, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	return DecodeLazy(data)
 }

@@ -66,6 +66,11 @@ type Options struct {
 	// The precision/recall delta against the default interprocedural mode
 	// is what internal/experiments measures on the examples corpus.
 	Intraprocedural bool
+	// Mode selects the engine traversal: ModeFull scans every app method,
+	// ModeTargeted grows a demand-driven closure from the registry's
+	// network-API sites (targeted.go). Reports and stats are identical in
+	// both modes; targeted scans do less work and say so in Diagnostics.
+	Mode EngineMode
 	// GuardSensitiveConnCheck tightens Checker 1: a connectivity check
 	// only satisfies the analysis when its result actually governs a
 	// branch (tracked by forward taint from the check's result to an if
@@ -262,6 +267,14 @@ type analysis struct {
 	methods []*jimple.Method // app's body-bearing methods, sorted by key
 	sites   []*requestSite
 
+	// Targeted-mode state (targeted.go), frozen before the pipeline's
+	// build stage. roots holds the relevant-method closure (sorted keys);
+	// demanded the class closure; tstats the work-avoided counters. All
+	// nil/zero in full mode.
+	roots    []string
+	demanded map[string]bool
+	tstats   TargetedStats
+
 	// Persistent-cache state (cache.go). The cache stages run at
 	// sequential points of the pipeline — probe before build, seed before
 	// summaries, write after merge — so none of this needs locking.
@@ -378,10 +391,17 @@ func (a *analysis) parallelFor(stage string, n int, fn func(int)) {
 }
 
 // collectAppMethods returns the app's own body-bearing methods, sorted by
-// key.
+// key. In targeted mode only methods of demanded classes are collected:
+// every consumer of a.methods (discovery, retry loops, guard-site scans,
+// summary roots, the summary cache's class index) provably produces
+// identical reports over this subset — see targeted.go for the closure
+// rules and DESIGN.md §9 for the equivalence argument.
 func (a *analysis) collectAppMethods() []*jimple.Method {
 	var out []*jimple.Method
 	for _, c := range a.app.Program.Classes() {
+		if a.demanded != nil && !a.demanded[c.Name] {
+			continue
+		}
 		for _, m := range c.Methods {
 			if m.HasBody() {
 				out = append(out, m)
@@ -410,6 +430,10 @@ func (a *analysis) configureSummaries() {
 			// stage has populated a.seeds by the time the summaries stage
 			// forces the computation.
 			Seeds: a.seeds,
+			// Roots restricts the computation to the demanded sub-condensation
+			// in targeted mode; nil (full mode) keeps the whole-app bottom-up
+			// order.
+			Roots: a.roots,
 		})
 		if err != nil {
 			a.failCancel("summaries", err)

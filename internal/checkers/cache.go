@@ -103,9 +103,14 @@ func (o Options) cacheEnabled() bool {
 // cacheFingerprint renders the report-affecting options into the cache
 // key. Workers and Timeout are excluded by design (see the file comment).
 func (o Options) cacheFingerprint() []byte {
-	return []byte(fmt.Sprintf("taintcfg=%t retryslice=%t declared=%t icc=%t intra=%t guard=%t",
+	// Mode is fingerprinted as its numeric value (not String(): out-of-range
+	// values must still be distinct from the named modes). Reports are
+	// proven identical across modes, but the diagnostics counts stored in a
+	// result entry are per-mode, so full and targeted entries never share a
+	// key — they cannot cross-poison each other.
+	return []byte(fmt.Sprintf("taintcfg=%t retryslice=%t declared=%t icc=%t intra=%t guard=%t mode=%d",
 		o.DisableTaintConfigDiscovery, o.DisableRetrySlicing, o.DeclaredDispatchOnly,
-		o.EnableICC, o.Intraprocedural, o.GuardSensitiveConnCheck))
+		o.EnableICC, o.Intraprocedural, o.GuardSensitiveConnCheck, o.Mode))
 }
 
 // resultCacheKey addresses the whole-app result entry.

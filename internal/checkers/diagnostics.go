@@ -58,15 +58,55 @@ func (c CacheStats) CFGHits() int { return c.CFGRequests - c.CFGComputed }
 // ReachDefsHits returns the reaching-defs requests served from the cache.
 func (c CacheStats) ReachDefsHits() int { return c.ReachDefsRequests - c.ReachDefsComputed }
 
+// TargetedStats counts the work the targeted engine mode demanded vs.
+// skipped. All zero in full mode (and on cache-hit scans, which do no
+// closure work).
+type TargetedStats struct {
+	// SeedMethods counts the closure's roots: methods with a target-API
+	// call plus registered callback implementations.
+	SeedMethods int
+	// ClosureMethods / ClosureClasses size the converged relevant-method
+	// and demanded-class sets.
+	ClosureMethods int
+	ClosureClasses int
+	// ClassesDecoded / ClassesSkipped split the app's body-bearing classes
+	// into materialized and never-decoded (lazy scan path) or analyzed and
+	// excluded (in-memory path).
+	ClassesDecoded int
+	ClassesSkipped int
+}
+
+func (t *TargetedStats) add(o TargetedStats) {
+	t.SeedMethods += o.SeedMethods
+	t.ClosureMethods += o.ClosureMethods
+	t.ClosureClasses += o.ClosureClasses
+	t.ClassesDecoded += o.ClassesDecoded
+	t.ClassesSkipped += o.ClassesSkipped
+}
+
+// counterMap flattens TargetedStats for metric export (the
+// nchecker_targeted_* family of nchecker serve's /metrics).
+func (t TargetedStats) counterMap() map[string]int64 {
+	return map[string]int64{
+		"seed_methods":    int64(t.SeedMethods),
+		"closure_methods": int64(t.ClosureMethods),
+		"closure_classes": int64(t.ClosureClasses),
+		"classes_decoded": int64(t.ClassesDecoded),
+		"classes_skipped": int64(t.ClassesSkipped),
+	}
+}
+
 // Diagnostics is the per-scan observability record: where the time went,
 // how much was analyzed, and how well the shared analysis cache worked.
 // It is populated by every Analyze call and threaded through core.Result
 // to cmd/nchecker (-timings) and the experiment harness.
 type Diagnostics struct {
 	Total      time.Duration
-	Workers    int // resolved worker count the scan ran with
-	AppMethods int // body-bearing app methods scanned
-	Sites      int // request sites discovered
+	Workers    int        // resolved worker count the scan ran with
+	Mode       EngineMode // engine traversal the scan ran with
+	AppMethods int        // body-bearing app methods scanned
+	Sites      int        // request sites discovered
+	Targeted   TargetedStats
 	Stages     []StageTiming
 	Cache      CacheStats
 	// Errors lists the scan's survivable failures (stage panics, expired
@@ -96,6 +136,7 @@ func (d *Diagnostics) Merge(o Diagnostics) {
 	d.Total += o.Total
 	d.AppMethods += o.AppMethods
 	d.Sites += o.Sites
+	d.Targeted.add(o.Targeted)
 	for _, s := range o.Stages {
 		if have := d.Stage(s.Name); have != nil {
 			have.Duration += s.Duration
@@ -193,6 +234,7 @@ type MetricsSnapshot struct {
 	ScanErrors   int64 // recorded survivable failures (non-zero ⇒ degraded)
 	Stages       []StageMetric
 	Counters     map[string]int64 // CacheStats.CounterMap
+	Targeted     map[string]int64 // TargetedStats, flattened
 }
 
 // MetricsSnapshot flattens the diagnostics for metric export.
@@ -203,6 +245,7 @@ func (d *Diagnostics) MetricsSnapshot() MetricsSnapshot {
 		Sites:        int64(d.Sites),
 		ScanErrors:   int64(len(d.Errors)),
 		Counters:     d.Cache.CounterMap(),
+		Targeted:     d.Targeted.counterMap(),
 	}
 	for _, s := range d.Stages {
 		snap.Reports += int64(s.Reports)
@@ -221,6 +264,11 @@ func (d Diagnostics) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pipeline: %v total, %d workers, %d app methods, %d request sites\n",
 		d.Total.Round(time.Microsecond), d.Workers, d.AppMethods, d.Sites)
+	if d.Mode == ModeTargeted {
+		t := d.Targeted
+		fmt.Fprintf(&b, "  targeted: %d seeds -> %d methods over %d classes; classes decoded %d, skipped %d\n",
+			t.SeedMethods, t.ClosureMethods, t.ClosureClasses, t.ClassesDecoded, t.ClassesSkipped)
+	}
 	for _, s := range d.Stages {
 		fmt.Fprintf(&b, "  stage %-14s %12v  items=%-5d reports=%d\n",
 			s.Name, s.Duration.Round(time.Microsecond), s.Items, s.Reports)

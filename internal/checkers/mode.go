@@ -1,0 +1,40 @@
+package checkers
+
+import "fmt"
+
+// EngineMode selects how the scan pipeline traverses the app: the classic
+// whole-app pass, or the demand-driven targeted engine that starts from
+// the registry's network-API sites and grows a closure inward (callers,
+// async/ICC dispatchers, receiver factories, error-handler callees).
+// Reports, stats, and scan errors are byte-identical between the modes —
+// the differential harness in internal/experiments pins that — only
+// Diagnostics (work counts, cache traffic) may differ.
+type EngineMode uint8
+
+const (
+	// ModeFull (the zero value) analyzes every app method, as all
+	// pre-targeted engine revisions did.
+	ModeFull EngineMode = iota
+	// ModeTargeted restricts decoding, summaries, and checker domains to
+	// the demand-driven closure of the discovered target sites.
+	ModeTargeted
+)
+
+// String renders the mode as its flag spelling (full, targeted).
+func (m EngineMode) String() string {
+	if m == ModeTargeted {
+		return "targeted"
+	}
+	return "full"
+}
+
+// ParseEngineMode parses the -mode flag values full and targeted.
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch s {
+	case "full":
+		return ModeFull, nil
+	case "targeted":
+		return ModeTargeted, nil
+	}
+	return ModeFull, fmt.Errorf("invalid engine mode %q (want full or targeted)", s)
+}

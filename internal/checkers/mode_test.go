@@ -1,0 +1,50 @@
+package checkers
+
+import "testing"
+
+func TestParseEngineMode(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    EngineMode
+		wantErr bool
+	}{
+		{in: "full", want: ModeFull},
+		{in: "targeted", want: ModeTargeted},
+		{in: "", wantErr: true},
+		{in: "Full", wantErr: true},
+		{in: "TARGETED", wantErr: true},
+		{in: "targeted ", wantErr: true},
+		{in: "fast", wantErr: true},
+		{in: "demand", wantErr: true},
+	}
+	for _, tc := range tests {
+		got, err := ParseEngineMode(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseEngineMode(%q): want error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseEngineMode(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseEngineMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEngineModeString(t *testing.T) {
+	if ModeFull.String() != "full" || ModeTargeted.String() != "targeted" {
+		t.Errorf("String(): full=%q targeted=%q", ModeFull, ModeTargeted)
+	}
+	// Round trip: every mode's String parses back to itself (the serve
+	// handler and CLI rely on it).
+	for _, m := range []EngineMode{ModeFull, ModeTargeted} {
+		back, err := ParseEngineMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %v: got %v, %v", m, back, err)
+		}
+	}
+}

@@ -57,6 +57,7 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 	workers := opts.workerCount()
 	var diag Diagnostics
 	diag.Workers = workers
+	diag.Mode = opts.Mode
 
 	a := &analysis{
 		app:     app,
@@ -71,6 +72,7 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 	finish := func(res *Result) *Result {
 		sortScanErrors(a.errs)
 		diag.Errors = a.errs
+		diag.Targeted = a.tstats
 		res.Incomplete = len(a.errs) > 0
 		if a.ctx != nil {
 			diag.Cache = a.ctx.cacheStats()
@@ -99,6 +101,10 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 
 	buildStart := time.Now()
 	a.guard("build", func() {
+		// Mode resolution first: full mode materializes a lazily opened
+		// app whole; targeted mode computes the demand closure and decodes
+		// only the demanded classes (targeted.go).
+		a.prepareBuild()
 		prog := jimple.NewProgram()
 		prog.Merge(app.Program)
 		prog.Merge(android.Framework())
@@ -192,7 +198,14 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 	// degraded stage simply contributes fewer (or zero) units here; the
 	// surviving stages' reports are byte-identical to a clean scan's.
 	res := &Result{}
-	res.Stats.LibsUsed = reg.LibsUsedBy(app.Program)
+	if app.Lazy != nil {
+		// A lazily opened app may hold undecoded bodies (targeted mode),
+		// so library usage resolves from the skim's referenced-class set —
+		// pinned equal to LibsUsedBy over the decoded program.
+		res.Stats.LibsUsed = reg.LibsUsedByClasses(app.Lazy.RefClasses())
+	} else {
+		res.Stats.LibsUsed = reg.LibsUsedBy(app.Program)
+	}
 	res.Stats.add(&discovered.stats)
 	for i := range stages {
 		res.Reports = append(res.Reports, outs[i].reports...)

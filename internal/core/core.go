@@ -61,6 +61,24 @@ func ParseCacheMode(s string) (CacheMode, error) {
 	return checkers.ParseCacheMode(s)
 }
 
+// EngineMode selects the scan traversal: ModeFull analyzes every app
+// method; ModeTargeted lazily decodes and analyzes only the demand-driven
+// closure of the network-API sites. Reports and stats are byte-identical
+// between the modes; targeted scans do less work and report it in
+// Diagnostics.
+type EngineMode = checkers.EngineMode
+
+// The engine modes, re-exported for callers configuring Options.
+const (
+	ModeFull     = checkers.ModeFull
+	ModeTargeted = checkers.ModeTargeted
+)
+
+// ParseEngineMode parses the -mode flag spellings full and targeted.
+func ParseEngineMode(s string) (EngineMode, error) {
+	return checkers.ParseEngineMode(s)
+}
+
 // Diagnostics re-exports the per-scan pipeline observability record:
 // per-stage wall time, work volumes, analysis-cache hit counters, and
 // the scan's ScanError list when degraded.
@@ -105,6 +123,19 @@ func NewWithOptions(opts Options) *Checker {
 // Registry exposes the library annotations in use.
 func (c *Checker) Registry() *apimodel.Registry { return c.reg }
 
+// WithMode returns a Checker identical to c except for the engine mode,
+// sharing c's registry (and therefore its fingerprint and the
+// one-registry-per-process economy). nchecker serve uses it to honor
+// per-job ?mode= requests without rebuilding annotations.
+func (c *Checker) WithMode(m EngineMode) *Checker {
+	if c.opts.Mode == m {
+		return c
+	}
+	opts := c.opts
+	opts.Mode = m
+	return &Checker{reg: c.reg, opts: opts}
+}
+
 // Options returns the analysis options the Checker scans with. Long-lived
 // callers (nchecker serve) use it to report the effective configuration.
 func (c *Checker) Options() Options { return c.opts }
@@ -128,13 +159,25 @@ func (c *Checker) ScanBytes(data []byte) (*Result, error) {
 }
 
 // ScanBytesContext is ScanBytes under a caller context. A malformed
-// container yields an error matching ErrDecode.
+// container yields an error matching ErrDecode. In targeted mode the
+// container is opened lazily — method bodies outside the demand closure
+// are never decoded.
 func (c *Checker) ScanBytesContext(ctx context.Context, data []byte) (*Result, error) {
-	app, err := apk.Decode(data)
+	app, err := c.openBytes(data)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", decodeErr(err))
 	}
 	return c.ScanAppContext(ctx, app), nil
+}
+
+// openBytes picks the decode path for the engine mode: lazy for targeted
+// scans, eager otherwise. Both accept exactly the same inputs and seed
+// the same content digest, so cache keys agree across modes' open paths.
+func (c *Checker) openBytes(data []byte) (*apk.App, error) {
+	if c.opts.Mode == ModeTargeted {
+		return apk.DecodeLazy(data)
+	}
+	return apk.Decode(data)
 }
 
 // ScanFile parses the APK container at path and analyzes it.
@@ -143,9 +186,16 @@ func (c *Checker) ScanFile(path string) (*Result, error) {
 }
 
 // ScanFileContext is ScanFile under a caller context. An unreadable or
-// malformed file yields an error matching ErrDecode.
+// malformed file yields an error matching ErrDecode. Targeted scans open
+// the file lazily, like ScanBytesContext.
 func (c *Checker) ScanFileContext(ctx context.Context, path string) (*Result, error) {
-	app, err := apk.ReadFile(path)
+	var app *apk.App
+	var err error
+	if c.opts.Mode == ModeTargeted {
+		app, err = apk.ReadFileLazy(path)
+	} else {
+		app, err = apk.ReadFile(path)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", decodeErr(err))
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/apimodel"
+	"repro/internal/apk"
 )
 
 // TestBatchScansBuildOneRegistry pins the fix for the batch-mode
@@ -29,5 +31,50 @@ func TestBatchScansBuildOneRegistry(t *testing.T) {
 	}
 	if after := apimodel.RegistryBuilds(); after != before {
 		t.Fatalf("batch scans built %d extra registries; the registry must be constructed once per Checker, not per app", after-before)
+	}
+}
+
+// TestWithModeSharesRegistry pins WithMode's economy: deriving a
+// per-mode Checker (what nchecker serve does for ?mode= jobs) must reuse
+// the parent's registry, and scanning through the derived checker — the
+// lazy targeted open path included — must build no registries either.
+func TestWithModeSharesRegistry(t *testing.T) {
+	nc := New()
+	if res := nc.ScanApp(buggyApp(t)); res.Incomplete {
+		t.Fatalf("warm-up scan incomplete: %v", res.Err())
+	}
+	data, err := apk.Encode(buggyApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := apimodel.RegistryBuilds()
+	tc := nc.WithMode(ModeTargeted)
+	if tc.Registry() != nc.Registry() {
+		t.Fatal("WithMode must share the parent registry")
+	}
+	if tc.Options().Mode != ModeTargeted || nc.Options().Mode != ModeFull {
+		t.Fatalf("modes wrong: derived=%v parent=%v", tc.Options().Mode, nc.Options().Mode)
+	}
+	if same := nc.WithMode(ModeFull); same != nc {
+		t.Error("WithMode with the current mode should return the receiver")
+	}
+	res, err := tc.ScanBytes(data)
+	if err != nil {
+		t.Fatalf("targeted ScanBytes: %v", err)
+	}
+	if res.Diagnostics.Mode != ModeTargeted {
+		t.Errorf("scan ran in mode %v", res.Diagnostics.Mode)
+	}
+	if after := apimodel.RegistryBuilds(); after != before {
+		t.Fatalf("WithMode scan built %d extra registries", after-before)
+	}
+
+	full, err := nc.ScanBytes(data)
+	if err != nil {
+		t.Fatalf("full ScanBytes: %v", err)
+	}
+	if !reflect.DeepEqual(res.Reports, full.Reports) || !reflect.DeepEqual(res.Stats, full.Stats) {
+		t.Error("targeted ScanBytes reports/stats differ from full mode")
 	}
 }

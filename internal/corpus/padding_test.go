@@ -1,0 +1,54 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apk"
+	"repro/internal/core"
+)
+
+// TestPaddingIsInert: padding classes change no report in either engine
+// mode, and the targeted engine never decodes one — the invariant the
+// class-count-scaling benchmark (BENCH_targeted.json) rests on.
+func TestPaddingIsInert(t *testing.T) {
+	spec := GoldenSpecs()[0].Spec
+	plain, err := Build(spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	padded, err := Build(spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	const pad = 25
+	AddPadding(padded, pad)
+	if got := padded.Program.NumClasses() - plain.Program.NumClasses(); got != pad {
+		t.Fatalf("padding added %d classes, want %d", got, pad)
+	}
+
+	base := core.New().ScanApp(plain)
+	full := core.New().ScanApp(padded)
+	if !reflect.DeepEqual(full.Reports, base.Reports) {
+		t.Error("padding changed full-mode reports")
+	}
+
+	data, err := apk.Encode(padded)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	targeted, err := core.NewWithOptions(core.Options{Mode: core.ModeTargeted}).ScanBytes(data)
+	if err != nil {
+		t.Fatalf("targeted ScanBytes: %v", err)
+	}
+	if !reflect.DeepEqual(targeted.Reports, base.Reports) {
+		t.Error("padding changed targeted-mode reports")
+	}
+	if !reflect.DeepEqual(targeted.Stats, full.Stats) {
+		t.Errorf("targeted stats differ from full on the padded app:\n%+v\n%+v", targeted.Stats, full.Stats)
+	}
+	ts := targeted.Diagnostics.Targeted
+	if ts.ClassesSkipped < pad {
+		t.Errorf("targeted decoded padding: skipped %d classes, want >= %d", ts.ClassesSkipped, pad)
+	}
+}

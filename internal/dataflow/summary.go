@@ -115,6 +115,15 @@ type SummaryConfig struct {
 	// scratch (a mid-cycle seed is only trustworthy alongside the
 	// co-converged values of its cycle peers).
 	Seeds map[string]*TaintSummary
+	// Roots, when non-nil, restricts the computation to the sub-condensation
+	// demanded by the given method keys: only SCCs inside the forward
+	// synchronous-call closure of Roots (intersected with the method set)
+	// are condensed and summarized. Checkers only ever consult summaries
+	// from a root method's call sites, and a callee's converged summary
+	// depends only on its own forward closure, so every consulted value is
+	// identical to the whole-set computation's. nil means all methods
+	// (a non-nil empty slice computes nothing).
+	Roots []string
 }
 
 func (c *SummaryConfig) cfg(m *jimple.Method) *cfg.Graph {
@@ -194,6 +203,9 @@ func ComputeSummaries(cg *callgraph.Graph, methods []*jimple.Method, conf Summar
 		}
 	}
 	sort.Strings(keys)
+	if conf.Roots != nil {
+		keys = b.demandedClosure(keys, conf.Roots)
+	}
 	for _, k := range keys {
 		if sum := conf.Seeds[k]; sum != nil {
 			b.set.sums[k] = sum
@@ -221,6 +233,41 @@ type summaryBuilder struct {
 	inSet  map[string]*jimple.Method
 	seeded map[string]bool // keys whose summary came from conf.Seeds
 	set    *SummarySet
+}
+
+// demandedClosure filters the sorted key list down to the forward EdgeCall
+// closure of the roots within the in-set, preserving the sorted order.
+func (b *summaryBuilder) demandedClosure(keys, roots []string) []string {
+	want := make(map[string]bool, len(roots))
+	var stack []string
+	for _, r := range roots {
+		if _, ok := b.inSet[r]; ok && !want[r] {
+			want[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range b.cg.OutEdges(k) {
+			ck := e.Callee.Key()
+			if e.Kind != callgraph.EdgeCall || want[ck] {
+				continue
+			}
+			if _, ok := b.inSet[ck]; !ok {
+				continue
+			}
+			want[ck] = true
+			stack = append(stack, ck)
+		}
+	}
+	out := keys[:0]
+	for _, k := range keys {
+		if want[k] {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // condense runs Tarjan's algorithm over the in-set call edges and returns

@@ -22,6 +22,10 @@ type decoder struct {
 	data []byte
 	pos  int
 	pool []string
+	// lazy, when non-nil, switches method bodies to the skim path: the
+	// shared body core still parses (and validates) every byte, but the
+	// statements are dropped and only the span + MethodRef are recorded.
+	lazy *Lazy
 }
 
 func (d *decoder) run() (*jimple.Program, error) {
@@ -243,52 +247,70 @@ func (d *decoder) method() (*jimple.Method, error) {
 		// (fuzz-found canonicality break).
 		return nil, fmt.Errorf("method %s: abstract flag with body", m.Sig.Key())
 	}
+	if d.lazy != nil {
+		if err := d.lazyBody(m); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	if err := d.body(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// body decodes the encoded body section — locals, statements, traps, and
+// the empty-body normalization — into m. It is the single decoder core
+// shared by the eager path (method) and the lazy path (lazy.go), which
+// skims it once for call records and re-runs it on demand to materialize
+// a class; sharing it is what makes the two paths bit-identical.
+func (d *decoder) body(m *jimple.Method) error {
 	nl, err := d.count("local")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := 0; i < nl; i++ {
 		var l jimple.LocalDecl
 		if l.Name, err = d.ref(); err != nil {
-			return nil, err
+			return err
 		}
 		if l.Type, err = d.ref(); err != nil {
-			return nil, err
+			return err
 		}
 		m.Locals = append(m.Locals, l)
 	}
 	ns, err := d.count("statement")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := 0; i < ns; i++ {
 		s, err := d.stmt()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Body = append(m.Body, s)
 	}
 	nt, err := d.count("trap")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := 0; i < nt; i++ {
 		var t jimple.Trap
 		b, err := d.u64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e, err := d.u64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		h, err := d.u64()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		exc, err := d.ref()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t.Begin, t.End, t.Handler, t.Exception = int(b), int(e), int(h), exc
 		m.Traps = append(m.Traps, t)
@@ -301,7 +323,7 @@ func (d *decoder) method() (*jimple.Method, error) {
 		m.Locals = nil
 		m.Traps = nil
 	}
-	return m, nil
+	return nil
 }
 
 func (d *decoder) stmt() (jimple.Stmt, error) {

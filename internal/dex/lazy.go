@@ -1,0 +1,275 @@
+package dex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/jimple"
+)
+
+// This file is the lazy decode fast path for the targeted engine mode:
+// DecodeLazy parses the container eagerly down to class/field/method
+// headers but retains no method bodies. Each body section is skimmed once
+// through the shared decoder core (decode.go's body) to delimit its byte
+// span and extract a MethodRef — the call targets, explicit-intent class
+// names, and referenced types the demand-driven closure rules need — and
+// the decoded statements are dropped. Materialize re-runs the same core
+// over a recorded span to give a demanded class its bodies back, so a
+// fully materialized lazy program is bit-identical to an eager Decode of
+// the same bytes, and malformed input fails identically on both paths
+// (the skim runs every check the eager decoder runs, in the same order).
+
+// MethodRef is the skim record of one body-bearing method: everything the
+// targeted closure engine consults without the body being retained.
+type MethodRef struct {
+	// Sig is the method's full signature (declaring class included).
+	Sig jimple.Sig
+	// Calls lists the top-level callee signatures in statement order —
+	// the jimple.InvokeOf shape: an InvokeStmt or an AssignStmt whose RHS
+	// is an invoke. Nested invokes cannot be expressed at statement level,
+	// so this is exactly the call set the call graph builds from.
+	Calls []jimple.Sig
+	// Intents lists the string-constant class names passed to one-argument
+	// setClassName calls anywhere in the body: a superset of the
+	// explicit-intent targets callgraph resolves (which also requires the
+	// receiver local to alias the launched Intent).
+	Intents []string
+}
+
+// refOf extracts the skim record from a decoded body-bearing method. It
+// is the single extraction rule shared by the lazy skim and MethodRefsOf,
+// which keeps the two scan paths' closure inputs identical.
+func refOf(m *jimple.Method) MethodRef {
+	ref := MethodRef{Sig: m.Sig}
+	for _, s := range m.Body {
+		inv, ok := jimple.InvokeOf(s)
+		if !ok {
+			continue
+		}
+		ref.Calls = append(ref.Calls, inv.Callee)
+		if inv.Callee.Name == "setClassName" && len(inv.Args) == 1 {
+			if sc, isStr := inv.Args[0].(jimple.StrConst); isStr {
+				ref.Intents = append(ref.Intents, sc.V)
+			}
+		}
+	}
+	return ref
+}
+
+// MethodRefsOf extracts skim records from an eagerly decoded program's
+// body-bearing methods, sorted by method key. The in-memory targeted scan
+// path feeds these to the closure engine; the differential tests pin them
+// equal to a Lazy skim of the same program's encoded bytes.
+func MethodRefsOf(p *jimple.Program) []MethodRef {
+	var out []MethodRef
+	for _, c := range p.Classes() {
+		for _, m := range c.Methods {
+			if m.HasBody() {
+				out = append(out, refOf(m))
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Sig.Key() < out[j].Sig.Key() })
+	return out
+}
+
+// bodiedRec ties a skeleton method to its skim record and the offset of
+// its encoded body section (start of the locals count).
+type bodiedRec struct {
+	m     *jimple.Method
+	start int
+	ref   MethodRef
+}
+
+// Lazy is a lazily decoded program: full headers, no bodies. Methods that
+// had a body in the bytes sit in the skeleton with Abstract=false and
+// Body=nil (HasBody false) until their class is materialized. Lazy is not
+// safe for concurrent mutation; materialize before sharing the program.
+type Lazy struct {
+	data []byte
+	pool []string
+
+	prog      *jimple.Program
+	classRecs map[string][]bodiedRec
+	refs      []MethodRef
+	// localTypes accumulates the declared local types seen during the
+	// skim; bodies are dropped, so the set is captured in passing.
+	localTypes   map[string]bool
+	refClasses   []string
+	materialized map[string]bool
+	poolSet      map[string]bool // built on first TargetSiteSearch
+}
+
+// DecodeLazy parses bytes produced by Encode into a Lazy program. It
+// accepts and rejects exactly the inputs Decode does: the skim shares the
+// eager decoder core statement for statement.
+func DecodeLazy(data []byte) (*Lazy, error) {
+	l := &Lazy{
+		data:         data,
+		classRecs:    make(map[string][]bodiedRec),
+		materialized: make(map[string]bool),
+	}
+	d := &decoder{data: data, lazy: l}
+	prog, err := d.run()
+	if err != nil {
+		return nil, fmt.Errorf("dex: %w (at offset %d)", err, d.pos)
+	}
+	l.prog = prog
+	l.pool = d.pool
+	l.finalize()
+	return l, nil
+}
+
+// finalize freezes the sorted record list and the referenced-class set
+// once the whole container has parsed.
+func (l *Lazy) finalize() {
+	classes := make([]string, 0, len(l.classRecs))
+	for cls := range l.classRecs {
+		classes = append(classes, cls)
+	}
+	sort.Strings(classes)
+	noted := make(map[string]bool)
+	for _, cls := range classes {
+		for _, br := range l.classRecs[cls] {
+			l.refs = append(l.refs, br.ref)
+		}
+	}
+	sort.SliceStable(l.refs, func(i, j int) bool { return l.refs[i].Sig.Key() < l.refs[j].Sig.Key() })
+	// The referenced-class note set mirrors apimodel.LibsUsedBy: every
+	// supertype and interface, every top-level callee's class, and every
+	// body-bearing method's local types (collected during the skim into
+	// the records' Calls plus the transient locals noted by lazyBody).
+	for _, c := range l.prog.Classes() {
+		noted[c.Super] = true
+		for _, i := range c.Interfaces {
+			noted[i] = true
+		}
+	}
+	for _, r := range l.refs {
+		for _, call := range r.Calls {
+			noted[call.Class] = true
+		}
+	}
+	for t := range l.localTypes {
+		noted[t] = true
+	}
+	l.refClasses = make([]string, 0, len(noted))
+	for cls := range noted {
+		if cls != "" {
+			l.refClasses = append(l.refClasses, cls)
+		}
+	}
+	sort.Strings(l.refClasses)
+}
+
+// Program returns the skeleton program. Materialize mutates it in place;
+// after MaterializeAll it is bit-identical to an eager Decode.
+func (l *Lazy) Program() *jimple.Program { return l.prog }
+
+// MethodRefs returns the skim records of every body-bearing method,
+// sorted by method key. The slice is shared; treat it as read-only.
+func (l *Lazy) MethodRefs() []MethodRef { return l.refs }
+
+// RefClasses returns every class name the program references (supertypes,
+// interfaces, invoked classes, local types), sorted —
+// apimodel.LibsUsedByClasses' input, computed without retained bodies.
+func (l *Lazy) RefClasses() []string { return l.refClasses }
+
+// NumBodiedClasses returns how many classes have at least one
+// body-bearing method (the denominator of the decoded/skipped counters).
+func (l *Lazy) NumBodiedClasses() int { return len(l.classRecs) }
+
+// Materialize decodes the retained body spans of one class into the
+// skeleton, idempotently. The spans were fully skimmed at DecodeLazy
+// time, so an error here means the underlying bytes changed — callers may
+// treat it as impossible for data they own.
+func (l *Lazy) Materialize(class string) error {
+	if l.materialized[class] {
+		return nil
+	}
+	l.materialized[class] = true
+	for _, br := range l.classRecs[class] {
+		d := &decoder{data: l.data, pos: br.start, pool: l.pool}
+		if err := d.body(br.m); err != nil {
+			return fmt.Errorf("dex: %w (at offset %d)", err, d.pos)
+		}
+	}
+	return nil
+}
+
+// MaterializeAll decodes every retained body, leaving the program equal
+// to an eager Decode — the fallback when a lazily opened app is scanned
+// in full mode.
+func (l *Lazy) MaterializeAll() error {
+	classes := make([]string, 0, len(l.classRecs))
+	for cls := range l.classRecs {
+		classes = append(classes, cls)
+	}
+	sort.Strings(classes)
+	for _, cls := range classes {
+		if err := l.Materialize(cls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TargetSiteSearch returns the sorted keys of skimmed methods containing
+// a top-level call to one of the wanted callee signatures. Fast path: a
+// method ref can only name a signature whose class and method-name
+// strings are interned in the constant pool, so an app that never
+// mentions a target API resolves to no sites from the pool scan alone,
+// before any method record is consulted.
+func (l *Lazy) TargetSiteSearch(wanted []jimple.Sig) []string {
+	if l.poolSet == nil {
+		l.poolSet = make(map[string]bool, len(l.pool))
+		for _, s := range l.pool {
+			l.poolSet[s] = true
+		}
+	}
+	keys := make(map[string]bool, len(wanted))
+	for _, w := range wanted {
+		if l.poolSet[w.Class] && l.poolSet[w.Name] {
+			keys[w.Key()] = true
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	var out []string
+	for i := range l.refs {
+		for _, c := range l.refs[i].Calls {
+			if keys[c.Key()] {
+				out = append(out, l.refs[i].Sig.Key())
+				break
+			}
+		}
+	}
+	return out
+}
+
+// lazyBody is the decoder hook for the skim: it runs the shared body core
+// over a throwaway method (identical parsing, identical errors), records
+// the span and the extracted MethodRef, and leaves m bodiless.
+func (d *decoder) lazyBody(m *jimple.Method) error {
+	start := d.pos
+	tmp := jimple.Method{Sig: m.Sig, Static: m.Static}
+	if err := d.body(&tmp); err != nil {
+		return err
+	}
+	if !tmp.HasBody() {
+		// Empty-body normalization, mirrored onto the skeleton: nothing to
+		// materialize later.
+		m.Abstract = true
+		return nil
+	}
+	if d.lazy.localTypes == nil {
+		d.lazy.localTypes = make(map[string]bool)
+	}
+	for _, lcl := range tmp.Locals {
+		d.lazy.localTypes[lcl.Type] = true
+	}
+	d.lazy.classRecs[m.Sig.Class] = append(d.lazy.classRecs[m.Sig.Class],
+		bodiedRec{m: m, start: start, ref: refOf(&tmp)})
+	return nil
+}

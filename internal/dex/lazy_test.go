@@ -1,0 +1,283 @@
+package dex_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apimodel"
+	"repro/internal/corpus"
+	"repro/internal/dex"
+	"repro/internal/jimple"
+)
+
+const lazySampleSrc = `class com.app.Main extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local self com.app.Main
+    local c com.turbomanage.httpclient.BasicHttpClient
+    local r com.turbomanage.httpclient.HttpResponse
+    local i android.content.Intent
+    self = this com.app.Main
+    c = new com.turbomanage.httpclient.BasicHttpClient
+    specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://example.com"
+    i = new android.content.Intent
+    virtualinvoke i android.content.Intent.setClassName(java.lang.String)android.content.Intent "com.app.Detail"
+    virtualinvoke self android.app.Activity.startActivity(android.content.Intent)void i
+    return
+  }
+  method helper()void {
+    local x java.lang.String
+    x = "s"
+    return
+  }
+  method abstract stub(int)void
+}
+class com.app.Detail extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    nop
+    return
+  }
+}`
+
+func lazySample(t *testing.T) *jimple.Program {
+	t.Helper()
+	return jimple.MustParse(lazySampleSrc)
+}
+
+// TestLazyMaterializeAllMatchesEagerDecode: a fully materialized lazy
+// program is text-identical to an eager decode of the same bytes, over
+// the generated corpus.
+func TestLazyMaterializeAllMatchesEagerDecode(t *testing.T) {
+	apps, err := corpus.GenerateCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range apps[:40] {
+		data := dex.Encode(a.App.Program)
+		eager, err := dex.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", a.Name, err)
+		}
+		l, err := dex.DecodeLazy(data)
+		if err != nil {
+			t.Fatalf("%s: DecodeLazy: %v", a.Name, err)
+		}
+		if err := l.MaterializeAll(); err != nil {
+			t.Fatalf("%s: MaterializeAll: %v", a.Name, err)
+		}
+		if jimple.Print(l.Program()) != jimple.Print(eager) {
+			t.Fatalf("%s: materialized lazy program differs from eager decode", a.Name)
+		}
+	}
+}
+
+// TestLazySkeletonHasNoBodies: before materialization every method is
+// bodiless, classes materialize independently and idempotently, and the
+// class/field/method headers are complete.
+func TestLazySkeletonHasNoBodies(t *testing.T) {
+	data := dex.Encode(lazySample(t))
+	l, err := dex.DecodeLazy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := l.Program()
+	if p.NumClasses() != 2 {
+		t.Fatalf("skeleton has %d classes, want 2", p.NumClasses())
+	}
+	for _, c := range p.Classes() {
+		for _, m := range c.Methods {
+			if m.HasBody() {
+				t.Fatalf("%s has a body before materialization", m.Sig.Key())
+			}
+		}
+	}
+	if err := l.Materialize("com.app.Detail"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Materialize("com.app.Detail"); err != nil {
+		t.Fatalf("re-materialize: %v", err)
+	}
+	if m := p.Class("com.app.Detail").MethodNamed("onCreate"); !m.HasBody() {
+		t.Fatal("materialized class still bodiless")
+	}
+	if m := p.Class("com.app.Main").MethodNamed("onCreate"); m.HasBody() {
+		t.Fatal("unmaterialized class grew a body")
+	}
+	if n := l.NumBodiedClasses(); n != 2 {
+		t.Fatalf("NumBodiedClasses = %d, want 2", n)
+	}
+}
+
+// TestLazyMethodRefsMatchEager: the skim's records equal MethodRefsOf
+// over the eager decode — the two closure-engine inputs are one.
+func TestLazyMethodRefsMatchEager(t *testing.T) {
+	apps, err := corpus.GenerateCorpus(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []*jimple.Program{lazySample(t)}
+	for _, a := range apps[:20] {
+		progs = append(progs, a.App.Program)
+	}
+	for i, p := range progs {
+		data := dex.Encode(p)
+		l, err := dex.DecodeLazy(data)
+		if err != nil {
+			t.Fatalf("prog %d: %v", i, err)
+		}
+		eager, err := dex.Decode(data)
+		if err != nil {
+			t.Fatalf("prog %d: %v", i, err)
+		}
+		if got, want := l.MethodRefs(), dex.MethodRefsOf(eager); !reflect.DeepEqual(got, want) {
+			t.Fatalf("prog %d: lazy MethodRefs differ from eager:\nlazy:  %+v\neager: %+v", i, got, want)
+		}
+	}
+}
+
+// TestLazyRefClasses: the skim's referenced-class set feeds
+// apimodel.LibsUsedByClasses with the same answer LibsUsedBy computes
+// from retained bodies.
+func TestLazyRefClasses(t *testing.T) {
+	p := lazySample(t)
+	l, err := dex.DecodeLazy(dex.Encode(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := apimodel.NewRegistry()
+	got := reg.LibsUsedByClasses(l.RefClasses())
+	want := reg.LibsUsedBy(p)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LibsUsedByClasses(RefClasses) = %v, want %v", got, want)
+	}
+	has := func(cls string) bool {
+		for _, c := range l.RefClasses() {
+			if c == cls {
+				return true
+			}
+		}
+		return false
+	}
+	for _, cls := range []string{
+		"android.app.Activity",                       // supertype
+		"com.turbomanage.httpclient.BasicHttpClient", // invoked class + local type
+		"com.turbomanage.httpclient.HttpResponse",    // local type
+		"android.content.Intent",                     // invoked class
+	} {
+		if !has(cls) {
+			t.Errorf("RefClasses missing %s", cls)
+		}
+	}
+}
+
+// TestLazyErrorParity: DecodeLazy accepts exactly what Decode accepts,
+// across truncations and random single-byte corruptions.
+func TestLazyErrorParity(t *testing.T) {
+	data := dex.Encode(lazySample(t))
+	check := func(mut []byte) {
+		t.Helper()
+		_, eagerErr := dex.Decode(mut)
+		_, lazyErr := dex.DecodeLazy(mut)
+		if (eagerErr == nil) != (lazyErr == nil) {
+			t.Fatalf("error parity broken: eager=%v lazy=%v", eagerErr, lazyErr)
+		}
+	}
+	for cut := 0; cut < len(data); cut += 7 {
+		check(data[:cut])
+	}
+	f := func(posRaw uint16, val byte) bool {
+		mut := append([]byte(nil), data...)
+		mut[int(posRaw)%len(mut)] = val
+		check(mut)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLazyTargetSiteSearch: the pool pre-search finds exactly the methods
+// with a top-level call to a wanted signature.
+func TestLazyTargetSiteSearch(t *testing.T) {
+	l, err := dex.DecodeLazy(dex.Encode(lazySample(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := jimple.Sig{
+		Class: "com.turbomanage.httpclient.BasicHttpClient", Name: "get",
+		Params: []string{"java.lang.String"}, Ret: "com.turbomanage.httpclient.HttpResponse",
+	}
+	got := l.TargetSiteSearch([]jimple.Sig{get})
+	want := []string{"com.app.Main.onCreate(android.os.Bundle)void"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TargetSiteSearch = %v, want %v", got, want)
+	}
+	absent := jimple.Sig{Class: "com.squareup.okhttp.Call", Name: "execute", Ret: "com.squareup.okhttp.Response"}
+	if got := l.TargetSiteSearch([]jimple.Sig{absent}); got != nil {
+		t.Fatalf("TargetSiteSearch(absent) = %v, want nil", got)
+	}
+}
+
+// registryTargetSigs lists every target API signature of the standard
+// registry — the wanted set the engine's seed search uses.
+func registryTargetSigs() []jimple.Sig {
+	var sigs []jimple.Sig
+	for _, lib := range apimodel.NewRegistry().Libraries() {
+		for _, tgt := range lib.Targets {
+			sigs = append(sigs, tgt.Sig)
+		}
+	}
+	return sigs
+}
+
+// FuzzTargetSiteSearch drives the lazy pool pre-search against the eager
+// decoder: on any input both paths must agree on decodability, and on
+// success the pre-search must report exactly the target sites the eager
+// decode contains — never a site the eager decoder doesn't, and never one
+// fewer (the closure engine's seeds depend on it).
+func FuzzTargetSiteSearch(f *testing.F) {
+	apps, err := corpus.GenerateCorpus(7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, a := range apps[:3] {
+		f.Add(dex.Encode(a.App.Program))
+	}
+	sample := dex.Encode(jimple.MustParse(lazySampleSrc))
+	f.Add(sample)
+	f.Add(sample[:len(sample)/2])
+	flipped := bytes.Clone(sample)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte{})
+	targets := registryTargetSigs()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, lazyErr := dex.DecodeLazy(data)
+		eager, eagerErr := dex.Decode(data)
+		if (lazyErr == nil) != (eagerErr == nil) {
+			t.Fatalf("decodability disagrees: lazy=%v eager=%v", lazyErr, eagerErr)
+		}
+		if lazyErr != nil {
+			return
+		}
+		wanted := make(map[string]bool, len(targets))
+		for _, s := range targets {
+			wanted[s.Key()] = true
+		}
+		var eagerSites []string
+		for _, r := range dex.MethodRefsOf(eager) {
+			for _, c := range r.Calls {
+				if wanted[c.Key()] {
+					eagerSites = append(eagerSites, r.Sig.Key())
+					break
+				}
+			}
+		}
+		got := l.TargetSiteSearch(targets)
+		if !reflect.DeepEqual(got, eagerSites) {
+			t.Fatalf("pre-search sites %v, eager sites %v", got, eagerSites)
+		}
+	})
+}

@@ -56,6 +56,14 @@ func TestCacheDifferentialGoldenCorpus(t *testing.T) {
 		{"ro-w1", core.Options{Workers: 1, CacheDir: dir, CacheMode: core.CacheRO}},
 		{"ro-w4", core.Options{Workers: 4, CacheDir: dir, CacheMode: core.CacheRO}},
 		{"off-w4", core.Options{Workers: 4}},
+		// The targeted engine cross-cuts the same matrix: its cache entries
+		// live under a distinct fingerprint (mode is fingerprinted), so the
+		// first rw cell fills targeted entries and the later ones read them.
+		{"targeted-off-w1", core.Options{Workers: 1, Mode: core.ModeTargeted}},
+		{"targeted-off-w4", core.Options{Workers: 4, Mode: core.ModeTargeted}},
+		{"targeted-rw-cold-w1", core.Options{Workers: 1, CacheDir: dir, CacheMode: core.CacheRW, Mode: core.ModeTargeted}},
+		{"targeted-rw-warm-w4", core.Options{Workers: 4, CacheDir: dir, CacheMode: core.CacheRW, Mode: core.ModeTargeted}},
+		{"targeted-ro-w4", core.Options{Workers: 4, CacheDir: dir, CacheMode: core.CacheRO, Mode: core.ModeTargeted}},
 	}
 	for _, cell := range cells {
 		got := goldenReportTextWith(t, cell.opts)

@@ -33,6 +33,9 @@ import (
 //	nchecker_request_sites_total             request sites discovered
 //	nchecker_cache_<counter>_total           every checkers.CacheStats counter
 //	                                         (store_hits, store_misses, summaries_seeded, ...)
+//	nchecker_targeted_<counter>_total        targeted-engine work counters
+//	                                         (seed_methods, closure_methods, closure_classes,
+//	                                         classes_decoded, classes_skipped)
 type metrics struct {
 	mu sync.Mutex
 
@@ -51,7 +54,8 @@ type metrics struct {
 	stageItems   map[string]int64
 	stageReports map[string]int64
 
-	cache map[string]int64 // CounterMap keys
+	cache    map[string]int64 // CounterMap keys
+	targeted map[string]int64 // TargetedStats counter keys
 }
 
 func newMetrics() *metrics {
@@ -62,6 +66,7 @@ func newMetrics() *metrics {
 		stageItems:   make(map[string]int64),
 		stageReports: make(map[string]int64),
 		cache:        make(map[string]int64),
+		targeted:     make(map[string]int64),
 	}
 }
 
@@ -140,6 +145,9 @@ func (m *metrics) jobDone(snap checkers.MetricsSnapshot, degraded bool) {
 	for k, v := range snap.Counters {
 		m.cache[k] += v
 	}
+	for k, v := range snap.Targeted {
+		m.targeted[k] += v
+	}
 }
 
 // fnum renders a float the way Prometheus expects (shortest round-trip).
@@ -204,6 +212,9 @@ func (m *metrics) render(queueDepth, queueCap int) string {
 
 	for _, k := range sortedKeys(m.cache) {
 		counter("nchecker_cache_"+k+"_total", "Cumulative checkers.CacheStats counter "+k+".", m.cache[k])
+	}
+	for _, k := range sortedKeys(m.targeted) {
+		counter("nchecker_targeted_"+k+"_total", "Cumulative targeted-engine counter "+k+".", m.targeted[k])
 	}
 	return b.String()
 }

@@ -112,9 +112,10 @@ type Job struct {
 	// lost (done + degraded).
 	Error string `json:"error,omitempty"`
 
-	seq      int64         // numeric ID, for newest-first listings
-	deadline time.Duration // resolved per-job scan deadline (0 = none)
-	data     []byte        // app container bytes; released when the scan finishes
+	seq      int64           // numeric ID, for newest-first listings
+	deadline time.Duration   // resolved per-job scan deadline (0 = none)
+	mode     core.EngineMode // resolved engine mode (?mode= or the server default)
+	data     []byte          // app container bytes; released when the scan finishes
 }
 
 // Server is the scan service. Construct with New, wire Handler into an
@@ -249,6 +250,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	mode, err := jobMode(r.URL.Query().Get("mode"), s.cfg.Scan.Mode)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	s.mu.Lock()
 	s.nextID++
@@ -260,6 +266,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Submitted: time.Now(),
 		seq:       s.nextID,
 		deadline:  timeout,
+		mode:      mode,
 		data:      body,
 	}
 	// Register before enqueueing: a worker may finish the job (and hit the
@@ -288,6 +295,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]string{"id": job.ID, "status": string(StatusQueued)})
+}
+
+// jobMode resolves a per-request ?mode= override: empty keeps the
+// server's default engine mode, anything else must be a valid mode name.
+func jobMode(param string, def core.EngineMode) (core.EngineMode, error) {
+	if param == "" {
+		return def, nil
+	}
+	return core.ParseEngineMode(param)
 }
 
 // jobTimeout resolves a per-request timeout override against the server
@@ -379,7 +395,7 @@ func (s *Server) run(job *Job) {
 	s.mu.Lock()
 	job.Status = StatusRunning
 	job.Started = &start
-	data, deadline := job.data, job.deadline
+	data, deadline, mode := job.data, job.deadline, job.mode
 	s.mu.Unlock()
 	s.metrics.scanStarted()
 
@@ -389,7 +405,9 @@ func (s *Server) run(job *Job) {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	res, err := s.checker.ScanBytesContext(ctx, data)
+	// WithMode shares the process-wide registry (and cache store): a
+	// ?mode= override costs one small struct, not a rebuilt Checker.
+	res, err := s.checker.WithMode(mode).ScanBytesContext(ctx, data)
 	finished := time.Now()
 
 	s.mu.Lock()

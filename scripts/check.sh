@@ -51,13 +51,37 @@ trap 'rm -rf "$cachedir"' EXIT
 NCHECKER_TEST_CACHEDIR="$cachedir" go test -race -timeout 10m \
     ./internal/cachestore ./internal/checkers ./internal/experiments
 
+echo "== targeted-mode differential =="
+# End to end through the CLI: -mode=full and -mode=targeted over the
+# same generated app containers (padded so the targeted engine really
+# skips classes) must print byte-identical reports and exit alike.
+diffdir=$(mktemp -d)
+trap 'rm -rf "$cachedir" "$diffdir"' EXIT
+go build -o "$diffdir/nchecker" ./cmd/nchecker
+go run ./cmd/appgen -out "$diffdir/corpus" -n 24 -pad 40 >/dev/null
+full_status=0
+"$diffdir/nchecker" -mode=full "$diffdir"/corpus/*.apk >"$diffdir/full.txt" || full_status=$?
+targeted_status=0
+"$diffdir/nchecker" -mode=targeted "$diffdir"/corpus/*.apk >"$diffdir/targeted.txt" || targeted_status=$?
+if [ "$full_status" -ne "$targeted_status" ]; then
+    echo "targeted differential: exit codes differ (full=$full_status targeted=$targeted_status)" >&2
+    exit 1
+fi
+cmp "$diffdir/full.txt" "$diffdir/targeted.txt"
+
+echo "== targeted scaling bench smoke =="
+# One iteration per cell keeps the gate fast while proving the six
+# BenchmarkScanMode{Full,Targeted}{1x,10x,100x} cells still run and
+# regenerate BENCH_targeted.json's headline numbers.
+go test -run='^$' -bench='^BenchmarkScanMode' -benchtime=1x -timeout 10m .
+
 echo "== serve smoke =="
 # End-to-end over a real socket: start `nchecker serve` on an ephemeral
 # port, have scripts/servesmoke POST a fixture app, poll the report, and
 # assert /healthz and the /metrics scan counters; then a clean SIGTERM
 # drain must exit 0.
 smokedir=$(mktemp -d)
-trap 'rm -rf "$cachedir" "$smokedir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$cachedir" "$diffdir" "$smokedir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 go build -o "$smokedir/nchecker" ./cmd/nchecker
 "$smokedir/nchecker" serve -addr 127.0.0.1:0 -ready-file "$smokedir/ready" \
     -cache "$smokedir/cache" 2>"$smokedir/serve.log" &
@@ -80,6 +104,7 @@ echo "== fuzz smoke =="
 # round-trip breaks fail the gate; found inputs land in testdata/fuzz as
 # regression cases.
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s -timeout 5m ./internal/dex
+go test -run='^$' -fuzz=FuzzTargetSiteSearch -fuzztime=10s -timeout 5m ./internal/dex
 go test -run='^$' -fuzz=FuzzParse -fuzztime=10s -timeout 5m ./internal/jimple
 go test -run='^$' -fuzz=FuzzCacheEntry -fuzztime=10s -timeout 5m ./internal/cachestore
 
