@@ -13,6 +13,12 @@
 // either way.
 // -mode targeted runs the corpus scan through the demand-driven engine
 // (DESIGN.md §9); the rendered tables are identical to full mode.
+// -validate adds the dynamic-validation breakdown (the "val" experiment,
+// DESIGN.md §10): every golden-app warning replayed under injected
+// disruptions and partitioned into confirmed / unconfirmed /
+// not-validated, cross-referenced against the oracle's known false
+// positives. Off by default so the standard output is unchanged;
+// -only val runs just the breakdown.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 	cacheDir := flag.String("cache", "", "persistent scan-cache directory for the corpus scan (empty = no cache)")
 	cacheMode := flag.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
 	engineMode := flag.String("mode", "full", "engine mode for the corpus scan: full or targeted (identical tables)")
+	validate := flag.Bool("validate", false, "add the dynamic-validation breakdown of the golden-app warnings (the val experiment)")
 	flag.Parse()
 	mode, err := core.ParseCacheMode(*cacheMode)
 	if err != nil {
@@ -46,63 +53,71 @@ func main() {
 	type exp struct {
 		key    string
 		needs  bool // needs the corpus scan
+		gated  bool // runs only with -validate (or -only)
 		render func(cs *experiments.CorpusScan) (string, error)
 	}
 	exps := []exp{
-		{"fig3", false, func(*experiments.CorpusScan) (string, error) {
+		{"fig3", false, false, func(*experiments.CorpusScan) (string, error) {
 			return experiments.Figure3(*trials, 1).Render(), nil
 		}},
-		{"t1", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table1().Render(), nil }},
-		{"t2", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table2().Render(), nil }},
-		{"fig4", false, func(*experiments.CorpusScan) (string, error) { return experiments.Figure4().Render(), nil }},
-		{"t3", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table3().Render(), nil }},
-		{"t4", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table4().Render(), nil }},
-		{"t5", false, func(*experiments.CorpusScan) (string, error) { return experiments.Table5().Render(), nil }},
-		{"t6", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table6(cs).Render(), nil }},
-		{"t7", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table7(cs).Render(), nil }},
-		{"t8", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table8(cs).Render(), nil }},
-		{"fig8", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure8(cs).Render(), nil }},
-		{"fig9", true, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure9(cs).Render(), nil }},
-		{"t9", false, func(*experiments.CorpusScan) (string, error) {
+		{"t1", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table1().Render(), nil }},
+		{"t2", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table2().Render(), nil }},
+		{"fig4", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Figure4().Render(), nil }},
+		{"t3", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table3().Render(), nil }},
+		{"t4", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table4().Render(), nil }},
+		{"t5", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table5().Render(), nil }},
+		{"t6", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table6(cs).Render(), nil }},
+		{"t7", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table7(cs).Render(), nil }},
+		{"t8", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table8(cs).Render(), nil }},
+		{"fig8", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure8(cs).Render(), nil }},
+		{"fig9", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure9(cs).Render(), nil }},
+		{"t9", false, false, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.Table9()
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		{"t10", false, func(*experiments.CorpusScan) (string, error) {
+		{"t10", false, false, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.Table10()
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		{"fig10", false, func(*experiments.CorpusScan) (string, error) {
+		{"fig10", false, false, func(*experiments.CorpusScan) (string, error) {
 			return experiments.Figure10(experiments.Seed).Render(), nil
 		}},
-		{"t9icc", false, func(*experiments.CorpusScan) (string, error) {
+		{"t9icc", false, false, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.Table9WithICC()
 			if err != nil {
 				return "", err
 			}
 			return "[with inter-component analysis — §4.7 future work]\n" + r.Render(), nil
 		}},
-		{"lint", false, func(*experiments.CorpusScan) (string, error) {
+		{"lint", false, false, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.LintComparison()
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		{"dyn", false, func(*experiments.CorpusScan) (string, error) {
+		{"dyn", false, false, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.DynamicComparison(experiments.Seed)
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		{"t11", false, func(*experiments.CorpusScan) (string, error) {
+		{"t11", false, false, func(*experiments.CorpusScan) (string, error) {
 			return experiments.Table11(experiments.Seed).Render(), nil
+		}},
+		{"val", false, true, func(*experiments.CorpusScan) (string, error) {
+			r, err := experiments.ValidationBreakdown()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
 		}},
 	}
 
@@ -142,6 +157,11 @@ func main() {
 	ran := 0
 	for _, e := range exps {
 		if *only != "" && *only != e.key {
+			continue
+		}
+		// Gated experiments stay out of the default run so the standard
+		// output is unchanged; -validate or naming them directly opts in.
+		if e.gated && !*validate && *only != e.key {
 			continue
 		}
 		out, err := e.render(cs)

@@ -27,6 +27,9 @@
 //	           from cache, changed files reuse per-class taint summaries
 //	-cache-mode off|ro|rw (default rw): how -cache is used; ro probes
 //	           and restores without writing
+//	-validate  replay each warning's witness entry point under injected
+//	           network disruptions and stamp a confirmed / unconfirmed /
+//	           not-validated verdict on every report (DESIGN.md §10)
 //
 // The serve subcommand runs the long-running scan service
 // (internal/server): POST /scan an app container, GET /scan/{id} for the
@@ -114,6 +117,7 @@ func runScan(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.opts.Workers, "workers", 0, "worker-pool size for the scan pipeline (0 = NumCPU)")
 	fs.DurationVar(&cfg.opts.Timeout, "timeout", 0, "per-file scan deadline (0 = none); an expired deadline yields a degraded scan and exit code 2")
 	fs.BoolVar(&cfg.timings, "timings", false, "print per-stage pipeline timings and cache statistics")
+	fs.BoolVar(&cfg.opts.Validate, "validate", false, "dynamically validate warnings by replaying witness entries under injected disruptions")
 	fs.StringVar(&cfg.opts.CacheDir, "cache", "", "persistent scan-cache directory (empty = no cache)")
 	cacheMode := fs.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
 	engineMode := fs.String("mode", "full", "engine mode: full or targeted (demand-driven, identical reports)")

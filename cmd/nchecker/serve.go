@@ -39,6 +39,7 @@ func runServe(args []string, stderr io.Writer) int {
 	fs.StringVar(&opts.CacheDir, "cache", "", "persistent scan-cache directory shared by all jobs (empty = no cache)")
 	cacheMode := fs.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
 	engineMode := fs.String("mode", "full", "default engine mode: full or targeted (per-job override via ?mode=)")
+	fs.BoolVar(&opts.Validate, "validate", false, "dynamically validate warnings by default (per-job override via ?validate=)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: nchecker serve [flags]\n\nEndpoints: POST /scan, GET /scan/{id}, GET /scans, GET /metrics, GET /healthz, /debug/pprof/\n")
 		fs.PrintDefaults()
@@ -83,7 +84,7 @@ func runServe(args []string, stderr io.Writer) int {
 	logger.Info("serving",
 		"addr", bound, "jobs", *jobs, "queue", *queueLen,
 		"job_timeout", (*jobTimeout).String(), "cache", opts.CacheDir, "cache_mode", opts.CacheMode.String(),
-		"mode", opts.Mode.String())
+		"mode", opts.Mode.String(), "validate", opts.Validate)
 	if *readyFile != "" {
 		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
 			fmt.Fprintf(stderr, "nchecker serve: write -ready-file: %v\n", err)

@@ -233,6 +233,8 @@ func (w *writer) reportValue(r *report.Report) {
 	}
 	w.str(r.FixSuggestion)
 	w.boolean(r.DefaultCaused)
+	w.str(r.Validation)
+	w.str(r.ValidationNote)
 }
 
 func (w *writer) calls(cs []dataflow.SummaryCall) {
@@ -402,6 +404,8 @@ func (r *reader) reportValue(out *report.Report) {
 	}
 	out.FixSuggestion = r.str()
 	out.DefaultCaused = r.boolean()
+	out.Validation = r.str()
+	out.ValidationNote = r.str()
 }
 
 func (r *reader) calls() []dataflow.SummaryCall {

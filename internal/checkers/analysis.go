@@ -78,6 +78,13 @@ type Options struct {
 	// check is invoked but its result ignored. Off by default to match
 	// the published tool's path-insensitive behaviour.
 	GuardSensitiveConnCheck bool
+	// Validate enables the dynamic counterexample validation stage
+	// (validate.go): after the checkers, each warning's witness entry
+	// point is replayed under injected network disruptions (internal/interp
+	// + internal/netsim) and the report carries a confirmed / unconfirmed /
+	// not-validated verdict. Off by default; verdicts join the persistent
+	// cache fingerprint.
+	Validate bool
 	// Workers bounds the pipeline's fan-out inside one scan, and the
 	// per-app concurrency of batch scans (cmd/nchecker, the corpus
 	// harness). 0 means runtime.NumCPU(). Reports and stats are
@@ -274,6 +281,10 @@ type analysis struct {
 	roots    []string
 	demanded map[string]bool
 	tstats   TargetedStats
+
+	// Validation-stage counters (validate.go); written sequentially by the
+	// validate stage, read by finish.
+	vstats ValidateStats
 
 	// Persistent-cache state (cache.go). The cache stages run at
 	// sequential points of the pipeline — probe before build, seed before

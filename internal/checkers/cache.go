@@ -55,7 +55,7 @@ import (
 // EngineVersion names the analysis engine revision for cache keying. Bump
 // it whenever checker behavior changes in a way the other key components
 // do not capture; old entries then read as misses and age out via LRU.
-const EngineVersion = "nchecker-engine/4"
+const EngineVersion = "nchecker-engine/5"
 
 // CacheMode selects how a scan uses the persistent cache.
 type CacheMode uint8
@@ -108,9 +108,12 @@ func (o Options) cacheFingerprint() []byte {
 	// proven identical across modes, but the diagnostics counts stored in a
 	// result entry are per-mode, so full and targeted entries never share a
 	// key — they cannot cross-poison each other.
-	return []byte(fmt.Sprintf("taintcfg=%t retryslice=%t declared=%t icc=%t intra=%t guard=%t mode=%d",
+	// Validate is fingerprinted because validated entries carry verdicts
+	// in their reports: a validate=false scan must never be answered from
+	// a validated entry, nor the reverse.
+	return []byte(fmt.Sprintf("taintcfg=%t retryslice=%t declared=%t icc=%t intra=%t guard=%t mode=%d validate=%t",
 		o.DisableTaintConfigDiscovery, o.DisableRetrySlicing, o.DeclaredDispatchOnly,
-		o.EnableICC, o.Intraprocedural, o.GuardSensitiveConnCheck, o.Mode))
+		o.EnableICC, o.Intraprocedural, o.GuardSensitiveConnCheck, o.Mode, o.Validate))
 }
 
 // resultCacheKey addresses the whole-app result entry.

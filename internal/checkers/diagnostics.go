@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/report"
 )
 
 // StageTiming records one pipeline stage's wall time and work volume.
@@ -96,6 +98,54 @@ func (t TargetedStats) counterMap() map[string]int64 {
 	}
 }
 
+// ValidateStats counts the dynamic-validation stage's work and verdicts.
+// All zero when Options.Validate is off (and on cache-hit scans, which
+// restore verdicts without replaying).
+type ValidateStats struct {
+	// Confirmed / Unconfirmed / NotValidated partition the scan's warnings
+	// by verdict; their sum is the number of warnings examined.
+	Confirmed    int
+	Unconfirmed  int
+	NotValidated int
+	// Replays counts entry × scenario machine executions (shared across
+	// warnings with the same witness entry).
+	Replays int
+	// BudgetHits counts replays truncated by the interpreter step budget.
+	BudgetHits int
+}
+
+func (v *ValidateStats) add(o ValidateStats) {
+	v.Confirmed += o.Confirmed
+	v.Unconfirmed += o.Unconfirmed
+	v.NotValidated += o.NotValidated
+	v.Replays += o.Replays
+	v.BudgetHits += o.BudgetHits
+}
+
+// count tallies one warning's verdict (a report.Validation* value).
+func (v *ValidateStats) count(verdict string) {
+	switch verdict {
+	case report.ValidationConfirmed:
+		v.Confirmed++
+	case report.ValidationUnconfirmed:
+		v.Unconfirmed++
+	default:
+		v.NotValidated++
+	}
+}
+
+// counterMap flattens ValidateStats for metric export (the
+// nchecker_validate_* family of nchecker serve's /metrics).
+func (v ValidateStats) counterMap() map[string]int64 {
+	return map[string]int64{
+		"confirmed":     int64(v.Confirmed),
+		"unconfirmed":   int64(v.Unconfirmed),
+		"not_validated": int64(v.NotValidated),
+		"replays":       int64(v.Replays),
+		"budget_hits":   int64(v.BudgetHits),
+	}
+}
+
 // Diagnostics is the per-scan observability record: where the time went,
 // how much was analyzed, and how well the shared analysis cache worked.
 // It is populated by every Analyze call and threaded through core.Result
@@ -107,6 +157,7 @@ type Diagnostics struct {
 	AppMethods int        // body-bearing app methods scanned
 	Sites      int        // request sites discovered
 	Targeted   TargetedStats
+	Validate   ValidateStats
 	Stages     []StageTiming
 	Cache      CacheStats
 	// Errors lists the scan's survivable failures (stage panics, expired
@@ -137,6 +188,7 @@ func (d *Diagnostics) Merge(o Diagnostics) {
 	d.AppMethods += o.AppMethods
 	d.Sites += o.Sites
 	d.Targeted.add(o.Targeted)
+	d.Validate.add(o.Validate)
 	for _, s := range o.Stages {
 		if have := d.Stage(s.Name); have != nil {
 			have.Duration += s.Duration
@@ -235,6 +287,7 @@ type MetricsSnapshot struct {
 	Stages       []StageMetric
 	Counters     map[string]int64 // CacheStats.CounterMap
 	Targeted     map[string]int64 // TargetedStats, flattened
+	Validate     map[string]int64 // ValidateStats, flattened
 }
 
 // MetricsSnapshot flattens the diagnostics for metric export.
@@ -246,6 +299,7 @@ func (d *Diagnostics) MetricsSnapshot() MetricsSnapshot {
 		ScanErrors:   int64(len(d.Errors)),
 		Counters:     d.Cache.CounterMap(),
 		Targeted:     d.Targeted.counterMap(),
+		Validate:     d.Validate.counterMap(),
 	}
 	for _, s := range d.Stages {
 		snap.Reports += int64(s.Reports)
@@ -268,6 +322,10 @@ func (d Diagnostics) Render() string {
 		t := d.Targeted
 		fmt.Fprintf(&b, "  targeted: %d seeds -> %d methods over %d classes; classes decoded %d, skipped %d\n",
 			t.SeedMethods, t.ClosureMethods, t.ClosureClasses, t.ClassesDecoded, t.ClassesSkipped)
+	}
+	if v := d.Validate; v != (ValidateStats{}) {
+		fmt.Fprintf(&b, "  validate: %d confirmed, %d unconfirmed, %d not-validated; %d replays (%d budget-truncated)\n",
+			v.Confirmed, v.Unconfirmed, v.NotValidated, v.Replays, v.BudgetHits)
 	}
 	for _, s := range d.Stages {
 		fmt.Fprintf(&b, "  stage %-14s %12v  items=%-5d reports=%d\n",

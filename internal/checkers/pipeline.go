@@ -12,6 +12,7 @@ import (
 	"repro/internal/callgraph"
 	"repro/internal/hierarchy"
 	"repro/internal/jimple"
+	"repro/internal/report"
 )
 
 // Analyze runs all checkers over the app using the registry's annotations.
@@ -73,6 +74,7 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 		sortScanErrors(a.errs)
 		diag.Errors = a.errs
 		diag.Targeted = a.tstats
+		diag.Validate = a.vstats
 		res.Incomplete = len(a.errs) > 0
 		if a.ctx != nil {
 			diag.Cache = a.ctx.cacheStats()
@@ -222,6 +224,26 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 		}
 		return ri.Cause < rj.Cause
 	})
+	// Dynamic validation replays each warning's witness entry point under
+	// injected disruptions and stamps a verdict on the report (validate.go).
+	// It runs after the sort (verdict order matches report order) and
+	// before cachewrite, so a clean validated scan persists its verdicts.
+	// A warning the stage never reached — replay panic, deadline, stage
+	// failure — is swept to NotValidated here: with -validate on, every
+	// emitted warning carries a verdict, and a degraded replay can only
+	// degrade its own warning, never the scan.
+	if opts.Validate {
+		valStart := time.Now()
+		a.guard("validate", func() { a.validateReports(res.Reports) })
+		for i := range res.Reports {
+			if res.Reports[i].Validation == "" {
+				res.Reports[i].Validation = report.ValidationNotValidated
+				res.Reports[i].ValidationNote = "validation did not complete"
+				a.vstats.NotValidated++
+			}
+		}
+		diag.add("validate", time.Since(valStart), len(res.Reports), 0)
+	}
 	// Cache write: only a clean scan commits. Any ScanError — a stage
 	// panic, an expired deadline, a cancellation — means the result may be
 	// partial, and an incomplete result must never poison the cache.

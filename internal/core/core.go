@@ -136,6 +136,18 @@ func (c *Checker) WithMode(m EngineMode) *Checker {
 	return &Checker{reg: c.reg, opts: opts}
 }
 
+// WithValidate returns a Checker identical to c except for the dynamic
+// counterexample validation toggle, sharing c's registry. nchecker serve
+// uses it to honor per-job ?validate= requests.
+func (c *Checker) WithValidate(v bool) *Checker {
+	if c.opts.Validate == v {
+		return c
+	}
+	opts := c.opts
+	opts.Validate = v
+	return &Checker{reg: c.reg, opts: opts}
+}
+
 // Options returns the analysis options the Checker scans with. Long-lived
 // callers (nchecker serve) use it to report the effective configuration.
 func (c *Checker) Options() Options { return c.opts }

@@ -84,7 +84,7 @@ func (mc *Machine) Call(m *jimple.Method, recv Value, args []Value) (Value, *Thr
 	for pc < len(m.Body) {
 		mc.steps++
 		if mc.steps > mc.MaxSteps {
-			mc.Obs.BudgetExhausted = true
+			mc.Obs.BudgetExceeded = true
 			return nil, &Thrown{Type: budgetExceeded, Msg: m.Sig.Key()}
 		}
 		s := m.Body[pc]

@@ -180,8 +180,8 @@ func TestStepBudget(t *testing.T) {
 	if th == nil || th.Type != budgetExceeded {
 		t.Errorf("expected budget exhaustion, got %v", th)
 	}
-	if !m.Obs.BudgetExhausted {
-		t.Error("BudgetExhausted not recorded")
+	if !m.Obs.BudgetExceeded {
+		t.Error("BudgetExceeded not recorded")
 	}
 }
 

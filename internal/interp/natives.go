@@ -48,17 +48,11 @@ func doRequest(m *Machine, lib *apimodel.Library, cfg *Obj) bool {
 	}
 	for a := int64(0); a < attempts; a++ {
 		m.Obs.NetworkAttempts++
-		if !m.Net.attemptFails() {
-			m.Obs.VirtualTimeMs += 300
+		ok, elapsed := m.Net.attemptOutcome(timeout)
+		m.Obs.VirtualTimeMs += elapsed
+		if ok {
 			m.Obs.RequestSuccesses++
 			return true
-		}
-		if timeout > 0 {
-			m.Obs.VirtualTimeMs += float64(timeout)
-		} else {
-			// No timeout configured and none by default: a blocking
-			// connect stalls until the OS-level TCP timeout.
-			m.Obs.VirtualTimeMs += 20000
 		}
 	}
 	m.Obs.RequestFailures++

@@ -2,6 +2,8 @@ package interp
 
 import (
 	"math/rand"
+
+	"repro/internal/netsim"
 )
 
 // Scenario is an injected network condition, the fault dimensions
@@ -20,6 +22,11 @@ const (
 	// NetInvalidResp: transmissions "succeed" but deliver a null/invalid
 	// response (the Checker 4 hazard).
 	NetInvalidResp
+	// NetSlow3G: a lossy, intermittently-disrupted 3G link simulated by
+	// internal/netsim — attempts with a (default or configured) timeout
+	// tend to abort, while no-timeout clients block through the outages
+	// and accumulate huge virtual time (the Figure-3 condition).
+	NetSlow3G
 )
 
 func (s Scenario) String() string {
@@ -32,13 +39,33 @@ func (s Scenario) String() string {
 		return "poor-signal"
 	case NetInvalidResp:
 		return "invalid-response"
+	case NetSlow3G:
+		return "slow-3g"
 	}
 	return "?"
 }
 
-// Scenarios returns all injected conditions.
+// Scenarios returns the static fault matrix the dynamic-comparison
+// experiment sweeps (NetOK baseline plus the three direct fault models).
 func Scenarios() []Scenario {
 	return []Scenario{NetOK, NetOffline, NetPoor, NetInvalidResp}
+}
+
+// ValidationScenarios returns the injected-fault conditions the warning
+// validation stage replays against the NetOK baseline, in evaluation
+// order.
+func ValidationScenarios() []Scenario {
+	return []Scenario{NetOffline, NetPoor, NetInvalidResp, NetSlow3G}
+}
+
+// Transfer shape for the netsim-backed NetSlow3G scenario: a 64 KiB
+// payload over a lossy 3G profile with intermittent outages. Large
+// enough that default timeouts usually abort mid-transfer, small enough
+// that no-timeout clients finish (slowly) instead of spinning forever.
+const slow3GTransferBytes = 64 * 1024
+
+func slow3GProfile() netsim.Profile {
+	return netsim.ThreeGLossy(0.45).WithDisruption(8000, 4000)
 }
 
 // NetModel injects network behaviour into the library natives.
@@ -47,11 +74,17 @@ type NetModel struct {
 	// FailP is the per-attempt failure probability under NetPoor.
 	FailP float64
 	rng   *rand.Rand
+	slow  netsim.Profile
 }
 
 // NewNetModel builds a fault model for the scenario.
 func NewNetModel(s Scenario, seed int64) *NetModel {
-	return &NetModel{Scenario: s, FailP: 0.7, rng: rand.New(rand.NewSource(seed))}
+	return &NetModel{
+		Scenario: s,
+		FailP:    0.7,
+		rng:      rand.New(rand.NewSource(seed)),
+		slow:     slow3GProfile(),
+	}
 }
 
 // online reports whether connectivity checks should pass.
@@ -72,6 +105,33 @@ func (n *NetModel) attemptFails() bool {
 // unusable response.
 func (n *NetModel) invalidResponse() bool { return n.Scenario == NetInvalidResp }
 
+// attemptOutcome models one transmission attempt under the scenario,
+// returning whether it succeeded and the virtual time it consumed.
+// timeoutMs <= 0 means the client configured no timeout: a failing
+// attempt stalls until the OS-level TCP timeout (20 s), and under
+// NetSlow3G the transfer blocks through outages instead of aborting.
+func (n *NetModel) attemptOutcome(timeoutMs int64) (bool, float64) {
+	if n.Scenario == NetSlow3G {
+		c := netsim.Client{TimeoutMs: float64(max64(timeoutMs, 0)), MaxRetries: 0, BackoffMult: 1}
+		res := c.Download(n.slow, slow3GTransferBytes, n.rng)
+		return res.Success, res.ElapsedMs
+	}
+	if !n.attemptFails() {
+		return true, 300
+	}
+	if timeoutMs > 0 {
+		return false, float64(timeoutMs)
+	}
+	return false, 20000
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // Observations accumulates what a run manifested — the signals a dynamic
 // checker can see.
 type Observations struct {
@@ -90,9 +150,11 @@ type Observations struct {
 	// advance it; a huge value under NetOffline marks a hang (the
 	// no-timeout blocking connect).
 	VirtualTimeMs float64
-	// BudgetExhausted marks a run that hit the step budget — a runaway
-	// loop (the tight-reconnect symptom).
-	BudgetExhausted bool
+	// BudgetExceeded marks a run that hit the step budget — a runaway
+	// loop (the tight-reconnect symptom). The runner records it
+	// explicitly when the budget sentinel reaches the entry point, so a
+	// timed-out replay is never mistaken for a clean one.
+	BudgetExceeded bool
 	// Slept counts backoff sleeps (distinguishes polite retry loops).
 	Slept int
 

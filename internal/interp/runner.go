@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"hash/fnv"
 	"sort"
 
 	"repro/internal/android"
@@ -28,33 +29,78 @@ type RunReport struct {
 // method, observe what manifests. Each entry gets a fresh machine so
 // observations do not bleed across runs.
 func RunApp(app *apk.App, scenario Scenario, seed int64) *RunReport {
+	r := NewReplayer(app)
+	entries := discoverEntries(app, r.h)
+	rep := &RunReport{}
+	for _, e := range entries {
+		obs, ok := r.Replay(e.sig, scenario, seed)
+		if !ok {
+			continue
+		}
+		rep.Runs = append(rep.Runs, EntryRun{
+			Entry: e.sig, Kind: e.kind, Scenario: scenario, Obs: obs,
+		})
+	}
+	return rep
+}
+
+// entrySeed derives the per-entry RNG seed from the entry's signature.
+// Keying on the signature (rather than the entry's index in the
+// discovered list) makes each entry's fault sequence independent of the
+// rest of the app: adding or removing an unrelated entry point must not
+// reshuffle another entry's observations.
+func entrySeed(base int64, sig jimple.Sig) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(sig.Key()))
+	return base ^ int64(h.Sum64())
+}
+
+// Replayer replays individual entry points of one app under injected
+// fault scenarios — the dynamic half of warning validation. Build one
+// per app (the merged program and hierarchy are shared across replays),
+// then call Replay per entry × scenario.
+type Replayer struct {
+	prog      *jimple.Program
+	h         *hierarchy.Hierarchy
+	receivers []string
+}
+
+// NewReplayer merges the app with the framework and library stub models
+// and builds the execution hierarchy.
+func NewReplayer(app *apk.App) *Replayer {
 	prog := jimple.NewProgram()
 	prog.Merge(app.Program)
 	prog.Merge(android.Framework())
 	prog.Merge(apimodel.Stubs())
-	h := hierarchy.New(prog)
+	r := &Replayer{prog: prog, h: hierarchy.New(prog)}
+	if app.Manifest != nil {
+		r.receivers = app.Manifest.Receivers
+	}
+	return r
+}
 
-	entries := discoverEntries(app, h)
-	rep := &RunReport{}
-	for i, e := range entries {
-		m := NewMachine(h, NewNetModel(scenario, seed+int64(i)))
-		if app.Manifest != nil {
-			m.Receivers = app.Manifest.Receivers
-		}
-		method := prog.Method(e.sig)
-		if method == nil || !method.HasBody() {
-			continue
-		}
-		args := zeroArgs(method.Sig)
-		_, thrown := m.Call(method, NewObj(e.sig.Class), args)
-		if thrown != nil && thrown.Type != budgetExceeded {
+// Replay runs one entry point under one scenario on a fresh machine so
+// observations never bleed across runs. ok is false when the entry has
+// no interpretable body. An exception escaping the entry is recorded as
+// a crash — except the step-budget sentinel, which is recorded as
+// Obs.BudgetExceeded so a timed-out run stays distinguishable from a
+// clean one.
+func (r *Replayer) Replay(entry jimple.Sig, scenario Scenario, seed int64) (Observations, bool) {
+	method := r.prog.Method(entry)
+	if method == nil || !method.HasBody() {
+		return Observations{}, false
+	}
+	m := NewMachine(r.h, NewNetModel(scenario, entrySeed(seed, entry)))
+	m.Receivers = r.receivers
+	_, thrown := m.Call(method, NewObj(entry.Class), zeroArgs(method.Sig))
+	if thrown != nil {
+		if thrown.Type == budgetExceeded {
+			m.Obs.BudgetExceeded = true
+		} else {
 			m.Obs.Crashes = append(m.Obs.Crashes, *thrown)
 		}
-		rep.Runs = append(rep.Runs, EntryRun{
-			Entry: e.sig, Kind: e.kind, Scenario: scenario, Obs: *m.Obs,
-		})
 	}
-	return rep
+	return *m.Obs, true
 }
 
 type entryPoint struct {
@@ -123,7 +169,7 @@ func (run *EntryRun) Findings(crashOnly bool) []DynamicFinding {
 	if crashOnly {
 		return out
 	}
-	if run.Obs.BudgetExhausted {
+	if run.Obs.BudgetExceeded {
 		out = append(out, FindingRunawayLoop)
 	} else if run.Obs.HangSuspect() {
 		out = append(out, FindingHang)

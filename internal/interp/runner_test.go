@@ -1,0 +1,172 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/jimple"
+)
+
+// lossyLoopActivity retries a request until it succeeds, so its
+// observation vector (attempts, failures, virtual time) depends on the
+// exact per-attempt RNG draws — the most seed-sensitive shape we generate.
+const lossyLoopActivity = `class m.Shared extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local c com.turbomanage.httpclient.BasicHttpClient
+    local r com.turbomanage.httpclient.HttpResponse
+    local done int
+    local e java.io.IOException
+    c = new com.turbomanage.httpclient.BasicHttpClient
+    specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
+    done = 0
+    L0:
+    if done != 0 goto L4
+    L1:
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    done = 1
+    L2:
+    goto L0
+    L3:
+    e = caught
+    done = 0
+    goto L0
+    L4:
+    return
+    trap L1 L2 L3 java.io.IOException
+  }
+}`
+
+// aExtraActivity is an unrelated entry point whose class name sorts
+// BEFORE m.Shared, so adding it shifts every later entry's position in
+// the discovered entry list.
+const aExtraActivity = `class a.Extra extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local c com.turbomanage.httpclient.BasicHttpClient
+    local r com.turbomanage.httpclient.HttpResponse
+    c = new com.turbomanage.httpclient.BasicHttpClient
+    specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    return
+  }
+}`
+
+func appFrom(t *testing.T, src string, activities ...string) *apk.App {
+	t.Helper()
+	man := &android.Manifest{Package: "m", Activities: activities}
+	man.Normalize()
+	return &apk.App{Manifest: man, Program: jimple.MustParse(src)}
+}
+
+func sharedRun(t *testing.T, rep *RunReport) *EntryRun {
+	t.Helper()
+	for i := range rep.Runs {
+		if rep.Runs[i].Entry.Class == "m.Shared" {
+			return &rep.Runs[i]
+		}
+	}
+	t.Fatalf("m.Shared entry missing from report (%d runs)", len(rep.Runs))
+	return nil
+}
+
+// TestEntrySeedIndependentOfUnrelatedEntries is the seeding regression
+// test: an entry's observations are a function of (app code, scenario,
+// seed, its own signature), never of its position in the discovered entry
+// list. Before the fix the per-entry RNG was seeded seed+index, so adding
+// a.Extra — which sorts before m.Shared and shifts its index from 0 to
+// 1 — silently reshuffled m.Shared's fault sequence.
+func TestEntrySeedIndependentOfUnrelatedEntries(t *testing.T) {
+	const seed = 7
+	alone := appFrom(t, lossyLoopActivity, "m.Shared")
+	withExtra := appFrom(t, lossyLoopActivity+"\n"+aExtraActivity, "m.Shared", "a.Extra")
+
+	for _, s := range []Scenario{NetPoor, NetSlow3G} {
+		before := RunApp(alone, s, seed)
+		after := RunApp(withExtra, s, seed)
+		if len(after.Runs) != len(before.Runs)+1 {
+			t.Fatalf("%s: adding a.Extra changed the run count %d -> %d", s, len(before.Runs), len(after.Runs))
+		}
+		obsBefore := sharedRun(t, before).Obs
+		obsAfter := sharedRun(t, after).Obs
+		if !reflect.DeepEqual(obsBefore, obsAfter) {
+			t.Errorf("%s: m.Shared's observations changed when an unrelated entry was added:\nalone:      %+v\nwith extra: %+v",
+				s, obsBefore, obsAfter)
+		}
+	}
+}
+
+// TestEntrySeedHasPower proves the regression test above can actually
+// fail: the observation vector IS sensitive to the seed the entry
+// receives, so an index-shifted seed (what the old seed+index scheme
+// produced) yields different observations.
+func TestEntrySeedHasPower(t *testing.T) {
+	r := NewReplayer(appFrom(t, lossyLoopActivity, "m.Shared"))
+	sig := jimple.Sig{Class: "m.Shared", Name: "onCreate",
+		Params: []string{"android.os.Bundle"}, Ret: "void"}
+	base, ok := r.Replay(sig, NetPoor, 7)
+	if !ok {
+		t.Fatal("entry not interpretable")
+	}
+	for shift := int64(1); shift <= 8; shift++ {
+		shifted, _ := r.Replay(sig, NetPoor, 7+shift)
+		if !reflect.DeepEqual(base, shifted) {
+			return // at least one neighboring seed observably differs
+		}
+	}
+	t.Error("observations identical across seeds 7..15; the independence test has no power")
+}
+
+// unboundedLoopActivity never exits its request loop — success or
+// failure, it goes around again — so every replay dies on the step
+// budget, even under NetOK.
+const unboundedLoopActivity = `class m.Spin extends android.app.Activity {
+  method onCreate(android.os.Bundle)void {
+    local c com.turbomanage.httpclient.BasicHttpClient
+    local r com.turbomanage.httpclient.HttpResponse
+    local e java.io.IOException
+    c = new com.turbomanage.httpclient.BasicHttpClient
+    specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
+    L0:
+    goto L1
+    L1:
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    L2:
+    goto L0
+    L3:
+    e = caught
+    goto L0
+    trap L1 L2 L3 java.io.IOException
+  }
+}`
+
+// TestBudgetExceededRecordedNotDropped is the budget-accounting
+// regression test: a replay that exhausts its step budget must come back
+// as a normal run with Obs.BudgetExceeded set — not vanish from the
+// report, and not masquerade as a crash — so the validation stage can
+// say NotValidated instead of a false Unconfirmed.
+func TestBudgetExceededRecordedNotDropped(t *testing.T) {
+	app := appFrom(t, unboundedLoopActivity, "m.Spin")
+
+	r := NewReplayer(app)
+	sig := jimple.Sig{Class: "m.Spin", Name: "onCreate",
+		Params: []string{"android.os.Bundle"}, Ret: "void"}
+	obs, ok := r.Replay(sig, NetOK, 1)
+	if !ok {
+		t.Fatal("budget-exhausted entry reported as uninterpretable")
+	}
+	if !obs.BudgetExceeded {
+		t.Error("step-budget exhaustion not recorded in Obs.BudgetExceeded")
+	}
+	if obs.Crashed() {
+		t.Errorf("budget sentinel leaked into the crash list: %+v", obs.Crashes)
+	}
+
+	rep := RunApp(app, NetOK, 1)
+	if len(rep.Runs) != 1 {
+		t.Fatalf("budget-exhausted run dropped from the report: %d runs", len(rep.Runs))
+	}
+	if f := rep.Findings(false); f[FindingRunawayLoop] == 0 {
+		t.Errorf("rich oracle missed the runaway loop: %v", f)
+	}
+}

@@ -126,7 +126,28 @@ type Report struct {
 	// behaviour (the developer never invoked the relevant API) — the
 	// Table 8 "default behavior" column.
 	DefaultCaused bool `json:"defaultCaused,omitempty"`
+	// Validation is the dynamic-validation verdict when the scan ran with
+	// validation enabled: ValidationConfirmed, ValidationUnconfirmed, or
+	// ValidationNotValidated. Empty when validation did not run.
+	Validation string `json:"validation,omitempty"`
+	// ValidationNote explains the verdict: which injected scenario made
+	// the defect manifest and how, or why the warning could not be
+	// validated.
+	ValidationNote string `json:"validationNote,omitempty"`
 }
+
+// Dynamic-validation verdicts. A warning is Confirmed when replaying its
+// witness entry point under an injected disruption made the defect
+// manifest (crash, silent failure, hang, excess retries) relative to the
+// healthy-network baseline; Unconfirmed when every replay stayed clean —
+// a false-positive candidate; NotValidated when the warning could not be
+// replayed conclusively (no witness entry, no interpretable body,
+// exhausted step budget, replay panic, or deadline).
+const (
+	ValidationConfirmed    = "confirmed"
+	ValidationUnconfirmed  = "unconfirmed"
+	ValidationNotValidated = "not-validated"
+)
 
 // Render formats the report in the layout of the paper's Figure 7.
 func (r *Report) Render() string {
@@ -157,6 +178,15 @@ func (r *Report) Render() string {
 		}
 	}
 	fmt.Fprintf(&b, "Fix Suggestion\n  %s\n", r.FixSuggestion)
+	if r.Validation != "" {
+		// Rendered only when the validation stage ran, so scans without
+		// -validate keep their historical byte-identical output.
+		fmt.Fprintf(&b, "Dynamic validation\n  %s", r.Validation)
+		if r.ValidationNote != "" {
+			fmt.Fprintf(&b, ": %s", r.ValidationNote)
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }
 

@@ -36,6 +36,9 @@ import (
 //	nchecker_targeted_<counter>_total        targeted-engine work counters
 //	                                         (seed_methods, closure_methods, closure_classes,
 //	                                         classes_decoded, classes_skipped)
+//	nchecker_validate_<counter>_total        dynamic-validation counters
+//	                                         (confirmed, unconfirmed, not_validated,
+//	                                         replays, budget_hits)
 type metrics struct {
 	mu sync.Mutex
 
@@ -56,6 +59,7 @@ type metrics struct {
 
 	cache    map[string]int64 // CounterMap keys
 	targeted map[string]int64 // TargetedStats counter keys
+	validate map[string]int64 // ValidateStats counter keys
 }
 
 func newMetrics() *metrics {
@@ -67,6 +71,7 @@ func newMetrics() *metrics {
 		stageReports: make(map[string]int64),
 		cache:        make(map[string]int64),
 		targeted:     make(map[string]int64),
+		validate:     make(map[string]int64),
 	}
 }
 
@@ -148,6 +153,9 @@ func (m *metrics) jobDone(snap checkers.MetricsSnapshot, degraded bool) {
 	for k, v := range snap.Targeted {
 		m.targeted[k] += v
 	}
+	for k, v := range snap.Validate {
+		m.validate[k] += v
+	}
 }
 
 // fnum renders a float the way Prometheus expects (shortest round-trip).
@@ -215,6 +223,9 @@ func (m *metrics) render(queueDepth, queueCap int) string {
 	}
 	for _, k := range sortedKeys(m.targeted) {
 		counter("nchecker_targeted_"+k+"_total", "Cumulative targeted-engine counter "+k+".", m.targeted[k])
+	}
+	for _, k := range sortedKeys(m.validate) {
+		counter("nchecker_validate_"+k+"_total", "Cumulative dynamic-validation counter "+k+".", m.validate[k])
 	}
 	return b.String()
 }

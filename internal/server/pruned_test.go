@@ -1,0 +1,60 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPrunedJobIs410NotFound404: a polling client must be able to tell an
+// expired job ("your report is gone, resubmit") from a wrong id ("you
+// never had this job"). Before the tombstone set, both were 404.
+func TestPrunedJobIs410NotFound404(t *testing.T) {
+	app := fixtureAppBytes(t)
+	_, ts := newTestServer(t, Config{Retain: 1})
+
+	first := submit(t, ts, app, "")
+	await(t, ts, first)
+	second := submit(t, ts, app, "")
+	await(t, ts, second)
+
+	code, body := getBody(t, ts.URL+"/scan/"+first)
+	if code != http.StatusGone {
+		t.Errorf("pruned job = %d, want 410 Gone; body: %s", code, body)
+	}
+	if !strings.Contains(body, "expired") {
+		t.Errorf("410 body should say the job expired, got: %s", body)
+	}
+	if code, _ := getBody(t, ts.URL+"/scan/"+second); code != http.StatusOK {
+		t.Errorf("retained job = %d, want 200", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/scan/job-never-submitted"); code != http.StatusNotFound {
+		t.Errorf("unknown id = %d, want 404", code)
+	}
+}
+
+// TestTombstoneSetIsBounded: the pruned-id memory must not grow without
+// bound on a long-lived server; oldest tombstones are evicted FIFO.
+func TestTombstoneSetIsBounded(t *testing.T) {
+	s := New(Config{Retain: 1, Logger: quietLogger()})
+	bound := s.tombstoneBound()
+	s.mu.Lock()
+	for i := 0; i < bound+10; i++ {
+		s.retainLocked(fmt.Sprintf("job-%d", i))
+	}
+	nTombstones := len(s.pruned)
+	oldestRemembered := s.pruned["job-0"]
+	newestPruned := s.pruned[fmt.Sprintf("job-%d", bound+8)]
+	s.mu.Unlock()
+
+	if nTombstones > bound {
+		t.Errorf("tombstone set grew to %d, bound is %d", nTombstones, bound)
+	}
+	if oldestRemembered {
+		t.Error("oldest tombstone should have been evicted")
+	}
+	if !newestPruned {
+		t.Error("recently pruned id lost its tombstone")
+	}
+}

@@ -115,6 +115,7 @@ type Job struct {
 	seq      int64           // numeric ID, for newest-first listings
 	deadline time.Duration   // resolved per-job scan deadline (0 = none)
 	mode     core.EngineMode // resolved engine mode (?mode= or the server default)
+	validate bool            // resolved validation toggle (?validate= or the server default)
 	data     []byte          // app container bytes; released when the scan finishes
 }
 
@@ -126,11 +127,16 @@ type Server struct {
 	log     *slog.Logger
 	metrics *metrics
 
-	queue  chan *Job
-	mu     sync.Mutex // guards jobs, done, nextID, and per-Job mutation
-	jobs   map[string]*Job
-	done   []string // finished job IDs in completion order (retention FIFO)
-	nextID int64
+	queue chan *Job
+	mu    sync.Mutex // guards jobs, done, pruned, nextID, and per-Job mutation
+	jobs  map[string]*Job
+	done  []string // finished job IDs in completion order (retention FIFO)
+	// pruned remembers ids the retention FIFO dropped, so GET can answer
+	// 410 Gone (expired) instead of 404 (never existed). Bounded like the
+	// retention itself: prunedFIFO evicts the oldest tombstones.
+	pruned     map[string]bool
+	prunedFIFO []string
+	nextID     int64
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -174,6 +180,7 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		queue:   make(chan *Job, cfg.Queue),
 		jobs:    make(map[string]*Job),
+		pruned:  make(map[string]bool),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
@@ -255,6 +262,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	validate, err := jobValidate(r.URL.Query().Get("validate"), s.cfg.Scan.Validate)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	s.mu.Lock()
 	s.nextID++
@@ -267,6 +279,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		seq:       s.nextID,
 		deadline:  timeout,
 		mode:      mode,
+		validate:  validate,
 		data:      body,
 	}
 	// Register before enqueueing: a worker may finish the job (and hit the
@@ -306,6 +319,19 @@ func jobMode(param string, def core.EngineMode) (core.EngineMode, error) {
 	return core.ParseEngineMode(param)
 }
 
+// jobValidate resolves a per-request ?validate= override: empty keeps the
+// server's default, anything else must parse as a boolean.
+func jobValidate(param string, def bool) (bool, error) {
+	if param == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseBool(param)
+	if err != nil {
+		return false, fmt.Errorf("invalid validate %q (want a boolean, e.g. ?validate=1)", param)
+	}
+	return v, nil
+}
+
 // jobTimeout resolves a per-request timeout override against the server
 // bound: requests may tighten the deadline, never loosen it.
 func jobTimeout(param string, serverMax time.Duration) (time.Duration, error) {
@@ -330,11 +356,17 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		snapshot = *job
 	}
-	s.mu.Unlock()
 	if !ok {
+		expired := s.pruned[r.PathValue("id")]
+		s.mu.Unlock()
+		if expired {
+			httpError(w, http.StatusGone, "job expired: its record was pruned by the -retain bound")
+			return
+		}
 		httpError(w, http.StatusNotFound, "no such job (finished jobs are retained up to the -retain bound)")
 		return
 	}
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -395,7 +427,7 @@ func (s *Server) run(job *Job) {
 	s.mu.Lock()
 	job.Status = StatusRunning
 	job.Started = &start
-	data, deadline, mode := job.data, job.deadline, job.mode
+	data, deadline, mode, validate := job.data, job.deadline, job.mode, job.validate
 	s.mu.Unlock()
 	s.metrics.scanStarted()
 
@@ -405,9 +437,10 @@ func (s *Server) run(job *Job) {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	// WithMode shares the process-wide registry (and cache store): a
-	// ?mode= override costs one small struct, not a rebuilt Checker.
-	res, err := s.checker.WithMode(mode).ScanBytesContext(ctx, data)
+	// WithMode/WithValidate share the process-wide registry (and cache
+	// store): per-job overrides cost one small struct, not a rebuilt
+	// Checker.
+	res, err := s.checker.WithMode(mode).WithValidate(validate).ScanBytesContext(ctx, data)
 	finished := time.Now()
 
 	s.mu.Lock()
@@ -452,9 +485,31 @@ func (s *Server) run(job *Job) {
 func (s *Server) retainLocked(id string) {
 	s.done = append(s.done, id)
 	for len(s.done) > s.cfg.Retain {
-		delete(s.jobs, s.done[0])
+		dropped := s.done[0]
+		delete(s.jobs, dropped)
 		s.done = s.done[1:]
+		if !s.pruned[dropped] {
+			s.pruned[dropped] = true
+			s.prunedFIFO = append(s.prunedFIFO, dropped)
+		}
+		// The tombstone set is bounded too (a long-lived server prunes
+		// without end): keep the most recent tombstoneBound ids.
+		for len(s.prunedFIFO) > s.tombstoneBound() {
+			delete(s.pruned, s.prunedFIFO[0])
+			s.prunedFIFO = s.prunedFIFO[1:]
+		}
 	}
+}
+
+// tombstoneBound sizes the pruned-id memory: generous enough that any
+// client polling at a sane cadence sees 410 rather than 404 after its
+// job expires, bounded so memory stays O(Retain).
+func (s *Server) tombstoneBound() int {
+	const minTombstones = 64
+	if n := 4 * s.cfg.Retain; n > minTombstones {
+		return n
+	}
+	return minTombstones
 }
 
 // httpError writes a JSON error body with the status code.

@@ -387,8 +387,9 @@ func TestJobsShareOnePersistentCache(t *testing.T) {
 	}
 }
 
-// TestRetentionPrunesOldestFinished: finished jobs beyond Retain vanish
-// (404) while newer ones survive; /scans reflects the retained set.
+// TestRetentionPrunesOldestFinished: finished jobs beyond Retain expire
+// (410 Gone — known id, record pruned) while newer ones survive; /scans
+// reflects the retained set.
 func TestRetentionPrunesOldestFinished(t *testing.T) {
 	app := fixtureAppBytes(t)
 	_, ts := newTestServer(t, Config{Retain: 2})
@@ -399,8 +400,8 @@ func TestRetentionPrunesOldestFinished(t *testing.T) {
 		await(t, ts, id) // serialize so completion order is submission order
 		ids = append(ids, id)
 	}
-	if code, _ := getBody(t, ts.URL+"/scan/"+ids[0]); code != http.StatusNotFound {
-		t.Errorf("oldest finished job = %d, want 404 (pruned)", code)
+	if code, _ := getBody(t, ts.URL+"/scan/"+ids[0]); code != http.StatusGone {
+		t.Errorf("oldest finished job = %d, want 410 (pruned)", code)
 	}
 	for _, id := range ids[1:] {
 		if code, _ := getBody(t, ts.URL+"/scan/"+id); code != http.StatusOK {

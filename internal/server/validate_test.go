@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// TestValidatePerJobOverride: ?validate=1 stamps a verdict on every
+// report of that job, while jobs without the override keep the
+// historical unvalidated output; the validate counters reach /metrics.
+func TestValidatePerJobOverride(t *testing.T) {
+	app := fixtureAppBytes(t)
+	_, ts := newTestServer(t, Config{})
+
+	plain := await(t, ts, submit(t, ts, app, ""))
+	if plain.Status != StatusDone || plain.Warnings == 0 {
+		t.Fatalf("plain job = %+v", plain)
+	}
+	if strings.Contains(plain.ReportText, "Dynamic validation") {
+		t.Error("unvalidated job's report text mentions Dynamic validation")
+	}
+
+	validated := await(t, ts, submit(t, ts, app, "?validate=1"))
+	if validated.Status != StatusDone || validated.Degraded {
+		t.Fatalf("validated job = %+v", validated)
+	}
+	if validated.Warnings != plain.Warnings {
+		t.Errorf("validation changed the warning count: %d vs %d", validated.Warnings, plain.Warnings)
+	}
+	for i := range validated.Reports {
+		if validated.Reports[i].Validation == "" {
+			t.Errorf("report %d has no verdict", i)
+		}
+	}
+	if !strings.Contains(validated.ReportText, "Dynamic validation\n  "+report.ValidationConfirmed) {
+		t.Errorf("expected a confirmed verdict in the report text:\n%s", validated.ReportText)
+	}
+
+	_, metricsText := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metricsText, "nchecker_validate_confirmed_total") ||
+		!strings.Contains(metricsText, "nchecker_validate_replays_total") {
+		t.Errorf("/metrics missing nchecker_validate_* counters:\n%s",
+			grepLines(metricsText, "nchecker_validate_"))
+	}
+}
+
+// TestValidateBadParamIs400: an unparsable ?validate= is a client error,
+// not a silently defaulted scan.
+func TestValidateBadParamIs400(t *testing.T) {
+	app := fixtureAppBytes(t)
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/scan?validate=maybe", "application/octet-stream", bytes.NewReader(app))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("?validate=maybe = %d, want 400", resp.StatusCode)
+	}
+}

@@ -69,6 +69,25 @@ if [ "$full_status" -ne "$targeted_status" ]; then
 fi
 cmp "$diffdir/full.txt" "$diffdir/targeted.txt"
 
+echo "== validate smoke =="
+# -validate must stamp verdicts (at least one dynamically confirmed
+# warning on the buggy corpus) without changing the warning set or the
+# exit code.
+validate_status=0
+"$diffdir/nchecker" -validate "$diffdir"/corpus/*.apk >"$diffdir/validated.txt" || validate_status=$?
+if [ "$full_status" -ne "$validate_status" ]; then
+    echo "validate smoke: exit codes differ (plain=$full_status validate=$validate_status)" >&2
+    exit 1
+fi
+if ! grep -A1 "^Dynamic validation$" "$diffdir/validated.txt" | grep -q "confirmed"; then
+    echo "validate smoke: no confirmed verdict in the validated reports" >&2
+    exit 1
+fi
+if grep -q "Dynamic validation" "$diffdir/full.txt"; then
+    echo "validate smoke: verdicts leaked into the unvalidated reports" >&2
+    exit 1
+fi
+
 echo "== targeted scaling bench smoke =="
 # One iteration per cell keeps the gate fast while proving the six
 # BenchmarkScanMode{Full,Targeted}{1x,10x,100x} cells still run and

@@ -46,28 +46,86 @@ func main() {
 	if err != nil {
 		fail("build fixture app: %v", err)
 	}
-	resp, err := http.Post(base+"/scan?name=smoke.apk", "application/octet-stream", bytes.NewReader(app))
+	job := scanJob(base, "?name=smoke.apk", app, deadline)
+	switch {
+	case job.Warnings == 0:
+		fail("job %s found no warnings in the buggy fixture", job.ID)
+	case !strings.Contains(job.ReportText, "NPD Information"):
+		fail("job %s report text missing the Figure 7 layout:\n%s", job.ID, job.ReportText)
+	case strings.Contains(job.ReportText, "Dynamic validation"):
+		fail("job %s report text carries a verdict without ?validate:\n%s", job.ID, job.ReportText)
+	}
+	fmt.Printf("servesmoke: job done, %d warnings\n", job.Warnings)
+
+	// The scan must be visible on /metrics.
+	metrics := getMetrics(base)
+	for _, want := range []string{
+		"nchecker_jobs_submitted_total 1",
+		`nchecker_jobs_total{status="done"} 1`,
+		"nchecker_scan_seconds_count 1",
+		`nchecker_stage_seconds_total{stage="build"}`,
+		"nchecker_queue_depth 0",
+		"nchecker_degraded_scans_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			fail("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A validated job: the ?validate=1 override replays every warning's
+	// witness under injected disruptions, the fixture's defects must be
+	// dynamically confirmed, and the validate counters reach /metrics.
+	vjob := scanJob(base, "?name=smoke-validate.apk&validate=1", app, deadline)
+	switch {
+	case vjob.Warnings != job.Warnings:
+		fail("validated job found %d warnings, unvalidated found %d", vjob.Warnings, job.Warnings)
+	case !strings.Contains(vjob.ReportText, "Dynamic validation\n  confirmed"):
+		fail("validated job %s has no confirmed verdict:\n%s", vjob.ID, vjob.ReportText)
+	}
+	fmt.Printf("servesmoke: validated job done, %d warnings\n", vjob.Warnings)
+	metrics = getMetrics(base)
+	for _, want := range []string{
+		"nchecker_validate_confirmed_total",
+		"nchecker_validate_replays_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			fail("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if strings.Contains(metrics, "nchecker_validate_confirmed_total 0") {
+		fail("validate confirmed counter stayed 0 after a confirmed job:\n%s", metrics)
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+// jobRecord is the subset of the job JSON the smoke asserts on.
+type jobRecord struct {
+	ID         string `json:"id"`
+	Status     string `json:"status"`
+	Warnings   int    `json:"warnings"`
+	Degraded   bool   `json:"degraded"`
+	ReportText string `json:"reportText"`
+	Error      string `json:"error"`
+}
+
+// scanJob submits one app and polls it to a clean `done`; any failure,
+// degradation, or deadline overrun fails the smoke.
+func scanJob(base, query string, app []byte, deadline time.Time) jobRecord {
+	resp, err := http.Post(base+"/scan"+query, "application/octet-stream", bytes.NewReader(app))
 	if err != nil {
-		fail("POST /scan: %v", err)
+		fail("POST /scan%s: %v", query, err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		fail("POST /scan = %d: %s", resp.StatusCode, body)
+		fail("POST /scan%s = %d: %s", query, resp.StatusCode, body)
 	}
-	var job struct {
-		ID         string `json:"id"`
-		Status     string `json:"status"`
-		Warnings   int    `json:"warnings"`
-		Degraded   bool   `json:"degraded"`
-		ReportText string `json:"reportText"`
-		Error      string `json:"error"`
-	}
+	var job jobRecord
 	if err := json.Unmarshal(body, &job); err != nil {
-		fail("POST /scan response: %v: %s", err, body)
+		fail("POST /scan%s response: %v: %s", query, err, body)
 	}
 	if job.ID == "" {
-		fail("POST /scan response has no job id: %s", body)
+		fail("POST /scan%s response has no job id: %s", query, body)
 	}
 	fmt.Printf("servesmoke: submitted %s\n", job.ID)
 
@@ -98,15 +156,13 @@ func main() {
 		fail("job %s finished %q (%s), want done", job.ID, job.Status, job.Error)
 	case job.Degraded:
 		fail("job %s degraded: %s", job.ID, job.Error)
-	case job.Warnings == 0:
-		fail("job %s found no warnings in the buggy fixture", job.ID)
-	case !strings.Contains(job.ReportText, "NPD Information"):
-		fail("job %s report text missing the Figure 7 layout:\n%s", job.ID, job.ReportText)
 	}
-	fmt.Printf("servesmoke: job done, %d warnings\n", job.Warnings)
+	return job
+}
 
-	// The scan must be visible on /metrics.
-	resp, err = http.Get(base + "/metrics")
+// getMetrics fetches /metrics and returns the Prometheus text body.
+func getMetrics(base string) string {
+	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		fail("GET /metrics: %v", err)
 	}
@@ -115,19 +171,7 @@ func main() {
 	if resp.StatusCode != http.StatusOK {
 		fail("GET /metrics = %d", resp.StatusCode)
 	}
-	for _, want := range []string{
-		"nchecker_jobs_submitted_total 1",
-		`nchecker_jobs_total{status="done"} 1`,
-		"nchecker_scan_seconds_count 1",
-		`nchecker_stage_seconds_total{stage="build"}`,
-		"nchecker_queue_depth 0",
-		"nchecker_degraded_scans_total 0",
-	} {
-		if !strings.Contains(string(metrics), want) {
-			fail("/metrics missing %q:\n%s", want, metrics)
-		}
-	}
-	fmt.Println("servesmoke: ok")
+	return string(metrics)
 }
 
 func fail(format string, args ...any) {
