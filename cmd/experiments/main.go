@@ -19,6 +19,12 @@
 // not-validated, cross-referenced against the oracle's known false
 // positives. Off by default so the standard output is unchanged;
 // -only val runs just the breakdown.
+// -families adds the per-family precision/recall breakdown of the corpus
+// scan (the "fam" experiment): every warning attributed to the checker
+// family that owns its cause and graded against the generator's ground
+// truth. -only fam runs just the breakdown.
+// -checkers runs the corpus scan with only the selected checker families
+// (e.g. -checkers=5-8), the ablation companion to -families.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 	cacheMode := flag.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
 	engineMode := flag.String("mode", "full", "engine mode for the corpus scan: full or targeted (identical tables)")
 	validate := flag.Bool("validate", false, "add the dynamic-validation breakdown of the golden-app warnings (the val experiment)")
+	families := flag.Bool("families", false, "add the per-family precision/recall breakdown of the corpus scan (the fam experiment)")
+	checkerSel := flag.String("checkers", "all", "checker families for the corpus scan: all, or numbers/ranges like 5-8 (ablation)")
 	flag.Parse()
 	mode, err := core.ParseCacheMode(*cacheMode)
 	if err != nil {
@@ -49,82 +57,90 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
+	cset, err := core.ParseCheckerSet(*checkerSel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	type exp struct {
 		key    string
-		needs  bool // needs the corpus scan
-		gated  bool // runs only with -validate (or -only)
+		needs  bool  // needs the corpus scan
+		gate   *bool // nil = always; else runs only when *gate (or -only)
 		render func(cs *experiments.CorpusScan) (string, error)
 	}
 	exps := []exp{
-		{"fig3", false, false, func(*experiments.CorpusScan) (string, error) {
+		{"fig3", false, nil, func(*experiments.CorpusScan) (string, error) {
 			return experiments.Figure3(*trials, 1).Render(), nil
 		}},
-		{"t1", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table1().Render(), nil }},
-		{"t2", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table2().Render(), nil }},
-		{"fig4", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Figure4().Render(), nil }},
-		{"t3", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table3().Render(), nil }},
-		{"t4", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table4().Render(), nil }},
-		{"t5", false, false, func(*experiments.CorpusScan) (string, error) { return experiments.Table5().Render(), nil }},
-		{"t6", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table6(cs).Render(), nil }},
-		{"t7", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table7(cs).Render(), nil }},
-		{"t8", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table8(cs).Render(), nil }},
-		{"fig8", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure8(cs).Render(), nil }},
-		{"fig9", true, false, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure9(cs).Render(), nil }},
-		{"t9", false, false, func(*experiments.CorpusScan) (string, error) {
+		{"t1", false, nil, func(*experiments.CorpusScan) (string, error) { return experiments.Table1().Render(), nil }},
+		{"t2", false, nil, func(*experiments.CorpusScan) (string, error) { return experiments.Table2().Render(), nil }},
+		{"fig4", false, nil, func(*experiments.CorpusScan) (string, error) { return experiments.Figure4().Render(), nil }},
+		{"t3", false, nil, func(*experiments.CorpusScan) (string, error) { return experiments.Table3().Render(), nil }},
+		{"t4", false, nil, func(*experiments.CorpusScan) (string, error) { return experiments.Table4().Render(), nil }},
+		{"t5", false, nil, func(*experiments.CorpusScan) (string, error) { return experiments.Table5().Render(), nil }},
+		{"t6", true, nil, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table6(cs).Render(), nil }},
+		{"t7", true, nil, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table7(cs).Render(), nil }},
+		{"t8", true, nil, func(cs *experiments.CorpusScan) (string, error) { return experiments.Table8(cs).Render(), nil }},
+		{"fig8", true, nil, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure8(cs).Render(), nil }},
+		{"fig9", true, nil, func(cs *experiments.CorpusScan) (string, error) { return experiments.Figure9(cs).Render(), nil }},
+		{"t9", false, nil, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.Table9()
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		{"t10", false, false, func(*experiments.CorpusScan) (string, error) {
+		{"t10", false, nil, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.Table10()
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		{"fig10", false, false, func(*experiments.CorpusScan) (string, error) {
+		{"fig10", false, nil, func(*experiments.CorpusScan) (string, error) {
 			return experiments.Figure10(experiments.Seed).Render(), nil
 		}},
-		{"t9icc", false, false, func(*experiments.CorpusScan) (string, error) {
+		{"t9icc", false, nil, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.Table9WithICC()
 			if err != nil {
 				return "", err
 			}
 			return "[with inter-component analysis — §4.7 future work]\n" + r.Render(), nil
 		}},
-		{"lint", false, false, func(*experiments.CorpusScan) (string, error) {
+		{"lint", false, nil, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.LintComparison()
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		{"dyn", false, false, func(*experiments.CorpusScan) (string, error) {
+		{"dyn", false, nil, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.DynamicComparison(experiments.Seed)
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		{"t11", false, false, func(*experiments.CorpusScan) (string, error) {
+		{"t11", false, nil, func(*experiments.CorpusScan) (string, error) {
 			return experiments.Table11(experiments.Seed).Render(), nil
 		}},
-		{"val", false, true, func(*experiments.CorpusScan) (string, error) {
+		{"val", false, validate, func(*experiments.CorpusScan) (string, error) {
 			r, err := experiments.ValidationBreakdown()
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
+		{"fam", true, families, func(cs *experiments.CorpusScan) (string, error) {
+			return experiments.FamilyBreakdown(cs).Render(), nil
+		}},
 	}
 
 	var cs *experiments.CorpusScan
 	needScan := *timings
 	for _, e := range exps {
-		if (*only == "" || *only == e.key) && e.needs {
+		if e.needs && (*only == e.key || (*only == "" && (e.gate == nil || *e.gate))) {
 			needScan = true
 		}
 	}
@@ -132,11 +148,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: scanning the %d-app corpus (seed %d)...\n",
 			285, experiments.Seed)
 		var err error
-		if *cacheDir != "" || emode != core.ModeFull {
-			// The memoized DefaultScan is full-mode; any non-default option
-			// set goes through an explicit corpus scan.
+		if *cacheDir != "" || emode != core.ModeFull || cset != 0 {
+			// The memoized DefaultScan is full-mode with every checker; any
+			// non-default option set goes through an explicit corpus scan.
 			cs, err = experiments.ScanCorpusWith(experiments.Seed, core.Options{
-				CacheDir: *cacheDir, CacheMode: mode, Mode: emode,
+				CacheDir: *cacheDir, CacheMode: mode, Mode: emode, Checkers: cset,
 			})
 		} else {
 			cs, err = experiments.DefaultScan()
@@ -160,8 +176,9 @@ func main() {
 			continue
 		}
 		// Gated experiments stay out of the default run so the standard
-		// output is unchanged; -validate or naming them directly opts in.
-		if e.gated && !*validate && *only != e.key {
+		// output is unchanged; their flag (-validate, -families) or naming
+		// them directly via -only opts in.
+		if e.gate != nil && !*e.gate && *only != e.key {
 			continue
 		}
 		out, err := e.render(cs)

@@ -19,6 +19,9 @@
 //	-mode      full|targeted (default full): engine traversal; targeted
 //	           lazily decodes and analyzes only the demand-driven closure
 //	           of the network-API sites, with identical reports
+//	-checkers  checker families to run (default all): comma-separated
+//	           family numbers and ranges, e.g. -checkers=5-8; disabled
+//	           families emit no reports, enabled ones are unchanged
 //	-workers   worker-pool size for the scan pipeline and for scanning
 //	           multiple files concurrently (0 = NumCPU)
 //	-timeout   per-file scan deadline (e.g. 30s; 0 = none)
@@ -121,6 +124,7 @@ func runScan(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.opts.CacheDir, "cache", "", "persistent scan-cache directory (empty = no cache)")
 	cacheMode := fs.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
 	engineMode := fs.String("mode", "full", "engine mode: full or targeted (demand-driven, identical reports)")
+	checkerSel := fs.String("checkers", "all", "checker families to run: all, or numbers/ranges like 1,3,5-8")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: nchecker [flags] app.apk [more.apk ...]\n       nchecker serve [flags]\n")
 		fs.PrintDefaults()
@@ -144,6 +148,12 @@ func runScan(args []string, stdout, stderr io.Writer) int {
 		return exitError
 	}
 	cfg.opts.Mode = emode
+	cset, err := core.ParseCheckerSet(*checkerSel)
+	if err != nil {
+		fmt.Fprintf(stderr, "nchecker: %v\n", err)
+		return exitError
+	}
+	cfg.opts.Checkers = cset
 	paths := fs.Args()
 
 	// Divide the CPU budget between the file-level pool and the per-scan

@@ -80,7 +80,7 @@ func writeFixtureApp(t *testing.T, dir, name string) string {
     local b java.lang.String
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://example.com"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://example.com"
     b = virtualinvoke r com.turbomanage.httpclient.HttpResponse.getBodyAsString()java.lang.String
     return
   }

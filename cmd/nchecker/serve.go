@@ -40,6 +40,7 @@ func runServe(args []string, stderr io.Writer) int {
 	cacheMode := fs.String("cache-mode", "rw", "persistent-cache mode: off, ro, or rw")
 	engineMode := fs.String("mode", "full", "default engine mode: full or targeted (per-job override via ?mode=)")
 	fs.BoolVar(&opts.Validate, "validate", false, "dynamically validate warnings by default (per-job override via ?validate=)")
+	checkerSel := fs.String("checkers", "all", "default checker families (per-job override via ?checkers=), e.g. 1,3,5-8")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: nchecker serve [flags]\n\nEndpoints: POST /scan, GET /scan/{id}, GET /scans, GET /metrics, GET /healthz, /debug/pprof/\n")
 		fs.PrintDefaults()
@@ -63,6 +64,12 @@ func runServe(args []string, stderr io.Writer) int {
 		return exitError
 	}
 	opts.Mode = emode
+	cset, err := core.ParseCheckerSet(*checkerSel)
+	if err != nil {
+		fmt.Fprintf(stderr, "nchecker serve: %v\n", err)
+		return exitError
+	}
+	opts.Checkers = cset
 
 	logger := slog.New(slog.NewJSONHandler(stderr, nil))
 	srv := server.New(server.Config{

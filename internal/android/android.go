@@ -37,6 +37,8 @@ const (
 	ClassBundle            = "android.os.Bundle"
 	ClassConnectivityMgr   = "android.net.ConnectivityManager"
 	ClassNetworkInfo       = "android.net.NetworkInfo"
+	ClassNetwork           = "android.net.Network"
+	ClassNetworkCallback   = "android.net.ConnectivityManager$NetworkCallback"
 
 	// UI alert classes — the five classes §4.4.3 of the paper lists as the
 	// ways Android apps surface messages to users.
@@ -281,6 +283,42 @@ var ConnectivityCheckSigs = map[string]bool{
 // IsConnectivityCheck reports whether sig is a connectivity-check API.
 func IsConnectivityCheck(sig jimple.Sig) bool {
 	return ConnectivityCheckSigs[sig.Key()]
+}
+
+// NetworkCallbackSubsigs lists the ConnectivityManager.NetworkCallback
+// methods the framework invokes on connectivity transitions. Checker 5
+// treats implementations as network-state handlers, alongside
+// BroadcastReceiver.onReceive.
+var NetworkCallbackSubsigs = []string{
+	"onAvailable(android.net.Network)void",
+	"onLost(android.net.Network)void",
+}
+
+// CacheFallbackSigs lists framework methods whose invocation counts as
+// reading locally cached content — the offline fallback Checker 5 accepts
+// in a network-state handler in place of a retried request.
+var CacheFallbackSigs = map[string]bool{
+	"android.content.SharedPreferences.getString(java.lang.String,java.lang.String)java.lang.String": true,
+	"android.content.SharedPreferences.getInt(java.lang.String,int)int":                              true,
+	"android.content.SharedPreferences.getBoolean(java.lang.String,boolean)boolean":                  true,
+}
+
+// IsCacheFallback reports whether sig reads cached content.
+func IsCacheFallback(sig jimple.Sig) bool {
+	return CacheFallbackSigs[sig.Key()]
+}
+
+// WaitCallSigs lists blocking-wait calls. Checker 6 treats a connectivity
+// check separated from its request by one of these as stale: the checked
+// state can change while the thread sleeps. Durations are ignored — a
+// short sleep also flags, a documented false-positive source.
+var WaitCallSigs = map[string]bool{
+	"java.lang.Thread.sleep(long)void": true,
+}
+
+// IsWaitCall reports whether sig is a blocking wait.
+func IsWaitCall(sig jimple.Sig) bool {
+	return WaitCallSigs[sig.Key()]
 }
 
 // IsUIAlertCall reports whether an invocation of sig counts as displaying

@@ -133,9 +133,20 @@ func buildFramework() *jimple.Program {
 	cm := cls(ClassConnectivityMgr, ClassObject)
 	abstractMethod(cm, "getActiveNetworkInfo", nil, ClassNetworkInfo)
 	abstractMethod(cm, "getNetworkInfo", []string{"int"}, ClassNetworkInfo)
+	abstractMethod(cm, "registerNetworkCallback", []string{ClassNetworkCallback}, jimple.TypeVoid)
 	ni := cls(ClassNetworkInfo, ClassObject)
 	abstractMethod(ni, "isConnected", nil, jimple.TypeBoolean)
 	abstractMethod(ni, "isConnectedOrConnecting", nil, jimple.TypeBoolean)
+	cls(ClassNetwork, ClassObject)
+	ncb := cls(ClassNetworkCallback, ClassObject)
+	for _, sub := range NetworkCallbackSubsigs {
+		sig, _ := jimple.ParseSigKey(ClassNetworkCallback + "." + sub)
+		ncb.AddMethod(&jimple.Method{Sig: sig, Abstract: true})
+	}
+	prefs := cls(ClassSharedPrefs, ClassObject)
+	abstractMethod(prefs, "getString", []string{ClassString, ClassString}, ClassString)
+	abstractMethod(prefs, "getInt", []string{ClassString, "int"}, jimple.TypeInt)
+	abstractMethod(prefs, "getBoolean", []string{ClassString, jimple.TypeBoolean}, jimple.TypeBoolean)
 
 	toast := cls(ClassToast, ClassObject)
 	abstractMethod(toast, "makeText", []string{ClassContext, ClassCharSequence, "int"}, ClassToast)

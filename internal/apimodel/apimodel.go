@@ -93,6 +93,17 @@ type RespCheck struct {
 	Sig jimple.Sig
 }
 
+// Endpoint describes an API call that receives a request URL — the sites
+// the endpoint-hygiene checker (Checker 7) constant-propagates URL
+// strings into. URL-bearing target APIs and request-object constructors
+// both appear here; the set is disjoint from Totals' counts, which stay
+// pinned to the paper's 14/77/2.
+type Endpoint struct {
+	Sig jimple.Sig
+	// URLArg is the argument index carrying the URL string.
+	URLArg int
+}
+
 // Callback describes the request-callback interface of a library.
 type Callback struct {
 	// Iface is the interface or base class apps implement.
@@ -146,7 +157,10 @@ type Library struct {
 	Configs      []Config
 	RespChecks   []RespCheck
 	Callbacks    []Callback
-	Defaults     Defaults
+	// Endpoints lists the URL-receiving APIs (Checker 7). A new slice
+	// field is automatically covered by Fingerprint's %+v rendering.
+	Endpoints []Endpoint
+	Defaults  Defaults
 }
 
 // HasTimeoutAPIs reports whether the library exposes timeout config APIs.
@@ -165,12 +179,13 @@ func (l *Library) HasRespCheckAPIs() bool { return len(l.RespChecks) > 0 }
 
 // Registry indexes all annotated libraries for O(1) call-site lookup.
 type Registry struct {
-	libs        []*Library
-	byKey       map[LibKey]*Library
-	targetBySig map[string]targetRef
-	configBySig map[string]configRef
-	checkBySig  map[string]LibKey
-	classToLib  map[string]LibKey
+	libs          []*Library
+	byKey         map[LibKey]*Library
+	targetBySig   map[string]targetRef
+	configBySig   map[string]configRef
+	checkBySig    map[string]LibKey
+	endpointBySig map[string]endpointRef
+	classToLib    map[string]LibKey
 
 	fpOnce sync.Once
 	fp     [sha256.Size]byte
@@ -184,6 +199,11 @@ type targetRef struct {
 type configRef struct {
 	lib *Library
 	c   *Config
+}
+
+type endpointRef struct {
+	lib *Library
+	e   *Endpoint
 }
 
 // registryBuilds counts Registry constructions process-wide. Batch scans
@@ -203,12 +223,13 @@ func NewRegistry() *Registry {
 func newRegistryOf(libs []*Library) *Registry {
 	registryBuilds.Add(1)
 	r := &Registry{
-		libs:        libs,
-		byKey:       make(map[LibKey]*Library),
-		targetBySig: make(map[string]targetRef),
-		configBySig: make(map[string]configRef),
-		checkBySig:  make(map[string]LibKey),
-		classToLib:  make(map[string]LibKey),
+		libs:          libs,
+		byKey:         make(map[LibKey]*Library),
+		targetBySig:   make(map[string]targetRef),
+		configBySig:   make(map[string]configRef),
+		checkBySig:    make(map[string]LibKey),
+		endpointBySig: make(map[string]endpointRef),
+		classToLib:    make(map[string]LibKey),
 	}
 	for _, l := range libs {
 		r.byKey[l.Key] = l
@@ -220,6 +241,9 @@ func newRegistryOf(libs []*Library) *Registry {
 		}
 		for i := range l.RespChecks {
 			r.checkBySig[l.RespChecks[i].Sig.Key()] = l.Key
+		}
+		for i := range l.Endpoints {
+			r.endpointBySig[l.Endpoints[i].Sig.Key()] = endpointRef{lib: l, e: &l.Endpoints[i]}
 		}
 		for _, c := range l.Classes {
 			r.classToLib[c] = l.Key
@@ -250,6 +274,25 @@ func (r *Registry) ConfigOf(sig jimple.Sig) (*Library, *Config, bool) {
 		return nil, nil, false
 	}
 	return ref.lib, ref.c, true
+}
+
+// EndpointOf resolves an invocation to a URL-receiving API annotation.
+func (r *Registry) EndpointOf(sig jimple.Sig) (*Library, *Endpoint, bool) {
+	ref, ok := r.endpointBySig[sig.Key()]
+	if !ok {
+		return nil, nil, false
+	}
+	return ref.lib, ref.e, true
+}
+
+// EndpointSigKeys returns the annotated endpoint signature keys, sorted.
+func (r *Registry) EndpointSigKeys() []string {
+	out := make([]string, 0, len(r.endpointBySig))
+	for k := range r.endpointBySig {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // IsRespCheck reports whether sig is a response-checking API.

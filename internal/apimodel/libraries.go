@@ -87,6 +87,9 @@ func StandardLibraries() []*Library {
 				{Sig: sig(ClassHttpURLConn, "setChunkedStreamingMode", []string{"int"}, v)},
 				{Sig: sig(ClassHttpURLConn, "setFixedLengthStreamingMode", []string{"int"}, v)},
 			},
+			Endpoints: []Endpoint{
+				{Sig: sig(ClassURL, "<init>", []string{str}, v), URLArg: 0},
+			},
 			Defaults: Defaults{
 				// The default Android network API performs a blocking
 				// connect that can take minutes (paper Cause 3.1).
@@ -127,6 +130,10 @@ func StandardLibraries() []*Library {
 				{Sig: sig(ClassApacheClient, "setMaxConnections", []string{"int"}, v)},
 				{Sig: sig(ClassApacheClient, "setStaleCheckingEnabled", []string{"boolean"}, v)},
 			},
+			Endpoints: []Endpoint{
+				{Sig: sig(ClassApacheGet, "<init>", []string{str}, v), URLArg: 0},
+				{Sig: sig(ClassApachePost, "<init>", []string{str}, v), URLArg: 0},
+			},
 			Defaults: Defaults{TimeoutMs: 0, Retries: 0},
 		},
 		{
@@ -159,6 +166,10 @@ func StandardLibraries() []*Library {
 				{Sig: sig(ClassVolleyRequest, "setBody", []string{"byte[]"}, v)},
 				{Sig: sig(ClassVolleyRequest, "setRedirectsEnabled", []string{"boolean"}, v)},
 				{Sig: sig(ClassVolleyRequest, "setNetworkTimeout", []string{"int"}, v), Kind: ConfigTimeout},
+			},
+			Endpoints: []Endpoint{
+				{Sig: sig(ClassVolleyStringReq, "<init>",
+					[]string{"int", str, ClassVolleyListener, ClassVolleyErrListen}, v), URLArg: 1},
 			},
 			Callbacks: []Callback{{
 				Iface:             ClassVolleyErrListen,
@@ -208,6 +219,9 @@ func StandardLibraries() []*Library {
 			},
 			RespChecks: []RespCheck{
 				{Sig: sig(ClassOkResponse, "isSuccessful", nil, "boolean")},
+			},
+			Endpoints: []Endpoint{
+				{Sig: sig(ClassOkRequest, "<init>", []string{str}, v), URLArg: 0},
 			},
 			Callbacks: []Callback{{
 				Iface:         ClassOkCallback,
@@ -260,6 +274,12 @@ func StandardLibraries() []*Library {
 				{Sig: sig(ClassAsyncClient, "setURLEncodingEnabled", []string{"boolean"}, v)},
 				{Sig: sig(ClassAsyncClient, "setProxy", []string{str, "int"}, v)},
 			},
+			Endpoints: []Endpoint{
+				{Sig: sig(ClassAsyncClient, "get", []string{str, ClassAsyncHandler}, v), URLArg: 0},
+				{Sig: sig(ClassAsyncClient, "post", []string{str, ClassAsyncHandler}, v), URLArg: 0},
+				{Sig: sig(ClassAsyncClient, "put", []string{str, ClassAsyncHandler}, v), URLArg: 0},
+				{Sig: sig(ClassAsyncClient, "delete", []string{str, ClassAsyncHandler}, v), URLArg: 0},
+			},
 			Callbacks: []Callback{{
 				Iface:         ClassAsyncHandler,
 				ErrorSubsig:   "onFailure(java.lang.Throwable,java.lang.String)void",
@@ -310,6 +330,11 @@ func StandardLibraries() []*Library {
 			},
 			RespChecks: []RespCheck{
 				{Sig: sig(ClassBasicResponse, "isSuccess", nil, "boolean")},
+			},
+			Endpoints: []Endpoint{
+				{Sig: sig(ClassBasicClient, "get", []string{str}, ClassBasicResponse), URLArg: 0},
+				{Sig: sig(ClassBasicClient, "post", []string{str, "byte[]"}, ClassBasicResponse), URLArg: 0},
+				{Sig: sig(ClassBasicClient, "delete", []string{str}, ClassBasicResponse), URLArg: 0},
 			},
 			Defaults: Defaults{
 				TimeoutMs:          4000,

@@ -71,6 +71,12 @@ type Options struct {
 	// network-API sites (targeted.go). Reports and stats are identical in
 	// both modes; targeted scans do less work and say so in Diagnostics.
 	Mode EngineMode
+	// Checkers selects which checker families run (the -checkers ablation
+	// flag). The zero value runs all families; see CheckerSet. Disabled
+	// families skip their pipeline stages entirely — their reports and
+	// stat counters simply do not appear — so the selection joins the
+	// cache fingerprint.
+	Checkers CheckerSet
 	// GuardSensitiveConnCheck tightens Checker 1: a connectivity check
 	// only satisfies the analysis when its result actually governs a
 	// branch (tracked by forward taint from the check's result to an if
@@ -157,6 +163,23 @@ type Stats struct {
 	RetryLoops           int
 	AggressiveRetryLoops int
 
+	// Checker 5 (offline-state handling).
+	OfflineHandlers   int // network-state handlers examined
+	OfflineNoRecovery int // ... with neither retry nor cached-content fallback
+
+	// Checker 6 (stale connectivity check).
+	GuardedSites    int // request sites with a must-preceding connectivity check
+	StaleConnChecks int // ... whose every guard is stale (loop/wait/callback gap)
+
+	// Checker 7 (endpoint hygiene).
+	EndpointSites        int // URL-bearing call sites examined
+	ResolvedEndpoints    int // ... whose URL constant-propagated to a literal
+	CleartextEndpoints   int
+	HardcodedIPEndpoints int
+
+	// Checker 8 extension (retry storm: backoff off the retry path).
+	RetryStorms int
+
 	LibsUsed []apimodel.LibKey
 }
 
@@ -186,6 +209,15 @@ func (s *Stats) add(o *Stats) {
 	s.RespMissCheck += o.RespMissCheck
 	s.RetryLoops += o.RetryLoops
 	s.AggressiveRetryLoops += o.AggressiveRetryLoops
+	s.OfflineHandlers += o.OfflineHandlers
+	s.OfflineNoRecovery += o.OfflineNoRecovery
+	s.GuardedSites += o.GuardedSites
+	s.StaleConnChecks += o.StaleConnChecks
+	s.EndpointSites += o.EndpointSites
+	s.ResolvedEndpoints += o.ResolvedEndpoints
+	s.CleartextEndpoints += o.CleartextEndpoints
+	s.HardcodedIPEndpoints += o.HardcodedIPEndpoints
+	s.RetryStorms += o.RetryStorms
 }
 
 // Result bundles an app's warnings, statistics, and scan diagnostics.

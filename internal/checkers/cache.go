@@ -55,7 +55,7 @@ import (
 // EngineVersion names the analysis engine revision for cache keying. Bump
 // it whenever checker behavior changes in a way the other key components
 // do not capture; old entries then read as misses and age out via LRU.
-const EngineVersion = "nchecker-engine/5"
+const EngineVersion = "nchecker-engine/6"
 
 // CacheMode selects how a scan uses the persistent cache.
 type CacheMode uint8
@@ -111,9 +111,15 @@ func (o Options) cacheFingerprint() []byte {
 	// Validate is fingerprinted because validated entries carry verdicts
 	// in their reports: a validate=false scan must never be answered from
 	// a validated entry, nor the reverse.
-	return []byte(fmt.Sprintf("taintcfg=%t retryslice=%t declared=%t icc=%t intra=%t guard=%t mode=%d validate=%t",
+	// Checkers is fingerprinted as the normalized (effective) mask: two
+	// spellings of the same selection share entries, while an ablated scan
+	// never answers a full one. Normalization cannot collide with an
+	// explicit selection — effective() maps 0 to the all-bits mask, which
+	// no proper subset equals.
+	return []byte(fmt.Sprintf("taintcfg=%t retryslice=%t declared=%t icc=%t intra=%t guard=%t mode=%d validate=%t checkers=%d",
 		o.DisableTaintConfigDiscovery, o.DisableRetrySlicing, o.DeclaredDispatchOnly,
-		o.EnableICC, o.Intraprocedural, o.GuardSensitiveConnCheck, o.Mode, o.Validate))
+		o.EnableICC, o.Intraprocedural, o.GuardSensitiveConnCheck, o.Mode, o.Validate,
+		uint(o.Checkers.effective())))
 }
 
 // resultCacheKey addresses the whole-app result entry.
@@ -434,6 +440,11 @@ func statsCounters(s *Stats) []int64 {
 		int64(s.OverRetryPost), int64(s.OverRetryPostDefault),
 		int64(s.RespRequests), int64(s.RespMissCheck),
 		int64(s.RetryLoops), int64(s.AggressiveRetryLoops),
+		int64(s.OfflineHandlers), int64(s.OfflineNoRecovery),
+		int64(s.GuardedSites), int64(s.StaleConnChecks),
+		int64(s.EndpointSites), int64(s.ResolvedEndpoints),
+		int64(s.CleartextEndpoints), int64(s.HardcodedIPEndpoints),
+		int64(s.RetryStorms),
 	}
 }
 
@@ -453,6 +464,11 @@ func statsFromCounters(cs []int64, libs []string) (Stats, bool) {
 	s.OverRetryPost, s.OverRetryPostDefault = int(cs[16]), int(cs[17])
 	s.RespRequests, s.RespMissCheck = int(cs[18]), int(cs[19])
 	s.RetryLoops, s.AggressiveRetryLoops = int(cs[20]), int(cs[21])
+	s.OfflineHandlers, s.OfflineNoRecovery = int(cs[22]), int(cs[23])
+	s.GuardedSites, s.StaleConnChecks = int(cs[24]), int(cs[25])
+	s.EndpointSites, s.ResolvedEndpoints = int(cs[26]), int(cs[27])
+	s.CleartextEndpoints, s.HardcodedIPEndpoints = int(cs[28]), int(cs[29])
+	s.RetryStorms = int(cs[30])
 	for _, l := range libs {
 		s.LibsUsed = append(s.LibsUsed, apimodel.LibKey(l))
 	}

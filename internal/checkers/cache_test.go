@@ -27,7 +27,7 @@ const cacheTestSrc = `class t.Main extends android.app.Activity {
     local c com.turbomanage.httpclient.BasicHttpClient
     local r com.turbomanage.httpclient.HttpResponse
     c = param 0 com.turbomanage.httpclient.BasicHttpClient
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
 }`

@@ -42,7 +42,7 @@ const uncheckedActivity = `class t.Main extends android.app.Activity {
     local r com.turbomanage.httpclient.HttpResponse
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
 }`
@@ -82,7 +82,7 @@ const wellBehavedActivity = `class t.Good extends android.app.Activity {
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setReadTimeout(int)void 5000
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setMaxRetries(int)void 2
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     ok = virtualinvoke r com.turbomanage.httpclient.HttpResponse.isSuccess()boolean
     if ok == 0 goto L2
     b = virtualinvoke r com.turbomanage.httpclient.HttpResponse.getBodyAsString()java.lang.String
@@ -118,7 +118,7 @@ const wrongObjectConfig = `class t.Wrong extends android.app.Activity {
     virtualinvoke a com.turbomanage.httpclient.BasicHttpClient.setReadTimeout(int)void 5000
     b = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke b com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke b com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke b com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
 }`
@@ -147,7 +147,7 @@ const serviceDefaultRetries = `class t.Sync extends android.app.Service {
     c = new com.loopj.android.http.AsyncHttpClient
     specialinvoke c com.loopj.android.http.AsyncHttpClient.<init>()void
     h = new com.loopj.android.http.AsyncHttpResponseHandler
-    virtualinvoke c com.loopj.android.http.AsyncHttpClient.get(java.lang.String,com.loopj.android.http.AsyncHttpResponseHandler)void "http://x" h
+    virtualinvoke c com.loopj.android.http.AsyncHttpClient.get(java.lang.String,com.loopj.android.http.AsyncHttpResponseHandler)void "https://x" h
     return 0
   }
 }`
@@ -179,7 +179,7 @@ const postExplicitRetries = `class t.Poster extends android.app.Activity {
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setMaxRetries(int)void 3
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.post(java.lang.String,byte[])com.turbomanage.httpclient.HttpResponse "http://x" body
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.post(java.lang.String,byte[])com.turbomanage.httpclient.HttpResponse "https://x" body
     return
   }
 }`
@@ -203,7 +203,7 @@ const noRetryUserRequest = `class t.Zero extends android.app.Activity {
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setMaxRetries(int)void 0
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
 }`
@@ -225,7 +225,7 @@ const volleyPostDefault = `class t.VPost extends android.app.Activity {
     q = new com.android.volley.RequestQueue
     specialinvoke q com.android.volley.RequestQueue.<init>()void
     req = new com.android.volley.toolbox.StringRequest
-    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 1 "http://x" l e
+    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 1 "https://x" l e
     out = virtualinvoke q com.android.volley.RequestQueue.add(com.android.volley.Request)com.android.volley.Request req
     return
   }
@@ -270,7 +270,7 @@ class t.Act$Fetch extends android.os.AsyncTask {
     local r com.turbomanage.httpclient.HttpResponse
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
   method onPostExecute()void {
@@ -309,7 +309,7 @@ class t.Act2$Fetch extends android.os.AsyncTask {
     local r com.turbomanage.httpclient.HttpResponse
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
   method onPostExecute()void {
@@ -339,7 +339,7 @@ const volleyCallbacks = `class t.VAct extends android.app.Activity {
     e = new t.VAct$Err
     specialinvoke e t.VAct$Err.<init>()void
     req = new com.android.volley.toolbox.StringRequest
-    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 0 "http://x" l e
+    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 0 "https://x" l e
     out = virtualinvoke q com.android.volley.RequestQueue.add(com.android.volley.Request)com.android.volley.Request req
     return
   }
@@ -384,7 +384,7 @@ const volleyErrorTypeUsed = `class t.VAct3 extends android.app.Activity {
     e = new t.VAct3$Err
     specialinvoke e t.VAct3$Err.<init>()void
     req = new com.android.volley.toolbox.StringRequest
-    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 0 "http://x" l e
+    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 0 "https://x" l e
     out = virtualinvoke q com.android.volley.RequestQueue.add(com.android.volley.Request)com.android.volley.Request req
     return
   }
@@ -432,7 +432,7 @@ const uncheckedResponseUse = `class t.Resp extends android.app.Activity {
     local b java.lang.String
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     b = virtualinvoke r com.turbomanage.httpclient.HttpResponse.getBodyAsString()java.lang.String
     return
   }
@@ -455,7 +455,7 @@ const nullCheckedResponse = `class t.RespOK extends android.app.Activity {
     local b java.lang.String
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     if r == null goto L1
     b = virtualinvoke r com.turbomanage.httpclient.HttpResponse.getBodyAsString()java.lang.String
     L1:
@@ -528,7 +528,7 @@ const retryLoopNoBackoff = `class t.Loop extends android.app.Activity {
     L0:
     if done != 0 goto L4
     L1:
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     done = 1
     L2:
     goto L0
@@ -564,7 +564,7 @@ const retryLoopWithSleep = `class t.LoopS extends android.app.Activity {
     L0:
     if done != 0 goto L4
     L1:
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     done = 1
     L2:
     goto L0
@@ -603,7 +603,7 @@ const sequenceLoop = `class t.Seq extends android.app.Activity {
     L0:
     if i >= 10 goto L4
     L1:
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     L2:
     goto L5
     L3:
@@ -658,7 +658,7 @@ func TestDeadCodeRequestsIgnored(t *testing.T) {
     local r com.turbomanage.httpclient.HttpResponse
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
 }`
@@ -690,7 +690,7 @@ const unusedCheckApp = `class t.Unused extends android.app.Activity {
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setReadTimeout(int)void 5000
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setMaxRetries(int)void 1
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
 }`
@@ -752,7 +752,7 @@ const indirectRetryLoop = `class t.Indirect extends android.app.Activity {
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setReadTimeout(int)void 3000
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setMaxRetries(int)void 0
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
 }`

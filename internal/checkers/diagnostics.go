@@ -331,6 +331,25 @@ func (d Diagnostics) Render() string {
 		fmt.Fprintf(&b, "  stage %-14s %12v  items=%-5d reports=%d\n",
 			s.Name, s.Duration.Round(time.Microsecond), s.Items, s.Reports)
 	}
+	// Per-family warning counters (families whose stage ran; an ablated
+	// family is simply absent).
+	famLine := ""
+	for f := 1; f <= NumCheckerFamilies; f++ {
+		name := StageOfFamily(f)
+		total, present := 0, false
+		for _, s := range d.Stages {
+			if s.Name == name {
+				present = true
+				total += s.Reports
+			}
+		}
+		if present {
+			famLine += fmt.Sprintf(" %d:%s=%d", f, name, total)
+		}
+	}
+	if famLine != "" {
+		fmt.Fprintf(&b, "  checker families:%s\n", famLine)
+	}
 	c := d.Cache
 	fmt.Fprintf(&b, "  cache (computed/requests over %d methods): cfg %d/%d  reachdefs %d/%d  constprop %d/%d  dominators %d/%d  loops %d/%d  slicer %d/%d\n",
 		c.Methods, c.CFGComputed, c.CFGRequests, c.ReachDefsComputed, c.ReachDefsRequests,

@@ -28,7 +28,7 @@ const helperCfgApp = `class t.HelperCfg extends android.app.Activity {
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     staticinvoke t.HelperCfg.configure(com.turbomanage.httpclient.BasicHttpClient)void c
-    virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
     L2:
     toast = new android.widget.Toast
@@ -70,7 +70,7 @@ const factoryApp = `class t.Factory extends android.app.Activity {
     ni = virtualinvoke cm android.net.ConnectivityManager.getActiveNetworkInfo()android.net.NetworkInfo
     if ni == null goto L2
     c = staticinvoke t.Factory.make()com.turbomanage.httpclient.BasicHttpClient
-    virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
     L2:
     toast = new android.widget.Toast
@@ -115,7 +115,7 @@ const respHelperApp = `class t.RespHelper extends android.app.Activity {
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setReadTimeout(int)void 5000
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setMaxRetries(int)void 2
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     staticinvoke t.RespHelper.show(com.turbomanage.httpclient.HttpResponse)void r
     return
     L2:
@@ -161,7 +161,7 @@ const respCheckedHelperApp = `class t.RespChecked extends android.app.Activity {
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setReadTimeout(int)void 5000
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setMaxRetries(int)void 2
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     staticinvoke t.RespChecked.show(com.turbomanage.httpclient.HttpResponse)void r
     return
     L2:
@@ -212,7 +212,7 @@ const prunedApp = `class t.Pruned extends android.app.Activity {
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setReadTimeout(int)void 5000
     virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.setMaxRetries(int)void 2
-    virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     toast = new android.widget.Toast
     virtualinvoke toast android.widget.Toast.show()void
     return
@@ -249,7 +249,7 @@ const volleyHelperDropsError = `class t.VDrop extends android.app.Activity {
     e = new t.VDrop$Err
     specialinvoke e t.VDrop$Err.<init>()void
     req = new com.android.volley.toolbox.StringRequest
-    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 0 "http://x" l e
+    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 0 "https://x" l e
     out = virtualinvoke q com.android.volley.RequestQueue.add(com.android.volley.Request)com.android.volley.Request req
     return
   }
@@ -291,7 +291,7 @@ const volleyHelperInspectsError = `class t.VUse extends android.app.Activity {
     e = new t.VUse$Err
     specialinvoke e t.VUse$Err.<init>()void
     req = new com.android.volley.toolbox.StringRequest
-    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 0 "http://x" l e
+    specialinvoke req com.android.volley.toolbox.StringRequest.<init>(int,java.lang.String,com.android.volley.Response$Listener,com.android.volley.Response$ErrorListener)void 0 "https://x" l e
     out = virtualinvoke q com.android.volley.RequestQueue.add(com.android.volley.Request)com.android.volley.Request req
     return
   }

@@ -23,11 +23,13 @@ import (
 //	             hierarchy and the call graph
 //	discover   — find and resolve every request site (§4.4), fanned out
 //	             per method
-//	settings | parameters | notifications | responses | retryloops
-//	           — the four checkers (§4.4.1–4.4.4) and the retry-loop
-//	             identification (§4.5), run concurrently as stages, each
-//	             fanning out per site (or per method) over the shared
-//	             bounded worker pool
+//	settings | parameters | notifications | responses | offlinestate |
+//	stalechecks | endpoints | retryloops
+//	           — the eight checker families (§4.4.1–4.4.4, §4.5, and the
+//	             registry growth of DESIGN.md §11), run concurrently as
+//	             stages, each fanning out per site (or per method) over
+//	             the shared bounded worker pool; Options.Checkers selects
+//	             which families run
 //
 // All stages share one AnalysisContext, so each per-method artifact (CFG,
 // reaching defs, …) is computed at most once per scan. Every work unit
@@ -159,7 +161,10 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 	a.guard("discover", func() { discovered = a.discoverSites() })
 	diag.add("discover", time.Since(discoverStart), len(a.methods), 0)
 
-	stages := []struct {
+	// The full stage table in fixed merge order; Options.Checkers filters
+	// it so disabled families never run (ablation / selection, satellite of
+	// the registry growth). Stage names map to families via checkerStages.
+	allStages := []struct {
 		name  string
 		items int
 		run   func() findings
@@ -168,7 +173,16 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 		{"parameters", len(a.sites), a.checkParameters},
 		{"notifications", len(a.sites), a.checkNotifications},
 		{"responses", len(a.sites), a.checkResponses},
+		{"offlinestate", len(a.methods), a.checkOfflineState},
+		{"stalechecks", len(a.sites), a.checkStaleChecks},
+		{"endpoints", len(a.methods), a.checkEndpoints},
 		{"retryloops", len(a.methods), a.checkRetryLoops},
+	}
+	stages := allStages[:0:0]
+	for _, s := range allStages {
+		if a.opts.Checkers.Enabled(FamilyOfStage(s.name)) {
+			stages = append(stages, s)
+		}
 	}
 	outs := make([]findings, len(stages))
 	durs := make([]time.Duration, len(stages))

@@ -178,7 +178,7 @@ func TestStatsAddCoversAllCounterFields(t *testing.T) {
 // consumers: stage timings must appear in the fixed pipeline order.
 func TestDiagnosticsStageOrder(t *testing.T) {
 	res := analyzeSrcOpts(t, multiClassApp(), Options{Workers: 3})
-	want := []string{"build", "summaries", "discover", "settings", "parameters", "notifications", "responses", "retryloops"}
+	want := []string{"build", "summaries", "discover", "settings", "parameters", "notifications", "responses", "offlinestate", "stalechecks", "endpoints", "retryloops"}
 	if len(res.Diagnostics.Stages) != len(want) {
 		t.Fatalf("stage count: got %d, want %d (%v)", len(res.Diagnostics.Stages), len(want), res.Diagnostics.Stages)
 	}

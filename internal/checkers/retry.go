@@ -50,6 +50,14 @@ func (a *analysis) checkMethodRetryLoops(m *jimple.Method, f *findings) {
 			site := a.syntheticLoopSite(m, loop)
 			f.report(a.newReport(site, report.CauseAggressiveRetryLoop,
 				"Customized retry loop reconnects without backing off; repeated failures burn CPU and battery"))
+		} else if !a.loopBackoffOnFailurePath(m, loop) {
+			// Checker 8 (retry-storm): the loop does delay somewhere, but
+			// not on the failure path — failed attempts still reconnect
+			// immediately.
+			f.stats.RetryStorms++
+			site := a.syntheticLoopSite(m, loop)
+			f.report(a.newReport(site, report.CauseRetryStorm,
+				"Retry loop backs off only on the success path; failed attempts reconnect immediately, storming the server"))
 		}
 	}
 }
@@ -167,43 +175,76 @@ func reachableFrom(g *cfg.Graph, seeds map[int]bool) map[int]bool {
 	return seen
 }
 
+// isBackoffSig reports whether sig is a delaying call: Thread.sleep,
+// Handler.postDelayed, or a Timer schedule.
+func isBackoffSig(sig jimple.Sig) bool {
+	switch {
+	case sig.Class == android.ClassThread && sig.Name == "sleep":
+		return true
+	case sig.Class == android.ClassHandler && sig.Name == "postDelayed":
+		return true
+	case sig.Class == android.ClassTimer:
+		return true
+	}
+	return false
+}
+
+// stmtBacksOff reports whether the statement at i in m is a backoff call,
+// directly or through a direct callee's body (one level, matching
+// loopHasBackoff's depth).
+func (a *analysis) stmtBacksOff(m *jimple.Method, i int) bool {
+	if i >= len(m.Body) {
+		return false
+	}
+	inv, ok := jimple.InvokeOf(m.Body[i])
+	if !ok {
+		return false
+	}
+	if isBackoffSig(inv.Callee) {
+		return true
+	}
+	for _, e := range a.cg.OutEdges(m.Sig.Key()) {
+		if e.Site != i {
+			continue
+		}
+		if callee := a.cg.Method(e.Callee.Key()); callee != nil {
+			for _, cs := range callee.Body {
+				if cinv, okc := jimple.InvokeOf(cs); okc && isBackoffSig(cinv.Callee) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // loopHasBackoff reports whether the loop (or its direct callees) delays
 // between attempts: Thread.sleep, Handler.postDelayed, or a Timer
 // schedule.
 func (a *analysis) loopHasBackoff(m *jimple.Method, loop *cfg.Loop) bool {
-	isBackoff := func(sig jimple.Sig) bool {
-		switch {
-		case sig.Class == android.ClassThread && sig.Name == "sleep":
-			return true
-		case sig.Class == android.ClassHandler && sig.Name == "postDelayed":
-			return true
-		case sig.Class == android.ClassTimer:
-			return true
-		}
-		return false
-	}
 	for _, i := range loop.SortedBody() {
-		if i >= len(m.Body) {
-			continue
-		}
-		inv, ok := jimple.InvokeOf(m.Body[i])
-		if !ok {
-			continue
-		}
-		if isBackoff(inv.Callee) {
+		if a.stmtBacksOff(m, i) {
 			return true
 		}
-		for _, e := range a.cg.OutEdges(m.Sig.Key()) {
-			if e.Site != i {
-				continue
-			}
-			if callee := a.cg.Method(e.Callee.Key()); callee != nil {
-				for _, cs := range callee.Body {
-					if cinv, okc := jimple.InvokeOf(cs); okc && isBackoff(cinv.Callee) {
-						return true
-					}
-				}
-			}
+	}
+	return false
+}
+
+// loopBackoffOnFailurePath reports whether some backoff call sits on the
+// loop's failure path — inside an in-loop catch-block region (the same
+// region catchStmtsInLoop gives the retry-loop classifier). A loop whose
+// only delay runs on the success path still reconnects immediately after
+// every failure: the retry-storm pattern (Checker 8). Loops with no
+// in-loop catch region have no separable failure path and are treated as
+// backing off correctly.
+func (a *analysis) loopBackoffOnFailurePath(m *jimple.Method, loop *cfg.Loop) bool {
+	catch := catchStmtsInLoop(m, a.ctx.Dominators(m), loop)
+	if len(catch) == 0 {
+		return true
+	}
+	for i := range catch {
+		if a.stmtBacksOff(m, i) {
+			return true
 		}
 	}
 	return false

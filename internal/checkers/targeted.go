@@ -125,18 +125,32 @@ func computeTargetedClosure(records []dex.MethodRef, reg *apimodel.Registry, man
 		}
 	}
 
-	// Seeds: target-API call sites and registered callback
-	// implementations — exactly the methods the pipeline resolves
-	// summaries from (discover.go, checker3.go, checker4.go).
+	// Network-state handler implementations seed the closure for the
+	// offline-state checker (checker5.go): BroadcastReceiver.onReceive and
+	// NetworkCallback overrides. Subsig-only matching over-approximates (an
+	// onReceive outside a receiver also seeds) — extra decode, never a
+	// missed handler.
+	networkHandlerSubsigs := map[string]bool{onReceiveSubsig: true}
+	for _, sub := range android.NetworkCallbackSubsigs {
+		networkHandlerSubsigs[sub] = true
+	}
+
+	// Seeds: target-API call sites, registered callback implementations —
+	// exactly the methods the pipeline resolves summaries from
+	// (discover.go, checker3.go, checker4.go) — plus endpoint-API callers
+	// (checker7.go scans them even when no target API is nearby) and
+	// network-state handlers (checker5.go).
 	seedCount := 0
 	for i := range records {
 		r := &records[i]
-		seed := callbackSubsigs[r.Sig.SubSigKey()]
+		seed := callbackSubsigs[r.Sig.SubSigKey()] || networkHandlerSubsigs[r.Sig.SubSigKey()]
 		for _, c := range r.Calls {
 			if seed {
 				break
 			}
 			if _, _, ok := reg.TargetOf(c); ok {
+				seed = true
+			} else if _, _, ok := reg.EndpointOf(c); ok {
 				seed = true
 			}
 		}

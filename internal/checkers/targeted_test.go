@@ -88,7 +88,7 @@ const helperConfigTargeted = `class t.Helper extends android.app.Activity {
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
     staticinvoke t.Conf.tune(com.turbomanage.httpclient.BasicHttpClient)void c
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
 }
@@ -218,7 +218,7 @@ class t.Fetcher extends android.app.Activity {
     self = this t.Fetcher
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     fail = new android.content.Intent
     virtualinvoke self android.app.Activity.sendBroadcast(android.content.Intent)void fail
     return

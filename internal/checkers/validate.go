@@ -121,7 +121,7 @@ func (a *analysis) validateOne(rp *interp.Replayer, cache map[replayKey]replayOu
 			// Exhausting the budget only under injected faults IS the
 			// manifestation of a runaway retry loop; for every other
 			// cause a truncated replay proves nothing.
-			if r.Cause == report.CauseAggressiveRetryLoop {
+			if r.Cause == report.CauseAggressiveRetryLoop || r.Cause == report.CauseRetryStorm {
 				return report.ValidationConfirmed, fmt.Sprintf("runaway-loop under %s", s)
 			}
 			budgetHit = true
@@ -187,14 +187,48 @@ func manifestation(cause report.Cause, base, obs *interp.Observations) string {
 		if newCrash {
 			return crash()
 		}
-	case report.CauseAggressiveRetryLoop:
+	case report.CauseAggressiveRetryLoop, report.CauseRetryStorm:
 		// Budget exhaustion is handled by the caller; a hang or attempt
-		// blow-up short of the budget also confirms the loop.
+		// blow-up short of the budget also confirms the loop. A retry
+		// storm's backoff sits off the failure path, so under injected
+		// faults (connection-reset especially) the attempts pile up
+		// exactly like the unthrottled loop's.
 		if newHang {
 			return "hang"
 		}
 		if extraAttempts {
 			return "excess-retries"
+		}
+	case report.CauseCleartextEndpoint, report.CauseHardcodedIPEndpoint:
+		// The hazard is interception or unreachability of the endpoint —
+		// the captive-portal scenario's specialty: the tampered response
+		// crashes the unsuspecting parser or fails silently.
+		if newCrash {
+			return crash()
+		}
+		if newSilent {
+			return "silent-failure"
+		}
+	case report.CauseOfflineStateNoRecovery:
+		// The defect is an offline transition with no retry or cached
+		// fallback: the user faces a dead end — silence or a crash.
+		if newSilent {
+			return "silent-failure"
+		}
+		if newCrash {
+			return crash()
+		}
+	case report.CauseStaleConnectivityCheck:
+		// The check passed before the loop/wait; by use time the network
+		// changed, so failures slip past the guard as unhandled damage.
+		if newCrash {
+			return crash()
+		}
+		if newSilent {
+			return "silent-failure"
+		}
+		if newHang {
+			return "hang"
 		}
 	default:
 		// Connectivity / retry-config / error-type warnings manifest as

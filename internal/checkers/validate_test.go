@@ -219,7 +219,7 @@ const spinLoopActivity = `class t.Spin extends android.app.Activity {
     L0:
     goto L1
     L1:
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     L2:
     goto L0
     L3:

@@ -79,6 +79,18 @@ func ParseEngineMode(s string) (EngineMode, error) {
 	return checkers.ParseEngineMode(s)
 }
 
+// CheckerSet selects which of the eight checker families run
+// (Options.Checkers): a bitmask over family numbers 1–8, zero meaning
+// all. Reports of disabled families are simply absent; enabled families
+// report byte-identically to a full scan.
+type CheckerSet = checkers.CheckerSet
+
+// ParseCheckerSet parses the -checkers flag: "all" (or ""), or a
+// comma-separated list of family numbers and N-M ranges, e.g. "1,3,5-8".
+func ParseCheckerSet(s string) (CheckerSet, error) {
+	return checkers.ParseCheckerSet(s)
+}
+
 // Diagnostics re-exports the per-scan pipeline observability record:
 // per-stage wall time, work volumes, analysis-cache hit counters, and
 // the scan's ScanError list when degraded.
@@ -145,6 +157,18 @@ func (c *Checker) WithValidate(v bool) *Checker {
 	}
 	opts := c.opts
 	opts.Validate = v
+	return &Checker{reg: c.reg, opts: opts}
+}
+
+// WithCheckers returns a Checker identical to c except for the checker
+// family selection, sharing c's registry. nchecker serve uses it to honor
+// per-job ?checkers= requests.
+func (c *Checker) WithCheckers(set CheckerSet) *Checker {
+	if c.opts.Checkers == set {
+		return c
+	}
+	opts := c.opts
+	opts.Checkers = set
 	return &Checker{reg: c.reg, opts: opts}
 }
 

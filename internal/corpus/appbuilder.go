@@ -79,8 +79,48 @@ type SiteSpec struct {
 	CheckResponse bool
 	// RetryLoop wraps the request in a customized retry loop.
 	RetryLoop bool
-	// LoopBackoff adds Thread.sleep to the retry loop.
+	// LoopBackoff adds Thread.sleep to the retry loop's catch block — the
+	// failure path, where backoff belongs.
 	LoopBackoff bool
+	// LoopBackoffOffPath adds Thread.sleep on the loop's success path only
+	// (after the request, before the done flag): the loop "has backoff"
+	// but failed attempts still reconnect immediately — the retry-storm
+	// shape (Checker 8).
+	LoopBackoffOffPath bool
+	// SleepAfterCheck inserts a blocking Thread.sleep between the
+	// connectivity check and the request — the wait staleness shape
+	// (Checker 6). Only meaningful with ConnCheck.
+	SleepAfterCheck bool
+	// ConnCheckBeforeAsync moves the connectivity check out of the
+	// AsyncTask into the entry method, before execute(): the check is
+	// stale by the time doInBackground runs — the callback-boundary
+	// staleness shape (Checker 6). Only meaningful with ConnCheck and
+	// WrapAsyncTask.
+	ConnCheckBeforeAsync bool
+	// CleartextURL requests an http:// endpoint (Checker 7).
+	CleartextURL bool
+	// HardcodedIP requests an endpoint whose host is an IPv4 literal
+	// (Checker 7).
+	HardcodedIP bool
+	// LoopbackDebugURL requests http://127.0.0.1/api — a leftover debug
+	// endpoint the tool flags (cleartext + IP literal) but that is
+	// harmless: the endpoint-hygiene FP shape.
+	LoopbackDebugURL bool
+	// BuildURL assembles the URL by string concatenation instead of one
+	// literal, exercising the checker's string constant propagation.
+	BuildURL bool
+	// NetStateReceiver registers a broadcast receiver that inspects
+	// connectivity on change but only toasts — no retry, no cached
+	// fallback: the offline-state defect (Checker 5).
+	NetStateReceiver bool
+	// NetStateReceiverRecovers registers a receiver that inspects
+	// connectivity and falls back to cached content — the well-behaved
+	// offline-state shape.
+	NetStateReceiverRecovers bool
+	// NetCallback registers a ConnectivityManager.NetworkCallback whose
+	// onAvailable only toasts — the offline-state defect again, via the
+	// callback API (Checker 5).
+	NetCallback bool
 }
 
 // AppSpec is a full app: one component per site.
@@ -113,6 +153,9 @@ func Build(spec AppSpec) (*apk.App, error) {
 			}
 		case CtxService:
 			man.Services = append(man.Services, comp)
+		}
+		if site.NetStateReceiver || site.NetStateReceiverRecovers {
+			man.Receivers = append(man.Receivers, comp+"NetReceiver")
 		}
 	}
 	man.Normalize()
@@ -155,8 +198,21 @@ func (g *appGen) emitComponent(comp string, site SiteSpec) error {
 	g.prog.AddClass(cls)
 
 	body := jimple.NewBody()
+	if site.NetCallback {
+		g.emitNetCallbackRegistration(body, comp)
+	}
 	if site.Wrap == WrapAsyncTask {
-		g.emitAsyncTaskLaunch(body, comp, site)
+		if site.ConnCheckBeforeAsync && site.ConnCheck && !site.ConnCheckUnused {
+			// The callback-boundary staleness shape: check here, request in
+			// the task's doInBackground.
+			offline := body.NewLabel()
+			emitConnCheckGuard(body, offline)
+			g.emitAsyncTaskLaunch(body, comp, site)
+			body.Bind(offline)
+			body.Nop()
+		} else {
+			g.emitAsyncTaskLaunch(body, comp, site)
+		}
 	} else {
 		if err := g.emitSite(body, comp, site, true); err != nil {
 			return err
@@ -175,7 +231,77 @@ func (g *appGen) emitComponent(comp string, site SiteSpec) error {
 	if site.NotifyViaBroadcast {
 		g.emitErrReceiver(comp)
 	}
+	if site.NetStateReceiver || site.NetStateReceiverRecovers {
+		g.emitNetReceiver(comp, site.NetStateReceiverRecovers)
+	}
+	if site.NetCallback {
+		g.emitNetCallbackClass(comp)
+	}
 	return nil
+}
+
+// emitNetReceiver emits a manifest-registered receiver that inspects
+// connectivity on change. The recovering variant falls back to cached
+// content (SharedPreferences); the defective one only toasts — the
+// offline-state shape Checker 5 flags.
+func (g *appGen) emitNetReceiver(comp string, recovers bool) {
+	name := comp + "NetReceiver"
+	cls := &jimple.Class{Name: name, Super: android.ClassBroadcastReceiver}
+	g.prog.AddClass(cls)
+	b := jimple.NewBody()
+	offline := b.NewLabel()
+	emitConnCheckGuard(b, offline)
+	// Online path: nothing pending to resume in this minimal shape.
+	b.Bind(offline)
+	if recovers {
+		prefs := b.Local("prefs", android.ClassSharedPrefs)
+		cached := b.Local("cached", jimple.TypeString)
+		b.Assign(prefs, jimple.NewExpr{Type: android.ClassSharedPrefs})
+		b.InvokeAssign(cached, jimple.InvokeVirtual, "prefs",
+			jimple.Sig{Class: android.ClassSharedPrefs, Name: "getString",
+				Params: []string{jimple.TypeString, jimple.TypeString}, Ret: jimple.TypeString},
+			jimple.StrConst{V: "cached_feed"}, jimple.StrConst{V: ""})
+	} else {
+		emitToast(b)
+	}
+	b.Return(nil)
+	cls.AddMethod(b.MustBuild(jimple.Sig{Class: name, Name: "onReceive",
+		Params: []string{android.ClassContext, android.ClassIntent}, Ret: jimple.TypeVoid}, false))
+}
+
+// emitNetCallbackRegistration emits
+// "cm.registerNetworkCallback(new Comp$NetCb())" into the entry body.
+func (g *appGen) emitNetCallbackRegistration(b *jimple.BodyBuilder, comp string) {
+	cbCls := comp + "$NetCb"
+	cm := b.Local("cmReg", android.ClassConnectivityMgr)
+	cb := b.Local("netCb", cbCls)
+	b.Assign(cm, jimple.NewExpr{Type: android.ClassConnectivityMgr})
+	b.New(cb, cbCls)
+	b.Invoke(jimple.InvokeVirtual, "cmReg",
+		jimple.Sig{Class: android.ClassConnectivityMgr, Name: "registerNetworkCallback",
+			Params: []string{android.ClassNetworkCallback}, Ret: jimple.TypeVoid},
+		cb)
+}
+
+// emitNetCallbackClass emits the NetworkCallback subclass whose
+// onAvailable only toasts — no retry, no cached fallback.
+func (g *appGen) emitNetCallbackClass(comp string) {
+	cbCls := comp + "$NetCb"
+	if g.prog.Class(cbCls) != nil {
+		return
+	}
+	cls := &jimple.Class{Name: cbCls, Super: android.ClassNetworkCallback}
+	g.prog.AddClass(cls)
+	ctor := jimple.NewBody()
+	ctor.Return(nil)
+	cls.AddMethod(ctor.MustBuild(jimple.Sig{Class: cbCls, Name: "<init>", Ret: jimple.TypeVoid}, false))
+	b := jimple.NewBody()
+	net := b.Local("net", android.ClassNetwork)
+	b.Assign(net, jimple.ParamRef{Index: 0, Type: android.ClassNetwork})
+	emitToast(b)
+	b.Return(nil)
+	cls.AddMethod(b.MustBuild(jimple.Sig{Class: cbCls, Name: "onAvailable",
+		Params: []string{android.ClassNetwork}, Ret: jimple.TypeVoid}, false))
 }
 
 func (g *appGen) finishEntry(body *jimple.BodyBuilder, cls *jimple.Class, sig jimple.Sig, site SiteSpec) {
@@ -212,6 +338,11 @@ func (g *appGen) emitAsyncTaskClass(comp string, site SiteSpec) error {
 	inner := site
 	if !usesExplicitCallback(site) {
 		inner.Notify = false
+	}
+	if site.ConnCheckBeforeAsync && site.ConnCheck && !site.ConnCheckUnused {
+		// The check already ran in the entry method, before execute();
+		// doInBackground performs the request unguarded.
+		inner.ConnCheck = false
 	}
 	body := jimple.NewBody()
 	if err := g.emitSite(body, taskCls, inner, false); err != nil {
@@ -314,6 +445,14 @@ func (g *appGen) emitSite(b *jimple.BodyBuilder, owner string, site SiteSpec, in
 		emitConnCheckGuard(b, end)
 	} else if site.ConnCheckUnused {
 		emitConnCheck(b) // invoked, result ignored: the FN shape
+	}
+	if site.SleepAfterCheck && (site.ConnCheck || site.ConnCheckUnused) {
+		// A blocking wait between check and request: the wait staleness
+		// shape (Checker 6).
+		b.Invoke(jimple.InvokeStatic, "",
+			jimple.Sig{Class: android.ClassThread, Name: "sleep",
+				Params: []string{"long"}, Ret: jimple.TypeVoid},
+			jimple.IntConst{V: 1500})
 	}
 	var err error
 	switch site.Lib {

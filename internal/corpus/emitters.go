@@ -6,10 +6,50 @@ import (
 	"repro/internal/jimple"
 )
 
-const httpURL = "http://api.example.com/data"
-
 func voidSig(class, name string, params ...string) jimple.Sig {
 	return jimple.Sig{Class: class, Name: name, Params: params, Ret: jimple.TypeVoid}
+}
+
+// siteURL computes the endpoint URL a site requests, per its hygiene
+// knobs (Checker 7). The default is a well-behaved https hostname URL.
+func siteURL(site SiteSpec) string {
+	if site.LoopbackDebugURL {
+		// The endpoint-hygiene FP shape: a leftover debug endpoint that the
+		// tool flags (cleartext + IP literal) but that is harmless.
+		return "http://127.0.0.1/api"
+	}
+	scheme := "https"
+	if site.CleartextURL {
+		scheme = "http"
+	}
+	host := "api.example.com"
+	if site.HardcodedIP {
+		host = "203.0.113.7"
+	}
+	return scheme + "://" + host + "/data"
+}
+
+// urlArg yields the URL argument for the request emitters: the string
+// constant itself or — with BuildURL — a local assembled by `base + path`
+// concatenation, which the endpoint checker's string constant propagation
+// must fold back together.
+func urlArg(b *jimple.BodyBuilder, site SiteSpec) jimple.Value {
+	u := siteURL(site)
+	if !site.BuildURL {
+		return jimple.StrConst{V: u}
+	}
+	cut := len(u)
+	for i := len(u) - 1; i > 0; i-- {
+		if u[i] == '/' {
+			cut = i
+			break
+		}
+	}
+	base := b.Local("urlBase", jimple.TypeString)
+	full := b.Local("urlFull", jimple.TypeString)
+	b.Assign(base, jimple.StrConst{V: u[:cut]})
+	b.Assign(full, jimple.BinExpr{Op: jimple.OpAdd, L: base, R: jimple.StrConst{V: u[cut:]}})
+	return full
 }
 
 // emitBasicRequest emits a turbomanage BasicHttpClient request, optionally
@@ -34,12 +74,12 @@ func (g *appGen) emitBasicRequest(b *jimple.BodyBuilder, site SiteSpec) error {
 			b.InvokeAssign(r, jimple.InvokeVirtual, "client",
 				jimple.Sig{Class: apimodel.ClassBasicClient, Name: "post",
 					Params: []string{jimple.TypeString, "byte[]"}, Ret: apimodel.ClassBasicResponse},
-				jimple.StrConst{V: httpURL}, body)
+				urlArg(b, site), body)
 		} else {
 			b.InvokeAssign(r, jimple.InvokeVirtual, "client",
 				jimple.Sig{Class: apimodel.ClassBasicClient, Name: "get",
 					Params: []string{jimple.TypeString}, Ret: apimodel.ClassBasicResponse},
-				jimple.StrConst{V: httpURL})
+				urlArg(b, site))
 		}
 	}
 	if site.RetryLoop {
@@ -68,6 +108,14 @@ func (g *appGen) emitRetryLoop(b *jimple.BodyBuilder, site SiteSpec, doRequest f
 	b.If(jimple.BinExpr{Op: jimple.OpNE, L: done, R: jimple.IntConst{V: 0}}, out)
 	b.Bind(tryBegin)
 	doRequest()
+	if site.LoopBackoffOffPath {
+		// Backoff on the success path only: failed attempts jump from the
+		// catch block straight back to the head — the retry-storm shape.
+		b.Invoke(jimple.InvokeStatic, "",
+			jimple.Sig{Class: android.ClassThread, Name: "sleep",
+				Params: []string{"long"}, Ret: jimple.TypeVoid},
+			jimple.IntConst{V: 2000})
+	}
 	b.Assign(done, jimple.IntConst{V: 1})
 	b.Bind(tryEnd)
 	b.Goto(head)
@@ -111,7 +159,7 @@ func (g *appGen) emitHttpURLRequest(b *jimple.BodyBuilder, site SiteSpec) error 
 	b.Assign(u, jimple.NewExpr{Type: apimodel.ClassURL})
 	b.Invoke(jimple.InvokeSpecial, "url",
 		voidSig(apimodel.ClassURL, "<init>", jimple.TypeString),
-		jimple.StrConst{V: httpURL})
+		urlArg(b, site))
 	b.InvokeAssign(conn, jimple.InvokeVirtual, "url",
 		jimple.Sig{Class: apimodel.ClassURL, Name: "openConnection", Ret: apimodel.ClassHttpURLConn})
 	if site.SetTimeout {
@@ -155,7 +203,7 @@ func (g *appGen) emitApacheRequest(b *jimple.BodyBuilder, site SiteSpec) error {
 	b.Assign(req, jimple.NewExpr{Type: reqCls})
 	b.Invoke(jimple.InvokeSpecial, reqVar,
 		voidSig(reqCls, "<init>", jimple.TypeString),
-		jimple.StrConst{V: httpURL})
+		urlArg(b, site))
 	doRequest := func() {
 		b.InvokeAssign(r, jimple.InvokeVirtual, "client",
 			jimple.Sig{Class: apimodel.ClassApacheClient, Name: "execute",
@@ -193,7 +241,7 @@ func (g *appGen) emitVolleyRequest(b *jimple.BodyBuilder, owner string, site Sit
 	b.Invoke(jimple.InvokeSpecial, "request",
 		voidSig(apimodel.ClassVolleyStringReq, "<init>",
 			"int", jimple.TypeString, apimodel.ClassVolleyListener, apimodel.ClassVolleyErrListen),
-		jimple.IntConst{V: int64(method)}, jimple.StrConst{V: httpURL}, lst, errL)
+		jimple.IntConst{V: int64(method)}, urlArg(b, site), lst, errL)
 	if site.SetTimeout {
 		b.Invoke(jimple.InvokeVirtual, "request",
 			voidSig(apimodel.ClassVolleyRequest, "setTimeout", "int"),
@@ -259,7 +307,7 @@ func (g *appGen) emitOkHttpRequest(b *jimple.BodyBuilder, site SiteSpec) error {
 	b.Assign(req, jimple.NewExpr{Type: apimodel.ClassOkRequest})
 	b.Invoke(jimple.InvokeSpecial, "okReq",
 		voidSig(apimodel.ClassOkRequest, "<init>", jimple.TypeString),
-		jimple.StrConst{V: httpURL})
+		urlArg(b, site))
 	doRequest := func() {
 		b.InvokeAssign(r, jimple.InvokeVirtual, "client",
 			jimple.Sig{Class: apimodel.ClassOkClient, Name: "execute",
@@ -302,7 +350,7 @@ func (g *appGen) emitAsyncHTTPRequest(b *jimple.BodyBuilder, owner string, site 
 	}
 	b.Invoke(jimple.InvokeVirtual, "client",
 		voidSig(apimodel.ClassAsyncClient, name, jimple.TypeString, apimodel.ClassAsyncHandler),
-		jimple.StrConst{V: httpURL}, h)
+		urlArg(b, site), h)
 	return nil
 }
 

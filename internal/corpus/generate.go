@@ -50,6 +50,23 @@ const (
 	maxSites             = 10
 )
 
+// Rates for the four new checker families (offline-state, stale-check,
+// endpoint hygiene, retry-storm). These draw from a second RNG stream
+// (seed+1) layered over the finished base spec, so adding them did not
+// shift the calibrated draws above.
+const (
+	pLoopbackURL      = 0.01 // leftover debug endpoint (hygiene FP shape)
+	pCleartextURL     = 0.08 // http:// production endpoint
+	pHardcodedIPURL   = 0.03 // IP-literal host
+	pBuildURL         = 0.15 // URL assembled by concatenation
+	pSleepAfterCheck  = 0.05 // blocking wait between check and request
+	pCheckBeforeAsync = 0.25 // check hoisted out of the AsyncTask
+	pStormLoop        = 0.40 // unbacked-off loops that sleep on success only
+	pNetReceiverBad   = 0.04 // per-app connectivity receiver, no recovery
+	pNetReceiverGood  = 0.03 // per-app connectivity receiver with cache fallback
+	pNetCallback      = 0.03 // per-app NetworkCallback, no recovery
+)
+
 // CorpusApp is one member of the evaluation corpus.
 type CorpusApp struct {
 	Name   string
@@ -78,8 +95,10 @@ func GenerateCorpus(seed int64) ([]*CorpusApp, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
+	rng2 := rand.New(rand.NewSource(seed + 1))
 	for i, libs := range libSets {
 		spec := generateAppSpec(rng, i, libs)
+		decorateSpec(rng2, i, &spec)
 		app, err := Build(spec)
 		if err != nil {
 			return nil, fmt.Errorf("corpus: generated app %d: %w", i, err)
@@ -327,6 +346,53 @@ func generateAppSpec(rng *rand.Rand, idx int, libs []apimodel.LibKey) AppSpec {
 			})
 	}
 	return spec
+}
+
+// decorateSpec layers the new-family knobs (endpoint hygiene, staleness,
+// retry storms, offline-state handlers) over a finished base spec. It
+// consumes only the second RNG stream; the clean apps stay pristine.
+func decorateSpec(rng *rand.Rand, idx int, spec *AppSpec) {
+	if cleanApp(idx) {
+		return
+	}
+	for s := range spec.Sites {
+		site := &spec.Sites[s]
+		// Endpoint knobs are mutually exclusive: one URL per site.
+		r := rng.Float64()
+		switch {
+		case r < pLoopbackURL:
+			site.LoopbackDebugURL = true
+		case r < pLoopbackURL+pCleartextURL:
+			site.CleartextURL = true
+		case r < pLoopbackURL+pCleartextURL+pHardcodedIPURL:
+			site.HardcodedIP = true
+		}
+		if rng.Float64() < pBuildURL {
+			site.BuildURL = true
+		}
+		if site.ConnCheck && !site.ConnCheckUnused && rng.Float64() < pSleepAfterCheck {
+			site.SleepAfterCheck = true
+		}
+		if site.Wrap == WrapAsyncTask && site.ConnCheck && !site.ConnCheckUnused &&
+			rng.Float64() < pCheckBeforeAsync {
+			site.ConnCheckBeforeAsync = true
+		}
+		if site.RetryLoop && !site.LoopBackoff && rng.Float64() < pStormLoop {
+			site.LoopBackoffOffPath = true
+		}
+	}
+	// Offline-state handlers are app-level behaviour; hang them off the
+	// first site's component.
+	r := rng.Float64()
+	switch {
+	case r < pNetReceiverBad:
+		spec.Sites[0].NetStateReceiver = true
+	case r < pNetReceiverBad+pNetReceiverGood:
+		spec.Sites[0].NetStateReceiverRecovers = true
+	}
+	if rng.Float64() < pNetCallback {
+		spec.Sites[0].NetCallback = true
+	}
 }
 
 // forceOnce ensures some site satisfies has; if none does, it applies set

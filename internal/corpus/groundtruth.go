@@ -84,8 +84,53 @@ func Oracle(reg *apimodel.Registry, site SiteSpec) Truth {
 		both(report.CauseNoResponseCheck)
 	}
 
+	// Customized retry loops (§4.5 plus the Checker 8 registry growth): no
+	// backoff anywhere is the aggressive shape; backoff on the success path
+	// only is the retry-storm shape. Backoff in the catch block is fine.
 	if site.RetryLoop && !site.LoopBackoff {
-		both(report.CauseAggressiveRetryLoop)
+		if site.LoopBackoffOffPath {
+			both(report.CauseRetryStorm)
+		} else {
+			both(report.CauseAggressiveRetryLoop)
+		}
+	}
+
+	// Stale connectivity check (Checker 6). The tool flags any invoked
+	// check separated from its request by a loop back edge, a blocking
+	// wait, or an async dispatch boundary; a stale *unused* check is a
+	// tool-only warning (the site's real defect is the missing check,
+	// reported above).
+	checkInvoked := site.ConnCheck || site.ConnCheckUnused
+	boundary := properlyGuarded && site.Wrap == WrapAsyncTask && site.ConnCheckBeforeAsync
+	if checkInvoked && (boundary || site.RetryLoop || site.SleepAfterCheck) {
+		tool(report.CauseStaleConnectivityCheck)
+		if properlyGuarded {
+			real(report.CauseStaleConnectivityCheck)
+		}
+	}
+
+	// Endpoint hygiene (Checker 7). The loopback debug endpoint trips both
+	// lexical rules but is harmless — the endpoint-hygiene FP shape.
+	if site.LoopbackDebugURL {
+		tool(report.CauseCleartextEndpoint)
+		tool(report.CauseHardcodedIPEndpoint)
+	} else {
+		if site.CleartextURL {
+			both(report.CauseCleartextEndpoint)
+		}
+		if site.HardcodedIP {
+			both(report.CauseHardcodedIPEndpoint)
+		}
+	}
+
+	// Offline-state handling (Checker 5): one warning per handler method
+	// that observes connectivity changes without retrying or serving
+	// cached content. The recovering receiver is the well-behaved shape.
+	if site.NetStateReceiver && !site.NetStateReceiverRecovers {
+		both(report.CauseOfflineStateNoRecovery)
+	}
+	if site.NetCallback {
+		both(report.CauseOfflineStateNoRecovery)
 	}
 	return truth
 }

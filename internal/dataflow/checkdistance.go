@@ -1,0 +1,85 @@
+package dataflow
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/jimple"
+)
+
+// StaleReason classifies why a connectivity check no longer vouches for
+// the network state at its dominated use (Checker 6).
+type StaleReason string
+
+const (
+	// StaleLoop: the use sits in a loop the check is outside of — the
+	// check ran once, the use repeats across iterations that can span
+	// connectivity transitions.
+	StaleLoop StaleReason = "loop"
+	// StaleWait: a blocking wait runs between the check and the use, so
+	// the checked state can have changed while the thread slept.
+	StaleWait StaleReason = "wait"
+	// StaleCallbackBoundary: the check and the use are separated by an
+	// asynchronous dispatch (AsyncTask, Handler post, Thread start); the
+	// callback runs at an unbounded later time. Detected by the checker
+	// from the call graph, not by this intra-method analysis.
+	StaleCallbackBoundary StaleReason = "callback-boundary"
+)
+
+// CheckDistance measures check-to-use distance within one method: given
+// a guard statement that dominates a request statement, it decides
+// whether the guard is still fresh at the request or separated from it
+// by a loop or a blocking wait. Built on the CFG's dominator tree so
+// "between" has a path-insensitive, must-style meaning: a wait only
+// counts when every path from the check to the use passes it.
+//
+// Durations are deliberately ignored — a 100 ms sleep flags like a 10 s
+// one — a documented false-positive source (DESIGN.md §11).
+type CheckDistance struct {
+	g     *cfg.Graph
+	idom  []int
+	loops []*cfg.Loop
+	waits []int // statement indexes of blocking-wait calls, ascending
+}
+
+// WaitFunc reports whether the invocation at stmt is a blocking wait.
+type WaitFunc func(stmt int, inv jimple.InvokeExpr) bool
+
+// NewCheckDistance builds the analysis over a method's CFG, a
+// precomputed dominator tree (cfg.Graph.Dominators), its natural loops,
+// and the wait predicate.
+func NewCheckDistance(g *cfg.Graph, idom []int, loops []*cfg.Loop, isWait WaitFunc) *CheckDistance {
+	cd := &CheckDistance{g: g, idom: idom, loops: loops}
+	for i, s := range g.Method.Body {
+		if inv, ok := jimple.InvokeOf(s); ok && isWait(i, inv) {
+			cd.waits = append(cd.waits, i)
+		}
+	}
+	return cd
+}
+
+// Dominates reports whether statement a dominates statement b.
+func (cd *CheckDistance) Dominates(a, b int) bool {
+	return cfg.Dominates(cd.idom, a, b)
+}
+
+// Stale reports whether the guard at check is stale at use, and why.
+// check must dominate use (callers establish that); a guard is stale
+// when the use repeats in a loop the check is outside of, or when a
+// wait provably runs between them (check dominates the wait, the wait
+// dominates the use). A re-check after the wait therefore reads as
+// fresh: no wait follows it on the way to the use.
+func (cd *CheckDistance) Stale(check, use int) (StaleReason, bool) {
+	for _, l := range cd.loops {
+		if l.Contains(use) && !l.Contains(check) {
+			return StaleLoop, true
+		}
+	}
+	for _, w := range cd.waits {
+		if w == check || w == use {
+			continue
+		}
+		if cfg.Dominates(cd.idom, check, w) && cfg.Dominates(cd.idom, w, use) {
+			return StaleWait, true
+		}
+	}
+	return "", false
+}

@@ -170,3 +170,78 @@ func (c *ConstProp) ArgInt(stmt int, inv jimple.InvokeExpr, i int) (int64, bool)
 	}
 	return c.evalValue(stmt, inv.Args[i], 0)
 }
+
+// StrAt evaluates local to a string constant at stmt, following copy
+// chains and folding OpAdd concatenation (the `url = base + path` string
+// building the endpoint-hygiene checker resolves). ok is false when the
+// local may hold more than one value on different paths, a non-constant
+// value, or when evaluation exceeds the recursion bound — mirroring
+// IntAt's conflicting-definitions and depth rules.
+func (c *ConstProp) StrAt(stmt int, local string) (string, bool) {
+	return c.strAt(stmt, local, 0)
+}
+
+func (c *ConstProp) strAt(stmt int, local string, depth int) (string, bool) {
+	if depth > maxConstDepth {
+		return "", false
+	}
+	defs := c.rd.DefsReaching(stmt, local)
+	if len(defs) == 0 {
+		return "", false
+	}
+	var val string
+	have := false
+	for _, d := range defs {
+		v, ok := c.evalStrDef(d, depth)
+		if !ok {
+			return "", false
+		}
+		if have && v != val {
+			return "", false // conflicting constants on different paths
+		}
+		val, have = v, true
+	}
+	return val, have
+}
+
+func (c *ConstProp) evalStrDef(def int, depth int) (string, bool) {
+	a, ok := c.rd.g.Method.Body[def].(*jimple.AssignStmt)
+	if !ok {
+		return "", false
+	}
+	return c.evalStrValue(def, a.RHS, depth+1)
+}
+
+func (c *ConstProp) evalStrValue(at int, v jimple.Value, depth int) (string, bool) {
+	switch v := v.(type) {
+	case jimple.StrConst:
+		return v.V, true
+	case jimple.Local:
+		return c.strAt(at, v.Name, depth)
+	case jimple.CastExpr:
+		return c.evalStrValue(at, v.V, depth)
+	case jimple.BinExpr:
+		// Only + concatenates strings; every other operator on strings is
+		// not a constant expression.
+		if v.Op != jimple.OpAdd {
+			return "", false
+		}
+		l, okL := c.evalStrValue(at, v.L, depth)
+		r, okR := c.evalStrValue(at, v.R, depth)
+		if !okL || !okR {
+			return "", false
+		}
+		return l + r, true
+	default:
+		return "", false
+	}
+}
+
+// ArgStr evaluates the i'th argument of the invocation at stmt as a
+// string constant, the string mirror of ArgInt.
+func (c *ConstProp) ArgStr(stmt int, inv jimple.InvokeExpr, i int) (string, bool) {
+	if i < 0 || i >= len(inv.Args) {
+		return "", false
+	}
+	return c.evalStrValue(stmt, inv.Args[i], 0)
+}

@@ -31,6 +31,18 @@ func FuzzDecode(f *testing.F) {
 }`)
 	seed := dex.Encode(prog)
 	f.Add(seed)
+	// URL string building: the concatenation chains the endpoint checker's
+	// constant propagation walks, with a cleartext scheme and an IP host.
+	urlProg := jimple.MustParse(`class u.C extends java.lang.Object {
+  method build()java.lang.String {
+    local base java.lang.String
+    local u java.lang.String
+    base = "http://203.0.113.7"
+    u = base + "/api?q=%22term%22"
+    return u
+  }
+}`)
+	f.Add(dex.Encode(urlProg))
 	// Truncations and bit flips of a valid payload reach deep decoder
 	// states that random bytes rarely find.
 	f.Add(seed[:len(seed)/2])

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apimodel"
+	"repro/internal/checkers"
+	"repro/internal/corpus"
+	"repro/internal/report"
+)
+
+// FamilyRow is one checker family's accuracy on the oracle-labeled
+// corpus: warnings emitted, how many match a real (user-visible) defect,
+// and the family's precision/recall against the oracle's real-defect
+// counts for its causes.
+type FamilyRow struct {
+	Family    int
+	Stage     string
+	Warnings  int
+	Correct   int
+	FP        int
+	FN        int
+	Precision float64
+	Recall    float64
+}
+
+// FamilyResult is the per-family precision/recall breakdown over the
+// synthetic corpus — the ablation companion to Table 9. Each warning is
+// attributed to the checker family that owns its cause and graded
+// against the generator's ground truth per app.
+type FamilyResult struct {
+	Apps int
+	Rows []FamilyRow
+}
+
+// FamilyBreakdown grades a corpus scan per checker family. For every app
+// it counts emitted warnings by cause, compares them to the oracle's
+// real-defect counts (correct = min(got, real); excess warnings are FPs,
+// shortfalls FNs), then folds the cause totals into the owning family.
+func FamilyBreakdown(cs *CorpusScan) FamilyResult {
+	reg := apimodel.NewRegistry()
+	famOf := map[report.Cause]int{}
+	for f := 1; f <= checkers.NumCheckerFamilies; f++ {
+		for _, c := range checkers.FamilyCauses(f) {
+			famOf[report.Cause(c)] = f
+		}
+	}
+	type tally struct{ warnings, correct, fp, fn int }
+	perFam := map[int]*tally{}
+	get := func(f int) *tally {
+		if t, ok := perFam[f]; ok {
+			return t
+		}
+		t := &tally{}
+		perFam[f] = t
+		return t
+	}
+	for i := range cs.Apps {
+		a := &cs.Apps[i]
+		got := map[report.Cause]int{}
+		for j := range a.Reports {
+			got[a.Reports[j].Cause]++
+		}
+		at := corpus.OracleApp(reg, a.Spec)
+		for c, f := range famOf {
+			g, r := got[c], at.RealByCause[c]
+			if g == 0 && r == 0 {
+				continue
+			}
+			correct := g
+			if correct > r {
+				correct = r
+			}
+			t := get(f)
+			t.warnings += g
+			t.correct += correct
+			t.fp += g - correct
+			t.fn += r - correct
+		}
+	}
+	out := FamilyResult{Apps: len(cs.Apps)}
+	for f := 1; f <= checkers.NumCheckerFamilies; f++ {
+		t, ok := perFam[f]
+		if !ok {
+			t = &tally{}
+		}
+		row := FamilyRow{Family: f, Stage: checkers.StageOfFamily(f),
+			Warnings: t.warnings, Correct: t.correct, FP: t.fp, FN: t.fn}
+		if t.warnings > 0 {
+			row.Precision = float64(t.correct) / float64(t.warnings)
+		}
+		if d := t.correct + t.fn; d > 0 {
+			row.Recall = float64(t.correct) / float64(d)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render formats the breakdown.
+func (r FamilyResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Family),
+			row.Stage,
+			fmt.Sprintf("%d", row.Warnings),
+			fmt.Sprintf("%d", row.Correct),
+			fmt.Sprintf("%d", row.FP),
+			fmt.Sprintf("%d", row.FN),
+			fmt.Sprintf("%.3f", row.Precision),
+			fmt.Sprintf("%.3f", row.Recall),
+		})
+	}
+	head := fmt.Sprintf("Per-family accuracy on the %d-app corpus (oracle-labeled)\n", r.Apps)
+	return head + table([]string{"Family", "Checker", "#Warnings", "#Correct", "#FP", "#FN", "Precision", "Recall"}, rows)
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFamilyBreakdownGolden locks the per-family precision/recall
+// breakdown of the corpus scan against a committed snapshot. Refresh with
+//
+//	go test ./internal/experiments -run TestFamilyBreakdownGolden -update-golden
+func TestFamilyBreakdownGolden(t *testing.T) {
+	cs, err := DefaultScan()
+	if err != nil {
+		t.Fatalf("DefaultScan: %v", err)
+	}
+	got := FamilyBreakdown(cs).Render()
+	path := filepath.Join("testdata", "golden_family.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing snapshot (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("family breakdown changed; run with -update-golden if intended.\n%s",
+			firstDiff(string(want), got))
+	}
+}
+
+// TestFamilyBreakdownShape sanity-checks the breakdown independent of the
+// snapshot: one row per family, and every new family (5-8) actually
+// exercised by the corpus — warnings emitted and at least one correct.
+func TestFamilyBreakdownShape(t *testing.T) {
+	cs, err := DefaultScan()
+	if err != nil {
+		t.Fatalf("DefaultScan: %v", err)
+	}
+	fr := FamilyBreakdown(cs)
+	if len(fr.Rows) != 8 {
+		t.Fatalf("got %d family rows, want 8", len(fr.Rows))
+	}
+	for _, row := range fr.Rows {
+		if row.Family >= 5 && row.Family <= 8 {
+			if row.Warnings == 0 {
+				t.Errorf("family %d (%s): no warnings on the corpus — emitter or checker inert", row.Family, row.Stage)
+			}
+			if row.Correct == 0 {
+				t.Errorf("family %d (%s): no correct warnings on the corpus", row.Family, row.Stage)
+			}
+		}
+		if row.Warnings != row.Correct+row.FP {
+			t.Errorf("family %d: warnings=%d != correct=%d + fp=%d", row.Family, row.Warnings, row.Correct, row.FP)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/apimodel"
+	"repro/internal/checkers"
+	"repro/internal/corpus"
+	"repro/internal/report"
+)
+
+// TestCheckerRegistryCompleteness lints the eight-family checker
+// registry end to end: every family owns a pipeline stage (the handle
+// the -timings rows and the nchecker_checker_* metrics key off), a
+// non-empty cause set drawn from report.AllCauses — which the families
+// partition exactly, each cause owned by exactly one family — every
+// cause carries an impact and a fix suggestion, the generated corpus's
+// ground truth labels at least one real defect per family, and the
+// corpus scan emits at least one warning per family. A new family (or a
+// new cause) cannot land without its emitter, oracle entry, report
+// category, and metrics hook tripping this test.
+func TestCheckerRegistryCompleteness(t *testing.T) {
+	all := map[report.Cause]bool{}
+	for _, c := range report.AllCauses() {
+		all[c] = true
+	}
+	owned := map[report.Cause]int{}
+	for f := 1; f <= checkers.NumCheckerFamilies; f++ {
+		stage := checkers.StageOfFamily(f)
+		if stage == "" {
+			t.Errorf("family %d: no pipeline stage", f)
+			continue
+		}
+		if got := checkers.FamilyOfStage(stage); got != f {
+			t.Errorf("family %d: stage %q maps back to family %d", f, stage, got)
+		}
+		causes := checkers.FamilyCauses(f)
+		if len(causes) == 0 {
+			t.Errorf("family %d (%s): no causes", f, stage)
+		}
+		for _, s := range causes {
+			c := report.Cause(s)
+			if !all[c] {
+				t.Errorf("family %d: cause %q not in report.AllCauses", f, s)
+			}
+			if prev, dup := owned[c]; dup {
+				t.Errorf("cause %q owned by families %d and %d", s, prev, f)
+			}
+			owned[c] = f
+			if len(report.Impacts(c)) == 0 {
+				t.Errorf("cause %q: no impact category", s)
+			}
+			if report.Suggest(c, report.Context{}, nil) == "" {
+				t.Errorf("cause %q: no fix suggestion", s)
+			}
+		}
+	}
+	for _, c := range report.AllCauses() {
+		if _, ok := owned[c]; !ok {
+			t.Errorf("cause %q owned by no checker family", c)
+		}
+	}
+	if t.Failed() {
+		return // the corpus sweep below keys off the ownership table
+	}
+
+	// Ground truth and emitters: the canonical corpus must label at least
+	// one real defect per family, and the scan must warn for each family.
+	cs, err := DefaultScan()
+	if err != nil {
+		t.Fatalf("DefaultScan: %v", err)
+	}
+	reg := apimodel.NewRegistry()
+	realByFam := map[int]int{}
+	gotByFam := map[int]int{}
+	for i := range cs.Apps {
+		at := corpus.OracleApp(reg, cs.Apps[i].Spec)
+		for c, n := range at.RealByCause {
+			realByFam[owned[c]] += n
+		}
+		for j := range cs.Apps[i].Reports {
+			gotByFam[owned[cs.Apps[i].Reports[j].Cause]]++
+		}
+	}
+	for f := 1; f <= checkers.NumCheckerFamilies; f++ {
+		if realByFam[f] == 0 {
+			t.Errorf("family %d (%s): corpus ground truth labels no real defect — emitter or oracle missing", f, checkers.StageOfFamily(f))
+		}
+		if gotByFam[f] == 0 {
+			t.Errorf("family %d (%s): corpus scan emits no warning", f, checkers.StageOfFamily(f))
+		}
+	}
+}

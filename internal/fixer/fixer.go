@@ -11,6 +11,7 @@ package fixer
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/android"
 	"repro/internal/apimodel"
@@ -63,8 +64,20 @@ func (f *Fixer) Apply(app *apk.App, r *report.Report) error {
 		err = f.fixErrorType(m)
 	case report.CauseNoResponseCheck:
 		err = f.fixResponseCheck(m, r)
-	case report.CauseAggressiveRetryLoop:
+	case report.CauseAggressiveRetryLoop, report.CauseRetryStorm:
+		// Both loop defects have the same cure: backoff on the failure path.
 		err = f.fixRetryLoopBackoff(m, r)
+	case report.CauseStaleConnectivityCheck:
+		// Re-checking right at the request supersedes the stale check: the
+		// adjacent check is fresh, so the checker's all-dominating-checks-
+		// stale condition no longer holds.
+		err = f.fixConnCheck(m, r)
+	case report.CauseCleartextEndpoint:
+		err = f.fixCleartextURL(m)
+	case report.CauseHardcodedIPEndpoint:
+		err = f.fixHardcodedIP(m)
+	case report.CauseOfflineStateNoRecovery:
+		err = f.fixOfflineRecovery(m)
 	default:
 		err = fmt.Errorf("fixer: no mechanical fix for cause %s", r.Cause)
 	}
@@ -359,6 +372,146 @@ func (f *Fixer) fixResponseCheck(m *jimple.Method, r *report.Report) error {
 		Target: use + 1, // past the use once the guard is inserted
 	}
 	insertStmts(m, use, nil, []jimple.Stmt{guard})
+	return nil
+}
+
+// rewriteStringConstants maps rw over every string constant in m's body
+// (including operands of concatenations and invoke arguments); it reports
+// whether anything changed.
+func rewriteStringConstants(m *jimple.Method, rw func(string) (string, bool)) bool {
+	changed := false
+	var val func(v jimple.Value) jimple.Value
+	val = func(v jimple.Value) jimple.Value {
+		switch v := v.(type) {
+		case jimple.StrConst:
+			if nv, ok := rw(v.V); ok {
+				changed = true
+				return jimple.StrConst{V: nv}
+			}
+		case jimple.BinExpr:
+			v.L = val(v.L)
+			v.R = val(v.R)
+			return v
+		case jimple.CastExpr:
+			v.V = val(v.V)
+			return v
+		case jimple.InvokeExpr:
+			for i := range v.Args {
+				v.Args[i] = val(v.Args[i])
+			}
+			return v
+		}
+		return v
+	}
+	for _, s := range m.Body {
+		switch s := s.(type) {
+		case *jimple.AssignStmt:
+			s.RHS = val(s.RHS)
+		case *jimple.InvokeStmt:
+			s.Call = val(s.Call).(jimple.InvokeExpr)
+		}
+	}
+	return changed
+}
+
+// urlHost extracts the host of a URL or URL prefix: scheme and userinfo
+// stripped, cut at the first path/query separator or port.
+func urlHost(s string) string {
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.LastIndex(s, "@"); i >= 0 {
+		s = s[i+1:]
+	}
+	if i := strings.Index(s, ":"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// isIPv4 reports whether s is a dotted-quad IPv4 literal.
+func isIPv4(s string) bool {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if len(p) == 0 || len(p) > 3 {
+			return false
+		}
+		n := 0
+		for _, c := range p {
+			if c < '0' || c > '9' {
+				return false
+			}
+			n = n*10 + int(c-'0')
+		}
+		if n > 255 {
+			return false
+		}
+	}
+	return true
+}
+
+// fixCleartextURL upgrades every http:// string constant in the method to
+// https:// — the mechanical cure for a cleartext endpoint.
+func (f *Fixer) fixCleartextURL(m *jimple.Method) error {
+	ok := rewriteStringConstants(m, func(s string) (string, bool) {
+		if strings.HasPrefix(s, "http://") {
+			return "https://" + s[len("http://"):], true
+		}
+		return s, false
+	})
+	if !ok {
+		return fmt.Errorf("fixer: %s has no http:// constant to upgrade", m.Sig.Key())
+	}
+	return nil
+}
+
+// fixHardcodedIP replaces IP-literal hosts in the method's URL constants
+// with a resolvable hostname.
+func (f *Fixer) fixHardcodedIP(m *jimple.Method) error {
+	ok := rewriteStringConstants(m, func(s string) (string, bool) {
+		host := urlHost(s)
+		if host == "" || !isIPv4(host) {
+			return s, false
+		}
+		return strings.Replace(s, host, "api.example.com", 1), true
+	})
+	if !ok {
+		return fmt.Errorf("fixer: %s has no IP-literal URL constant", m.Sig.Key())
+	}
+	return nil
+}
+
+// fixOfflineRecovery adds a cached-content fallback (a SharedPreferences
+// read) to the network-state handler, so the app serves something useful
+// when connectivity changes instead of merely observing the event.
+func (f *Fixer) fixOfflineRecovery(m *jimple.Method) error {
+	prefs := f.fresh("prefs")
+	cached := f.fresh("cached")
+	locals := []jimple.LocalDecl{
+		{Name: prefs, Type: android.ClassSharedPrefs},
+		{Name: cached, Type: jimple.TypeString},
+	}
+	stmts := []jimple.Stmt{
+		&jimple.AssignStmt{LHS: jimple.Local{Name: prefs}, RHS: jimple.NewExpr{Type: android.ClassSharedPrefs}},
+		&jimple.AssignStmt{
+			LHS: jimple.Local{Name: cached},
+			RHS: jimple.InvokeExpr{Kind: jimple.InvokeVirtual, Base: prefs,
+				Callee: jimple.Sig{Class: android.ClassSharedPrefs, Name: "getString",
+					Params: []string{jimple.TypeString, jimple.TypeString}, Ret: jimple.TypeString},
+				Args: []jimple.Value{jimple.StrConst{V: "cached_feed"}, jimple.StrConst{V: ""}}},
+		},
+	}
+	at := len(m.Body) - 1
+	if at < 0 {
+		at = 0
+	}
+	insertStmts(m, at, locals, stmts)
 	return nil
 }
 

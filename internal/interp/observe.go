@@ -27,6 +27,16 @@ const (
 	// tend to abort, while no-timeout clients block through the outages
 	// and accumulate huge virtual time (the Figure-3 condition).
 	NetSlow3G
+	// NetCaptivePortal: connectivity checks pass and transfers complete,
+	// but a captive portal intercepts every request and serves its login
+	// page — the response is well-formed yet unusable by the app (the
+	// hotel-wifi road to the Checker 4 hazard, and the condition that
+	// punishes cleartext endpoints).
+	NetCaptivePortal
+	// NetConnReset: connectivity checks pass but the peer resets every
+	// connection immediately — attempts fail fast instead of timing out,
+	// so retry loops without a failure-path backoff spin at full speed.
+	NetConnReset
 )
 
 func (s Scenario) String() string {
@@ -41,6 +51,10 @@ func (s Scenario) String() string {
 		return "invalid-response"
 	case NetSlow3G:
 		return "slow-3g"
+	case NetCaptivePortal:
+		return "captive-portal"
+	case NetConnReset:
+		return "connection-reset"
 	}
 	return "?"
 }
@@ -55,7 +69,7 @@ func Scenarios() []Scenario {
 // validation stage replays against the NetOK baseline, in evaluation
 // order.
 func ValidationScenarios() []Scenario {
-	return []Scenario{NetOffline, NetPoor, NetInvalidResp, NetSlow3G}
+	return []Scenario{NetOffline, NetPoor, NetInvalidResp, NetSlow3G, NetCaptivePortal, NetConnReset}
 }
 
 // Transfer shape for the netsim-backed NetSlow3G scenario: a 64 KiB
@@ -93,7 +107,7 @@ func (n *NetModel) online() bool { return n.Scenario != NetOffline }
 // attemptFails decides one transmission attempt.
 func (n *NetModel) attemptFails() bool {
 	switch n.Scenario {
-	case NetOffline:
+	case NetOffline, NetConnReset:
 		return true
 	case NetPoor:
 		return n.rng.Float64() < n.FailP
@@ -103,7 +117,9 @@ func (n *NetModel) attemptFails() bool {
 
 // invalidResponse reports whether a "successful" transfer delivers an
 // unusable response.
-func (n *NetModel) invalidResponse() bool { return n.Scenario == NetInvalidResp }
+func (n *NetModel) invalidResponse() bool {
+	return n.Scenario == NetInvalidResp || n.Scenario == NetCaptivePortal
+}
 
 // attemptOutcome models one transmission attempt under the scenario,
 // returning whether it succeeded and the virtual time it consumed.
@@ -118,6 +134,11 @@ func (n *NetModel) attemptOutcome(timeoutMs int64) (bool, float64) {
 	}
 	if !n.attemptFails() {
 		return true, 300
+	}
+	if n.Scenario == NetConnReset {
+		// A reset arrives immediately — no timeout is consumed, which is
+		// exactly what lets an unthrottled retry loop spin.
+		return false, 250
 	}
 	if timeoutMs > 0 {
 		return false, float64(timeoutMs)

@@ -24,7 +24,7 @@ const lossyLoopActivity = `class m.Shared extends android.app.Activity {
     L0:
     if done != 0 goto L4
     L1:
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     done = 1
     L2:
     goto L0
@@ -47,7 +47,7 @@ const aExtraActivity = `class a.Extra extends android.app.Activity {
     local r com.turbomanage.httpclient.HttpResponse
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     return
   }
 }`
@@ -130,7 +130,7 @@ const unboundedLoopActivity = `class m.Spin extends android.app.Activity {
     L0:
     goto L1
     L1:
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://x"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://x"
     L2:
     goto L0
     L3:

@@ -49,6 +49,30 @@ func FuzzParse(f *testing.F) {
 		// Fuzz-found regression: a concrete method with an empty body used
 		// to print as a signature-only line that re-parsed as abstract.
 		"class 00\nmethod (0)0 {\n }\n}",
+		// URL string building — the shapes the endpoint checker's constant
+		// propagation consumes: concatenated segments, cleartext schemes,
+		// hardcoded IP hosts, and query strings with printf/percent noise.
+		`class u.Build extends java.lang.Object {
+  method build()java.lang.String {
+    local base java.lang.String
+    local u java.lang.String
+    base = "https://api.example.com"
+    u = base + "/v1/data"
+    u = u + "?q=term"
+    return u
+  }
+}`,
+		`class u.Debug extends java.lang.Object {
+  method dbg()void {
+    local c com.http.BasicHttpClient
+    local r java.lang.String
+    c = new com.http.BasicHttpClient
+    specialinvoke c com.http.BasicHttpClient.<init>()void
+    r = virtualinvoke c com.http.BasicHttpClient.get(java.lang.String)java.lang.String "http://203.0.113.7:8080/api?fmt=%22json%22"
+    return
+  }
+}`,
+		"class u.E extends c.D {\n  method m()java.lang.String {\n    local s java.lang.String\n    s = \"http://\" + \"127.0.0.1\"\n    return s\n  }\n}",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -47,6 +47,25 @@ const (
 	// CauseAggressiveRetryLoop — a customized retry loop without backoff
 	// (the Telegram case, Figure 2).
 	CauseAggressiveRetryLoop Cause = "aggressive-retry-loop"
+	// CauseOfflineStateNoRecovery — a network-state handler (connectivity
+	// receiver or ConnectivityManager callback) that inspects connectivity
+	// but never retries the work or falls back to cached content
+	// (Checker 5).
+	CauseOfflineStateNoRecovery Cause = "offline-state-no-recovery"
+	// CauseStaleConnectivityCheck — a connectivity check separated from the
+	// request it guards by a loop, a wait, or a callback boundary, so the
+	// checked state can be stale by the time the request runs (Checker 6).
+	CauseStaleConnectivityCheck Cause = "stale-connectivity-check"
+	// CauseCleartextEndpoint — a request endpoint resolved by constant
+	// propagation to a cleartext http:// URL (Checker 7).
+	CauseCleartextEndpoint Cause = "cleartext-endpoint"
+	// CauseHardcodedIPEndpoint — a request endpoint whose host is a
+	// hardcoded IP literal, defeating DNS-based failover (Checker 7).
+	CauseHardcodedIPEndpoint Cause = "hardcoded-ip-endpoint"
+	// CauseRetryStorm — a retry loop whose backoff does not run on the
+	// retry path itself (e.g. a sleep only on the success path), so
+	// failures still reconnect in a tight storm (Checker 8).
+	CauseRetryStorm Cause = "retry-storm"
 )
 
 // AllCauses lists every cause in report order.
@@ -56,6 +75,8 @@ func AllCauses() []Cause {
 		CauseNoRetryTimeSensitive, CauseOverRetryService, CauseOverRetryPost,
 		CauseNoFailureNotification, CauseNoErrorTypeCheck,
 		CauseNoResponseCheck, CauseAggressiveRetryLoop,
+		CauseOfflineStateNoRecovery, CauseStaleConnectivityCheck,
+		CauseCleartextEndpoint, CauseHardcodedIPEndpoint, CauseRetryStorm,
 	}
 }
 
@@ -81,6 +102,12 @@ var impactOf = map[Cause][]Impact{
 	CauseNoErrorTypeCheck:      {ImpactUnfriendlyUI},
 	CauseNoResponseCheck:       {ImpactCrashFreeze},
 	CauseAggressiveRetryLoop:   {ImpactBatteryDrain},
+
+	CauseOfflineStateNoRecovery: {ImpactDysfunction, ImpactUnfriendlyUI},
+	CauseStaleConnectivityCheck: {ImpactDysfunction, ImpactUnfriendlyUI},
+	CauseCleartextEndpoint:      {ImpactDysfunction},
+	CauseHardcodedIPEndpoint:    {ImpactDysfunction},
+	CauseRetryStorm:             {ImpactBatteryDrain},
 }
 
 // Impacts returns the UX impacts of a cause.
@@ -228,6 +255,16 @@ func Suggest(c Cause, ctx Context, lib *apimodel.Library) string {
 		return "Check the response's validity (null check / isSuccessful()) before reading its body; responses can be invalid under network disruptions."
 	case CauseAggressiveRetryLoop:
 		return "Back off between retry attempts (exponential backoff) instead of reconnecting in a tight loop; tight loops burn CPU and battery under poor signal."
+	case CauseOfflineStateNoRecovery:
+		return "When connectivity returns, retry the pending operation or serve cached content; a handler that only observes the state change leaves the app stuck offline."
+	case CauseStaleConnectivityCheck:
+		return "Re-check connectivity immediately before the request: the state observed by this check can change across the intervening loop, wait, or callback boundary."
+	case CauseCleartextEndpoint:
+		return "Use an https:// endpoint: cleartext http traffic is blocked by default on modern Android and is trivially intercepted on public networks."
+	case CauseHardcodedIPEndpoint:
+		return "Use a host name instead of a hardcoded IP address so DNS failover and server migration keep working under disruptions."
+	case CauseRetryStorm:
+		return "Sleep with backoff on the retry path (inside the failure handler) before reconnecting; backoff only on the success path still storms the server on failures."
 	}
 	return "Review the network error handling at this location."
 }

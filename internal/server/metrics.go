@@ -29,6 +29,11 @@ import (
 //	nchecker_stage_seconds_total{stage=...}  cumulative per-pipeline-stage wall time
 //	nchecker_stage_items_total{stage=...}    work units examined per stage
 //	nchecker_stage_reports_total{stage=...}  warnings emitted per stage
+//	nchecker_checker_warnings_total{family=...,checker=...}
+//	                                         warnings emitted per checker family
+//	                                         (the stage rows restricted to the
+//	                                         eight family-owned stages, labeled
+//	                                         with the family number)
 //	nchecker_app_methods_total               app methods scanned
 //	nchecker_request_sites_total             request sites discovered
 //	nchecker_cache_<counter>_total           every checkers.CacheStats counter
@@ -56,6 +61,7 @@ type metrics struct {
 	stageSeconds map[string]float64
 	stageItems   map[string]int64
 	stageReports map[string]int64
+	checker      map[string]int64 // family-owned stage name → warnings
 
 	cache    map[string]int64 // CounterMap keys
 	targeted map[string]int64 // TargetedStats counter keys
@@ -69,6 +75,7 @@ func newMetrics() *metrics {
 		stageSeconds: make(map[string]float64),
 		stageItems:   make(map[string]int64),
 		stageReports: make(map[string]int64),
+		checker:      make(map[string]int64),
 		cache:        make(map[string]int64),
 		targeted:     make(map[string]int64),
 		validate:     make(map[string]int64),
@@ -146,6 +153,9 @@ func (m *metrics) jobDone(snap checkers.MetricsSnapshot, degraded bool) {
 		m.stageSeconds[s.Name] += s.Seconds
 		m.stageItems[s.Name] += s.Items
 		m.stageReports[s.Name] += s.Reports
+		if checkers.FamilyOfStage(s.Name) > 0 {
+			m.checker[s.Name] += s.Reports
+		}
 	}
 	for k, v := range snap.Counters {
 		m.cache[k] += v
@@ -213,6 +223,12 @@ func (m *metrics) render(queueDepth, queueCap int) string {
 	fmt.Fprintf(&b, "# HELP nchecker_stage_reports_total Warnings emitted per pipeline stage.\n# TYPE nchecker_stage_reports_total counter\n")
 	for _, st := range sortedKeys(m.stageReports) {
 		fmt.Fprintf(&b, "nchecker_stage_reports_total{stage=%q} %d\n", st, m.stageReports[st])
+	}
+
+	fmt.Fprintf(&b, "# HELP nchecker_checker_warnings_total Warnings emitted per checker family.\n# TYPE nchecker_checker_warnings_total counter\n")
+	for _, st := range sortedKeys(m.checker) {
+		fmt.Fprintf(&b, "nchecker_checker_warnings_total{family=\"%d\",checker=%q} %d\n",
+			checkers.FamilyOfStage(st), st, m.checker[st])
 	}
 
 	counter("nchecker_app_methods_total", "Body-bearing app methods scanned.", m.appMethods)

@@ -116,6 +116,7 @@ type Job struct {
 	deadline time.Duration   // resolved per-job scan deadline (0 = none)
 	mode     core.EngineMode // resolved engine mode (?mode= or the server default)
 	validate bool            // resolved validation toggle (?validate= or the server default)
+	checkers core.CheckerSet // resolved family selection (?checkers= or the server default)
 	data     []byte          // app container bytes; released when the scan finishes
 }
 
@@ -267,6 +268,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	checkerSet, err := jobCheckers(r.URL.Query().Get("checkers"), s.cfg.Scan.Checkers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	s.mu.Lock()
 	s.nextID++
@@ -280,6 +286,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		deadline:  timeout,
 		mode:      mode,
 		validate:  validate,
+		checkers:  checkerSet,
 		data:      body,
 	}
 	// Register before enqueueing: a worker may finish the job (and hit the
@@ -330,6 +337,20 @@ func jobValidate(param string, def bool) (bool, error) {
 		return false, fmt.Errorf("invalid validate %q (want a boolean, e.g. ?validate=1)", param)
 	}
 	return v, nil
+}
+
+// jobCheckers resolves a per-request ?checkers= override: empty keeps the
+// server's default family selection, anything else must parse as a
+// -checkers spelling ("all", "1,3,5-8", …).
+func jobCheckers(param string, def core.CheckerSet) (core.CheckerSet, error) {
+	if param == "" {
+		return def, nil
+	}
+	set, err := core.ParseCheckerSet(param)
+	if err != nil {
+		return 0, fmt.Errorf("invalid checkers %q (want e.g. ?checkers=5-8): %v", param, err)
+	}
+	return set, nil
 }
 
 // jobTimeout resolves a per-request timeout override against the server
@@ -427,7 +448,7 @@ func (s *Server) run(job *Job) {
 	s.mu.Lock()
 	job.Status = StatusRunning
 	job.Started = &start
-	data, deadline, mode, validate := job.data, job.deadline, job.mode, job.validate
+	data, deadline, mode, validate, checkerSet := job.data, job.deadline, job.mode, job.validate, job.checkers
 	s.mu.Unlock()
 	s.metrics.scanStarted()
 
@@ -437,10 +458,10 @@ func (s *Server) run(job *Job) {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	// WithMode/WithValidate share the process-wide registry (and cache
-	// store): per-job overrides cost one small struct, not a rebuilt
-	// Checker.
-	res, err := s.checker.WithMode(mode).WithValidate(validate).ScanBytesContext(ctx, data)
+	// WithMode/WithValidate/WithCheckers share the process-wide registry
+	// (and cache store): per-job overrides cost one small struct, not a
+	// rebuilt Checker.
+	res, err := s.checker.WithMode(mode).WithValidate(validate).WithCheckers(checkerSet).ScanBytesContext(ctx, data)
 	finished := time.Now()
 
 	s.mu.Lock()

@@ -32,7 +32,7 @@ func fixtureAppBytes(t *testing.T) []byte {
     local b java.lang.String
     c = new com.turbomanage.httpclient.BasicHttpClient
     specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://example.com"
+    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://example.com"
     b = virtualinvoke r com.turbomanage.httpclient.HttpResponse.getBodyAsString()java.lang.String
     return
   }
@@ -198,6 +198,8 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"nchecker_scan_seconds_count 1",
 		`nchecker_stage_seconds_total{stage="build"}`,
 		`nchecker_stage_items_total{stage="discover"}`,
+		`nchecker_checker_warnings_total{family="1",checker="settings"}`,
+		`nchecker_checker_warnings_total{family="8",checker="retryloops"}`,
 		"nchecker_cache_cfg_requests_total",
 		"nchecker_cache_store_hits_total 0",
 		"# TYPE nchecker_scan_seconds histogram",

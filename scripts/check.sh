@@ -88,6 +88,24 @@ if grep -q "Dynamic validation" "$diffdir/full.txt"; then
     exit 1
 fi
 
+echo "== checker ablation smoke =="
+# -checkers=5-8 must report exactly the full run's warnings for the new
+# families and nothing else: per-app per-cause summary counts filtered
+# to family 5-8 causes must be byte-identical between the two runs.
+newfam='offline-state-no-recovery|stale-connectivity-check|cleartext-endpoint|hardcoded-ip-endpoint|aggressive-retry-loop|retry-storm'
+"$diffdir/nchecker" -summary "$diffdir"/corpus/*.apk >"$diffdir/fullsum.txt" || true
+"$diffdir/nchecker" -summary -checkers=5-8 "$diffdir"/corpus/*.apk >"$diffdir/ablated.txt" || true
+grep -E "$newfam" "$diffdir/fullsum.txt" >"$diffdir/full58.txt" || true
+grep -E "$newfam" "$diffdir/ablated.txt" >"$diffdir/ablated58.txt" || true
+if ! cmp "$diffdir/full58.txt" "$diffdir/ablated58.txt"; then
+    echo "checker ablation: family 5-8 warnings differ between -checkers=5-8 and the full run" >&2
+    exit 1
+fi
+if grep -vE "$newfam" "$diffdir/ablated.txt" | grep -vE '^== ' | grep -q .; then
+    echo "checker ablation: -checkers=5-8 emitted warnings outside families 5-8" >&2
+    exit 1
+fi
+
 echo "== targeted scaling bench smoke =="
 # One iteration per cell keeps the gate fast while proving the six
 # BenchmarkScanMode{Full,Targeted}{1x,10x,100x} cells still run and
