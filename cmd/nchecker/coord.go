@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// runCoord runs `nchecker coord`: the fleet coordinator (DESIGN.md §12).
+// It exposes the same scan API as `nchecker serve` but dispatches each
+// job to registered worker processes, retrying and hedging against slow
+// or dead workers, and optionally hosts the fleet cache hub. Workers
+// join with `nchecker serve -coord http://coordinator:port`.
+func runCoord(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nchecker coord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address (use :0 for an ephemeral port)")
+	readyFile := fs.String("ready-file", "", "write the bound listen address to this file once serving (for scripts using -addr ...:0)")
+	queueLen := fs.Int("queue", server.DefaultQueue, "pending-jobs bound fleet-wide; a POST /scan beyond it gets 429")
+	retain := fs.Int("retain", server.DefaultRetain, "finished jobs kept for GET /scan/{id}")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBody, "largest accepted app container in bytes")
+	hedge := fs.Duration("hedge", 0, "dispatch a slow job a second time to an idle worker after this delay (0 = no hedging)")
+	retries := fs.Int("retries", server.DefaultRetries, "dispatch attempts per job across workers (hedges included)")
+	cacheDir := fs.String("cache", "", "fleet cache hub directory: workers replicate cache entries through the coordinator (empty = no hub)")
+	cacheMax := fs.Int64("cache-max", 0, "cache hub size bound in bytes (0 = unbounded)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: nchecker coord [flags]\n\nEndpoints: POST /scan, GET /scan/{id}, GET /scans, GET /fleet, GET /metrics, GET /healthz, /cache/{entry}\nWorkers join with: nchecker serve -coord http://<this address>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return exitError
+	}
+
+	logger := slog.New(slog.NewJSONHandler(stderr, nil))
+	coord, err := server.NewCoordinator(server.CoordConfig{
+		Queue:         *queueLen,
+		Retain:        *retain,
+		MaxBodyBytes:  *maxBody,
+		Hedge:         *hedge,
+		Retries:       *retries,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "nchecker coord: %v\n", err)
+		return exitError
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "nchecker coord: %v\n", err)
+		return exitError
+	}
+	bound := ln.Addr().String()
+	logger.Info("coordinating",
+		"addr", bound, "queue", *queueLen, "hedge", (*hedge).String(),
+		"retries", *retries, "cache_hub", *cacheDir)
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "nchecker coord: write -ready-file: %v\n", err)
+			ln.Close()
+			return exitError
+		}
+	}
+
+	hs := &http.Server{Handler: coord.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		logger.Error("coordinator error", "error", err.Error())
+		return exitError
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		logger.Info("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			logger.Error("http shutdown", "error", err.Error())
+		}
+		if err := coord.Shutdown(shutCtx); err != nil {
+			logger.Error("drain", "error", err.Error())
+			return exitError
+		}
+		logger.Info("shutdown complete")
+		return exitClean
+	}
+}

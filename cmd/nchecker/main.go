@@ -6,6 +6,7 @@
 //
 //	nchecker [flags] app.apk [more.apk ...]
 //	nchecker serve [flags]
+//	nchecker coord [flags]
 //
 // Scan flags:
 //
@@ -38,6 +39,12 @@
 // (internal/server): POST /scan an app container, GET /scan/{id} for the
 // report, plus /metrics (Prometheus text), /healthz, and /debug/pprof/.
 // See `nchecker serve -h` and DESIGN.md §8.
+//
+// The coord subcommand runs the fleet coordinator: the same scan API,
+// dispatched across worker processes started with `nchecker serve
+// -coord http://coordinator`, with content-hash sharding, work stealing,
+// hedged retries, cache replication, and aggregated /metrics. See
+// `nchecker coord -h` and DESIGN.md §12.
 //
 // With multiple files the worker budget goes to the file-level pool and
 // each scan's internal pipeline runs single-threaded (the same division
@@ -83,6 +90,9 @@ func main() {
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "serve" {
 		os.Exit(runServe(args[1:], os.Stderr))
+	}
+	if len(args) > 0 && args[0] == "coord" {
+		os.Exit(runCoord(args[1:], os.Stderr))
 	}
 	os.Exit(runScan(args, os.Stdout, os.Stderr))
 }

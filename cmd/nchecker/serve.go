@@ -30,6 +30,8 @@ func runServe(args []string, stderr io.Writer) int {
 	jobTimeout := fs.Duration("job-timeout", 2*time.Minute, "per-job scan deadline (0 = none); an expired deadline yields a degraded report, not an error")
 	retain := fs.Int("retain", server.DefaultRetain, "finished jobs kept for GET /scan/{id}")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBody, "largest accepted app container in bytes")
+	coordURL := fs.String("coord", "", "join the fleet at this coordinator URL: register for dispatch and replicate cache entries through its hub")
+	selfURL := fs.String("self", "", "base URL the coordinator should reach this worker at (default http://<bound address>)")
 
 	var opts core.Options
 	fs.BoolVar(&opts.EnableICC, "icc", false, "enable the inter-component analysis")
@@ -106,6 +108,21 @@ func runServe(args []string, stderr io.Writer) int {
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+
+	if *coordURL != "" {
+		self := *selfURL
+		if self == "" {
+			self = "http://" + bound
+		}
+		// Join after the listener is up so the coordinator's first dispatch
+		// finds /scansync answering. A failed join is loud but not fatal:
+		// the worker still serves its own API.
+		go func() {
+			if err := server.JoinFleet(server.FleetJoin{Coord: *coordURL, Self: self, Logger: logger}, opts); err != nil {
+				logger.Error("fleet join failed", "error", err.Error())
+			}
+		}()
+	}
 
 	select {
 	case err := <-serveErr:

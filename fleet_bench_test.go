@@ -1,0 +1,222 @@
+// Fleet throughput benchmarks: the full 285-app corpus scanned through a
+// coordinator backed by 1, 2, and 4 workers, each pinned to one scan slot
+// and one pipeline worker so wall-clock scales with fleet size and
+// nothing else. Run all three together to commit the curve:
+//
+//	go test -bench='FleetWorkers' .
+//
+// writes BENCH_fleet.json (whichever benchmark finishes last does the
+// write, mirroring BENCH_cache.json). Scans are CPU-bound, so the curve
+// only bends on multi-core machines; the committed JSON records the cpus
+// it was measured with — on a single-core box the flat curve is the
+// correct result, and what it proves is that fleet overhead (dispatch,
+// HTTP, bookkeeping) stays small at any width.
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/apk"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/server"
+	"repro/internal/testutil"
+)
+
+// fleetBenchApp is one encoded corpus member ready for POST /scan.
+type fleetBenchApp struct {
+	name string
+	data []byte
+}
+
+var fleetBenchState struct {
+	sync.Once
+	apps []fleetBenchApp
+	err  error
+}
+
+// fleetBenchCorpus encodes the evaluation corpus once for all fleet
+// benchmarks (encoding is setup cost, not fleet throughput).
+func fleetBenchCorpus(b *testing.B) []fleetBenchApp {
+	b.Helper()
+	fleetBenchState.Do(func() {
+		members, err := corpus.GenerateCorpus(experiments.Seed)
+		if err != nil {
+			fleetBenchState.err = err
+			return
+		}
+		for _, m := range members {
+			data, err := apk.Encode(m.App)
+			if err != nil {
+				fleetBenchState.err = err
+				return
+			}
+			fleetBenchState.apps = append(fleetBenchState.apps, fleetBenchApp{name: m.Name, data: data})
+		}
+	})
+	if fleetBenchState.err != nil {
+		b.Fatal(fleetBenchState.err)
+	}
+	return fleetBenchState.apps
+}
+
+// benchFleet measures one full-corpus pass through a coordinator with n
+// single-slot workers per iteration.
+func benchFleet(b *testing.B, n int) {
+	apps := fleetBenchCorpus(b)
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	coord, err := server.NewCoordinator(server.CoordConfig{
+		Queue:  2 * corpus.CorpusSize,
+		Retain: 2 * corpus.CorpusSize,
+		Logger: quiet,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		coord.Shutdown(ctx)
+		ts.Close()
+	}()
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Config{
+			Jobs:   1,
+			Queue:  2 * corpus.CorpusSize,
+			Scan:   core.Options{Workers: 1},
+			Logger: quiet,
+		})
+		srv.Start()
+		wts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			wts.Close()
+		}()
+		if err := coord.Register(wts.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	client := &testutil.ScanClient{Base: ts.URL}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Submit and await from a small client pool: driven sequentially,
+		// 285 HTTP round trips cost more wall-clock than the scans
+		// themselves and would flatten the curve into a measurement of the
+		// measuring client.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, 16)
+		errs := make(chan error, len(apps))
+		var warnings atomic.Int64
+		deadline := time.Now().Add(10 * time.Minute)
+		for _, app := range apps {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(app fleetBenchApp) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				job, err := client.ScanWait("?name="+url.QueryEscape(app.name), app.data, deadline)
+				switch {
+				case err != nil:
+					errs <- fmt.Errorf("%s: %w", app.name, err)
+				case job.Status != "done" || job.Degraded:
+					errs <- fmt.Errorf("%s: status %q degraded=%v (%s)", app.name, job.Status, job.Degraded, job.Error)
+				default:
+					warnings.Add(int64(job.Warnings))
+				}
+			}(app)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+		if warnings.Load() == 0 {
+			b.Fatal("corpus pass produced no warnings")
+		}
+	}
+	recordFleetBench(b, n, b.Elapsed().Nanoseconds()/int64(b.N))
+}
+
+// fleetBench collects the per-fleet-size corpus timings; whichever
+// benchmark finishes last writes BENCH_fleet.json, so one
+//
+//	go test -bench='FleetWorkers' .
+//
+// run commits the whole 1→2→4 throughput curve.
+var fleetBench struct {
+	sync.Mutex
+	ns map[int]int64
+}
+
+func recordFleetBench(b *testing.B, workers int, nsPerCorpus int64) {
+	b.Helper()
+	fleetBench.Lock()
+	defer fleetBench.Unlock()
+	if fleetBench.ns == nil {
+		fleetBench.ns = make(map[int]int64)
+	}
+	fleetBench.ns[workers] = nsPerCorpus
+	if fleetBench.ns[1] == 0 || fleetBench.ns[2] == 0 || fleetBench.ns[4] == 0 {
+		return
+	}
+	out := struct {
+		Benchmark       string  `json:"benchmark"`
+		Apps            int     `json:"apps"`
+		Workers1NsPerOp int64   `json:"workers1_ns_per_corpus"`
+		Workers2NsPerOp int64   `json:"workers2_ns_per_corpus"`
+		Workers4NsPerOp int64   `json:"workers4_ns_per_corpus"`
+		Speedup2Workers float64 `json:"speedup_2_workers"`
+		Speedup4Workers float64 `json:"speedup_4_workers"`
+		GoVersion       string  `json:"go_version"`
+		GOOS            string  `json:"goos"`
+		GOARCH          string  `json:"goarch"`
+		CPUs            int     `json:"cpus"`
+	}{
+		Benchmark:       "BenchmarkFleetWorkers1/2/4",
+		Apps:            corpus.CorpusSize,
+		Workers1NsPerOp: fleetBench.ns[1],
+		Workers2NsPerOp: fleetBench.ns[2],
+		Workers4NsPerOp: fleetBench.ns[4],
+		Speedup2Workers: float64(fleetBench.ns[1]) / float64(fleetBench.ns[2]),
+		Speedup4Workers: float64(fleetBench.ns[1]) / float64(fleetBench.ns[4]),
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		CPUs:            runtime.NumCPU(),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fleet.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFleetWorkers1 is the single-worker baseline: all dispatch and
+// HTTP overhead, no parallelism.
+func BenchmarkFleetWorkers1(b *testing.B) { benchFleet(b, 1) }
+
+// BenchmarkFleetWorkers2 doubles the fleet; content-hash sharding should
+// spread the corpus roughly in half.
+func BenchmarkFleetWorkers2(b *testing.B) { benchFleet(b, 2) }
+
+// BenchmarkFleetWorkers4 is the wide point of the committed curve.
+func BenchmarkFleetWorkers4(b *testing.B) { benchFleet(b, 4) }

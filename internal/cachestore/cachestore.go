@@ -134,6 +134,12 @@ type Store struct {
 	// processes still order by their mtimes.
 	recMu   sync.Mutex
 	recency map[string]time.Time
+
+	// repl, when set, extends the store across processes: Get falls back
+	// to it on a local miss, Put pushes committed entries to it
+	// (replicate.go — the fleet cache-replication path).
+	replMu sync.RWMutex
+	repl   Replicator
 }
 
 // touch records an in-process recency observation for the entry filename.
@@ -193,12 +199,15 @@ func (s *Store) Dir() string { return s.dir }
 
 // Get looks the key up. On a hit it returns the entry payload and bumps
 // the entry's recency (mtime). A corrupt entry is deleted and reported as
-// StatusCorrupt; unreadable files read as misses.
+// StatusCorrupt; unreadable files read as misses. When a Replicator is
+// wired (SetReplicator), a local miss falls back to a remote fetch: a
+// clean fetched envelope is committed locally and answered as a hit, and
+// any replication trouble stays a plain miss.
 func (s *Store) Get(key Key) ([]byte, GetStatus) {
 	path := filepath.Join(s.dir, key.Filename())
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, StatusMiss
+		return s.getRemote(key)
 	}
 	kind, payload, err := DecodeEntry(data)
 	if err != nil || kind != key.Kind {
@@ -213,13 +222,57 @@ func (s *Store) Get(key Key) ([]byte, GetStatus) {
 	return payload, StatusHit
 }
 
+// getRemote is Get's miss path: consult the Replicator, validate the
+// fetched envelope exactly like a local read, commit it locally so the
+// next Get is a disk hit, and answer the payload. Every failure mode —
+// no replicator, remote miss, corrupt transfer, commit trouble — reads
+// as a plain miss.
+func (s *Store) getRemote(key Key) ([]byte, GetStatus) {
+	r := s.replicator()
+	if r == nil {
+		return nil, StatusMiss
+	}
+	data := r.Fetch(key.Filename())
+	if data == nil {
+		return nil, StatusMiss
+	}
+	kind, payload, err := DecodeEntry(data)
+	if err != nil || kind != key.Kind {
+		// A damaged or mismatched transfer must never surface as a hit,
+		// and must not be committed.
+		return nil, StatusMiss
+	}
+	if _, err := s.commitRaw(key, data); err != nil {
+		// The payload itself is valid; serve it even if the local commit
+		// failed (e.g. a read-only filesystem) — replication must only
+		// ever add hits.
+		return payload, StatusHit
+	}
+	return payload, StatusHit
+}
+
 // Put commits the payload under the key with write-then-rename atomicity,
 // then evicts LRU entries until the store is under its size bound. It
 // returns how many entries were evicted. A payload that alone exceeds the
 // bound is skipped (not an error): caching it would immediately evict
-// everything else.
+// everything else. With a Replicator wired, a committed entry is also
+// pushed to the remote side (best-effort) so peers can hit it.
 func (s *Store) Put(key Key, payload []byte) (evicted int, err error) {
 	data := EncodeEntry(key.Kind, payload)
+	evicted, err = s.commitRaw(key, data)
+	if err == nil {
+		if r := s.replicator(); r != nil {
+			r.Push(key.Filename(), data)
+		}
+	}
+	return evicted, err
+}
+
+// commitRaw commits an already-encoded entry envelope. It is the shared
+// write path of Put, PutEnvelope, and remote-fetch commits; it never
+// pushes to the Replicator, so hub writes and fetched-entry commits
+// cannot echo back out.
+func (s *Store) commitRaw(key Key, data []byte) (evicted int, err error) {
 	if int64(len(data)) > s.maxBytes {
 		return 0, nil
 	}

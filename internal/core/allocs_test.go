@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apk"
+	"repro/internal/testutil"
+)
+
+// TestScanAllocsRegression pins an allocation budget on the per-app scan
+// path: one ScanApp of the canonical fixture through a single-threaded
+// pipeline must stay under scanAllocBudget allocations. The fleet
+// dispatch path runs this exact call once per /scansync request, so an
+// allocation regression here multiplies by the whole corpus × worker
+// count. The budget carries ~25% headroom over the measured value; if a
+// deliberate feature change raises the floor, re-measure with
+// `go test ./internal/core -run TestScanAllocsRegression -v` and update
+// the constant in the same commit that explains why.
+//
+// The threshold only binds without -race: the race runtime's
+// instrumentation allocates on its own account.
+const scanAllocBudget = 1_250
+
+func TestScanAllocsRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not meaningful with -short's reduced work")
+	}
+	data := testutil.MustFixtureApp(t)
+	app, err := apk.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers:1 keeps the pipeline single-threaded: goroutine stacks and
+	// channel buffers would otherwise smear the measurement.
+	nc := NewWithOptions(Options{Workers: 1})
+
+	// Warm once: registry laziness, stub program, and pool growth must not
+	// bill the steady-state measurement.
+	if res := nc.ScanApp(app); len(res.Reports) == 0 {
+		t.Fatal("fixture app produced no reports; the measurement would be vacuous")
+	}
+
+	avg := testing.AllocsPerRun(10, func() {
+		res := nc.ScanApp(app)
+		if res.Incomplete {
+			t.Fatal("scan degraded during measurement")
+		}
+	})
+	t.Logf("ScanApp allocations/run = %.0f (budget %d)", avg, scanAllocBudget)
+	if testutil.RaceEnabled {
+		t.Skipf("race detector enabled; measured %.0f for the log only", avg)
+	}
+	if avg > scanAllocBudget {
+		t.Errorf("ScanApp allocates %.0f per run, over the %d budget — "+
+			"if intentional, re-measure and raise scanAllocBudget in the same change",
+			avg, scanAllocBudget)
+	}
+}

@@ -1,0 +1,352 @@
+// Package promtext is a minimal reader/writer for the Prometheus text
+// exposition format (version 0.0.4) — just enough for this repository's
+// own /metrics endpoints: `# HELP`/`# TYPE` headers and sample lines with
+// optional labels.
+//
+// It exists for two jobs:
+//
+//   - fleet aggregation: `nchecker coord` scrapes each worker's /metrics,
+//     parses it here, and Sum-merges the samples so the coordinator's
+//     /metrics shows fleet-wide totals (DESIGN.md §12);
+//   - format stability: internal/server's exposition-format test parses
+//     the live /metrics output and compares the sorted series set against
+//     a committed golden, so the fleet can rely on the format not
+//     drifting silently.
+//
+// The parser is deliberately strict about the structure our renderer
+// promises — every sample belongs to a family that declared its TYPE
+// first, label strings are well-formed, no series appears twice — so
+// format regressions fail loudly instead of aggregating nonsense.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one metric family's metadata.
+type Family struct {
+	Name string
+	Type string // counter, gauge, histogram, summary, untyped
+	Help string
+}
+
+// Sample is one sample line: a metric name (which for histograms includes
+// the _bucket/_sum/_count suffix), a canonical label string ("" or
+// `{a="b",c="d"}` exactly as exposed), and the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Series is a Sample's identity across scrapes and processes.
+func (s Sample) Series() string { return s.Name + s.Labels }
+
+// Text is one parsed exposition.
+type Text struct {
+	Families []Family // in order of first appearance
+	Samples  []Sample // in exposition order
+}
+
+// Family returns the family metadata owning the sample name (stripping
+// histogram suffixes), or nil.
+func (t *Text) Family(sampleName string) *Family {
+	base := baseName(sampleName)
+	for i := range t.Families {
+		if t.Families[i].Name == base {
+			return &t.Families[i]
+		}
+	}
+	return nil
+}
+
+// baseName strips the histogram sample suffixes off a sample name.
+func baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		s := strings.TrimSuffix(name, suf)
+		if s != name {
+			return s
+		}
+	}
+	return name
+}
+
+// Parse reads one text exposition. It enforces the structure this
+// repository's renderers emit: TYPE before samples, HELP/TYPE lines
+// well-formed, labels canonical, every series unique.
+func Parse(input string) (*Text, error) {
+	t := &Text{}
+	families := make(map[string]*Family)
+	seen := make(map[string]bool)
+	for ln, line := range strings.Split(input, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("promtext: line %d: malformed HELP: %q", lineNo, line)
+			}
+			fam := familyFor(t, families, name)
+			fam.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("promtext: line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("promtext: line %d: unknown metric type %q", lineNo, typ)
+			}
+			fam := familyFor(t, families, name)
+			if fam.Type != "" && fam.Type != typ {
+				return nil, fmt.Errorf("promtext: line %d: family %s re-typed %s -> %s", lineNo, name, fam.Type, typ)
+			}
+			fam.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+		}
+		fam := families[baseName(sample.Name)]
+		if fam == nil || fam.Type == "" {
+			return nil, fmt.Errorf("promtext: line %d: sample %s has no preceding TYPE", lineNo, sample.Name)
+		}
+		if seen[sample.Series()] {
+			return nil, fmt.Errorf("promtext: line %d: duplicate series %s", lineNo, sample.Series())
+		}
+		seen[sample.Series()] = true
+		t.Samples = append(t.Samples, sample)
+	}
+	return t, nil
+}
+
+func familyFor(t *Text, families map[string]*Family, name string) *Family {
+	if f, ok := families[name]; ok {
+		return f
+	}
+	t.Families = append(t.Families, Family{Name: name})
+	f := &t.Families[len(t.Families)-1]
+	families[name] = f
+	return f
+}
+
+// parseSample reads `name value` or `name{labels} value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		end, err := scanLabels(line[i:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = line[i : i+end]
+		rest = line[i+end:]
+	} else {
+		name, r, ok := strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("malformed sample: %q", line)
+		}
+		s.Name = name
+		rest = " " + r
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("malformed sample: %q", line)
+	}
+	valStr := strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("malformed value %q in %q", valStr, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// scanLabels validates a `{k="v",...}` label block starting at s[0]=='{'
+// and returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block: %q", s)
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// label name
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j == i || j >= len(s) {
+			return 0, fmt.Errorf("malformed label block: %q", s)
+		}
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value: %q", s)
+		}
+		i++ // past opening quote
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value: %q", s)
+			}
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				i++
+				break
+			}
+			i++
+		}
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// Sum merges expositions by adding samples of identical series — the
+// fleet-aggregation fold. Family metadata comes from the first exposition
+// declaring it; counters, gauges, and histogram components all add (the
+// fleet-wide queue depth is the sum of per-worker depths, cumulative
+// bucket counts add bucket-wise because every worker uses the same
+// bounds). The result is sorted: families by name, samples by name then
+// label string, with histogram le labels ordered numerically.
+func Sum(texts ...*Text) *Text {
+	out := &Text{}
+	famSeen := make(map[string]bool)
+	values := make(map[string]float64)
+	order := make(map[string]Sample)
+	for _, t := range texts {
+		if t == nil {
+			continue
+		}
+		for _, f := range t.Families {
+			if !famSeen[f.Name] {
+				famSeen[f.Name] = true
+				out.Families = append(out.Families, f)
+			}
+		}
+		for _, s := range t.Samples {
+			id := s.Series()
+			values[id] += s.Value
+			if _, ok := order[id]; !ok {
+				order[id] = s
+			}
+		}
+	}
+	for id, s := range order {
+		s.Value = values[id]
+		out.Samples = append(out.Samples, s)
+	}
+	sort.Slice(out.Families, func(i, j int) bool { return out.Families[i].Name < out.Families[j].Name })
+	sort.Slice(out.Samples, func(i, j int) bool { return sampleLess(out.Samples[i], out.Samples[j]) })
+	return out
+}
+
+// sampleLess orders samples by name, then — when both carry an le label —
+// numerically by bucket bound, then by label string.
+func sampleLess(a, b Sample) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	la, oka := leBound(a.Labels)
+	lb, okb := leBound(b.Labels)
+	if oka && okb && la != lb {
+		return la < lb
+	}
+	return a.Labels < b.Labels
+}
+
+// leBound extracts a histogram bucket bound from a label string.
+func leBound(labels string) (float64, bool) {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return 0, false
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false
+	}
+	switch rest[:j] {
+	case "+Inf":
+		return math.Inf(1), true
+	}
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Render writes the exposition back out: HELP/TYPE per family (families
+// in slice order), then that family's samples in slice order. Callers
+// wanting deterministic output pass a Sum result, which is pre-sorted.
+func (t *Text) Render() string {
+	var b strings.Builder
+	byFamily := make(map[string][]Sample)
+	for _, s := range t.Samples {
+		base := baseName(s.Name)
+		byFamily[base] = append(byFamily[base], s)
+	}
+	for _, f := range t.Families {
+		samples := byFamily[f.Name]
+		if len(samples) == 0 {
+			continue
+		}
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		typ := f.Type
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, typ)
+		for _, s := range samples {
+			fmt.Fprintf(&b, "%s%s %s\n", s.Name, s.Labels, strconv.FormatFloat(s.Value, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// SeriesNames returns the sorted unique series identities (name plus
+// canonical label string) in the exposition — the shape the
+// format-stability golden pins.
+func (t *Text) SeriesNames() []string {
+	names := make([]string, 0, len(t.Samples))
+	for _, s := range t.Samples {
+		names = append(names, s.Series())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Value returns the value of the series with the exact identity (name
+// plus canonical label string, e.g. `m_total{status="done"}`), and
+// whether it is present. Aggregation asserts and smoke clients use it to
+// read one counter out of a scrape without string-matching raw lines.
+func (t *Text) Value(series string) (float64, bool) {
+	for _, s := range t.Samples {
+		if s.Series() == series {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,130 @@
+package promtext
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleText = `# HELP nchecker_jobs_total Scan jobs by terminal status.
+# TYPE nchecker_jobs_total counter
+nchecker_jobs_total{status="done"} 3
+nchecker_jobs_total{status="failed"} 1
+# HELP nchecker_queue_depth Jobs waiting.
+# TYPE nchecker_queue_depth gauge
+nchecker_queue_depth 2
+# HELP nchecker_scan_seconds End-to-end scan wall time.
+# TYPE nchecker_scan_seconds histogram
+nchecker_scan_seconds_bucket{le="0.005"} 1
+nchecker_scan_seconds_bucket{le="+Inf"} 3
+nchecker_scan_seconds_sum 0.42
+nchecker_scan_seconds_count 3
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	parsed, err := Parse(sampleText)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(parsed.Families) != 3 {
+		t.Fatalf("families = %d, want 3", len(parsed.Families))
+	}
+	if f := parsed.Family("nchecker_scan_seconds_bucket"); f == nil || f.Type != "histogram" {
+		t.Fatalf("histogram family lookup via sample name = %+v", f)
+	}
+	if got := parsed.Render(); got != sampleText {
+		t.Errorf("Render round-trip differs:\n--- got ---\n%s--- want ---\n%s", got, sampleText)
+	}
+	wantSeries := []string{
+		`nchecker_jobs_total{status="done"}`,
+		`nchecker_jobs_total{status="failed"}`,
+		`nchecker_queue_depth`,
+		`nchecker_scan_seconds_bucket{le="+Inf"}`,
+		`nchecker_scan_seconds_bucket{le="0.005"}`,
+		`nchecker_scan_seconds_count`,
+		`nchecker_scan_seconds_sum`,
+	}
+	if got := parsed.SeriesNames(); !reflect.DeepEqual(got, wantSeries) {
+		t.Errorf("SeriesNames = %q, want %q", got, wantSeries)
+	}
+}
+
+func TestParseEscapedLabelValues(t *testing.T) {
+	text := "# TYPE x counter\n" + `x{msg="a \"quoted\" value, with \\ and \n"} 7` + "\n"
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(parsed.Samples) != 1 || parsed.Samples[0].Value != 7 {
+		t.Fatalf("samples = %+v", parsed.Samples)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for name, text := range map[string]string{
+		"sample without TYPE":  "foo 1\n",
+		"duplicate series":     "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"bad value":            "# TYPE foo counter\nfoo banana\n",
+		"unterminated labels":  "# TYPE foo counter\nfoo{a=\"b\" 1\n",
+		"unknown type":         "# TYPE foo sparkline\nfoo 1\n",
+		"retyped family":       "# TYPE foo counter\n# TYPE foo gauge\nfoo 1\n",
+		"unquoted label value": "# TYPE foo counter\nfoo{a=b} 1\n",
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, text)
+		}
+	}
+}
+
+// TestSumAggregatesAcrossWorkers is the fleet-aggregation contract:
+// identical series add, disjoint series union, histogram buckets add
+// bucket-wise, and the result renders deterministically sorted.
+func TestSumAggregatesAcrossWorkers(t *testing.T) {
+	w1, err := Parse(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Parse(strings.ReplaceAll(sampleText, `{status="failed"} 1`, `{status="rejected"} 5`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Sum(w1, w2, nil)
+
+	want := map[string]float64{
+		`nchecker_jobs_total{status="done"}`:       6,
+		`nchecker_jobs_total{status="failed"}`:     1,
+		`nchecker_jobs_total{status="rejected"}`:   5,
+		`nchecker_queue_depth`:                     4,
+		`nchecker_scan_seconds_bucket{le="0.005"}`: 2,
+		`nchecker_scan_seconds_bucket{le="+Inf"}`:  6,
+		`nchecker_scan_seconds_sum`:                0.84,
+		`nchecker_scan_seconds_count`:              6,
+	}
+	if len(sum.Samples) != len(want) {
+		t.Fatalf("sum has %d samples, want %d: %+v", len(sum.Samples), len(want), sum.Samples)
+	}
+	for _, s := range sum.Samples {
+		if math.Abs(s.Value-want[s.Series()]) > 1e-9 {
+			t.Errorf("%s = %v, want %v", s.Series(), s.Value, want[s.Series()])
+		}
+	}
+
+	rendered := sum.Render()
+	reparsed, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("Sum render does not reparse: %v\n%s", err, rendered)
+	}
+	if len(reparsed.Samples) != len(sum.Samples) {
+		t.Errorf("reparse lost samples")
+	}
+	// Bucket order must be numeric: 0.005 before +Inf despite "+" sorting
+	// first lexically.
+	if i5, iInf := strings.Index(rendered, `le="0.005"`), strings.Index(rendered, `le="+Inf"`); i5 < 0 || iInf < 0 || i5 > iInf {
+		t.Errorf("bucket order wrong in:\n%s", rendered)
+	}
+	// Deterministic: summing in the other order renders identically.
+	if again := Sum(w2, w1).Render(); again != rendered {
+		t.Errorf("Sum not order-independent:\n--- a ---\n%s--- b ---\n%s", rendered, again)
+	}
+}

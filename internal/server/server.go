@@ -112,12 +112,27 @@ type Job struct {
 	// lost (done + degraded).
 	Error string `json:"error,omitempty"`
 
+	// Fleet telemetry, present when the record comes from a coordinator
+	// (coord.go): the worker that produced the final result, how many
+	// dispatch attempts the job took, and whether it was hedged.
+	Worker   string `json:"worker,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Hedged   bool   `json:"hedged,omitempty"`
+
 	seq      int64           // numeric ID, for newest-first listings
 	deadline time.Duration   // resolved per-job scan deadline (0 = none)
 	mode     core.EngineMode // resolved engine mode (?mode= or the server default)
 	validate bool            // resolved validation toggle (?validate= or the server default)
 	checkers core.CheckerSet // resolved family selection (?checkers= or the server default)
 	data     []byte          // app container bytes; released when the scan finishes
+
+	// Coordinator-only bookkeeping (coord.go); unused by a worker Server.
+	shard    [32]byte             // sha256 of the container bytes (= apk.Digest)
+	query    string               // sanitized query string forwarded to /scansync
+	terminal bool                 // a final result has been installed
+	running  int                  // in-flight dispatch attempts
+	cancels  []context.CancelFunc // cancel in-flight attempts on finalize
+	fallback *Job                 // best degraded result held while retrying
 }
 
 // Server is the scan service. Construct with New, wire Handler into an
@@ -129,9 +144,13 @@ type Server struct {
 	metrics *metrics
 
 	queue chan *Job
-	mu    sync.Mutex // guards jobs, done, pruned, nextID, and per-Job mutation
-	jobs  map[string]*Job
-	done  []string // finished job IDs in completion order (retention FIFO)
+	// syncSem bounds concurrent POST /scansync scans to cfg.Jobs slots —
+	// the fleet dispatch path shares the same concurrency budget as the
+	// async queue workers (worker.go).
+	syncSem chan struct{}
+	mu      sync.Mutex // guards jobs, done, pruned, nextID, and per-Job mutation
+	jobs    map[string]*Job
+	done    []string // finished job IDs in completion order (retention FIFO)
 	// pruned remembers ids the retention FIFO dropped, so GET can answer
 	// 410 Gone (expired) instead of 404 (never existed). Bounded like the
 	// retention itself: prunedFIFO evicts the oldest tombstones.
@@ -180,6 +199,7 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 		metrics: newMetrics(),
 		queue:   make(chan *Job, cfg.Queue),
+		syncSem: make(chan struct{}, cfg.Jobs),
 		jobs:    make(map[string]*Job),
 		pruned:  make(map[string]bool),
 		baseCtx: ctx,
@@ -222,6 +242,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /scan", s.handleSubmit)
+	mux.HandleFunc("POST /scansync", s.handleScanSync)
 	mux.HandleFunc("GET /scan/{id}", s.handleGet)
 	mux.HandleFunc("GET /scans", s.handleList)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -13,37 +13,18 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/android"
-	"repro/internal/apk"
 	"repro/internal/core"
-	"repro/internal/jimple"
 	"repro/internal/report"
+	"repro/internal/testutil"
 )
 
 // fixtureAppBytes encodes the canonical buggy fixture app (the same shape
 // internal/core's tests scan): one Activity firing an unchecked,
-// untimeouted, unvalidated request.
+// untimeouted, unvalidated request. The encoding lives in
+// internal/testutil so the smoke clients and multi-process tests share it.
 func fixtureAppBytes(t *testing.T) []byte {
 	t.Helper()
-	prog := jimple.MustParse(`class demo.Main extends android.app.Activity {
-  method onCreate(android.os.Bundle)void {
-    local c com.turbomanage.httpclient.BasicHttpClient
-    local r com.turbomanage.httpclient.HttpResponse
-    local b java.lang.String
-    c = new com.turbomanage.httpclient.BasicHttpClient
-    specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "https://example.com"
-    b = virtualinvoke r com.turbomanage.httpclient.HttpResponse.getBodyAsString()java.lang.String
-    return
-  }
-}`)
-	man := &android.Manifest{Package: "demo", Activities: []string{"demo.Main"}}
-	man.Normalize()
-	data, err := apk.Encode(&apk.App{Manifest: man, Program: prog})
-	if err != nil {
-		t.Fatalf("encode fixture app: %v", err)
-	}
-	return data
+	return testutil.MustFixtureApp(t)
 }
 
 // quietLogger keeps test output clean while still exercising the slog

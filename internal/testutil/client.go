@@ -1,0 +1,140 @@
+package testutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// JobView is the subset of a scan job's JSON record the end-to-end suites
+// assert on. It matches both `nchecker serve` jobs and `nchecker coord`
+// fleet jobs (the coordinator mirrors the server's job schema and adds
+// Worker/Attempts).
+type JobView struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Status     string `json:"status"`
+	Requests   int    `json:"requests"`
+	Warnings   int    `json:"warnings"`
+	Degraded   bool   `json:"degraded"`
+	ReportText string `json:"reportText"`
+	Error      string `json:"error"`
+	Worker     string `json:"worker"`
+	Attempts   int    `json:"attempts"`
+}
+
+// Terminal reports whether the job reached a terminal status.
+func (j JobView) Terminal() bool { return j.Status == "done" || j.Status == "failed" }
+
+// ScanClient drives a scan service (server or coordinator) over HTTP:
+// submit, poll to terminal, and fetch the observability endpoints. All
+// methods return errors instead of failing a test, so the CI smoke
+// clients can share them.
+type ScanClient struct {
+	Base string // e.g. "http://127.0.0.1:8080"
+	// HTTP is the client used for every request; nil means a private
+	// client with a 30s request timeout.
+	HTTP *http.Client
+}
+
+func (c *ScanClient) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Healthz fetches /healthz and returns the status code.
+func (c *ScanClient) Healthz() (int, error) {
+	resp, err := c.http().Get(c.Base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Submit POSTs app-container bytes to /scan with the raw query string
+// ("" or e.g. "?name=a.apk&mode=targeted") and returns the accepted job.
+func (c *ScanClient) Submit(query string, app []byte) (JobView, error) {
+	resp, err := c.http().Post(c.Base+"/scan"+query, "application/octet-stream", bytes.NewReader(app))
+	if err != nil {
+		return JobView{}, fmt.Errorf("POST /scan%s: %w", query, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return JobView{}, fmt.Errorf("POST /scan%s = %d: %s", query, resp.StatusCode, body)
+	}
+	var job JobView
+	if err := json.Unmarshal(body, &job); err != nil {
+		return JobView{}, fmt.Errorf("POST /scan%s response: %w: %s", query, err, body)
+	}
+	if job.ID == "" {
+		return JobView{}, fmt.Errorf("POST /scan%s response has no job id: %s", query, body)
+	}
+	return job, nil
+}
+
+// Get fetches one job record without polling.
+func (c *ScanClient) Get(id string) (JobView, int, error) {
+	resp, err := c.http().Get(c.Base + "/scan/" + id)
+	if err != nil {
+		return JobView{}, 0, fmt.Errorf("GET /scan/%s: %w", id, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobView{}, resp.StatusCode, fmt.Errorf("GET /scan/%s = %d: %s", id, resp.StatusCode, body)
+	}
+	var job JobView
+	if err := json.Unmarshal(body, &job); err != nil {
+		return JobView{}, resp.StatusCode, fmt.Errorf("GET /scan/%s response: %w", id, err)
+	}
+	return job, resp.StatusCode, nil
+}
+
+// Await polls GET /scan/{id} until the job reaches a terminal status or
+// the deadline passes.
+func (c *ScanClient) Await(id string, deadline time.Time) (JobView, error) {
+	for {
+		job, _, err := c.Get(id)
+		if err != nil {
+			return job, err
+		}
+		if job.Terminal() {
+			return job, nil
+		}
+		if time.Now().After(deadline) {
+			return job, fmt.Errorf("job %s still %q at deadline", id, job.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ScanWait submits the app and awaits a terminal status in one call.
+func (c *ScanClient) ScanWait(query string, app []byte, deadline time.Time) (JobView, error) {
+	job, err := c.Submit(query, app)
+	if err != nil {
+		return job, err
+	}
+	return c.Await(job.ID, deadline)
+}
+
+// Metrics fetches /metrics and returns the Prometheus text body.
+func (c *ScanClient) Metrics() (string, error) {
+	resp, err := c.http().Get(c.Base + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("GET /metrics: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /metrics = %d", resp.StatusCode)
+	}
+	return string(body), nil
+}

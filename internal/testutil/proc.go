@@ -1,0 +1,165 @@
+package testutil
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// BuildNchecker compiles cmd/nchecker into t's temp directory and returns
+// the binary path. Go's build cache makes repeated builds cheap, so each
+// test that needs the real binary just builds its own copy.
+func BuildNchecker(t TB) string {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("testutil: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "nchecker")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/nchecker")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("testutil: go build ./cmd/nchecker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// moduleRoot walks up from the working directory to the go.mod root, so
+// tests in any package can build the repository's commands.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// Proc is one spawned server process (nchecker serve or nchecker coord)
+// with its ready-file handshake completed.
+type Proc struct {
+	// Addr is the bound listen address from the ready file; URL is
+	// "http://" + Addr.
+	Addr string
+	URL  string
+
+	cmd     *exec.Cmd
+	logPath string
+	done    chan error // receives cmd.Wait exactly once
+	waited  bool
+	waitErr error
+}
+
+// SpawnServer starts `bin args... -addr 127.0.0.1:0 -ready-file <tmp>`,
+// waits for the ready handshake, and registers a cleanup that kills the
+// process (hard) if the test did not already Drain or Kill it. Stderr
+// goes to a log file whose tail is dumped when the test fails.
+func SpawnServer(t TB, bin string, args ...string) *Proc {
+	t.Helper()
+	dir := t.TempDir()
+	ready := filepath.Join(dir, "ready")
+	logPath := filepath.Join(dir, "stderr.log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatalf("testutil: create log: %v", err)
+	}
+	full := append(append([]string{}, args...), "-addr", "127.0.0.1:0", "-ready-file", ready)
+	cmd := exec.Command(bin, full...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		t.Fatalf("testutil: start %s %s: %v", bin, strings.Join(full, " "), err)
+	}
+	logFile.Close() // the child holds its own descriptor
+	p := &Proc{cmd: cmd, logPath: logPath, done: make(chan error, 1)}
+	go func() { p.done <- cmd.Wait() }()
+
+	addr, err := WaitAddrFile(ready, time.Now().Add(30*time.Second))
+	if err != nil {
+		p.Kill()
+		t.Fatalf("testutil: %s %s: %v\n%s", bin, strings.Join(full, " "), err, p.LogTail())
+	}
+	p.Addr = addr
+	p.URL = "http://" + addr
+	t.Cleanup(func() {
+		p.Kill()
+		if t.Failed() {
+			t.Logf("testutil: %s log tail:\n%s", filepath.Base(bin), p.LogTail())
+		}
+	})
+	return p
+}
+
+// Pid returns the child's process id.
+func (p *Proc) Pid() int { return p.cmd.Process.Pid }
+
+// Signal sends sig to the child.
+func (p *Proc) Signal(sig os.Signal) error { return p.cmd.Process.Signal(sig) }
+
+// wait waits for process exit (once) and memoizes the result.
+func (p *Proc) wait(timeout time.Duration) error {
+	if p.waited {
+		return p.waitErr
+	}
+	select {
+	case err := <-p.done:
+		p.waited, p.waitErr = true, err
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("testutil: process %d still running after %s", p.Pid(), timeout)
+	}
+}
+
+// Drain sends SIGTERM and waits up to timeout for a clean exit; a
+// non-zero exit status or a hung process is an error. This is the
+// graceful-shutdown assertion the CI smokes rely on.
+func (p *Proc) Drain(timeout time.Duration) error {
+	if p.waited {
+		return p.waitErr
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("testutil: SIGTERM: %w", err)
+	}
+	if err := p.wait(timeout); err != nil {
+		return fmt.Errorf("testutil: drain: %w (log tail:\n%s)", err, p.LogTail())
+	}
+	return nil
+}
+
+// Kill terminates the process immediately (SIGKILL) and reaps it. Safe to
+// call repeatedly and after Drain.
+func (p *Proc) Kill() {
+	if p.waited {
+		return
+	}
+	p.cmd.Process.Kill()
+	p.wait(10 * time.Second)
+}
+
+// LogTail returns the last few KiB of the process's combined output, for
+// failure messages.
+func (p *Proc) LogTail() string {
+	data, err := os.ReadFile(p.logPath)
+	if err != nil {
+		return "(no log: " + err.Error() + ")"
+	}
+	const tail = 8 << 10
+	if len(data) > tail {
+		data = data[len(data)-tail:]
+	}
+	return string(data)
+}

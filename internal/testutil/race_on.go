@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-regression tests consult it: -race instruments
+// allocations and shifts counts, so thresholds only bind in normal runs.
+const RaceEnabled = true

@@ -8,7 +8,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "== gofmt =="
-unformatted=$(gofmt -l cmd internal examples scripts bench_test.go)
+unformatted=$(gofmt -l cmd internal examples scripts bench_test.go fleet_bench_test.go)
 if [ -n "$unformatted" ]; then
     echo "gofmt: the following files need formatting:" >&2
     echo "$unformatted" >&2
@@ -135,6 +135,54 @@ if ! wait "$serve_pid"; then
     exit 1
 fi
 serve_pid=
+
+echo "== fleet smoke =="
+# Coordinator + 2 workers on ephemeral ports: the same app containers
+# scanned through the fleet must print byte-identical output to the
+# single-process CLI, and all three processes must drain cleanly on
+# SIGTERM.
+trap 'rm -rf "$cachedir" "$diffdir" "$smokedir"; for p in "${serve_pid:-}" "${coord_pid:-}" "${w1_pid:-}" "${w2_pid:-}"; do [ -n "$p" ] && kill "$p" 2>/dev/null || true; done' EXIT
+"$smokedir/nchecker" coord -addr 127.0.0.1:0 -ready-file "$smokedir/coord.ready" \
+    2>"$smokedir/coord.log" &
+coord_pid=$!
+coord_addr=""
+for i in $(seq 1 100); do
+    [ -s "$smokedir/coord.ready" ] && { coord_addr=$(head -n1 "$smokedir/coord.ready"); break; }
+    sleep 0.1
+done
+if [ -z "$coord_addr" ]; then
+    echo "fleet smoke: coordinator never wrote its ready file" >&2
+    cat "$smokedir/coord.log" >&2
+    exit 1
+fi
+"$smokedir/nchecker" serve -addr 127.0.0.1:0 -ready-file "$smokedir/w1.ready" \
+    -coord "http://$coord_addr" 2>"$smokedir/w1.log" &
+w1_pid=$!
+"$smokedir/nchecker" serve -addr 127.0.0.1:0 -ready-file "$smokedir/w2.ready" \
+    -coord "http://$coord_addr" 2>"$smokedir/w2.log" &
+w2_pid=$!
+single_status=0
+"$smokedir/nchecker" "$diffdir"/corpus/*.apk >"$smokedir/single.txt" || single_status=$?
+if [ "$single_status" -gt 1 ]; then
+    echo "fleet smoke: single-process reference run failed (exit $single_status)" >&2
+    exit 1
+fi
+if ! go run ./scripts/fleetsmoke -ready-file "$smokedir/coord.ready" \
+    -out "$smokedir/fleet.txt" "$diffdir"/corpus/*.apk; then
+    echo "fleet smoke failed; logs:" >&2
+    cat "$smokedir/coord.log" "$smokedir/w1.log" "$smokedir/w2.log" >&2
+    exit 1
+fi
+cmp "$smokedir/single.txt" "$smokedir/fleet.txt"
+for p in "$w1_pid" "$w2_pid" "$coord_pid"; do
+    kill -TERM "$p"
+    if ! wait "$p"; then
+        echo "fleet smoke: process $p did not shut down cleanly; logs:" >&2
+        cat "$smokedir/coord.log" "$smokedir/w1.log" "$smokedir/w2.log" >&2
+        exit 1
+    fi
+done
+coord_pid=; w1_pid=; w2_pid=
 
 echo "== fuzz smoke =="
 # Short fuzz bursts over the untrusted-input parsers: new panics or

@@ -4,22 +4,20 @@
 // end: /healthz must answer 200, a POSTed fixture app must scan to a
 // finished job with warnings and report text, and /metrics must expose
 // the scan counters. Exit 0 on success, 1 with a message on any failure.
+//
+// The fixture app, ready-file handshake, and HTTP client live in
+// internal/testutil, shared with the server and fleet test suites.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
-	"repro/internal/android"
-	"repro/internal/apk"
-	"repro/internal/jimple"
+	"repro/internal/testutil"
 )
 
 func main() {
@@ -31,22 +29,25 @@ func main() {
 	}
 	deadline := time.Now().Add(*timeout)
 
-	addr := waitAddr(*readyFile, deadline)
-	base := "http://" + addr
-	fmt.Printf("servesmoke: server at %s\n", base)
+	addr, err := testutil.WaitAddrFile(*readyFile, deadline)
+	if err != nil {
+		fail("%v", err)
+	}
+	client := &testutil.ScanClient{Base: "http://" + addr}
+	fmt.Printf("servesmoke: server at %s\n", client.Base)
 
 	// Liveness first.
-	if code := getStatus(base + "/healthz"); code != http.StatusOK {
-		fail("GET /healthz = %d, want 200", code)
+	if code, err := client.Healthz(); err != nil || code != http.StatusOK {
+		fail("GET /healthz = %d (%v), want 200", code, err)
 	}
 
 	// Submit the fixture app (a buggy request with no connectivity check,
 	// no timeout, no error handling — it must produce warnings).
-	app, err := fixtureApp()
+	app, err := testutil.FixtureApp()
 	if err != nil {
 		fail("build fixture app: %v", err)
 	}
-	job := scanJob(base, "?name=smoke.apk", app, deadline)
+	job := scanJob(client, "?name=smoke.apk", app, deadline)
 	switch {
 	case job.Warnings == 0:
 		fail("job %s found no warnings in the buggy fixture", job.ID)
@@ -58,7 +59,7 @@ func main() {
 	fmt.Printf("servesmoke: job done, %d warnings\n", job.Warnings)
 
 	// The scan must be visible on /metrics.
-	metrics := getMetrics(base)
+	metrics := getMetrics(client)
 	for _, want := range []string{
 		"nchecker_jobs_submitted_total 1",
 		`nchecker_jobs_total{status="done"} 1`,
@@ -75,7 +76,7 @@ func main() {
 	// A validated job: the ?validate=1 override replays every warning's
 	// witness under injected disruptions, the fixture's defects must be
 	// dynamically confirmed, and the validate counters reach /metrics.
-	vjob := scanJob(base, "?name=smoke-validate.apk&validate=1", app, deadline)
+	vjob := scanJob(client, "?name=smoke-validate.apk&validate=1", app, deadline)
 	switch {
 	case vjob.Warnings != job.Warnings:
 		fail("validated job found %d warnings, unvalidated found %d", vjob.Warnings, job.Warnings)
@@ -83,7 +84,7 @@ func main() {
 		fail("validated job %s has no confirmed verdict:\n%s", vjob.ID, vjob.ReportText)
 	}
 	fmt.Printf("servesmoke: validated job done, %d warnings\n", vjob.Warnings)
-	metrics = getMetrics(base)
+	metrics = getMetrics(client)
 	for _, want := range []string{
 		"nchecker_validate_confirmed_total",
 		"nchecker_validate_replays_total",
@@ -98,60 +99,18 @@ func main() {
 	fmt.Println("servesmoke: ok")
 }
 
-// jobRecord is the subset of the job JSON the smoke asserts on.
-type jobRecord struct {
-	ID         string `json:"id"`
-	Status     string `json:"status"`
-	Warnings   int    `json:"warnings"`
-	Degraded   bool   `json:"degraded"`
-	ReportText string `json:"reportText"`
-	Error      string `json:"error"`
-}
-
 // scanJob submits one app and polls it to a clean `done`; any failure,
 // degradation, or deadline overrun fails the smoke.
-func scanJob(base, query string, app []byte, deadline time.Time) jobRecord {
-	resp, err := http.Post(base+"/scan"+query, "application/octet-stream", bytes.NewReader(app))
+func scanJob(client *testutil.ScanClient, query string, app []byte, deadline time.Time) testutil.JobView {
+	job, err := client.Submit(query, app)
 	if err != nil {
-		fail("POST /scan%s: %v", query, err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		fail("POST /scan%s = %d: %s", query, resp.StatusCode, body)
-	}
-	var job jobRecord
-	if err := json.Unmarshal(body, &job); err != nil {
-		fail("POST /scan%s response: %v: %s", query, err, body)
-	}
-	if job.ID == "" {
-		fail("POST /scan%s response has no job id: %s", query, body)
+		fail("%v", err)
 	}
 	fmt.Printf("servesmoke: submitted %s\n", job.ID)
-
-	// Poll the report until the job reaches a terminal status.
-	for {
-		resp, err := http.Get(base + "/scan/" + job.ID)
-		if err != nil {
-			fail("GET /scan/%s: %v", job.ID, err)
-		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			fail("GET /scan/%s = %d: %s", job.ID, resp.StatusCode, body)
-		}
-		if err := json.Unmarshal(body, &job); err != nil {
-			fail("GET /scan/%s response: %v", job.ID, err)
-		}
-		if job.Status == "done" || job.Status == "failed" {
-			break
-		}
-		if time.Now().After(deadline) {
-			fail("job %s still %q at deadline", job.ID, job.Status)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	job, err = client.Await(job.ID, deadline)
 	switch {
+	case err != nil:
+		fail("%v", err)
 	case job.Status != "done":
 		fail("job %s finished %q (%s), want done", job.ID, job.Status, job.Error)
 	case job.Degraded:
@@ -161,70 +120,15 @@ func scanJob(base, query string, app []byte, deadline time.Time) jobRecord {
 }
 
 // getMetrics fetches /metrics and returns the Prometheus text body.
-func getMetrics(base string) string {
-	resp, err := http.Get(base + "/metrics")
+func getMetrics(client *testutil.ScanClient) string {
+	metrics, err := client.Metrics()
 	if err != nil {
-		fail("GET /metrics: %v", err)
+		fail("%v", err)
 	}
-	metrics, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fail("GET /metrics = %d", resp.StatusCode)
-	}
-	return string(metrics)
+	return metrics
 }
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
 	os.Exit(1)
-}
-
-// waitAddr polls for the server's -ready-file and returns the bound
-// address written there.
-func waitAddr(path string, deadline time.Time) string {
-	for {
-		if b, err := os.ReadFile(path); err == nil {
-			if addr := strings.TrimSpace(string(b)); addr != "" {
-				return addr
-			}
-		}
-		if time.Now().After(deadline) {
-			fail("server never wrote %s", path)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-}
-
-func getStatus(url string) int {
-	resp, err := http.Get(url)
-	if err != nil {
-		fail("GET %s: %v", url, err)
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode
-}
-
-// fixtureApp encodes the canonical buggy app: an Activity firing a
-// BasicHttpClient request with no connectivity check, no timeout
-// configuration, and no response handling.
-func fixtureApp() ([]byte, error) {
-	prog, err := jimple.Parse(`class demo.Main extends android.app.Activity {
-  method onCreate(android.os.Bundle)void {
-    local c com.turbomanage.httpclient.BasicHttpClient
-    local r com.turbomanage.httpclient.HttpResponse
-    local b java.lang.String
-    c = new com.turbomanage.httpclient.BasicHttpClient
-    specialinvoke c com.turbomanage.httpclient.BasicHttpClient.<init>()void
-    r = virtualinvoke c com.turbomanage.httpclient.BasicHttpClient.get(java.lang.String)com.turbomanage.httpclient.HttpResponse "http://example.com"
-    b = virtualinvoke r com.turbomanage.httpclient.HttpResponse.getBodyAsString()java.lang.String
-    return
-  }
-}`)
-	if err != nil {
-		return nil, err
-	}
-	man := &android.Manifest{Package: "demo", Activities: []string{"demo.Main"}}
-	man.Normalize()
-	return apk.Encode(&apk.App{Manifest: man, Program: prog})
 }
