@@ -435,8 +435,15 @@ func recordCacheBench(b *testing.B, cold bool, nsPerOp int64) {
 // with -cache on (all misses, plus entry encoding and commits). Each
 // iteration needs its own directory because cachestore.Shared memoizes
 // stores per path — reusing one would silently measure the warm path.
+// Under -short only the first coldSmokeApps apps are scanned (the
+// check.sh smoke gate's corpus); full runs also feed BENCH_cache.json.
 func BenchmarkScanCorpusCold(b *testing.B) {
 	apps := benchCorpus(b)
+	if testing.Short() {
+		apps = apps[:coldSmokeApps]
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -450,7 +457,98 @@ func BenchmarkScanCorpusCold(b *testing.B) {
 			b.Fatalf("%d apps degraded", n)
 		}
 	}
-	recordCacheBench(b, true, b.Elapsed().Nanoseconds()/int64(b.N))
+	nsPerOp := b.Elapsed().Nanoseconds() / int64(b.N)
+	runtime.ReadMemStats(&after)
+	if !testing.Short() {
+		recordCacheBench(b, true, nsPerOp)
+	}
+	recordColdBench(b, coldBenchEntry{
+		Apps:        len(apps),
+		NsPerOp:     nsPerOp,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(b.N),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(b.N),
+	})
+}
+
+// --- cold-scan allocation trajectory (ROADMAP item 5) -------------------------
+
+// coldSmokeApps is the corpus prefix the -short smoke run scans: enough
+// apps to exercise every checker family, small enough for a CI gate.
+const coldSmokeApps = 40
+
+type coldBenchEntry struct {
+	Label       string `json:"label"`
+	Apps        int    `json:"apps"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// coldBenchFile is BENCH_cold.json, the cold-scan perf trajectory.
+// Trajectory holds one full-corpus entry per landed change (labeled via
+// BENCH_COLD_LABEL; committed PR entries keep their labels and stay put,
+// so the file reads as a history). Smoke holds the -short short-corpus
+// numbers scripts/check.sh regenerates and gates on.
+type coldBenchFile struct {
+	Benchmark  string           `json:"benchmark"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
+	Trajectory []coldBenchEntry `json:"trajectory"`
+	Smoke      *coldBenchEntry  `json:"smoke,omitempty"`
+}
+
+// recordColdBench folds one BenchmarkScanCorpusCold result into
+// BENCH_cold.json. The allocation counts come from runtime.MemStats
+// around the whole benchmark loop, so they include the (tiny) untimed
+// per-iteration temp-dir setup — self-consistent between regeneration
+// and the check.sh comparison, which is what the gate needs.
+// BENCH_COLD_OUT redirects the write (check.sh points it at an artifacts
+// dir so a smoke run never dirties the committed file).
+func recordColdBench(b *testing.B, e coldBenchEntry) {
+	b.Helper()
+	var f coldBenchFile
+	if data, err := os.ReadFile("BENCH_cold.json"); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			b.Fatalf("BENCH_cold.json: %v", err)
+		}
+	}
+	f.Benchmark = "BenchmarkScanCorpusCold"
+	f.GoVersion = runtime.Version()
+	f.GOOS = runtime.GOOS
+	f.GOARCH = runtime.GOARCH
+	f.CPUs = runtime.NumCPU()
+	if testing.Short() {
+		e.Label = "smoke"
+		f.Smoke = &e
+	} else {
+		e.Label = os.Getenv("BENCH_COLD_LABEL")
+		if e.Label == "" {
+			e.Label = "working tree"
+		}
+		replaced := false
+		for i := range f.Trajectory {
+			if f.Trajectory[i].Label == e.Label {
+				f.Trajectory[i] = e
+				replaced = true
+			}
+		}
+		if !replaced {
+			f.Trajectory = append(f.Trajectory, e)
+		}
+	}
+	out := os.Getenv("BENCH_COLD_OUT")
+	if out == "" {
+		out = "BENCH_cold.json"
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkScanCorpusWarm rescans the same corpus against a cache filled

@@ -217,56 +217,58 @@ type AsyncDispatch struct {
 
 // AsyncDispatches returns the async-dispatch table: the constructs §4.4 of
 // the paper names (AsyncTask, Handler, Thread, listener registration,
-// Timer).
-func AsyncDispatches() []AsyncDispatch {
-	return []AsyncDispatch{
-		{
-			TriggerClass:  ClassAsyncTask,
-			TriggerSubsig: "execute()void",
-			ArgIndex:      -1,
-			CalleeSubsigs: []string{
-				"onPreExecute()void",
-				"doInBackground()void",
-				"onPostExecute()void",
-			},
+// Timer). The table is a shared package-level constant — callers must not
+// mutate it (call-graph construction queries it once per invoke site, so
+// rebuilding it per call was a measurable allocation source).
+func AsyncDispatches() []AsyncDispatch { return asyncDispatchTable }
+
+var asyncDispatchTable = []AsyncDispatch{
+	{
+		TriggerClass:  ClassAsyncTask,
+		TriggerSubsig: "execute()void",
+		ArgIndex:      -1,
+		CalleeSubsigs: []string{
+			"onPreExecute()void",
+			"doInBackground()void",
+			"onPostExecute()void",
 		},
-		{
-			TriggerClass:  ClassThread,
-			TriggerSubsig: "start()void",
-			ArgIndex:      -1,
-			CalleeSubsigs: []string{"run()void"},
-		},
-		{
-			TriggerClass:  ClassHandler,
-			TriggerSubsig: "post(java.lang.Runnable)boolean",
-			ArgIndex:      0,
-			CalleeSubsigs: []string{"run()void"},
-		},
-		{
-			TriggerClass:  ClassHandler,
-			TriggerSubsig: "postDelayed(java.lang.Runnable,long)boolean",
-			ArgIndex:      0,
-			CalleeSubsigs: []string{"run()void"},
-		},
-		{
-			TriggerClass:  ClassView,
-			TriggerSubsig: "setOnClickListener(android.view.View$OnClickListener)void",
-			ArgIndex:      0,
-			CalleeSubsigs: []string{"onClick(android.view.View)void"},
-		},
-		{
-			TriggerClass:  ClassTimer,
-			TriggerSubsig: "schedule(java.util.TimerTask,long)void",
-			ArgIndex:      0,
-			CalleeSubsigs: []string{"run()void"},
-		},
-		{
-			TriggerClass:  ClassTimer,
-			TriggerSubsig: "scheduleAtFixedRate(java.util.TimerTask,long,long)void",
-			ArgIndex:      0,
-			CalleeSubsigs: []string{"run()void"},
-		},
-	}
+	},
+	{
+		TriggerClass:  ClassThread,
+		TriggerSubsig: "start()void",
+		ArgIndex:      -1,
+		CalleeSubsigs: []string{"run()void"},
+	},
+	{
+		TriggerClass:  ClassHandler,
+		TriggerSubsig: "post(java.lang.Runnable)boolean",
+		ArgIndex:      0,
+		CalleeSubsigs: []string{"run()void"},
+	},
+	{
+		TriggerClass:  ClassHandler,
+		TriggerSubsig: "postDelayed(java.lang.Runnable,long)boolean",
+		ArgIndex:      0,
+		CalleeSubsigs: []string{"run()void"},
+	},
+	{
+		TriggerClass:  ClassView,
+		TriggerSubsig: "setOnClickListener(android.view.View$OnClickListener)void",
+		ArgIndex:      0,
+		CalleeSubsigs: []string{"onClick(android.view.View)void"},
+	},
+	{
+		TriggerClass:  ClassTimer,
+		TriggerSubsig: "schedule(java.util.TimerTask,long)void",
+		ArgIndex:      0,
+		CalleeSubsigs: []string{"run()void"},
+	},
+	{
+		TriggerClass:  ClassTimer,
+		TriggerSubsig: "scheduleAtFixedRate(java.util.TimerTask,long,long)void",
+		ArgIndex:      0,
+		CalleeSubsigs: []string{"run()void"},
+	},
 }
 
 // ConnectivityCheckSigs lists framework methods whose invocation
@@ -281,7 +283,12 @@ var ConnectivityCheckSigs = map[string]bool{
 }
 
 // IsConnectivityCheck reports whether sig is a connectivity-check API.
+// The class gate runs first so the overwhelmingly common miss never
+// renders a signature key.
 func IsConnectivityCheck(sig jimple.Sig) bool {
+	if sig.Class != ClassConnectivityMgr && sig.Class != ClassNetworkInfo {
+		return false
+	}
 	return ConnectivityCheckSigs[sig.Key()]
 }
 
@@ -316,8 +323,12 @@ var WaitCallSigs = map[string]bool{
 	"java.lang.Thread.sleep(long)void": true,
 }
 
-// IsWaitCall reports whether sig is a blocking wait.
+// IsWaitCall reports whether sig is a blocking wait. Class-gated like
+// IsConnectivityCheck: misses must not render keys.
 func IsWaitCall(sig jimple.Sig) bool {
+	if sig.Class != ClassThread {
+		return false
+	}
 	return WaitCallSigs[sig.Key()]
 }
 

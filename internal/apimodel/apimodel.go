@@ -187,6 +187,12 @@ type Registry struct {
 	endpointBySig map[string]endpointRef
 	classToLib    map[string]LibKey
 
+	// sigClasses holds every class that declares at least one annotated
+	// signature. The per-sig lookups gate on it before rendering a key:
+	// almost every call site queried against the registry misses, and the
+	// class-string probe is allocation-free.
+	sigClasses map[string]bool
+
 	fpOnce sync.Once
 	fp     [sha256.Size]byte
 }
@@ -230,20 +236,25 @@ func newRegistryOf(libs []*Library) *Registry {
 		checkBySig:    make(map[string]LibKey),
 		endpointBySig: make(map[string]endpointRef),
 		classToLib:    make(map[string]LibKey),
+		sigClasses:    make(map[string]bool),
 	}
 	for _, l := range libs {
 		r.byKey[l.Key] = l
 		for i := range l.Targets {
 			r.targetBySig[l.Targets[i].Sig.Key()] = targetRef{lib: l, t: &l.Targets[i]}
+			r.sigClasses[l.Targets[i].Sig.Class] = true
 		}
 		for i := range l.Configs {
 			r.configBySig[l.Configs[i].Sig.Key()] = configRef{lib: l, c: &l.Configs[i]}
+			r.sigClasses[l.Configs[i].Sig.Class] = true
 		}
 		for i := range l.RespChecks {
 			r.checkBySig[l.RespChecks[i].Sig.Key()] = l.Key
+			r.sigClasses[l.RespChecks[i].Sig.Class] = true
 		}
 		for i := range l.Endpoints {
 			r.endpointBySig[l.Endpoints[i].Sig.Key()] = endpointRef{lib: l, e: &l.Endpoints[i]}
+			r.sigClasses[l.Endpoints[i].Sig.Class] = true
 		}
 		for _, c := range l.Classes {
 			r.classToLib[c] = l.Key
@@ -260,6 +271,9 @@ func (r *Registry) Library(k LibKey) *Library { return r.byKey[k] }
 
 // TargetOf resolves an invocation to a target API annotation.
 func (r *Registry) TargetOf(sig jimple.Sig) (*Library, *Target, bool) {
+	if !r.sigClasses[sig.Class] {
+		return nil, nil, false
+	}
 	ref, ok := r.targetBySig[sig.Key()]
 	if !ok {
 		return nil, nil, false
@@ -269,6 +283,9 @@ func (r *Registry) TargetOf(sig jimple.Sig) (*Library, *Target, bool) {
 
 // ConfigOf resolves an invocation to a config API annotation.
 func (r *Registry) ConfigOf(sig jimple.Sig) (*Library, *Config, bool) {
+	if !r.sigClasses[sig.Class] {
+		return nil, nil, false
+	}
 	ref, ok := r.configBySig[sig.Key()]
 	if !ok {
 		return nil, nil, false
@@ -278,6 +295,9 @@ func (r *Registry) ConfigOf(sig jimple.Sig) (*Library, *Config, bool) {
 
 // EndpointOf resolves an invocation to a URL-receiving API annotation.
 func (r *Registry) EndpointOf(sig jimple.Sig) (*Library, *Endpoint, bool) {
+	if !r.sigClasses[sig.Class] {
+		return nil, nil, false
+	}
 	ref, ok := r.endpointBySig[sig.Key()]
 	if !ok {
 		return nil, nil, false
@@ -297,6 +317,9 @@ func (r *Registry) EndpointSigKeys() []string {
 
 // IsRespCheck reports whether sig is a response-checking API.
 func (r *Registry) IsRespCheck(sig jimple.Sig) bool {
+	if !r.sigClasses[sig.Class] {
+		return false
+	}
 	_, ok := r.checkBySig[sig.Key()]
 	return ok
 }

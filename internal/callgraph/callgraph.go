@@ -48,6 +48,31 @@ type Edge struct {
 	Site   int // statement index in the caller's body
 	Callee jimple.Sig
 	Kind   EdgeKind
+
+	// callerKey/calleeKey cache the canonical Sig keys. addEdge fills them
+	// from the build's intern table, so graph consumers never re-render a
+	// key per edge visit. Edges constructed outside the builder (tests)
+	// leave them empty; the accessors fall back to computing the key.
+	callerKey string
+	calleeKey string
+}
+
+// CallerKey returns e.Caller.Key() without re-rendering it for edges that
+// came out of a built graph.
+func (e Edge) CallerKey() string {
+	if e.callerKey != "" {
+		return e.callerKey
+	}
+	return e.Caller.Key()
+}
+
+// CalleeKey returns e.Callee.Key() without re-rendering it for edges that
+// came out of a built graph.
+func (e Edge) CalleeKey() string {
+	if e.calleeKey != "" {
+		return e.calleeKey
+	}
+	return e.Callee.Key()
 }
 
 // Entry is a framework-invoked entry point.
@@ -70,6 +95,10 @@ type Graph struct {
 	out     map[string][]Edge // caller Sig.Key -> outgoing edges
 	in      map[string][]Edge // callee Sig.Key -> incoming edges
 	methods map[string]*jimple.Method
+
+	// intern deduplicates key strings during construction; every edge and
+	// node key is allocated once per graph, not once per reference.
+	intern *jimple.Interner
 }
 
 // Options tunes graph construction.
@@ -102,12 +131,13 @@ func BuildWith(h *hierarchy.Hierarchy, manifest *android.Manifest, opts Options)
 		out:      make(map[string][]Edge),
 		in:       make(map[string][]Edge),
 		methods:  make(map[string]*jimple.Method),
+		intern:   jimple.NewInterner(),
 	}
 	prog := h.Program()
 	for _, c := range prog.Classes() {
 		for _, m := range c.Methods {
 			if m.HasBody() {
-				g.methods[m.Sig.Key()] = m
+				g.methods[g.intern.SigKey(m.Sig)] = m
 			}
 		}
 	}
@@ -123,12 +153,13 @@ func BuildWith(h *hierarchy.Hierarchy, manifest *android.Manifest, opts Options)
 			if edges[i].Site != edges[j].Site {
 				return edges[i].Site < edges[j].Site
 			}
-			return edges[i].Callee.Key() < edges[j].Callee.Key()
+			return edges[i].calleeKey < edges[j].calleeKey
 		})
 	}
 	sort.Slice(g.entries, func(i, j int) bool {
-		return g.entries[i].Method.Sig.Key() < g.entries[j].Method.Sig.Key()
+		return g.intern.SigKey(g.entries[i].Method.Sig) < g.intern.SigKey(g.entries[j].Method.Sig)
 	})
+	g.intern = nil // construction done; release the table
 	return g
 }
 
@@ -140,10 +171,14 @@ func (g *Graph) discoverEntries() {
 		}
 		seen := make(map[string]bool)
 		add := func(m *jimple.Method) {
-			if m == nil || !m.HasBody() || m.Sig.Class != c.Name || seen[m.Sig.Key()] {
+			if m == nil || !m.HasBody() || m.Sig.Class != c.Name {
 				return
 			}
-			seen[m.Sig.Key()] = true
+			mk := g.intern.SigKey(m.Sig)
+			if seen[mk] {
+				return
+			}
+			seen[mk] = true
 			comp := jimple.OuterClass(c.Name)
 			kind := android.KindOf(g.H, c.Name)
 			declared := false
@@ -205,8 +240,9 @@ func (g *Graph) addEdgesFrom(m *jimple.Method, opts Options) {
 // task.execute() or handler.post(r) creates edges to the callbacks defined
 // on the dispatch target's declared type.
 func (g *Graph) addAsyncEdges(m *jimple.Method, site int, inv jimple.InvokeExpr) {
+	invSub := g.intern.SubSigKey(inv.Callee)
 	for _, d := range android.AsyncDispatches() {
-		if inv.Callee.SubSigKey() != d.TriggerSubsig {
+		if invSub != d.TriggerSubsig {
 			continue
 		}
 		if !g.H.IsSubtype(inv.Callee.Class, d.TriggerClass) &&
@@ -255,14 +291,15 @@ func (g *Graph) asyncTargetType(m *jimple.Method, inv jimple.InvokeExpr, argInde
 }
 
 func (g *Graph) addEdge(e Edge) {
-	ck, tk := e.Caller.Key(), e.Callee.Key()
-	for _, prev := range g.out[ck] {
-		if prev.Site == e.Site && prev.Kind == e.Kind && prev.Callee.Key() == tk {
+	e.callerKey = g.intern.SigKey(e.Caller)
+	e.calleeKey = g.intern.SigKey(e.Callee)
+	for _, prev := range g.out[e.callerKey] {
+		if prev.Site == e.Site && prev.Kind == e.Kind && prev.calleeKey == e.calleeKey {
 			return
 		}
 	}
-	g.out[ck] = append(g.out[ck], e)
-	g.in[tk] = append(g.in[tk], e)
+	g.out[e.callerKey] = append(g.out[e.callerKey], e)
+	g.in[e.calleeKey] = append(g.in[e.calleeKey], e)
 }
 
 // Entries returns the discovered entry points (sorted by signature).
@@ -292,13 +329,14 @@ func (g *Graph) InEdges(key string) []Edge { return g.in[key] }
 // ReachableFrom returns the set of method keys reachable from start
 // (inclusive).
 func (g *Graph) ReachableFrom(start jimple.Sig) map[string]bool {
-	seen := map[string]bool{start.Key(): true}
-	stack := []string{start.Key()}
+	k0 := start.Key()
+	seen := map[string]bool{k0: true}
+	stack := []string{k0}
 	for len(stack) > 0 {
 		k := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range g.out[k] {
-			tk := e.Callee.Key()
+			tk := e.CalleeKey()
 			if !seen[tk] {
 				seen[tk] = true
 				stack = append(stack, tk)
@@ -345,7 +383,7 @@ func (g *Graph) CallStack(entry jimple.Sig, targetKey string) []Frame {
 	for qi := 0; qi < len(visited); qi++ {
 		cur := visited[qi]
 		for _, e := range g.out[cur.key] {
-			tk := e.Callee.Key()
+			tk := e.CalleeKey()
 			if _, seen := index[tk]; seen {
 				continue
 			}

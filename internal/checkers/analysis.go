@@ -304,7 +304,12 @@ type analysis struct {
 	errs  []ScanError
 
 	methods []*jimple.Method // app's body-bearing methods, sorted by key
-	sites   []*requestSite
+	// keyOf caches each collected method's rendered signature key; the
+	// checkers look methods up by key constantly, and re-rendering was a
+	// top allocation source. Frozen alongside methods in the build stage,
+	// read-only afterwards (so safe for concurrent stages).
+	keyOf map[*jimple.Method]string
+	sites []*requestSite
 
 	// Targeted-mode state (targeted.go), frozen before the pipeline's
 	// build stage. roots holds the relevant-method closure (sorted keys);
@@ -451,9 +456,43 @@ func (a *analysis) collectAppMethods() []*jimple.Method {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Sig.Key() < out[j].Sig.Key() })
+	// Render each key once and sort on the cached strings; the comparator
+	// used to re-render both keys per comparison.
+	keys := make([]string, len(out))
+	intern := jimple.NewInterner()
+	for i, m := range out {
+		keys[i] = intern.SigKey(m.Sig)
+	}
+	sort.Sort(&methodKeySorter{methods: out, keys: keys})
+	a.keyOf = make(map[*jimple.Method]string, len(out))
+	for i, m := range out {
+		a.keyOf[m] = keys[i]
+	}
 	return out
 }
+
+// methodKey returns m's signature key, from the per-scan cache when m is
+// one of the collected app methods, rendering it otherwise.
+func (a *analysis) methodKey(m *jimple.Method) string {
+	if k, ok := a.keyOf[m]; ok {
+		return k
+	}
+	return m.Sig.Key()
+}
+
+type methodKeySorter struct {
+	methods []*jimple.Method
+	keys    []string
+}
+
+func (s *methodKeySorter) Len() int { return len(s.methods) }
+
+func (s *methodKeySorter) Swap(i, j int) {
+	s.methods[i], s.methods[j] = s.methods[j], s.methods[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+func (s *methodKeySorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
 
 // configureSummaries installs the interprocedural summary producer on the
 // analysis context. The computation itself runs on first consult — the
@@ -499,7 +538,7 @@ func (a *analysis) summaryResolver(m *jimple.Method) dataflow.SummaryResolver {
 	if set == nil {
 		return nil
 	}
-	edges := a.cg.OutEdges(m.Sig.Key())
+	edges := a.cg.OutEdges(a.methodKey(m))
 	return func(site int) []*dataflow.TaintSummary {
 		a.ctx.sumRequests.Add(1)
 		var out []*dataflow.TaintSummary
@@ -507,7 +546,7 @@ func (a *analysis) summaryResolver(m *jimple.Method) dataflow.SummaryResolver {
 			if e.Site != site || e.Kind != callgraph.EdgeCall {
 				continue
 			}
-			if sum := set.Of(e.Callee.Key()); sum != nil {
+			if sum := set.Of(e.CalleeKey()); sum != nil {
 				out = append(out, sum)
 			}
 		}
@@ -554,7 +593,7 @@ func (a *analysis) newReport(site *requestSite, cause report.Cause, msg string) 
 		FixSuggestion: report.Suggest(cause, ctx, site.lib),
 	}
 	if site.entrySig.Name != "" {
-		for _, f := range a.cg.CallStack(site.entrySig, site.method.Sig.Key()) {
+		for _, f := range a.cg.CallStack(site.entrySig, a.methodKey(site.method)) {
 			r.CallStack = append(r.CallStack, report.Frame{Method: f.Method.Key(), Site: f.Site})
 		}
 	}

@@ -1,9 +1,12 @@
 package checkers
 
 import (
+	"bufio"
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/apimodel"
 	"repro/internal/cachestore"
@@ -139,6 +142,7 @@ func summaryCacheKey(class string, closure [sha256.Size]byte, reg *apimodel.Regi
 type storeStats struct {
 	probes, hits, misses, corrupt  int
 	seeded, puts, putErrs, evicted int
+	digests                        int
 }
 
 func (s *storeStats) fill(c *CacheStats) {
@@ -150,6 +154,7 @@ func (s *storeStats) fill(c *CacheStats) {
 	c.StorePuts = s.puts
 	c.StorePutErrors = s.putErrs
 	c.StoreEvicted = s.evicted
+	c.ClassDigests = s.digests
 }
 
 // cacheGuard isolates the cache stages: a panic inside cache code is
@@ -232,7 +237,7 @@ func (a *analysis) ensureClassIndex() {
 	a.classOfMethod = make(map[string]string, len(a.methods))
 	a.methodsOfClass = make(map[string][]string)
 	for _, m := range a.methods {
-		k := m.Sig.Key()
+		k := a.methodKey(m)
 		a.classOfMethod[k] = m.Sig.Class
 		// a.methods is sorted by key, so each class's list is too.
 		a.methodsOfClass[m.Sig.Class] = append(a.methodsOfClass[m.Sig.Class], k)
@@ -247,14 +252,31 @@ func (a *analysis) ensureClassIndex() {
 	a.closureMemo = make(map[string][sha256.Size]byte)
 }
 
-// classHash hashes one app class's printed body (memoized per scan).
+// classPrintBufs pools the buffered writers classHash streams printed
+// classes through; the buffer is reused across classes and scans instead
+// of materializing a fresh multi-kilobyte string per class per digest.
+var classPrintBufs = sync.Pool{
+	New: func() interface{} { return bufio.NewWriterSize(nil, 16<<10) },
+}
+
+// classHash hashes one app class's printed body (memoized per scan). The
+// rendering streams straight into the hasher, producing exactly the bytes
+// of jimple.PrintClass without ever holding them.
 func (a *analysis) classHash(cls string) [sha256.Size]byte {
 	if h, ok := a.classHashes[cls]; ok {
 		return h
 	}
 	var h [sha256.Size]byte
 	if c := a.app.Program.Class(cls); c != nil {
-		h = sha256.Sum256([]byte(jimple.PrintClass(c)))
+		a.sstats.digests++
+		hasher := sha256.New()
+		bw := classPrintBufs.Get().(*bufio.Writer)
+		bw.Reset(hasher)
+		jimple.FprintClass(bw, c)
+		bw.Flush()
+		bw.Reset(nil) // drop the hasher reference before pooling
+		classPrintBufs.Put(bw)
+		hasher.Sum(h[:0])
 	}
 	a.classHashes[cls] = h
 	return h
@@ -282,7 +304,7 @@ func (a *analysis) closureDigest(cls string) [sha256.Size]byte {
 			if e.Kind != callgraph.EdgeCall {
 				continue
 			}
-			ck := e.Callee.Key()
+			ck := e.CalleeKey()
 			if owner, inApp := a.classOfMethod[ck]; inApp {
 				reachedClasses[owner] = true
 				if !visited[ck] {
@@ -296,12 +318,25 @@ func (a *analysis) closureDigest(cls string) [sha256.Size]byte {
 	}
 	h := sha256.New()
 	h.Write(a.manifestHash[:])
+	// Hand-rolled "app <name> <hex>\n" / "ext <key>\n" lines, byte-identical
+	// to the fmt.Fprintf rendering this replaces but reusing one buffer.
+	line := make([]byte, 0, 128)
+	var hexed [2 * sha256.Size]byte
 	for _, c := range sortedKeys(reachedClasses) {
 		ch := a.classHash(c)
-		fmt.Fprintf(h, "app %s %x\n", c, ch)
+		hex.Encode(hexed[:], ch[:])
+		line = append(line[:0], "app "...)
+		line = append(line, c...)
+		line = append(line, ' ')
+		line = append(line, hexed[:]...)
+		line = append(line, '\n')
+		h.Write(line)
 	}
 	for _, k := range sortedKeys(extKeys) {
-		fmt.Fprintf(h, "ext %s\n", k)
+		line = append(line[:0], "ext "...)
+		line = append(line, k...)
+		line = append(line, '\n')
+		h.Write(line)
 	}
 	var d [sha256.Size]byte
 	h.Sum(d[:0])
@@ -323,7 +358,11 @@ func sortedKeys(m map[string]bool) []string {
 // dataflow.ComputeSummaries — the partial-hit path: a changed app reuses
 // the converged summaries of every class whose closure didn't change.
 func (a *analysis) seedSummaries() {
-	if a.store == nil || a.opts.Intraprocedural {
+	// The cacheEnabled re-check is belt and braces: a.store is only ever
+	// set under it, and digest work (closureDigest → classHash re-prints
+	// every reachable class) must never run with the cache off —
+	// TestNoDigestWorkWithCacheOff pins the ClassDigests counter at zero.
+	if a.store == nil || !a.opts.cacheEnabled() || a.opts.Intraprocedural {
 		return
 	}
 	a.ensureClassIndex()
@@ -377,7 +416,7 @@ func (a *analysis) summaryEntryCurrent(cls string, e *cachestore.SummaryEntry) b
 // Callers gate on CacheRW and on len(a.errs) == 0 — an Incomplete scan
 // commits nothing.
 func (a *analysis) writeCache(res *Result) {
-	if a.store == nil || !a.haveResultKey {
+	if a.store == nil || !a.opts.cacheEnabled() || !a.haveResultKey {
 		return
 	}
 	e := &cachestore.ResultEntry{

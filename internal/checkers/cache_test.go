@@ -271,3 +271,29 @@ func TestParseCacheMode(t *testing.T) {
 		}
 	}
 }
+
+// TestNoDigestWorkWithCacheOff: digest work (a full per-class re-print
+// streamed into the hasher) exists only to address cache entries, so a
+// scan with the cache off — no directory, or a directory with
+// -cache-mode=off — must compute zero class digests. An rw scan over the
+// same app proves the counter is live.
+func TestNoDigestWorkWithCacheOff(t *testing.T) {
+	reg := apimodel.NewRegistry()
+	for _, opts := range []Options{
+		{Workers: 1},
+		{Workers: 1, CacheDir: t.TempDir(), CacheMode: CacheOff},
+	} {
+		res := Analyze(cacheTestApp(t, cacheTestSrc), reg, opts)
+		if n := res.Diagnostics.Cache.ClassDigests; n != 0 {
+			t.Errorf("cache-off scan (dir=%q) computed %d class digests, want 0", opts.CacheDir, n)
+		}
+		if n := res.Diagnostics.Cache.StoreProbes; n != 0 {
+			t.Errorf("cache-off scan (dir=%q) probed the store %d times, want 0", opts.CacheDir, n)
+		}
+	}
+	rw := Analyze(cacheTestApp(t, cacheTestSrc), reg,
+		Options{Workers: 1, CacheDir: t.TempDir(), CacheMode: CacheRW})
+	if rw.Diagnostics.Cache.ClassDigests == 0 {
+		t.Fatal("rw scan computed no class digests; the counter (or the digest path) is dead")
+	}
+}

@@ -183,9 +183,10 @@ func (a *analysis) scopeFrom(root *jimple.Method) []*jimple.Method {
 		key   string
 		depth int
 	}
-	seen := map[string]bool{root.Sig.Key(): true}
+	rootKey := a.methodKey(root)
+	seen := map[string]bool{rootKey: true}
 	out := []*jimple.Method{root}
-	queue := []item{{key: root.Sig.Key()}}
+	queue := []item{{key: rootKey}}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -193,7 +194,7 @@ func (a *analysis) scopeFrom(root *jimple.Method) []*jimple.Method {
 			continue
 		}
 		for _, e := range a.cg.OutEdges(cur.key) {
-			tk := e.Callee.Key()
+			tk := e.CalleeKey()
 			if seen[tk] {
 				continue
 			}

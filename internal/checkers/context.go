@@ -21,7 +21,7 @@ type AnalysisContext struct {
 	cg *callgraph.Graph
 
 	mu      sync.Mutex
-	methods map[string]*methodArtifacts
+	methods map[*jimple.Method]*methodArtifacts
 
 	entriesOnce sync.Once
 	entryReach  []map[string]bool // parallel to cg.Entries()
@@ -75,16 +75,19 @@ type methodArtifacts struct {
 
 // newAnalysisContext prepares an empty context over the scan's call graph.
 func newAnalysisContext(cg *callgraph.Graph) *AnalysisContext {
-	return &AnalysisContext{cg: cg, methods: make(map[string]*methodArtifacts)}
+	return &AnalysisContext{cg: cg, methods: make(map[*jimple.Method]*methodArtifacts)}
 }
 
+// arts keys by method pointer, not rendered signature: every program
+// method is a single *jimple.Method shared by the program, hierarchy and
+// call graph, and this accessor runs on every artifact request — rendering
+// the key here used to dominate the scan's allocation profile.
 func (c *AnalysisContext) arts(m *jimple.Method) *methodArtifacts {
-	k := m.Sig.Key()
 	c.mu.Lock()
-	a := c.methods[k]
+	a := c.methods[m]
 	if a == nil {
 		a = &methodArtifacts{m: m}
-		c.methods[k] = a
+		c.methods[m] = a
 	}
 	c.mu.Unlock()
 	return a

@@ -52,6 +52,11 @@ type CacheStats struct {
 	StoreProbes, StoreHits, StoreMisses, StoreCorrupt int
 	SummariesSeeded                                   int
 	StorePuts, StorePutErrors, StoreEvicted           int
+	// ClassDigests counts per-class content-digest computations (a full
+	// streamed re-print of the class into the hasher). Digest work exists
+	// only to address cache entries, so it must be zero whenever the
+	// persistent cache is off — TestNoDigestWorkWithCacheOff pins this.
+	ClassDigests int
 }
 
 // CFGHits returns the number of CFG requests served from the cache.
@@ -226,6 +231,7 @@ func (d *Diagnostics) Merge(o Diagnostics) {
 	d.Cache.StorePuts += o.Cache.StorePuts
 	d.Cache.StorePutErrors += o.Cache.StorePutErrors
 	d.Cache.StoreEvicted += o.Cache.StoreEvicted
+	d.Cache.ClassDigests += o.Cache.ClassDigests
 	d.Errors = append(d.Errors, o.Errors...)
 }
 
@@ -264,6 +270,7 @@ func (c CacheStats) CounterMap() map[string]int64 {
 		"store_puts":             int64(c.StorePuts),
 		"store_put_errors":       int64(c.StorePutErrors),
 		"store_evicted":          int64(c.StoreEvicted),
+		"class_digests":          int64(c.ClassDigests),
 	}
 }
 
@@ -359,9 +366,9 @@ func (d Diagnostics) Render() string {
 		c.SummariesComputed, c.SummarySCCs, c.SummaryFixpointIters, c.SummaryRequests,
 		c.FeasibleCFGComputed, c.FeasibleCFGRequests, c.PrunedEdges)
 	if c.StoreProbes > 0 || c.StorePuts > 0 || c.StorePutErrors > 0 {
-		fmt.Fprintf(&b, "  store: %d probes (%d hits, %d misses, %d corrupt), %d summaries seeded; %d puts (%d errors), %d evicted\n",
+		fmt.Fprintf(&b, "  store: %d probes (%d hits, %d misses, %d corrupt), %d summaries seeded, %d class digests; %d puts (%d errors), %d evicted\n",
 			c.StoreProbes, c.StoreHits, c.StoreMisses, c.StoreCorrupt,
-			c.SummariesSeeded, c.StorePuts, c.StorePutErrors, c.StoreEvicted)
+			c.SummariesSeeded, c.ClassDigests, c.StorePuts, c.StorePutErrors, c.StoreEvicted)
 	}
 	for i := range d.Errors {
 		fmt.Fprintf(&b, "  error: %v\n", &d.Errors[i])

@@ -228,16 +228,16 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 		res.Stats.add(&outs[i].stats)
 		diag.add(stages[i].name, durs[i], stages[i].items, len(outs[i].reports))
 	}
-	sort.SliceStable(res.Reports, func(i, j int) bool {
-		ri, rj := &res.Reports[i], &res.Reports[j]
-		if ri.Location.Method.Key() != rj.Location.Method.Key() {
-			return ri.Location.Method.Key() < rj.Location.Method.Key()
+	// Sort on location keys rendered once per report, not once per
+	// comparison (the closure used to re-render up to four keys per call).
+	reportKeys := make([]string, len(res.Reports))
+	{
+		intern := jimple.NewInterner()
+		for i := range res.Reports {
+			reportKeys[i] = intern.SigKey(res.Reports[i].Location.Method)
 		}
-		if ri.Location.Stmt != rj.Location.Stmt {
-			return ri.Location.Stmt < rj.Location.Stmt
-		}
-		return ri.Cause < rj.Cause
-	})
+	}
+	sort.Stable(&reportSorter{reports: res.Reports, keys: reportKeys})
 	// Dynamic validation replays each warning's witness entry point under
 	// injected disruptions and stamps a verdict on the report (validate.go).
 	// It runs after the sort (verdict order matches report order) and
@@ -270,4 +270,29 @@ func AnalyzeContext(ctx context.Context, app *apk.App, reg *apimodel.Registry, o
 	diag.AppMethods = len(a.methods)
 	diag.Sites = len(a.sites)
 	return finish(res)
+}
+
+// reportSorter orders reports by (location method key, statement, cause)
+// using keys rendered once up front.
+type reportSorter struct {
+	reports []report.Report
+	keys    []string
+}
+
+func (s *reportSorter) Len() int { return len(s.reports) }
+
+func (s *reportSorter) Swap(i, j int) {
+	s.reports[i], s.reports[j] = s.reports[j], s.reports[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+func (s *reportSorter) Less(i, j int) bool {
+	if s.keys[i] != s.keys[j] {
+		return s.keys[i] < s.keys[j]
+	}
+	ri, rj := &s.reports[i], &s.reports[j]
+	if ri.Location.Stmt != rj.Location.Stmt {
+		return ri.Location.Stmt < rj.Location.Stmt
+	}
+	return ri.Cause < rj.Cause
 }

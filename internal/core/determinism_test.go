@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/report"
+)
+
+// These tests pin the allocation-discipline invariants of DESIGN.md §13:
+// interned strings, pooled digest writers, and reused per-method scratch
+// are all scoped so that no state can leak from one scan into the next.
+// The oracle is bytes: a scan's rendered reports must not depend on what
+// the process scanned before, which the helper-process pattern (see
+// cachestore/crossproc_test.go) proves against genuinely fresh processes.
+
+const (
+	determinismAppEnv = "NCHECKER_DETERMINISM_APP"
+	determinismOutEnv = "NCHECKER_DETERMINISM_OUT"
+)
+
+// determinismApps returns the two corpus apps the cross-process oracle
+// scans — adjacent generated apps with different library mixes, built
+// deterministically so parent and helper construct identical inputs.
+func determinismApps(t *testing.T) []*corpus.CorpusApp {
+	t.Helper()
+	apps, err := corpus.GenerateCorpus(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*corpus.CorpusApp{apps[20], apps[21]}
+}
+
+// TestScanDeterminismHelperProcess is the child half of the fresh-process
+// oracle: it scans exactly one app with a brand-new Checker in a process
+// that has never scanned anything else, and writes the rendered report
+// bytes to the requested file. Without the env vars it skips.
+func TestScanDeterminismHelperProcess(t *testing.T) {
+	idxStr := os.Getenv(determinismAppEnv)
+	if idxStr == "" {
+		t.Skip("helper-process entry point; driven by TestScanDeterminismAcrossSequentialScans")
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil {
+		t.Fatalf("helper: bad index %q", idxStr)
+	}
+	res := NewWithOptions(Options{}).ScanApp(determinismApps(t)[idx].App)
+	if res.Incomplete {
+		t.Fatalf("helper: scan degraded: %v", res.Diagnostics.Errors)
+	}
+	if err := os.WriteFile(os.Getenv(determinismOutEnv), []byte(report.RenderAll(res.Reports)), 0o644); err != nil {
+		t.Fatalf("helper: %v", err)
+	}
+}
+
+// TestScanDeterminismAcrossSequentialScans: two sequential ScanApp calls
+// on different apps through ONE Checker in ONE process must produce
+// bytes identical to each app scanned by a fresh process. Any intern
+// table outliving its scan, any pooled buffer returned dirty, or any
+// per-method scratch keyed on a stale program would show up here as a
+// byte diff on the second app.
+func TestScanDeterminismAcrossSequentialScans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	apps := determinismApps(t)
+	nc := NewWithOptions(Options{})
+	var sequential []string
+	for _, a := range apps {
+		res := nc.ScanApp(a.App)
+		if res.Incomplete {
+			t.Fatalf("%s: scan degraded: %v", a.Name, res.Diagnostics.Errors)
+		}
+		sequential = append(sequential, report.RenderAll(res.Reports))
+	}
+	dir := t.TempDir()
+	for i, a := range apps {
+		out := filepath.Join(dir, fmt.Sprintf("fresh-%d.txt", i))
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestScanDeterminismHelperProcess$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", determinismAppEnv, i),
+			determinismOutEnv+"="+out,
+		)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("helper process (app %d) failed: %v\n%s", i, err, msg)
+		}
+		fresh, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sequential[i] != string(fresh) {
+			t.Errorf("%s: report bytes from the sequential in-process scan differ from a fresh process\n"+
+				"sequential %d bytes, fresh %d bytes", a.Name, len(sequential[i]), len(fresh))
+		}
+	}
+}
+
+// TestConcurrentScansShareScratchSafely: several goroutines scan the
+// same small app set concurrently with the persistent cache on, so the
+// pooled digest writers and shared store are genuinely contended; every
+// scan must render byte-identical reports. scripts/check.sh runs the
+// suite under -race, making this the pooled-scratch data-race gate.
+func TestConcurrentScansShareScratchSafely(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency storm")
+	}
+	apps := determinismApps(t)
+	want := make([]string, len(apps))
+	for i, a := range apps {
+		res := NewWithOptions(Options{}).ScanApp(a.App)
+		if res.Incomplete {
+			t.Fatalf("%s: reference scan degraded: %v", a.Name, res.Diagnostics.Errors)
+		}
+		want[i] = report.RenderAll(res.Reports)
+	}
+	cacheDir := t.TempDir()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*len(apps))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			nc := NewWithOptions(Options{CacheDir: cacheDir, CacheMode: CacheRW})
+			for i, a := range apps {
+				res := nc.ScanApp(a.App)
+				if res.Incomplete {
+					errs <- fmt.Errorf("goroutine %d, %s: scan degraded: %v", g, a.Name, res.Diagnostics.Errors)
+					return
+				}
+				if got := report.RenderAll(res.Reports); got != want[i] {
+					errs <- fmt.Errorf("goroutine %d, %s: concurrent scan rendered different bytes (%d vs %d)",
+						g, a.Name, len(got), len(want[i]))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

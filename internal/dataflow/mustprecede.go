@@ -68,8 +68,25 @@ type mpMethodState struct {
 	g       *cfg.Graph
 	in      []bool // per node
 	out     []bool
-	summary bool // every entry→exit path establishes the condition
-	entry   bool // condition definitely holds at method entry
+	gen     []bool // per node, GenFunc result (pure, so computed once)
+	summary bool   // every entry→exit path establishes the condition
+	entry   bool   // condition definitely holds at method entry
+
+	// Pre-resolved interprocedural links, computed once after the state
+	// set is fixed so the fixpoint iterations never touch the call graph
+	// or re-render signature keys.
+	siteCallees    map[int][]*mpMethodState // EdgeCall targets per call site
+	siteUnresolved map[int]bool             // site has an EdgeCall target outside the state set
+	inCalls        []mpInEdge               // reachable call sites dispatching into this method
+}
+
+// mpInEdge is one pre-resolved incoming call: the caller's state, the
+// site index, and whether the trigger statement itself establishes the
+// condition before dispatch (precomputable: GenFunc is pure).
+type mpInEdge struct {
+	caller *mpMethodState
+	site   int
+	estab  bool
 }
 
 func (mp *MustPrecede) solve() {
@@ -96,8 +113,17 @@ func (mp *MustPrecede) solve() {
 			g:       g,
 			in:      make([]bool, g.NumNodes()),
 			out:     make([]bool, g.NumNodes()),
+			gen:     make([]bool, g.NumNodes()),
 			summary: true, // optimistic; lowered by iteration
 			entry:   !entryKeys[k],
+		}
+		// GenFunc is pure, so its per-statement verdicts are fixed before
+		// the fixpoint starts; evaluating it here keeps the (checker-
+		// supplied, often key-rendering) closure out of the inner loop.
+		for u := 0; u < len(m.Body); u++ {
+			if inv, ok := jimple.InvokeOf(m.Body[u]); ok {
+				st.gen[u] = mp.gen(m, u, inv)
+			}
 		}
 		// Must-analysis requires optimistic initialization (start at TOP
 		// and lower): pessimistic false would be sticky around loop back
@@ -108,11 +134,44 @@ func (mp *MustPrecede) solve() {
 		}
 		states[k] = st
 	}
+	// Resolve the interprocedural links once: per call site the callee
+	// states (genAt), per method the incoming calls with their
+	// establishes-before-dispatch bit (entryFact). The fixpoint below then
+	// runs on direct pointers.
+	for k, st := range states {
+		for _, e := range mp.cg.OutEdges(k) {
+			if e.Kind != callgraph.EdgeCall {
+				continue
+			}
+			if callee := states[e.CalleeKey()]; callee != nil {
+				if st.siteCallees == nil {
+					st.siteCallees = make(map[int][]*mpMethodState)
+				}
+				st.siteCallees[e.Site] = append(st.siteCallees[e.Site], callee)
+			} else {
+				if st.siteUnresolved == nil {
+					st.siteUnresolved = make(map[int]bool)
+				}
+				st.siteUnresolved[e.Site] = true
+			}
+		}
+		for _, e := range mp.cg.InEdges(k) {
+			caller := states[e.CallerKey()]
+			if caller == nil {
+				continue
+			}
+			st.inCalls = append(st.inCalls, mpInEdge{
+				caller: caller,
+				site:   e.Site,
+				estab:  mp.siteEstablishesBeforeDispatch(caller, e),
+			})
+		}
+	}
 	// Global fixpoint: facts only move true→false, so this terminates.
 	for changed := true; changed; {
 		changed = false
-		for k, st := range states {
-			if mp.solveMethod(k, st, states) {
+		for _, st := range states {
+			if mp.solveMethod(st) {
 				changed = true
 			}
 		}
@@ -121,7 +180,7 @@ func (mp *MustPrecede) solve() {
 			if entryKeys[k] {
 				continue
 			}
-			newEntry := mp.entryFact(k, states)
+			newEntry := entryFact(st)
 			if newEntry != st.entry {
 				st.entry = newEntry
 				changed = true
@@ -134,16 +193,12 @@ func (mp *MustPrecede) solve() {
 }
 
 // entryFact is the meet (AND) over the facts holding before every call
-// site that can invoke method k. A method never called from the reachable
-// region keeps fact true vacuously — it only matters if later iterations
-// discover a call.
-func (mp *MustPrecede) entryFact(k string, states map[string]*mpMethodState) bool {
-	for _, e := range mp.cg.InEdges(k) {
-		caller := states[e.Caller.Key()]
-		if caller == nil {
-			continue
-		}
-		if !caller.in[e.Site] && !mp.siteEstablishesBeforeDispatch(caller, e) {
+// site that can invoke the method. A method never called from the
+// reachable region keeps fact true vacuously — it only matters if later
+// iterations discover a call.
+func entryFact(st *mpMethodState) bool {
+	for _, c := range st.inCalls {
+		if !c.caller.in[c.site] && !c.estab {
 			return false
 		}
 	}
@@ -155,17 +210,13 @@ func (mp *MustPrecede) entryFact(k string, states map[string]*mpMethodState) boo
 // (it does when the trigger invocation is itself a gen, e.g. a request
 // wrapped in a checking helper — conservative: only the direct GenFunc).
 func (mp *MustPrecede) siteEstablishesBeforeDispatch(caller *mpMethodState, e callgraph.Edge) bool {
-	inv, ok := jimple.InvokeOf(caller.m.Body[e.Site])
-	if !ok {
-		return false
-	}
-	return mp.gen(caller.m, e.Site, inv)
+	return e.Site >= 0 && e.Site < len(caller.gen) && caller.gen[e.Site]
 }
 
 // solveMethod runs the intraprocedural forward must-analysis for one
 // method given the current callee summaries; reports whether anything
 // changed.
-func (mp *MustPrecede) solveMethod(k string, st *mpMethodState, states map[string]*mpMethodState) bool {
+func (mp *MustPrecede) solveMethod(st *mpMethodState) bool {
 	g := st.g
 	n := g.NumNodes()
 	changed := false
@@ -183,7 +234,7 @@ func (mp *MustPrecede) solveMethod(k string, st *mpMethodState, states map[strin
 			for _, p := range g.Preds(u) {
 				in = in && st.out[p]
 			}
-			out := in || mp.genAt(st, u, states)
+			out := in || mp.genAt(st, u)
 			if in != st.in[u] {
 				st.in[u] = in
 				localChange, changed = true, true
@@ -205,32 +256,23 @@ func (mp *MustPrecede) solveMethod(k string, st *mpMethodState, states map[strin
 // genAt decides whether node u establishes the condition: either its
 // statement matches GenFunc directly, or it is a call site whose every
 // (synchronously) dispatched target has a true summary.
-func (mp *MustPrecede) genAt(st *mpMethodState, u int, states map[string]*mpMethodState) bool {
+func (mp *MustPrecede) genAt(st *mpMethodState, u int) bool {
 	if u >= len(st.m.Body) {
 		return false
 	}
-	inv, ok := jimple.InvokeOf(st.m.Body[u])
-	if !ok {
-		return false
-	}
-	if mp.gen(st.m, u, inv) {
+	if st.gen[u] {
 		return true
 	}
 	// Call into app methods: condition established if every possible
 	// synchronous callee establishes it on all its paths.
-	sawCallee := false
-	allGen := true
-	for _, e := range mp.cg.OutEdges(st.m.Sig.Key()) {
-		if e.Site != u || e.Kind != callgraph.EdgeCall {
-			continue
-		}
-		callee := states[e.Callee.Key()]
-		if callee == nil {
-			allGen = false
-			continue
-		}
-		sawCallee = true
-		allGen = allGen && callee.summary
+	callees := st.siteCallees[u]
+	if len(callees) == 0 || st.siteUnresolved[u] {
+		return false
 	}
-	return sawCallee && allGen
+	for _, callee := range callees {
+		if !callee.summary {
+			return false
+		}
+	}
+	return true
 }

@@ -40,12 +40,15 @@ func NewReachDefs(g *cfg.Graph) *ReachDefs {
 			defsOf[d] = append(defsOf[d], i)
 		}
 	}
-	for i := range r.in {
-		r.in[i] = make([]uint64, r.words)
-	}
+	// Slice every per-node bitset out of one backing array (one for the
+	// retained in-sets, one for the transient out scratch): two allocations
+	// instead of two per node.
+	inBack := make([]uint64, g.NumNodes()*r.words)
+	outBack := make([]uint64, g.NumNodes()*r.words)
 	out := make([][]uint64, g.NumNodes())
-	for i := range out {
-		out[i] = make([]uint64, r.words)
+	for i := range r.in {
+		r.in[i] = inBack[i*r.words : (i+1)*r.words : (i+1)*r.words]
+		out[i] = outBack[i*r.words : (i+1)*r.words : (i+1)*r.words]
 	}
 	// Worklist over nodes (statement indexes; the synthetic exit has no
 	// body statement and acts as a plain join).
@@ -55,9 +58,8 @@ func NewReachDefs(g *cfg.Graph) *ReachDefs {
 		work = append(work, i)
 		inWork[i] = true
 	}
-	for len(work) > 0 {
-		u := work[0]
-		work = work[1:]
+	for head := 0; head < len(work); head++ {
+		u := work[head]
 		inWork[u] = false
 		// in[u] = union of out[p]
 		for w := 0; w < r.words; w++ {

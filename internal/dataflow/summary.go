@@ -250,7 +250,7 @@ func (b *summaryBuilder) demandedClosure(keys, roots []string) []string {
 		k := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range b.cg.OutEdges(k) {
-			ck := e.Callee.Key()
+			ck := e.CalleeKey()
 			if e.Kind != callgraph.EdgeCall || want[ck] {
 				continue
 			}
@@ -280,7 +280,7 @@ func (b *summaryBuilder) condense(keys []string) [][]string {
 		var succs []string
 		seen := make(map[string]bool)
 		for _, e := range b.cg.OutEdges(k) {
-			ck := e.Callee.Key()
+			ck := e.CalleeKey()
 			if e.Kind != callgraph.EdgeCall || seen[ck] {
 				continue
 			}
@@ -371,7 +371,7 @@ func (b *summaryBuilder) computeSCC(scc []string) error {
 	recursive := len(scc) > 1
 	if !recursive {
 		for _, e := range b.cg.OutEdges(scc[0]) {
-			if e.Kind == callgraph.EdgeCall && e.Callee.Key() == scc[0] {
+			if e.Kind == callgraph.EdgeCall && e.CalleeKey() == scc[0] {
 				recursive = true
 				break
 			}
@@ -421,7 +421,7 @@ func (b *summaryBuilder) calleeAt(k string) map[int][]*TaintSummary {
 		if e.Kind != callgraph.EdgeCall {
 			continue
 		}
-		ck := e.Callee.Key()
+		ck := e.CalleeKey()
 		if _, ok := b.inSet[ck]; !ok {
 			continue
 		}
@@ -498,12 +498,11 @@ func (b *summaryBuilder) computeMethod(m *jimple.Method) *TaintSummary {
 // summarized callees (return derivation and state effects).
 func (b *summaryBuilder) aliasFixpoint(m *jimple.Method, g *cfg.Graph, callees map[int][]*TaintSummary) []map[string]uint64 {
 	n := g.NumNodes()
+	// Maps stay nil until a fact arrives: reads from nil maps are free, so
+	// nodes no masks flow through never allocate (most nodes of most
+	// methods). Consumers index in[i][name] and tolerate nil the same way.
 	in := make([]map[string]uint64, n)
 	out := make([]map[string]uint64, n)
-	for i := range in {
-		in[i] = make(map[string]uint64)
-		out[i] = make(map[string]uint64)
-	}
 	work := make([]int, 0, n)
 	inWork := make([]bool, n)
 	push := func(i int) {
@@ -515,23 +514,28 @@ func (b *summaryBuilder) aliasFixpoint(m *jimple.Method, g *cfg.Graph, callees m
 	for i := 0; i < n; i++ {
 		push(i)
 	}
-	for len(work) > 0 {
-		u := work[0]
-		work = work[1:]
+	for head := 0; head < len(work); head++ {
+		u := work[head]
 		inWork[u] = false
-		nu := make(map[string]uint64)
+		var nu map[string]uint64
 		for _, p := range g.Preds(u) {
 			for l, mask := range out[p] {
+				if nu == nil {
+					nu = make(map[string]uint64, 8)
+				}
 				nu[l] |= mask
 			}
 		}
 		in[u] = nu
-		no := make(map[string]uint64, len(nu))
-		for l, mask := range nu {
-			no[l] = mask
+		var no map[string]uint64
+		if len(nu) > 0 {
+			no = make(map[string]uint64, len(nu))
+			for l, mask := range nu {
+				no[l] = mask
+			}
 		}
 		if u < len(m.Body) {
-			b.aliasTransfer(m.Body[u], u, no, callees)
+			no = b.aliasTransfer(m.Body[u], u, no, callees)
 		}
 		if !sameMasks(out[u], no) {
 			out[u] = no
@@ -543,21 +547,27 @@ func (b *summaryBuilder) aliasFixpoint(m *jimple.Method, g *cfg.Graph, callees m
 	return in
 }
 
-func (b *summaryBuilder) aliasTransfer(s jimple.Stmt, at int, cur map[string]uint64, callees map[int][]*TaintSummary) {
+// aliasTransfer applies one statement's transfer to cur and returns it,
+// allocating the map only when the first fact is introduced (cur may come
+// in nil and leave nil). Every other write is guarded by a non-zero mask,
+// which can only derive from an already-populated map.
+func (b *summaryBuilder) aliasTransfer(s jimple.Stmt, at int, cur map[string]uint64, callees map[int][]*TaintSummary) map[string]uint64 {
 	if inv, ok := jimple.InvokeOf(s); ok {
 		applyStateEffects(inv, callees[at], cur)
 	}
 	a, ok := s.(*jimple.AssignStmt)
 	if !ok {
-		return
+		return cur
 	}
 	if f, isField := a.LHS.(jimple.FieldRef); isField {
 		if f.Base != "" {
 			// Object-level field insensitivity: storing a derived value
 			// into x makes x's object state derive the same inputs.
-			cur[f.Base] |= maskOfValue(a.RHS, at, cur, callees)
+			if vm := maskOfValue(a.RHS, at, cur, callees); vm != 0 {
+				cur[f.Base] |= vm
+			}
 		}
-		return
+		return cur
 	}
 	dst := a.LHS.(jimple.Local).Name
 	var mask uint64
@@ -570,10 +580,14 @@ func (b *summaryBuilder) aliasTransfer(s jimple.Stmt, at int, cur map[string]uin
 		mask = maskOfValue(a.RHS, at, cur, callees)
 	}
 	if mask != 0 {
+		if cur == nil {
+			cur = make(map[string]uint64, 4)
+		}
 		cur[dst] = mask
 	} else {
 		delete(cur, dst) // strong update: overwritten with a fresh value
 	}
+	return cur
 }
 
 // applyStateEffects propagates callee StateFrom relations to the caller's
@@ -972,40 +986,71 @@ func evalArgs(cp *ConstProp, stmt int, inv jimple.InvokeExpr) []SummaryArg {
 }
 
 // dedupeCalls sorts and deduplicates a summary call list (callee key,
-// then argument values) for deterministic summaries.
+// then argument values) for deterministic summaries. Callee keys are
+// rendered once up front, not once per comparison.
 func dedupeCalls(calls []SummaryCall) []SummaryCall {
 	if len(calls) == 0 {
 		return nil
 	}
-	sort.SliceStable(calls, func(i, j int) bool {
-		return callLess(&calls[i], &calls[j])
-	})
+	keys := make([]string, len(calls))
+	for i := range calls {
+		keys[i] = calls[i].Callee.Key()
+	}
+	sort.Stable(&callSorter{calls: calls, keys: keys})
 	out := calls[:1]
+	last := 0
 	for i := 1; i < len(calls); i++ {
-		if !equalCall(&out[len(out)-1], &calls[i]) {
+		if keys[last] != keys[i] || !sameArgs(out[len(out)-1].Args, calls[i].Args) {
 			out = append(out, calls[i])
+			last = i
 		}
 	}
 	return out
 }
 
-func callLess(a, b *SummaryCall) bool {
-	ak, bk := a.Callee.Key(), b.Callee.Key()
-	if ak != bk {
-		return ak < bk
+// callSorter orders SummaryCalls by pre-rendered callee key, then
+// argument vector, swapping the key slice in lockstep.
+type callSorter struct {
+	calls []SummaryCall
+	keys  []string
+}
+
+func (s *callSorter) Len() int { return len(s.calls) }
+
+func (s *callSorter) Swap(i, j int) {
+	s.calls[i], s.calls[j] = s.calls[j], s.calls[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+func (s *callSorter) Less(i, j int) bool {
+	if s.keys[i] != s.keys[j] {
+		return s.keys[i] < s.keys[j]
 	}
+	a, b := &s.calls[i], &s.calls[j]
 	if len(a.Args) != len(b.Args) {
 		return len(a.Args) < len(b.Args)
 	}
-	for i := range a.Args {
-		if a.Args[i] != b.Args[i] {
-			if a.Args[i].Known != b.Args[i].Known {
-				return !a.Args[i].Known
+	for k := range a.Args {
+		if a.Args[k] != b.Args[k] {
+			if a.Args[k].Known != b.Args[k].Known {
+				return !a.Args[k].Known
 			}
-			return a.Args[i].V < b.Args[i].V
+			return a.Args[k].V < b.Args[k].V
 		}
 	}
 	return false
+}
+
+func sameArgs(a, b []SummaryArg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func equalCall(a, b *SummaryCall) bool {

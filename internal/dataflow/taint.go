@@ -63,12 +63,11 @@ func (t *TaintResult) TaintedLocalsAt(stmt int) []string {
 // statement executes (e.g. the def site of a response object).
 func ForwardTaint(g *cfg.Graph, sources map[int][]string, opts TaintOptions) *TaintResult {
 	n := g.NumNodes()
+	// Maps stay nil until taint arrives: most nodes of most methods never
+	// see a tainted local, and nil-map reads are free. TaintedAt and the
+	// transfer's guards all tolerate nil the same way they tolerate empty.
 	in := make([]map[string]bool, n)
 	out := make([]map[string]bool, n)
-	for i := range in {
-		in[i] = make(map[string]bool)
-		out[i] = make(map[string]bool)
-	}
 	body := g.Method.Body
 	work := make([]int, 0, n)
 	inWork := make([]bool, n)
@@ -81,27 +80,41 @@ func ForwardTaint(g *cfg.Graph, sources map[int][]string, opts TaintOptions) *Ta
 	for i := 0; i < n; i++ {
 		push(i)
 	}
-	for len(work) > 0 {
-		u := work[0]
-		work = work[1:]
+	for head := 0; head < len(work); head++ {
+		u := work[head]
 		inWork[u] = false
 		// in[u] = union of out[preds]
-		nu := make(map[string]bool)
+		var nu map[string]bool
 		for _, p := range g.Preds(u) {
 			for l := range out[p] {
+				if nu == nil {
+					nu = make(map[string]bool, 8)
+				}
 				nu[l] = true
 			}
 		}
 		in[u] = nu
 		// transfer
-		no := make(map[string]bool, len(nu))
-		for l := range nu {
-			no[l] = true
+		var no map[string]bool
+		if len(nu) > 0 {
+			no = make(map[string]bool, len(nu))
+			for l := range nu {
+				no[l] = true
+			}
 		}
 		if u < len(body) {
-			applyTaintTransfer(body[u], u, no, opts)
-			for _, l := range sources[u] {
-				no[l] = true
+			srcs := sources[u]
+			if no == nil && len(srcs) > 0 {
+				no = make(map[string]bool, len(srcs))
+			}
+			if no != nil {
+				// With no incoming taint and no sources the transfer is a
+				// no-op (every write is guarded by an existing-taint read),
+				// so the nil case skips it wholesale.
+				applyTaintTransfer(body[u], u, no, opts)
+				for _, l := range srcs {
+					no[l] = true
+				}
 			}
 		}
 		if !sameSet(out[u], no) {
@@ -236,12 +249,16 @@ func sameSet(a, b map[string]bool) bool {
 // indexes of the originating definitions (NewExpr, InvokeExpr, ParamRef,
 // FieldRef or CaughtExRef right-hand sides), sorted.
 func AllocSitesOf(rd *ReachDefs, stmt int, local string) []int {
-	seen := make(map[[2]interface{}]bool)
+	type visit struct {
+		at int
+		l  string
+	}
+	seen := make(map[visit]bool)
 	var out []int
 	outSet := make(map[int]bool)
 	var walk func(at int, l string)
 	walk = func(at int, l string) {
-		key := [2]interface{}{at, l}
+		key := visit{at, l}
 		if seen[key] {
 			return
 		}
@@ -400,33 +417,59 @@ func dedupeObjectCalls(calls []ObjectCall) []ObjectCall {
 	if len(calls) == 0 {
 		return nil
 	}
-	less := func(a, b *ObjectCall) bool {
-		if a.Stmt != b.Stmt {
-			return a.Stmt < b.Stmt
-		}
-		ak, bk := a.Callee.Key(), b.Callee.Key()
-		if ak != bk {
-			return ak < bk
-		}
-		sa := SummaryCall{Callee: a.Callee, Args: a.Args}
-		sb := SummaryCall{Callee: b.Callee, Args: b.Args}
-		if len(a.Args) != len(b.Args) {
-			return len(a.Args) < len(b.Args)
-		}
-		return callLess(&sa, &sb)
+	// Render each callee key once up front; sorting and dedup below compare
+	// the cached strings instead of re-rendering per comparison.
+	keys := make([]string, len(calls))
+	for i := range calls {
+		keys[i] = calls[i].Callee.Key()
 	}
-	sort.SliceStable(calls, func(i, j int) bool { return less(&calls[i], &calls[j]) })
+	sort.Stable(&objectCallSorter{calls: calls, keys: keys})
 	out := calls[:1]
+	last := 0
 	for i := 1; i < len(calls); i++ {
 		prev := &out[len(out)-1]
 		cur := &calls[i]
-		if prev.Stmt == cur.Stmt && prev.Callee.Key() == cur.Callee.Key() &&
-			len(prev.Args) == len(cur.Args) && equalCall(&SummaryCall{Callee: prev.Callee, Args: prev.Args}, &SummaryCall{Callee: cur.Callee, Args: cur.Args}) {
+		if prev.Stmt == cur.Stmt && keys[last] == keys[i] && sameArgs(prev.Args, cur.Args) {
 			continue
 		}
 		out = append(out, *cur)
+		last = i
 	}
 	return out
+}
+
+type objectCallSorter struct {
+	calls []ObjectCall
+	keys  []string
+}
+
+func (s *objectCallSorter) Len() int { return len(s.calls) }
+
+func (s *objectCallSorter) Swap(i, j int) {
+	s.calls[i], s.calls[j] = s.calls[j], s.calls[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+func (s *objectCallSorter) Less(i, j int) bool {
+	a, b := &s.calls[i], &s.calls[j]
+	if a.Stmt != b.Stmt {
+		return a.Stmt < b.Stmt
+	}
+	if s.keys[i] != s.keys[j] {
+		return s.keys[i] < s.keys[j]
+	}
+	if len(a.Args) != len(b.Args) {
+		return len(a.Args) < len(b.Args)
+	}
+	for k := range a.Args {
+		if a.Args[k] != b.Args[k] {
+			if a.Args[k].Known != b.Args[k].Known {
+				return !a.Args[k].Known
+			}
+			return a.Args[k].V < b.Args[k].V
+		}
+	}
+	return false
 }
 
 func sourcesContain(sources map[int][]string, stmt int, local string) bool {

@@ -23,9 +23,11 @@ type decoder struct {
 	pos  int
 	pool []string
 	// lazy, when non-nil, switches method bodies to the skim path: the
-	// shared body core still parses (and validates) every byte, but the
-	// statements are dropped and only the span + MethodRef are recorded.
+	// same bytes are parsed with the same validation, but no statement
+	// objects are built — only the span + MethodRef are recorded.
 	lazy *Lazy
+	// localScratch is skimBody's reusable local-type buffer.
+	localScratch []string
 }
 
 func (d *decoder) run() (*jimple.Program, error) {

@@ -1,6 +1,7 @@
 package dex
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -10,14 +11,17 @@ import (
 // This file is the lazy decode fast path for the targeted engine mode:
 // DecodeLazy parses the container eagerly down to class/field/method
 // headers but retains no method bodies. Each body section is skimmed once
-// through the shared decoder core (decode.go's body) to delimit its byte
-// span and extract a MethodRef — the call targets, explicit-intent class
-// names, and referenced types the demand-driven closure rules need — and
-// the decoded statements are dropped. Materialize re-runs the same core
-// over a recorded span to give a demanded class its bodies back, so a
-// fully materialized lazy program is bit-identical to an eager Decode of
-// the same bytes, and malformed input fails identically on both paths
-// (the skim runs every check the eager decoder runs, in the same order).
+// to delimit its byte span and extract a MethodRef — the call targets,
+// explicit-intent class names, and referenced types the demand-driven
+// closure rules need. The skim (skimBody below) walks the same bytes the
+// eager core walks, runs the same validation checks in the same order,
+// but never materializes statement or value objects — the bulk of a cold
+// decode's allocations for bodies targeted mode will never visit. On any
+// skim rejection the materializing core re-runs over the span, so
+// malformed input fails with the eager path's exact error and offset.
+// Materialize re-runs the eager core over a recorded span to give a
+// demanded class its bodies back, so a fully materialized lazy program is
+// bit-identical to an eager Decode of the same bytes.
 
 // MethodRef is the skim record of one body-bearing method: everything the
 // targeted closure engine consults without the body being retained.
@@ -248,28 +252,268 @@ func (l *Lazy) TargetSiteSearch(wanted []jimple.Sig) []string {
 	return out
 }
 
-// lazyBody is the decoder hook for the skim: it runs the shared body core
-// over a throwaway method (identical parsing, identical errors), records
-// the span and the extracted MethodRef, and leaves m bodiless.
+// lazyBody is the decoder hook for the skim: it parses the body span
+// without materializing statements, records the span and the extracted
+// MethodRef, and leaves m bodiless.
 func (d *decoder) lazyBody(m *jimple.Method) error {
 	start := d.pos
-	tmp := jimple.Method{Sig: m.Sig, Static: m.Static}
-	if err := d.body(&tmp); err != nil {
-		return err
+	ref := MethodRef{Sig: m.Sig}
+	empty, err := d.skimBody(&ref)
+	if err != nil {
+		// Re-run the materializing core over the same span: malformed input
+		// fails with the eager path's exact error and offset, and a span the
+		// core accepts (a skim divergence, never expected) falls back to the
+		// materialized record so the two paths cannot drift.
+		d.pos = start
+		tmp := jimple.Method{Sig: m.Sig, Static: m.Static}
+		if coreErr := d.body(&tmp); coreErr != nil {
+			return coreErr
+		}
+		empty, ref = !tmp.HasBody(), refOf(&tmp)
+		if !empty {
+			for _, lcl := range tmp.Locals {
+				d.noteLocalType(lcl.Type)
+			}
+		}
 	}
-	if !tmp.HasBody() {
+	if empty {
 		// Empty-body normalization, mirrored onto the skeleton: nothing to
 		// materialize later.
 		m.Abstract = true
 		return nil
 	}
+	d.lazy.classRecs[m.Sig.Class] = append(d.lazy.classRecs[m.Sig.Class],
+		bodiedRec{m: m, start: start, ref: ref})
+	return nil
+}
+
+func (d *decoder) noteLocalType(t string) {
 	if d.lazy.localTypes == nil {
 		d.lazy.localTypes = make(map[string]bool)
 	}
-	for _, lcl := range tmp.Locals {
-		d.lazy.localTypes[lcl.Type] = true
+	d.lazy.localTypes[t] = true
+}
+
+// errSkimReject marks a structural check the skim cannot phrase exactly
+// (the eager error interpolates the materialized value's dynamic type);
+// lazyBody's fallback re-run produces the real error.
+var errSkimReject = errors.New("dex: skim rejected span")
+
+// skimBody mirrors decoder.body over the same bytes with the same checks
+// in the same order, but drops everything except the MethodRef capture
+// and the local-type notes. empty reports whether the section holds zero
+// statements (the empty-body normalization case).
+func (d *decoder) skimBody(ref *MethodRef) (empty bool, err error) {
+	nl, err := d.count("local")
+	if err != nil {
+		return false, err
 	}
-	d.lazy.classRecs[m.Sig.Class] = append(d.lazy.classRecs[m.Sig.Class],
-		bodiedRec{m: m, start: start, ref: refOf(&tmp)})
-	return nil
+	d.localScratch = d.localScratch[:0]
+	for i := 0; i < nl; i++ {
+		if _, err := d.ref(); err != nil { // name
+			return false, err
+		}
+		t, err := d.ref()
+		if err != nil {
+			return false, err
+		}
+		d.localScratch = append(d.localScratch, t)
+	}
+	ns, err := d.count("statement")
+	if err != nil {
+		return false, err
+	}
+	if ns > 0 {
+		// Empty bodies normalize to abstract stubs with their locals
+		// dropped, so their local types must not leak into the note set.
+		for _, t := range d.localScratch {
+			d.noteLocalType(t)
+		}
+	}
+	for i := 0; i < ns; i++ {
+		if err := d.skimStmt(ref); err != nil {
+			return false, err
+		}
+	}
+	nt, err := d.count("trap")
+	if err != nil {
+		return false, err
+	}
+	for i := 0; i < nt; i++ {
+		for j := 0; j < 3; j++ { // begin, end, handler
+			if _, err := d.u64(); err != nil {
+				return false, err
+			}
+		}
+		if _, err := d.ref(); err != nil { // exception
+			return false, err
+		}
+	}
+	return ns == 0, nil
+}
+
+func (d *decoder) skimStmt(ref *MethodRef) error {
+	op, err := d.byte()
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opAssign:
+		lhsTag, _, err := d.skimValue(nil)
+		if err != nil {
+			return err
+		}
+		if lhsTag != tagLocal && lhsTag != tagFieldRef {
+			return errSkimReject // core: "assign target is not an lvalue"
+		}
+		_, _, err = d.skimValue(ref)
+		return err
+	case opInvoke:
+		tag, _, err := d.skimValue(ref)
+		if err != nil {
+			return err
+		}
+		if tag != tagInvoke {
+			return errSkimReject // core: "invoke statement holds ..."
+		}
+		return nil
+	case opIf:
+		if _, _, err := d.skimValue(nil); err != nil {
+			return err
+		}
+		_, err := d.u64()
+		return err
+	case opGoto:
+		_, err := d.u64()
+		return err
+	case opReturn:
+		_, _, err := d.skimValue(nil)
+		return err
+	case opReturnVoid, opNop:
+		return nil
+	}
+	return fmt.Errorf("unknown opcode %d", op)
+}
+
+// skimValue parses one value without materializing it, returning the
+// value's tag and, for string constants, the pooled string. When top is
+// non-nil and the value is an invoke, its callee lands in top.Calls (and
+// a lone string-constant setClassName argument in top.Intents); the
+// capture applies only at the outermost level, matching jimple.InvokeOf —
+// nested invokes are not statement-level calls.
+func (d *decoder) skimValue(top *MethodRef) (byte, string, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return 0, "", err
+	}
+	switch tag {
+	case tagLocal, tagThisRef, tagNew:
+		_, err := d.ref()
+		return tag, "", err
+	case tagIntConst:
+		_, err := d.i64()
+		return tag, "", err
+	case tagStrConst:
+		s, err := d.ref()
+		return tag, s, err
+	case tagNull, tagCaughtEx:
+		return tag, "", nil
+	case tagParamRef:
+		if _, err := d.u64(); err != nil {
+			return tag, "", err
+		}
+		_, err := d.ref()
+		return tag, "", err
+	case tagFieldRef:
+		for i := 0; i < 3; i++ { // base, class, field
+			if _, err := d.ref(); err != nil {
+				return tag, "", err
+			}
+		}
+		return tag, "", nil
+	case tagInvoke:
+		kind, err := d.byte()
+		if err != nil {
+			return tag, "", err
+		}
+		if kind > byte(jimple.InvokeStatic) {
+			return tag, "", fmt.Errorf("bad invoke kind %d", kind)
+		}
+		if _, err := d.ref(); err != nil { // base
+			return tag, "", err
+		}
+		var callee jimple.Sig
+		if top != nil {
+			if callee, err = d.sig(); err != nil {
+				return tag, "", err
+			}
+		} else if err := d.skimSig(); err != nil {
+			return tag, "", err
+		}
+		na, err := d.count("argument")
+		if err != nil {
+			return tag, "", err
+		}
+		var arg0Tag byte
+		var arg0Str string
+		for i := 0; i < na; i++ {
+			t, s, err := d.skimValue(nil)
+			if err != nil {
+				return tag, "", err
+			}
+			if i == 0 {
+				arg0Tag, arg0Str = t, s
+			}
+		}
+		if top != nil {
+			top.Calls = append(top.Calls, callee)
+			if callee.Name == "setClassName" && na == 1 && arg0Tag == tagStrConst {
+				top.Intents = append(top.Intents, arg0Str)
+			}
+		}
+		return tag, "", nil
+	case tagBin:
+		op, err := d.byte()
+		if err != nil {
+			return tag, "", err
+		}
+		if op > byte(jimple.OpXor) {
+			return tag, "", fmt.Errorf("bad binary op %d", op)
+		}
+		if _, _, err := d.skimValue(nil); err != nil {
+			return tag, "", err
+		}
+		_, _, err = d.skimValue(nil)
+		return tag, "", err
+	case tagNeg:
+		_, _, err := d.skimValue(nil)
+		return tag, "", err
+	case tagCast, tagInstanceOf:
+		if _, err := d.ref(); err != nil {
+			return tag, "", err
+		}
+		_, _, err := d.skimValue(nil)
+		return tag, "", err
+	}
+	return 0, "", fmt.Errorf("unknown value tag %d", tag)
+}
+
+// skimSig consumes an encoded signature without building it.
+func (d *decoder) skimSig() error {
+	for i := 0; i < 2; i++ { // class, name
+		if _, err := d.ref(); err != nil {
+			return err
+		}
+	}
+	np, err := d.count("param")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < np; i++ {
+		if _, err := d.ref(); err != nil {
+			return err
+		}
+	}
+	_, err = d.ref() // ret
+	return err
 }

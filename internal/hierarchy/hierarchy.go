@@ -5,6 +5,7 @@ package hierarchy
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/jimple"
 )
@@ -14,16 +15,42 @@ type Hierarchy struct {
 	prog     *jimple.Program
 	subsOf   map[string][]string // direct subclasses and implementers
 	supersOf map[string][]string // direct superclass + interfaces
+
+	// methodIdx maps each defined class to its methods by subsignature
+	// (first declaration wins, matching Class.Method's linear scan), and
+	// superOf maps it to its superclass name. Together they make method
+	// lookup a pair of map probes instead of a linear subsignature render
+	// per declared method per query.
+	methodIdx map[string]map[string]*jimple.Method
+	superOf   map[string]string
+
+	// dispatchMemo caches CHA dispatch results per (kind-band, declared
+	// class, subsignature); the same framework callee is invoked from many
+	// sites, and each re-resolution used to redo the subtree walk and
+	// re-render every candidate's key. Guarded by mu so a Hierarchy stays
+	// safe to share between goroutines.
+	mu           sync.Mutex
+	dispatchMemo map[dispatchKey][]*jimple.Method
+}
+
+type dispatchKey struct {
+	virtual bool
+	class   string
+	subsig  string
 }
 
 // New indexes the hierarchy of p. Types referenced but not defined in p
 // (phantom classes) participate with no members and no known supertypes.
 func New(p *jimple.Program) *Hierarchy {
 	h := &Hierarchy{
-		prog:     p,
-		subsOf:   make(map[string][]string),
-		supersOf: make(map[string][]string),
+		prog:         p,
+		subsOf:       make(map[string][]string),
+		supersOf:     make(map[string][]string),
+		methodIdx:    make(map[string]map[string]*jimple.Method),
+		superOf:      make(map[string]string),
+		dispatchMemo: make(map[dispatchKey][]*jimple.Method),
 	}
+	intern := jimple.NewInterner()
 	for _, c := range p.Classes() {
 		if c.Super != "" {
 			h.supersOf[c.Name] = append(h.supersOf[c.Name], c.Super)
@@ -33,6 +60,15 @@ func New(p *jimple.Program) *Hierarchy {
 			h.supersOf[c.Name] = append(h.supersOf[c.Name], i)
 			h.subsOf[i] = append(h.subsOf[i], c.Name)
 		}
+		mm := make(map[string]*jimple.Method, len(c.Methods))
+		for _, m := range c.Methods {
+			k := intern.SubSigKey(m.Sig)
+			if _, dup := mm[k]; !dup {
+				mm[k] = m
+			}
+		}
+		h.methodIdx[c.Name] = mm
+		h.superOf[c.Name] = c.Super
 	}
 	for _, m := range []map[string][]string{h.subsOf, h.supersOf} {
 		for k := range m {
@@ -120,14 +156,14 @@ func (h *Hierarchy) Supertypes(t string) []string {
 // nil if no definition is found in the program.
 func (h *Hierarchy) LookupMethod(c, subSigKey string) *jimple.Method {
 	for cur := c; cur != ""; {
-		cls := h.prog.Class(cur)
-		if cls == nil {
+		mm, defined := h.methodIdx[cur]
+		if !defined {
 			return nil
 		}
-		if m := cls.Method(subSigKey); m != nil {
+		if m := mm[subSigKey]; m != nil {
 			return m
 		}
-		cur = cls.Super
+		cur = h.superOf[cur]
 	}
 	return nil
 }
@@ -138,23 +174,40 @@ func (h *Hierarchy) LookupMethod(c, subSigKey string) *jimple.Method {
 // definition if the declared class itself doesn't define it). For special
 // and static invokes it is the single static target.
 func (h *Hierarchy) Dispatch(e jimple.InvokeExpr) []*jimple.Method {
+	virtual := e.Kind != jimple.InvokeStatic && e.Kind != jimple.InvokeSpecial
 	sub := e.Callee.SubSigKey()
-	switch e.Kind {
-	case jimple.InvokeStatic, jimple.InvokeSpecial:
-		if m := h.LookupMethod(e.Callee.Class, sub); m != nil && m.HasBody() {
+	key := dispatchKey{virtual: virtual, class: e.Callee.Class, subsig: sub}
+	h.mu.Lock()
+	if out, ok := h.dispatchMemo[key]; ok {
+		h.mu.Unlock()
+		return out
+	}
+	h.mu.Unlock()
+	out := h.dispatch(virtual, e.Callee.Class, sub)
+	h.mu.Lock()
+	h.dispatchMemo[key] = out
+	h.mu.Unlock()
+	return out
+}
+
+// dispatch computes an uncached CHA resolution. Callers must treat the
+// returned slice as read-only: it is memoized and shared.
+func (h *Hierarchy) dispatch(virtual bool, class, sub string) []*jimple.Method {
+	if !virtual {
+		if m := h.LookupMethod(class, sub); m != nil && m.HasBody() {
 			return []*jimple.Method{m}
 		}
 		return nil
 	}
 	var out []*jimple.Method
-	seen := make(map[string]bool)
-	for _, t := range h.SubtypesOf(e.Callee.Class) {
+	seen := make(map[*jimple.Method]bool)
+	for _, t := range h.SubtypesOf(class) {
 		m := h.LookupMethod(t, sub)
 		if m == nil || !m.HasBody() {
 			continue
 		}
-		if !seen[m.Sig.Key()] {
-			seen[m.Sig.Key()] = true
+		if !seen[m] {
+			seen[m] = true
 			out = append(out, m)
 		}
 	}

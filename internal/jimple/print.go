@@ -1,16 +1,26 @@
 package jimple
 
 import (
-	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
 )
 
+// ClassWriter is the sink the printer streams into. Both *strings.Builder
+// and *bufio.Writer satisfy it, so callers that only need the printed
+// bytes transiently (content hashing) can stream them through a buffered
+// writer instead of materializing a throwaway string per class.
+type ClassWriter interface {
+	io.Writer
+	WriteString(s string) (int, error)
+	WriteByte(c byte) error
+}
+
 // Fprint renders the program in the textual assembly form accepted by
 // Parse. The rendering is deterministic: classes sorted by name, members
 // in declaration order.
-func Fprint(b *strings.Builder, p *Program) {
+func Fprint(b ClassWriter, p *Program) {
 	for i, c := range p.Classes() {
 		if i > 0 {
 			b.WriteByte('\n')
@@ -33,7 +43,11 @@ func PrintClass(c *Class) string {
 	return b.String()
 }
 
-func printClass(b *strings.Builder, c *Class) {
+// FprintClass streams the rendering of a single class into w, emitting
+// exactly the bytes PrintClass returns.
+func FprintClass(w ClassWriter, c *Class) { printClass(w, c) }
+
+func printClass(b ClassWriter, c *Class) {
 	if c.IsIface {
 		b.WriteString("interface ")
 	} else {
@@ -49,7 +63,12 @@ func printClass(b *strings.Builder, c *Class) {
 	}
 	if len(c.Interfaces) > 0 {
 		b.WriteString(" implements ")
-		b.WriteString(strings.Join(c.Interfaces, ","))
+		for i, ifc := range c.Interfaces {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(ifc)
+		}
 	}
 	b.WriteString(" {\n")
 	for _, f := range c.Fields {
@@ -68,7 +87,7 @@ func printClass(b *strings.Builder, c *Class) {
 	b.WriteString("}\n")
 }
 
-func printMethod(b *strings.Builder, m *Method) {
+func printMethod(b ClassWriter, m *Method) {
 	b.WriteString("  method ")
 	if m.Static {
 		b.WriteString("static ")
@@ -78,7 +97,12 @@ func printMethod(b *strings.Builder, m *Method) {
 	}
 	b.WriteString(m.Sig.Name)
 	b.WriteByte('(')
-	b.WriteString(strings.Join(m.Sig.Params, ","))
+	for i, p := range m.Sig.Params {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p)
+	}
 	b.WriteByte(')')
 	b.WriteString(m.Sig.Ret)
 	if !m.HasBody() {
@@ -87,27 +111,49 @@ func printMethod(b *strings.Builder, m *Method) {
 	}
 	b.WriteString(" {\n")
 	for _, l := range m.Locals {
-		fmt.Fprintf(b, "    local %s %s\n", l.Name, l.Type)
+		b.WriteString("    local ")
+		b.WriteString(l.Name)
+		b.WriteByte(' ')
+		b.WriteString(l.Type)
+		b.WriteByte('\n')
 	}
 	labels := collectLabels(m)
+	writeLabel := func(lbl int) {
+		b.WriteString("    L")
+		writeInt(b, int64(lbl))
+		b.WriteString(":\n")
+	}
 	for i, s := range m.Body {
 		if lbl, ok := labels[i]; ok {
-			fmt.Fprintf(b, "    L%d:\n", lbl)
+			writeLabel(lbl)
 		}
 		b.WriteString("    ")
-		b.WriteString(formatStmt(s, labels))
+		writeStmt(b, s, labels)
 		b.WriteByte('\n')
 	}
 	// A label may anchor one past the last statement only via traps ends;
 	// trap ends are exclusive and may equal len(Body).
 	if lbl, ok := labels[len(m.Body)]; ok {
-		fmt.Fprintf(b, "    L%d:\n", lbl)
+		writeLabel(lbl)
 	}
 	for _, t := range m.Traps {
-		fmt.Fprintf(b, "    trap L%d L%d L%d %s\n",
-			labels[t.Begin], labels[t.End], labels[t.Handler], t.Exception)
+		b.WriteString("    trap L")
+		writeInt(b, int64(labels[t.Begin]))
+		b.WriteString(" L")
+		writeInt(b, int64(labels[t.End]))
+		b.WriteString(" L")
+		writeInt(b, int64(labels[t.Handler]))
+		b.WriteByte(' ')
+		b.WriteString(t.Exception)
+		b.WriteByte('\n')
 	}
 	b.WriteString("  }\n")
+}
+
+// writeInt writes the decimal rendering of v without going through fmt.
+func writeInt(b ClassWriter, v int64) {
+	var buf [20]byte
+	b.Write(strconv.AppendInt(buf[:0], v, 10))
 }
 
 // collectLabels assigns a label number to every statement index that is a
@@ -137,99 +183,145 @@ func collectLabels(m *Method) map[int]int {
 	return labels
 }
 
-func formatStmt(s Stmt, labels map[int]int) string {
+func writeStmt(b ClassWriter, s Stmt, labels map[int]int) {
 	switch s := s.(type) {
 	case *AssignStmt:
-		return formatLValue(s.LHS) + " = " + formatValue(s.RHS)
+		writeLValue(b, s.LHS)
+		b.WriteString(" = ")
+		writeValue(b, s.RHS)
 	case *InvokeStmt:
-		return formatInvoke(s.Call)
+		writeInvoke(b, s.Call)
 	case *IfStmt:
-		return fmt.Sprintf("if %s goto L%d", formatValue(s.Cond), labels[s.Target])
+		b.WriteString("if ")
+		writeValue(b, s.Cond)
+		b.WriteString(" goto L")
+		writeInt(b, int64(labels[s.Target]))
 	case *GotoStmt:
-		return fmt.Sprintf("goto L%d", labels[s.Target])
+		b.WriteString("goto L")
+		writeInt(b, int64(labels[s.Target]))
 	case *ReturnStmt:
 		if s.V == nil {
-			return "return"
+			b.WriteString("return")
+			return
 		}
-		return "return " + formatAtom(s.V)
+		b.WriteString("return ")
+		writeAtom(b, s.V)
 	case *ThrowStmt:
-		return "throw " + formatAtom(s.V)
+		b.WriteString("throw ")
+		writeAtom(b, s.V)
 	case *NopStmt:
-		return "nop"
+		b.WriteString("nop")
+	default:
+		b.WriteByte('?')
 	}
-	return "?"
 }
 
-func formatLValue(v LValue) string {
+func writeLValue(b ClassWriter, v LValue) {
 	switch v := v.(type) {
 	case Local:
-		return v.Name
+		b.WriteString(v.Name)
 	case FieldRef:
-		return formatFieldRef(v)
+		writeFieldRef(b, v)
+	default:
+		b.WriteByte('?')
 	}
-	return "?"
 }
 
-func formatFieldRef(f FieldRef) string {
+func writeFieldRef(b ClassWriter, f FieldRef) {
 	if f.Base == "" {
-		return fmt.Sprintf("sfield(%s,%s)", f.Class, f.Field)
+		b.WriteString("sfield(")
+	} else {
+		b.WriteString("field(")
+		b.WriteString(f.Base)
+		b.WriteByte(',')
 	}
-	return fmt.Sprintf("field(%s,%s,%s)", f.Base, f.Class, f.Field)
+	b.WriteString(f.Class)
+	b.WriteByte(',')
+	b.WriteString(f.Field)
+	b.WriteByte(')')
 }
 
-func formatAtom(v Value) string {
+func writeAtom(b ClassWriter, v Value) {
 	switch v := v.(type) {
 	case Local:
-		return v.Name
+		b.WriteString(v.Name)
 	case IntConst:
-		return strconv.FormatInt(v.V, 10)
+		writeInt(b, v.V)
 	case StrConst:
-		return strconv.Quote(v.V)
+		b.WriteString(strconv.Quote(v.V))
 	case NullConst:
-		return "null"
+		b.WriteString("null")
 	case ParamRef:
-		return fmt.Sprintf("param %d %s", v.Index, v.Type)
+		b.WriteString("param ")
+		writeInt(b, int64(v.Index))
+		b.WriteByte(' ')
+		b.WriteString(v.Type)
 	case ThisRef:
-		return "this " + v.Type
+		b.WriteString("this ")
+		b.WriteString(v.Type)
 	case CaughtExRef:
-		return "caught"
+		b.WriteString("caught")
 	case FieldRef:
-		return formatFieldRef(v)
+		writeFieldRef(b, v)
+	default:
+		b.WriteByte('?')
+		b.WriteString(v.String())
 	}
-	return "?" + v.String()
 }
 
-func formatValue(v Value) string {
+func writeValue(b ClassWriter, v Value) {
 	switch v := v.(type) {
 	case NewExpr:
-		return "new " + v.Type
+		b.WriteString("new ")
+		b.WriteString(v.Type)
 	case InvokeExpr:
-		return formatInvoke(v)
+		writeInvoke(b, v)
 	case BinExpr:
-		return fmt.Sprintf("%s %s %s", formatAtom(v.L), v.Op.String(), formatAtom(v.R))
+		writeAtom(b, v.L)
+		b.WriteByte(' ')
+		b.WriteString(v.Op.String())
+		b.WriteByte(' ')
+		writeAtom(b, v.R)
 	case NegExpr:
-		return "!" + formatAtom(v.V)
+		b.WriteByte('!')
+		writeAtom(b, v.V)
 	case CastExpr:
-		return fmt.Sprintf("cast %s %s", v.Type, formatAtom(v.V))
+		b.WriteString("cast ")
+		b.WriteString(v.Type)
+		b.WriteByte(' ')
+		writeAtom(b, v.V)
 	case InstanceOfExpr:
-		return fmt.Sprintf("instanceof %s %s", v.Type, formatAtom(v.V))
+		b.WriteString("instanceof ")
+		b.WriteString(v.Type)
+		b.WriteByte(' ')
+		writeAtom(b, v.V)
 	default:
-		return formatAtom(v)
+		writeAtom(b, v)
 	}
 }
 
-func formatInvoke(e InvokeExpr) string {
-	var b strings.Builder
+func writeInvoke(b ClassWriter, e InvokeExpr) {
 	b.WriteString(e.Kind.String())
 	b.WriteByte(' ')
 	if e.Kind != InvokeStatic {
 		b.WriteString(e.Base)
 		b.WriteByte(' ')
 	}
-	b.WriteString(e.Callee.Key())
+	// Callee key, streamed piecewise — the rendering matches Sig.Key.
+	b.WriteString(e.Callee.Class)
+	b.WriteByte('.')
+	b.WriteString(e.Callee.Name)
+	b.WriteByte('(')
+	for i, p := range e.Callee.Params {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p)
+	}
+	b.WriteByte(')')
+	b.WriteString(e.Callee.Ret)
 	for _, a := range e.Args {
 		b.WriteByte(' ')
-		b.WriteString(formatAtom(a))
+		writeAtom(b, a)
 	}
-	return b.String()
 }

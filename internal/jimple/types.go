@@ -125,6 +125,34 @@ func (s Sig) SubSigKey() string {
 	return b.String()
 }
 
+// AppendKey appends the canonical Key form of s to dst and returns the
+// extended slice. The bytes are identical to Key(); hot paths use it with
+// a reused buffer to avoid the intermediate string allocation.
+func (s Sig) AppendKey(dst []byte) []byte {
+	dst = append(dst, s.Class...)
+	dst = append(dst, '.')
+	return s.appendSubSig(dst)
+}
+
+// AppendSubSigKey appends the canonical SubSigKey form of s to dst,
+// byte-identical to SubSigKey().
+func (s Sig) AppendSubSigKey(dst []byte) []byte {
+	return s.appendSubSig(dst)
+}
+
+func (s Sig) appendSubSig(dst []byte) []byte {
+	dst = append(dst, s.Name...)
+	dst = append(dst, '(')
+	for i, p := range s.Params {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, p...)
+	}
+	dst = append(dst, ')')
+	return append(dst, s.Ret...)
+}
+
 func (s Sig) String() string { return s.Key() }
 
 // WithClass returns a copy of s redeclared on class c. Used when resolving

@@ -112,6 +112,32 @@ echo "== targeted scaling bench smoke =="
 # regenerate BENCH_targeted.json's headline numbers.
 go test -run='^$' -bench='^BenchmarkScanMode' -benchtime=1x -timeout 10m .
 
+echo "== cold-scan allocation smoke =="
+# Regenerates BENCH_cold.json's smoke section (-short scans the first
+# coldSmokeApps corpus apps) into an artifacts dir — BENCH_COLD_OUT keeps
+# the committed file untouched — then gates allocs/op against the
+# committed smoke entry: a >15% regression fails. CPU and allocation
+# pprof profiles land beside the regenerated file for triage.
+benchart="${BENCH_ARTIFACTS:-bench-artifacts}"
+mkdir -p "$benchart"
+committed=$(grep -o '"allocs_per_op": *[0-9]*' BENCH_cold.json | tail -n 1 | tr -dc 0-9)
+if [ -z "$committed" ]; then
+    echo "cold-scan smoke: BENCH_cold.json has no smoke allocs_per_op entry" >&2
+    exit 1
+fi
+BENCH_COLD_OUT="$benchart/BENCH_cold.json" go test -run='^$' -short \
+    -bench='^BenchmarkScanCorpusCold$' -benchtime=3x -benchmem -timeout 10m \
+    -cpuprofile "$benchart/cold.cpu.pprof" -memprofile "$benchart/cold.mem.pprof" \
+    -o "$benchart/bench.test" .
+fresh=$(grep -o '"allocs_per_op": *[0-9]*' "$benchart/BENCH_cold.json" | tail -n 1 | tr -dc 0-9)
+echo "cold-scan smoke allocs/op: committed=$committed fresh=$fresh (artifacts in $benchart/)"
+if [ "$fresh" -gt $((committed * 115 / 100)) ]; then
+    echo "cold-scan smoke: allocs/op regressed >15% ($committed -> $fresh);" \
+        "profiles in $benchart/ — if intentional, regenerate BENCH_cold.json" \
+        "with: go test -run='^\$' -short -bench='^BenchmarkScanCorpusCold\$' -benchmem ." >&2
+    exit 1
+fi
+
 echo "== serve smoke =="
 # End-to-end over a real socket: start `nchecker serve` on an ephemeral
 # port, have scripts/servesmoke POST a fixture app, poll the report, and
